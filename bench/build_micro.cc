@@ -1,0 +1,87 @@
+// google-benchmark microbenchmarks: construction cost per builder. The
+// paper remarks that choosing groups by simultaneous MBR minimization
+// "could be combinatorially explosive" — these numbers show what the
+// practical loaders cost instead (NN packing with the grid accelerator is
+// near-linear; sort-based loaders are n log n; dynamic INSERT pays per
+// object).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "pack/hilbert.h"
+#include "pack/pack.h"
+#include "pack/str.h"
+#include "workload/generators.h"
+
+namespace {
+
+using pictdb::Random;
+using pictdb::bench::FakeRid;
+using pictdb::bench::PointEntries;
+using pictdb::bench::TreeEnv;
+using pictdb::geom::Rect;
+
+std::vector<pictdb::geom::Point> Points(size_t n) {
+  Random rng(9000 + n);
+  return pictdb::workload::UniformPoints(&rng, n,
+                                         pictdb::workload::PaperFrame());
+}
+
+void BM_BuildInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = Points(n);
+  for (auto _ : state) {
+    TreeEnv env = TreeEnv::Make({}, 4096);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      PICTDB_CHECK_OK(env.tree->Insert(Rect::FromPoint(pts[i]), FakeRid(i)));
+    }
+    benchmark::DoNotOptimize(env.tree->Size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+template <pictdb::Status (*Loader)(pictdb::rtree::RTree*,
+                                   std::vector<pictdb::rtree::Entry>)>
+void BM_BuildBulk(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto pts = Points(n);
+  for (auto _ : state) {
+    TreeEnv env = TreeEnv::Make({}, 4096);
+    PICTDB_CHECK_OK(Loader(env.tree.get(), PointEntries(pts)));
+    benchmark::DoNotOptimize(env.tree->Size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+pictdb::Status LoadNN(pictdb::rtree::RTree* tree,
+                      std::vector<pictdb::rtree::Entry> items) {
+  return pictdb::pack::PackNearestNeighbor(tree, std::move(items));
+}
+pictdb::Status LoadLowX(pictdb::rtree::RTree* tree,
+                        std::vector<pictdb::rtree::Entry> items) {
+  return pictdb::pack::PackSortChunk(tree, std::move(items));
+}
+pictdb::Status LoadStr(pictdb::rtree::RTree* tree,
+                       std::vector<pictdb::rtree::Entry> items) {
+  return pictdb::pack::PackStr(tree, std::move(items));
+}
+pictdb::Status LoadHilbert(pictdb::rtree::RTree* tree,
+                           std::vector<pictdb::rtree::Entry> items) {
+  return pictdb::pack::PackHilbert(tree, std::move(items));
+}
+
+BENCHMARK(BM_BuildInsert)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildBulk<LoadNN>)->Name("BM_BuildPackNN")
+    ->Arg(10000)->Arg(50000)->Arg(200000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildBulk<LoadLowX>)->Name("BM_BuildLowX")
+    ->Arg(10000)->Arg(50000)->Arg(200000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildBulk<LoadStr>)->Name("BM_BuildSTR")
+    ->Arg(10000)->Arg(50000)->Arg(200000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildBulk<LoadHilbert>)->Name("BM_BuildHilbert")
+    ->Arg(10000)->Arg(50000)->Arg(200000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks: point/window search latency across
+// builders (INSERT vs the packers) and dataset sizes — the wall-clock
+// companion to Table 1's "nodes visited" column.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "pack/hilbert.h"
+#include "pack/pack.h"
+#include "pack/str.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace {
+
+using pictdb::Random;
+using pictdb::bench::FakeRid;
+using pictdb::bench::PointEntries;
+using pictdb::bench::TreeEnv;
+using pictdb::geom::Point;
+using pictdb::geom::Rect;
+
+enum BuilderId : int64_t {
+  kInsert = 0,
+  kPackNN = 1,
+  kLowX = 2,
+  kStr = 3,
+  kHilbert = 4,
+};
+
+TreeEnv BuildTree(int64_t builder, size_t n) {
+  Random rng(7000 + n);
+  const auto pts =
+      pictdb::workload::UniformPoints(&rng, n, pictdb::workload::PaperFrame());
+  pictdb::rtree::RTreeOptions opts;  // page-derived branching (~101)
+  TreeEnv env = TreeEnv::Make(opts, 4096);
+  auto items = PointEntries(pts);
+  switch (builder) {
+    case kInsert:
+      for (size_t i = 0; i < pts.size(); ++i) {
+        PICTDB_CHECK_OK(
+            env.tree->Insert(Rect::FromPoint(pts[i]), FakeRid(i)));
+      }
+      break;
+    case kPackNN:
+      PICTDB_CHECK_OK(
+          pictdb::pack::PackNearestNeighbor(env.tree.get(), std::move(items)));
+      break;
+    case kLowX:
+      PICTDB_CHECK_OK(
+          pictdb::pack::PackSortChunk(env.tree.get(), std::move(items)));
+      break;
+    case kStr:
+      PICTDB_CHECK_OK(pictdb::pack::PackStr(env.tree.get(), std::move(items)));
+      break;
+    case kHilbert:
+      PICTDB_CHECK_OK(
+          pictdb::pack::PackHilbert(env.tree.get(), std::move(items)));
+      break;
+  }
+  return env;
+}
+
+const char* BuilderName(int64_t builder) {
+  static const char* const kNames[] = {"insert", "pack-nn", "lowx", "str",
+                                       "hilbert"};
+  return kNames[builder];
+}
+
+void BM_WindowSearch(benchmark::State& state) {
+  const int64_t builder = state.range(0);
+  const size_t n = static_cast<size_t>(state.range(1));
+  TreeEnv env = BuildTree(builder, n);
+  Random rng(1);
+  const auto windows = pictdb::workload::RandomWindowQueries(
+      &rng, 512, 0.01, pictdb::workload::PaperFrame());
+  size_t i = 0;
+  uint64_t results = 0;
+  for (auto _ : state) {
+    auto hits = env.tree->SearchIntersects(windows[i++ & 511]);
+    PICTDB_CHECK(hits.ok());
+    results += hits->size();
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetLabel(BuilderName(builder));
+  state.counters["results/query"] =
+      static_cast<double>(results) / state.iterations();
+}
+
+void BM_PointSearch(benchmark::State& state) {
+  const int64_t builder = state.range(0);
+  const size_t n = static_cast<size_t>(state.range(1));
+  TreeEnv env = BuildTree(builder, n);
+  Random rng(2);
+  const auto queries = pictdb::workload::RandomPointQueries(
+      &rng, 512, pictdb::workload::PaperFrame());
+  size_t i = 0;
+  for (auto _ : state) {
+    auto hits = env.tree->SearchPoint(queries[i++ & 511]);
+    PICTDB_CHECK(hits.ok());
+    benchmark::DoNotOptimize(hits->size());
+  }
+  state.SetLabel(BuilderName(builder));
+}
+
+void SearchArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t builder : {kInsert, kPackNN, kLowX, kStr, kHilbert}) {
+    for (int64_t n : {10000, 100000}) {
+      b->Args({builder, n});
+    }
+  }
+}
+
+BENCHMARK(BM_WindowSearch)->Apply(SearchArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PointSearch)->Apply(SearchArgs)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Theorem 3.2 / Lemma 3.1 experimental sweep: for point sets of growing
+// size (including adversarial lattices), a rotation with all-distinct
+// x-coordinates is found and x-chunking after it yields *zero* leaf
+// overlap, while unrotated chunking of lattice data does not even manage
+// distinct x. Also measures the cost of finding the rotation.
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/random.h"
+#include "geom/measure.h"
+#include "geom/transform.h"
+#include "pack/rotation.h"
+#include "workload/generators.h"
+
+namespace {
+
+using pictdb::Random;
+using pictdb::geom::Point;
+
+size_t IntersectingPairs(const std::vector<pictdb::geom::Rect>& mbrs) {
+  size_t pairs = 0;
+  for (size_t i = 0; i < mbrs.size(); ++i) {
+    for (size_t j = i + 1; j < mbrs.size(); ++j) {
+      if (mbrs[i].Intersects(mbrs[j])) ++pairs;
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%-22s %6s %9s %14s %13s %10s\n", "dataset", "n", "angle",
+              "overlap-area", "touch-pairs", "find(ms)");
+
+  const auto run = [](const char* label, const std::vector<Point>& pts) {
+    const auto start = std::chrono::steady_clock::now();
+    auto packing = pictdb::pack::ComputeRotationPacking(pts, 4);
+    const auto end = std::chrono::steady_clock::now();
+    PICTDB_CHECK(packing.ok());
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    const double overlap =
+        pictdb::geom::AreaCoveredAtLeast(packing->leaf_mbrs, 2);
+    std::printf("%-22s %6zu %9.5f %14.2f %13zu %10.2f\n", label, pts.size(),
+                packing->angle, overlap,
+                IntersectingPairs(packing->leaf_mbrs), ms);
+    PICTDB_CHECK(overlap == 0.0);
+    PICTDB_CHECK(IntersectingPairs(packing->leaf_mbrs) == 0);
+  };
+
+  for (const size_t n : {64u, 256u, 1024u, 4096u}) {
+    Random rng(100 + n);
+    run("uniform", pictdb::workload::UniformPoints(
+                       &rng, n, pictdb::workload::PaperFrame()));
+  }
+  for (const size_t side : {8u, 16u, 32u}) {
+    std::vector<Point> lattice;
+    for (size_t x = 0; x < side; ++x) {
+      for (size_t y = 0; y < side; ++y) {
+        lattice.push_back(Point{static_cast<double>(x) * 10,
+                                static_cast<double>(y) * 10});
+      }
+    }
+    PICTDB_CHECK(!pictdb::geom::AllXDistinct(lattice));
+    run("lattice (ties in x)", lattice);
+  }
+  {
+    // Collinear points on a diagonal: every pair defines the same "bad"
+    // direction, a stress case for Lemma 3.1's finiteness argument.
+    std::vector<Point> diag;
+    for (int i = 0; i < 512; ++i) {
+      diag.push_back(Point{static_cast<double>(i), static_cast<double>(i)});
+    }
+    run("collinear diagonal", diag);
+  }
+  std::printf("\nTheorem 3.2 holds on every input: after rotation the leaf "
+              "MBRs are pairwise\ndisjoint (zero overlap area, zero "
+              "touching pairs).\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Interactive PSQL shell over a persistent pictorial database file.
+//
+//   ./build/examples/psql_shell [dbfile]
+//
+// On first run the US-map example database is built, packed and saved to
+// `dbfile` (default: usmap.pictdb). Later runs reopen it. Meta commands:
+//   \relations      list relations
+//   \pictures       list pictures
+//   \explain <q>    show the access plan without executing
+//   \quit           exit (also Ctrl-D)
+// Anything else is executed as a PSQL mapping, e.g.:
+//   select city, population, loc from cities on us-map
+//     at loc covered-by {-74 +- 6, 41 +- 4} where population > 400000
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "psql/executor.h"
+#include "rel/catalog.h"
+#include "rel/catalog_io.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/us_catalog.h"
+
+using namespace pictdb;
+
+namespace {
+
+// The catalog root page id is stored at a fixed offset of page 0, which
+// is reserved before anything else is allocated.
+constexpr storage::PageId kBootPage = 0;
+
+storage::PageId ReadBootRoot(storage::BufferPool* pool) {
+  auto page = pool->FetchPage(kBootPage);
+  PICTDB_CHECK(page.ok());
+  storage::PageId root;
+  std::memcpy(&root, page->data(), sizeof(root));
+  return root;
+}
+
+void WriteBootRoot(storage::BufferPool* pool, storage::PageId root) {
+  auto page = pool->FetchPage(kBootPage);
+  PICTDB_CHECK(page.ok());
+  std::memcpy(page->mutable_data(), &root, sizeof(root));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "usmap.pictdb";
+
+  auto dm = storage::FileDiskManager::Open(path, 1024, /*truncate=*/false);
+  PICTDB_CHECK(dm.ok()) << dm.status().ToString();
+  const bool fresh = (*dm)->page_count() == 0;
+  storage::BufferPool pool(dm->get(), 1 << 14);
+  rel::Catalog catalog(&pool);
+
+  if (fresh) {
+    std::printf("initializing %s with the US-map example database...\n",
+                path.c_str());
+    const storage::PageId boot = pool.disk()->AllocatePage();
+    PICTDB_CHECK(boot == kBootPage);
+    PICTDB_CHECK_OK(workload::BuildUsCatalog(&catalog));
+    auto root = rel::SaveCatalog(catalog, &pool);
+    PICTDB_CHECK(root.ok()) << root.status().ToString();
+    WriteBootRoot(&pool, *root);
+    PICTDB_CHECK_OK(pool.FlushAll());
+  } else {
+    const storage::PageId root = ReadBootRoot(&pool);
+    PICTDB_CHECK_OK(rel::LoadCatalog(&pool, root, &catalog));
+    std::printf("reopened %s\n", path.c_str());
+  }
+
+  psql::Executor exec(&catalog);
+  std::printf("PSQL shell — \\relations \\pictures \\explain <q> \\quit\n");
+  std::string line;
+  for (;;) {
+    std::printf("psql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\relations") {
+      for (const std::string& name : catalog.RelationNames()) {
+        auto rel = catalog.GetRelation(name);
+        PICTDB_CHECK(rel.ok());
+        std::printf("  %s  (%llu rows)\n",
+                    (*rel)->schema().ToString(name).c_str(),
+                    static_cast<unsigned long long>(*(*rel)->Count()));
+      }
+      continue;
+    }
+    if (line == "\\pictures") {
+      for (const rel::Picture* pic : catalog.Pictures()) {
+        std::printf("  %s  frame=%s\n", pic->name.c_str(),
+                    geom::ToString(pic->frame).c_str());
+        for (const auto& [relation, column] : pic->associations) {
+          std::printf("    shows %s.%s\n", relation.c_str(),
+                      column.c_str());
+        }
+      }
+      continue;
+    }
+    if (line.rfind("\\explain ", 0) == 0) {
+      auto plan = exec.ExplainQuery(line.substr(9));
+      if (plan.ok()) {
+        std::printf("%s", plan->c_str());
+      } else {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      }
+      continue;
+    }
+    auto result = exec.Run(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result->ToString().c_str());
+  }
+  PICTDB_CHECK_OK(pool.FlushAll());
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,729 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+
+#include "btree/cursor.h"
+#include "common/logging.h"
+
+namespace pictdb::btree {
+
+using storage::BufferPool;
+using storage::kInvalidPageId;
+using storage::PageGuard;
+using storage::PageId;
+using storage::Rid;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// On-page node layout.
+//
+//   header  : { uint8 is_leaf; uint8 pad; uint16 count; PageId next }
+//   leaf    : entries of { Key (24B), Rid (8B: page,u16 slot,u16 pad) }
+//   internal: entries of { Key (24B), PageId child (4B) }
+//
+// Internal nodes use the min-key convention: entry[i].key is the smallest
+// key stored in the subtree of entry[i].child, so entry[0].key is the
+// subtree minimum and separator maintenance is uniform.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kHeaderSize = 8;
+constexpr size_t kLeafEntrySize = 32;
+constexpr size_t kInternalEntrySize = 28;
+
+struct LeafEntry {
+  Key key;
+  Rid rid;
+};
+
+struct InternalEntry {
+  Key key;
+  PageId child;
+};
+
+bool IsLeaf(const char* page) { return page[0] != 0; }
+void SetLeaf(char* page, bool leaf) { page[0] = leaf ? 1 : 0; }
+
+uint16_t NodeCount(const char* page) {
+  uint16_t c;
+  std::memcpy(&c, page + 2, sizeof(c));
+  return c;
+}
+void SetNodeCount(char* page, uint16_t c) { std::memcpy(page + 2, &c, sizeof(c)); }
+
+PageId NextLeaf(const char* page) {
+  PageId id;
+  std::memcpy(&id, page + 4, sizeof(id));
+  return id;
+}
+void SetNextLeaf(char* page, PageId id) {
+  std::memcpy(page + 4, &id, sizeof(id));
+}
+
+size_t LeafCapacity(uint32_t page_size) {
+  return (page_size - kHeaderSize) / kLeafEntrySize;
+}
+size_t InternalCapacity(uint32_t page_size) {
+  return (page_size - kHeaderSize) / kInternalEntrySize;
+}
+
+LeafEntry GetLeafEntry(const char* page, size_t i) {
+  LeafEntry e;
+  const char* p = page + kHeaderSize + i * kLeafEntrySize;
+  std::memcpy(e.key.bytes.data(), p, 24);
+  std::memcpy(&e.rid.page_id, p + 24, 4);
+  std::memcpy(&e.rid.slot, p + 28, 2);
+  return e;
+}
+
+void SetLeafEntry(char* page, size_t i, const LeafEntry& e) {
+  char* p = page + kHeaderSize + i * kLeafEntrySize;
+  std::memcpy(p, e.key.bytes.data(), 24);
+  std::memcpy(p + 24, &e.rid.page_id, 4);
+  std::memcpy(p + 28, &e.rid.slot, 2);
+  std::memset(p + 30, 0, 2);
+}
+
+InternalEntry GetInternalEntry(const char* page, size_t i) {
+  InternalEntry e;
+  const char* p = page + kHeaderSize + i * kInternalEntrySize;
+  std::memcpy(e.key.bytes.data(), p, 24);
+  std::memcpy(&e.child, p + 24, 4);
+  return e;
+}
+
+void SetInternalEntry(char* page, size_t i, const InternalEntry& e) {
+  char* p = page + kHeaderSize + i * kInternalEntrySize;
+  std::memcpy(p, e.key.bytes.data(), 24);
+  std::memcpy(p + 24, &e.child, 4);
+}
+
+/// Shift entries [from, count) right by one (making room at `from`).
+void ShiftRight(char* page, size_t from, size_t count, size_t entry_size) {
+  char* base = page + kHeaderSize;
+  std::memmove(base + (from + 1) * entry_size, base + from * entry_size,
+               (count - from) * entry_size);
+}
+
+/// Shift entries [from+1, count) left by one (removing entry `from`).
+void ShiftLeft(char* page, size_t from, size_t count, size_t entry_size) {
+  char* base = page + kHeaderSize;
+  std::memmove(base + from * entry_size, base + (from + 1) * entry_size,
+               (count - from - 1) * entry_size);
+}
+
+/// Index of the first leaf entry with entry.key >= key.
+size_t LeafLowerBound(const char* page, const Key& key) {
+  size_t lo = 0, hi = NodeCount(page);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (GetLeafEntry(page, mid).key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// Child slot to descend into: the last entry with entry.key <= key, or 0.
+size_t InternalChildIndex(const char* page, const Key& key) {
+  size_t lo = 0, hi = NodeCount(page);
+  // First entry with entry.key > key:
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (key < GetInternalEntry(page, mid).key) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+Key MinKeyOfNode(const char* page) {
+  PICTDB_CHECK(NodeCount(page) > 0);
+  if (IsLeaf(page)) return GetLeafEntry(page, 0).key;
+  return GetInternalEntry(page, 0).key;
+}
+
+// Meta page layout: { PageId root }.
+PageId MetaRoot(const char* page) {
+  PageId id;
+  std::memcpy(&id, page, sizeof(id));
+  return id;
+}
+void SetMetaRoot(char* page, PageId id) {
+  std::memcpy(page, &id, sizeof(id));
+}
+
+void EncodeRid(const Rid& rid, unsigned char* out8) {
+  out8[0] = static_cast<unsigned char>(rid.page_id >> 24);
+  out8[1] = static_cast<unsigned char>(rid.page_id >> 16);
+  out8[2] = static_cast<unsigned char>(rid.page_id >> 8);
+  out8[3] = static_cast<unsigned char>(rid.page_id);
+  out8[4] = static_cast<unsigned char>(rid.slot >> 8);
+  out8[5] = static_cast<unsigned char>(rid.slot);
+  out8[6] = 0;
+  out8[7] = 0;
+}
+
+void EncodeUint64BE(uint64_t v, unsigned char* out8) {
+  for (int i = 7; i >= 0; --i) {
+    out8[7 - i] = static_cast<unsigned char>(v >> (i * 8));
+  }
+}
+
+Key MakeKey(const unsigned char prefix16[16], const Rid& rid) {
+  Key k;
+  std::memcpy(k.bytes.data(), prefix16, 16);
+  EncodeRid(rid, k.bytes.data() + 16);
+  return k;
+}
+
+Key MakeBoundKey(const unsigned char prefix16[16], unsigned char fill) {
+  Key k;
+  std::memcpy(k.bytes.data(), prefix16, 16);
+  std::memset(k.bytes.data() + 16, fill, 8);
+  return k;
+}
+
+void EncodeInt64Prefix(int64_t v, unsigned char out16[16]) {
+  std::memset(out16, 0, 16);
+  EncodeUint64BE(static_cast<uint64_t>(v) ^ 0x8000000000000000ULL, out16);
+}
+
+void EncodeDoublePrefix(double v, unsigned char out16[16]) {
+  std::memset(out16, 0, 16);
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  // Order-preserving transform: positive doubles get the sign bit set;
+  // negative doubles are bitwise complemented.
+  if (bits & 0x8000000000000000ULL) {
+    bits = ~bits;
+  } else {
+    bits |= 0x8000000000000000ULL;
+  }
+  EncodeUint64BE(bits, out16);
+}
+
+void EncodeStringPrefix(std::string_view s, unsigned char out16[16]) {
+  std::memset(out16, 0, 16);
+  std::memcpy(out16, s.data(), std::min<size_t>(s.size(), 16));
+}
+
+}  // namespace
+
+Key KeyEncoder::FromInt64(int64_t v, const Rid& rid) {
+  unsigned char p[16];
+  EncodeInt64Prefix(v, p);
+  return MakeKey(p, rid);
+}
+Key KeyEncoder::FromDouble(double v, const Rid& rid) {
+  unsigned char p[16];
+  EncodeDoublePrefix(v, p);
+  return MakeKey(p, rid);
+}
+Key KeyEncoder::FromString(std::string_view s, const Rid& rid) {
+  unsigned char p[16];
+  EncodeStringPrefix(s, p);
+  return MakeKey(p, rid);
+}
+Key KeyEncoder::Int64LowerBound(int64_t v) {
+  unsigned char p[16];
+  EncodeInt64Prefix(v, p);
+  return MakeBoundKey(p, 0x00);
+}
+Key KeyEncoder::Int64UpperBound(int64_t v) {
+  unsigned char p[16];
+  EncodeInt64Prefix(v, p);
+  return MakeBoundKey(p, 0xFF);
+}
+Key KeyEncoder::DoubleLowerBound(double v) {
+  unsigned char p[16];
+  EncodeDoublePrefix(v, p);
+  return MakeBoundKey(p, 0x00);
+}
+Key KeyEncoder::DoubleUpperBound(double v) {
+  unsigned char p[16];
+  EncodeDoublePrefix(v, p);
+  return MakeBoundKey(p, 0xFF);
+}
+Key KeyEncoder::StringLowerBound(std::string_view s) {
+  unsigned char p[16];
+  EncodeStringPrefix(s, p);
+  return MakeBoundKey(p, 0x00);
+}
+Key KeyEncoder::StringUpperBound(std::string_view s) {
+  unsigned char p[16];
+  EncodeStringPrefix(s, p);
+  return MakeBoundKey(p, 0xFF);
+}
+
+StatusOr<BTree> BTree::Create(BufferPool* pool) {
+  PICTDB_CHECK(LeafCapacity(pool->page_size()) >= 3 &&
+               InternalCapacity(pool->page_size()) >= 3)
+      << "page too small for B+tree nodes";
+  PICTDB_ASSIGN_OR_RETURN(PageGuard meta, pool->NewPage());
+  PICTDB_ASSIGN_OR_RETURN(PageGuard root, pool->NewPage());
+  SetLeaf(root.mutable_data(), true);
+  SetNodeCount(root.mutable_data(), 0);
+  SetNextLeaf(root.mutable_data(), kInvalidPageId);
+  SetMetaRoot(meta.mutable_data(), root.id());
+  return BTree(pool, meta.id());
+}
+
+BTree BTree::Open(BufferPool* pool, PageId meta_page) {
+  return BTree(pool, meta_page);
+}
+
+StatusOr<PageId> BTree::Root() const {
+  PICTDB_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
+  return MetaRoot(meta.data());
+}
+
+Status BTree::SetRoot(PageId root) {
+  PICTDB_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
+  SetMetaRoot(meta.mutable_data(), root);
+  return Status::OK();
+}
+
+StatusOr<BTree::SplitResult> BTree::InsertRec(PageId node, const Key& key,
+                                              const Rid& rid) {
+  PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+  const uint32_t ps = pool_->page_size();
+
+  if (IsLeaf(guard.data())) {
+    const size_t pos = LeafLowerBound(guard.data(), key);
+    const uint16_t count = NodeCount(guard.data());
+    if (pos < count && GetLeafEntry(guard.data(), pos).key == key) {
+      return Status::AlreadyExists("duplicate B+tree entry");
+    }
+    if (count < LeafCapacity(ps)) {
+      char* page = guard.mutable_data();
+      ShiftRight(page, pos, count, kLeafEntrySize);
+      SetLeafEntry(page, pos, LeafEntry{key, rid});
+      SetNodeCount(page, static_cast<uint16_t>(count + 1));
+      return SplitResult{};
+    }
+
+    // Full: split. Decode into memory first — the page cannot hold the
+    // M+1 entries even transiently.
+    std::vector<LeafEntry> entries;
+    entries.reserve(count + 1u);
+    for (size_t i = 0; i < count; ++i) {
+      entries.push_back(GetLeafEntry(guard.data(), i));
+    }
+    entries.insert(entries.begin() + pos, LeafEntry{key, rid});
+
+    const size_t total = entries.size();
+    const size_t keep = total / 2;
+    PICTDB_ASSIGN_OR_RETURN(PageGuard right, pool_->NewPage());
+    char* rpage = right.mutable_data();
+    char* page = guard.mutable_data();
+    SetLeaf(rpage, true);
+    for (size_t i = 0; i < keep; ++i) SetLeafEntry(page, i, entries[i]);
+    for (size_t i = keep; i < total; ++i) {
+      SetLeafEntry(rpage, i - keep, entries[i]);
+    }
+    SetNodeCount(rpage, static_cast<uint16_t>(total - keep));
+    SetNodeCount(page, static_cast<uint16_t>(keep));
+    SetNextLeaf(rpage, NextLeaf(page));
+    SetNextLeaf(page, right.id());
+    SplitResult result;
+    result.split = true;
+    result.separator = entries[keep].key;
+    result.right_child = right.id();
+    return result;
+  }
+
+  const size_t child_idx = InternalChildIndex(guard.data(), key);
+  const InternalEntry child_entry = GetInternalEntry(guard.data(), child_idx);
+  // Release the pin across the recursive call to keep pin depth at O(1)
+  // rather than O(height); single-threaded so the page cannot change.
+  guard.Release();
+  PICTDB_ASSIGN_OR_RETURN(const SplitResult child_split,
+                          InsertRec(child_entry.child, key, rid));
+
+  PICTDB_ASSIGN_OR_RETURN(guard, pool_->FetchPage(node));
+  char* page = guard.mutable_data();
+  // Maintain the min-key convention when the new key is the new minimum.
+  if (key < GetInternalEntry(page, 0).key) {
+    InternalEntry e0 = GetInternalEntry(page, 0);
+    e0.key = key;
+    SetInternalEntry(page, 0, e0);
+  }
+  if (!child_split.split) return SplitResult{};
+
+  const uint16_t count = NodeCount(page);
+  const size_t pos = child_idx + 1;
+  if (count < InternalCapacity(ps)) {
+    ShiftRight(page, pos, count, kInternalEntrySize);
+    SetInternalEntry(page, pos,
+                     InternalEntry{child_split.separator,
+                                   child_split.right_child});
+    SetNodeCount(page, static_cast<uint16_t>(count + 1));
+    return SplitResult{};
+  }
+
+  // Full internal node: split via an in-memory copy (see leaf path).
+  std::vector<InternalEntry> entries;
+  entries.reserve(count + 1u);
+  for (size_t i = 0; i < count; ++i) {
+    entries.push_back(GetInternalEntry(page, i));
+  }
+  entries.insert(
+      entries.begin() + pos,
+      InternalEntry{child_split.separator, child_split.right_child});
+
+  const size_t total = entries.size();
+  const size_t keep = total / 2;
+  PICTDB_ASSIGN_OR_RETURN(PageGuard right, pool_->NewPage());
+  char* rpage = right.mutable_data();
+  SetLeaf(rpage, false);
+  for (size_t i = 0; i < keep; ++i) SetInternalEntry(page, i, entries[i]);
+  for (size_t i = keep; i < total; ++i) {
+    SetInternalEntry(rpage, i - keep, entries[i]);
+  }
+  SetNodeCount(rpage, static_cast<uint16_t>(total - keep));
+  SetNodeCount(page, static_cast<uint16_t>(keep));
+  SplitResult result;
+  result.split = true;
+  result.separator = entries[keep].key;
+  result.right_child = right.id();
+  return result;
+}
+
+Status BTree::Insert(const Key& key, const Rid& rid) {
+  PICTDB_ASSIGN_OR_RETURN(const PageId root, Root());
+  PICTDB_ASSIGN_OR_RETURN(const SplitResult split, InsertRec(root, key, rid));
+  if (!split.split) return Status::OK();
+
+  // Grow the tree: a new root referencing the old root and its new sibling.
+  Key left_min;
+  {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard old_root, pool_->FetchPage(root));
+    left_min = MinKeyOfNode(old_root.data());
+  }
+  PICTDB_ASSIGN_OR_RETURN(PageGuard new_root, pool_->NewPage());
+  char* page = new_root.mutable_data();
+  SetLeaf(page, false);
+  SetInternalEntry(page, 0, InternalEntry{left_min, root});
+  SetInternalEntry(page, 1, InternalEntry{split.separator, split.right_child});
+  SetNodeCount(page, 2);
+  return SetRoot(new_root.id());
+}
+
+StatusOr<storage::Rid> BTree::Get(const Key& key) const {
+  PICTDB_ASSIGN_OR_RETURN(PageId node, Root());
+  for (;;) {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+    if (IsLeaf(guard.data())) {
+      const size_t pos = LeafLowerBound(guard.data(), key);
+      if (pos < NodeCount(guard.data())) {
+        const LeafEntry e = GetLeafEntry(guard.data(), pos);
+        if (e.key == key) return e.rid;
+      }
+      return Status::NotFound("key not in B+tree");
+    }
+    node = GetInternalEntry(guard.data(),
+                            InternalChildIndex(guard.data(), key))
+               .child;
+  }
+}
+
+StatusOr<std::vector<storage::Rid>> BTree::Scan(const Key& lo,
+                                                const Key& hi) const {
+  std::vector<Rid> out;
+  PICTDB_ASSIGN_OR_RETURN(PageId node, Root());
+  // Descend to the leaf that would hold `lo`.
+  for (;;) {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+    if (IsLeaf(guard.data())) break;
+    node = GetInternalEntry(guard.data(),
+                            InternalChildIndex(guard.data(), lo))
+               .child;
+  }
+  // Walk the leaf chain.
+  while (node != kInvalidPageId) {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+    const uint16_t count = NodeCount(guard.data());
+    for (size_t i = LeafLowerBound(guard.data(), lo); i < count; ++i) {
+      const LeafEntry e = GetLeafEntry(guard.data(), i);
+      if (hi < e.key) return out;
+      out.push_back(e.rid);
+    }
+    node = NextLeaf(guard.data());
+  }
+  return out;
+}
+
+StatusOr<bool> BTree::DeleteRec(PageId node, const Key& key) {
+  const uint32_t ps = pool_->page_size();
+  PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+
+  if (IsLeaf(guard.data())) {
+    const size_t pos = LeafLowerBound(guard.data(), key);
+    const uint16_t count = NodeCount(guard.data());
+    if (pos >= count || !(GetLeafEntry(guard.data(), pos).key == key)) {
+      return Status::NotFound("key not in B+tree");
+    }
+    char* page = guard.mutable_data();
+    ShiftLeft(page, pos, count, kLeafEntrySize);
+    SetNodeCount(page, static_cast<uint16_t>(count - 1));
+    return (count - 1u) < LeafCapacity(ps) / 2;
+  }
+
+  const size_t child_idx = InternalChildIndex(guard.data(), key);
+  const InternalEntry child_entry = GetInternalEntry(guard.data(), child_idx);
+  guard.Release();
+  PICTDB_ASSIGN_OR_RETURN(const bool child_underfull,
+                          DeleteRec(child_entry.child, key));
+
+  PICTDB_ASSIGN_OR_RETURN(guard, pool_->FetchPage(node));
+  char* page = guard.mutable_data();
+
+  // Refresh the separator (the child's minimum may have changed).
+  {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard child, pool_->FetchPage(child_entry.child));
+    if (NodeCount(child.data()) > 0) {
+      InternalEntry e = GetInternalEntry(page, child_idx);
+      e.key = MinKeyOfNode(child.data());
+      SetInternalEntry(page, child_idx, e);
+    }
+  }
+  if (!child_underfull) return false;
+
+  const uint16_t count = NodeCount(page);
+  PICTDB_CHECK(count >= 1);
+  // Choose a sibling to borrow from or merge with (prefer left).
+  const size_t left_idx = child_idx > 0 ? child_idx - 1 : child_idx;
+  const size_t right_idx = left_idx + 1;
+  if (right_idx >= count) {
+    // Only child: nothing to rebalance against at this level.
+    return count < InternalCapacity(ps) / 2;
+  }
+  const PageId left_id = GetInternalEntry(page, left_idx).child;
+  const PageId right_id = GetInternalEntry(page, right_idx).child;
+
+  PICTDB_ASSIGN_OR_RETURN(PageGuard left, pool_->FetchPage(left_id));
+  PICTDB_ASSIGN_OR_RETURN(PageGuard right, pool_->FetchPage(right_id));
+  char* lpage = left.mutable_data();
+  char* rpage = right.mutable_data();
+  const bool leaves = IsLeaf(lpage);
+  const size_t entry_size = leaves ? kLeafEntrySize : kInternalEntrySize;
+  const size_t cap = leaves ? LeafCapacity(ps) : InternalCapacity(ps);
+  const size_t min_fill = cap / 2;
+  const uint16_t lcount = NodeCount(lpage);
+  const uint16_t rcount = NodeCount(rpage);
+
+  auto copy_entry = [&](char* dst, size_t di, const char* src, size_t si) {
+    std::memcpy(dst + kHeaderSize + di * entry_size,
+                src + kHeaderSize + si * entry_size, entry_size);
+  };
+
+  if (lcount + rcount <= cap) {
+    // Merge right into left.
+    for (size_t i = 0; i < rcount; ++i) {
+      copy_entry(lpage, lcount + i, rpage, i);
+    }
+    SetNodeCount(lpage, static_cast<uint16_t>(lcount + rcount));
+    if (leaves) SetNextLeaf(lpage, NextLeaf(rpage));
+    right.Release();
+    PICTDB_RETURN_IF_ERROR(pool_->FreePage(right_id));
+    ShiftLeft(page, right_idx, count, kInternalEntrySize);
+    SetNodeCount(page, static_cast<uint16_t>(count - 1));
+    // The left node may have been emptied by the deletion before
+    // absorbing its sibling, so its separator must be recomputed.
+    InternalEntry le = GetInternalEntry(page, left_idx);
+    le.key = MinKeyOfNode(lpage);
+    SetInternalEntry(page, left_idx, le);
+    return (count - 1u) < InternalCapacity(ps) / 2;
+  }
+
+  // Borrow: move one entry across the boundary toward the underfull side.
+  if (lcount < min_fill) {
+    // Move right's first entry to left's end.
+    copy_entry(lpage, lcount, rpage, 0);
+    SetNodeCount(lpage, static_cast<uint16_t>(lcount + 1));
+    ShiftLeft(rpage, 0, rcount, entry_size);
+    SetNodeCount(rpage, static_cast<uint16_t>(rcount - 1));
+  } else {
+    // Move left's last entry to right's front.
+    ShiftRight(rpage, 0, rcount, entry_size);
+    copy_entry(rpage, 0, lpage, lcount - 1);
+    SetNodeCount(rpage, static_cast<uint16_t>(rcount + 1));
+    SetNodeCount(lpage, static_cast<uint16_t>(lcount - 1));
+  }
+  // Refresh both separators.
+  InternalEntry le = GetInternalEntry(page, left_idx);
+  le.key = MinKeyOfNode(lpage);
+  SetInternalEntry(page, left_idx, le);
+  InternalEntry re = GetInternalEntry(page, right_idx);
+  re.key = MinKeyOfNode(rpage);
+  SetInternalEntry(page, right_idx, re);
+  return false;
+}
+
+Status BTree::Delete(const Key& key) {
+  PICTDB_ASSIGN_OR_RETURN(const PageId root, Root());
+  PICTDB_ASSIGN_OR_RETURN(const bool underfull, DeleteRec(root, key));
+  (void)underfull;  // the root may be arbitrarily empty
+  // Collapse the root while it is an internal node with a single child.
+  for (;;) {
+    PICTDB_ASSIGN_OR_RETURN(const PageId r, Root());
+    PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(r));
+    if (IsLeaf(guard.data()) || NodeCount(guard.data()) != 1) break;
+    const PageId only_child = GetInternalEntry(guard.data(), 0).child;
+    guard.Release();
+    PICTDB_RETURN_IF_ERROR(pool_->FreePage(r));
+    PICTDB_RETURN_IF_ERROR(SetRoot(only_child));
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> BTree::Count() const {
+  // Walk to the leftmost leaf, then the chain.
+  PICTDB_ASSIGN_OR_RETURN(PageId node, Root());
+  for (;;) {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+    if (IsLeaf(guard.data())) break;
+    node = GetInternalEntry(guard.data(), 0).child;
+  }
+  uint64_t n = 0;
+  while (node != kInvalidPageId) {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+    n += NodeCount(guard.data());
+    node = NextLeaf(guard.data());
+  }
+  return n;
+}
+
+StatusOr<int> BTree::Height() const {
+  PICTDB_ASSIGN_OR_RETURN(PageId node, Root());
+  int h = 1;
+  for (;;) {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+    if (IsLeaf(guard.data())) return h;
+    node = GetInternalEntry(guard.data(), 0).child;
+    ++h;
+  }
+}
+
+Status BTree::ValidateRec(PageId node, int depth, int leaf_depth_expected,
+                          const Key* lo, const Key* hi, int* leaf_depth_seen,
+                          bool is_root) const {
+  PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(node));
+  const uint32_t ps = pool_->page_size();
+  const uint16_t count = NodeCount(guard.data());
+  const bool leaf = IsLeaf(guard.data());
+
+  if (leaf) {
+    if (*leaf_depth_seen == -1) {
+      *leaf_depth_seen = depth;
+    } else if (*leaf_depth_seen != depth) {
+      return Status::Corruption("leaves at different depths");
+    }
+    if (leaf_depth_expected >= 0 && depth != leaf_depth_expected) {
+      return Status::Corruption("leaf depth mismatch");
+    }
+  }
+
+  if (!is_root) {
+    const size_t cap = leaf ? LeafCapacity(ps) : InternalCapacity(ps);
+    if (count > cap) return Status::Corruption("node overfull");
+  }
+  if (!leaf && count == 0) return Status::Corruption("empty internal node");
+
+  Key prev;
+  bool have_prev = false;
+  for (size_t i = 0; i < count; ++i) {
+    const Key k = leaf ? GetLeafEntry(guard.data(), i).key
+                       : GetInternalEntry(guard.data(), i).key;
+    if (have_prev && !(prev < k)) {
+      return Status::Corruption("keys out of order");
+    }
+    if (lo != nullptr && k < *lo) return Status::Corruption("key below bound");
+    if (hi != nullptr && *hi < k) return Status::Corruption("key above bound");
+    prev = k;
+    have_prev = true;
+  }
+
+  if (!leaf) {
+    for (size_t i = 0; i < count; ++i) {
+      const InternalEntry e = GetInternalEntry(guard.data(), i);
+      const Key child_lo = e.key;
+      Key child_hi;
+      const Key* child_hi_ptr = hi;
+      if (i + 1 < count) {
+        child_hi = GetInternalEntry(guard.data(), i + 1).key;
+        child_hi_ptr = &child_hi;
+      }
+      // Child minimum must equal the separator.
+      {
+        PICTDB_ASSIGN_OR_RETURN(PageGuard child, pool_->FetchPage(e.child));
+        if (NodeCount(child.data()) > 0 &&
+            !(MinKeyOfNode(child.data()) == e.key)) {
+          return Status::Corruption("separator != child minimum");
+        }
+      }
+      PICTDB_RETURN_IF_ERROR(ValidateRec(e.child, depth + 1,
+                                         leaf_depth_expected, &child_lo,
+                                         child_hi_ptr, leaf_depth_seen,
+                                         /*is_root=*/false));
+    }
+  }
+  return Status::OK();
+}
+
+Status BTree::Validate() const {
+  PICTDB_ASSIGN_OR_RETURN(const PageId root, Root());
+  int leaf_depth_seen = -1;
+  return ValidateRec(root, 0, -1, nullptr, nullptr, &leaf_depth_seen,
+                     /*is_root=*/true);
+}
+
+// --- BTreeCursor (defined here for access to the page-layout helpers) ----
+
+StatusOr<std::optional<BTreeCursor::Item>> BTreeCursor::Next() {
+  if (done_) return std::optional<Item>();
+
+  if (!positioned_) {
+    // Descend to the leaf that would hold lo_.
+    PICTDB_ASSIGN_OR_RETURN(PageId node, tree_->Root());
+    for (;;) {
+      PICTDB_ASSIGN_OR_RETURN(PageGuard guard, tree_->pool_->FetchPage(node));
+      if (IsLeaf(guard.data())) break;
+      node = GetInternalEntry(guard.data(),
+                              InternalChildIndex(guard.data(), lo_))
+                 .child;
+    }
+    leaf_ = node;
+    {
+      PICTDB_ASSIGN_OR_RETURN(PageGuard guard,
+                              tree_->pool_->FetchPage(leaf_));
+      pos_ = LeafLowerBound(guard.data(), lo_);
+    }
+    positioned_ = true;
+  }
+
+  while (leaf_ != kInvalidPageId) {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard guard, tree_->pool_->FetchPage(leaf_));
+    const uint16_t count = NodeCount(guard.data());
+    if (pos_ < count) {
+      const LeafEntry e = GetLeafEntry(guard.data(), pos_);
+      if (hi_ < e.key) {
+        done_ = true;
+        return std::optional<Item>();
+      }
+      ++pos_;
+      return std::optional<Item>(Item{e.key, e.rid});
+    }
+    leaf_ = NextLeaf(guard.data());
+    pos_ = 0;
+  }
+  done_ = true;
+  return std::optional<Item>();
+}
+
+}  // namespace pictdb::btree

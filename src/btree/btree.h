@@ -1,0 +1,121 @@
+#ifndef PICTDB_BTREE_BTREE_H_
+#define PICTDB_BTREE_BTREE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace pictdb::btree {
+
+/// Fixed-width order-preserving key. The first 16 bytes encode the user
+/// key (int64 / double / truncated string); the last 8 bytes embed the Rid
+/// so duplicate user keys remain unique index entries. memcmp order.
+struct Key {
+  std::array<unsigned char, 24> bytes{};
+
+  int Compare(const Key& o) const {
+    return std::memcmp(bytes.data(), o.bytes.data(), bytes.size());
+  }
+  friend bool operator<(const Key& a, const Key& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator==(const Key& a, const Key& b) {
+    return a.Compare(b) == 0;
+  }
+};
+
+/// Order-preserving encodings for the user-key prefix. Strings longer than
+/// 16 bytes are truncated: entries with equal 16-byte prefixes become
+/// adjacent and callers re-check the full value after the index probe.
+class KeyEncoder {
+ public:
+  static Key FromInt64(int64_t v, const storage::Rid& rid);
+  static Key FromDouble(double v, const storage::Rid& rid);
+  static Key FromString(std::string_view s, const storage::Rid& rid);
+
+  /// Range endpoints: same encodings with the Rid part saturated so the
+  /// range [LowerBound(k), UpperBound(k)] spans every Rid for user key k.
+  static Key Int64LowerBound(int64_t v);
+  static Key Int64UpperBound(int64_t v);
+  static Key DoubleLowerBound(double v);
+  static Key DoubleUpperBound(double v);
+  static Key StringLowerBound(std::string_view s);
+  static Key StringUpperBound(std::string_view s);
+};
+
+class BTreeCursor;
+
+/// Disk-resident B+-tree mapping Key -> Rid, the library's "usual way" of
+/// indexing alphanumeric relation columns. Leaves are chained for range
+/// scans. Single-threaded; splits/merges happen top-down per operation.
+class BTree {
+ public:
+  /// Create an empty tree (allocates the root page).
+  static StatusOr<BTree> Create(storage::BufferPool* pool);
+
+  /// Reattach to an existing tree. `meta_page` is the id returned by
+  /// meta_page() after Create.
+  static BTree Open(storage::BufferPool* pool, storage::PageId meta_page);
+
+  /// Insert an entry. Duplicate (key,rid) pairs are rejected.
+  Status Insert(const Key& key, const storage::Rid& rid);
+
+  /// Remove an entry; NotFound if absent.
+  Status Delete(const Key& key);
+
+  /// Exact lookup.
+  StatusOr<storage::Rid> Get(const Key& key) const;
+
+  /// All rids with lo <= key <= hi, in key order.
+  StatusOr<std::vector<storage::Rid>> Scan(const Key& lo,
+                                           const Key& hi) const;
+
+  /// Total live entries.
+  StatusOr<uint64_t> Count() const;
+
+  /// Tree height (1 = root is a leaf).
+  StatusOr<int> Height() const;
+
+  /// Verify structural invariants (ordering, fill factors, leaf chain);
+  /// returns Corruption on the first violation. For tests.
+  Status Validate() const;
+
+  storage::PageId meta_page() const { return meta_page_; }
+
+ private:
+  friend class BTreeCursor;
+
+  BTree(storage::BufferPool* pool, storage::PageId meta_page)
+      : pool_(pool), meta_page_(meta_page) {}
+
+  struct SplitResult {
+    bool split = false;
+    Key separator;                // first key of the right node
+    storage::PageId right_child = storage::kInvalidPageId;
+  };
+
+  StatusOr<storage::PageId> Root() const;
+  Status SetRoot(storage::PageId root);
+
+  StatusOr<SplitResult> InsertRec(storage::PageId node, const Key& key,
+                                  const storage::Rid& rid);
+  /// Returns true if the child at `node` is now underfull.
+  StatusOr<bool> DeleteRec(storage::PageId node, const Key& key);
+  Status ValidateRec(storage::PageId node, int depth, int leaf_depth_expected,
+                     const Key* lo, const Key* hi, int* leaf_depth_seen,
+                     bool is_root) const;
+
+  storage::BufferPool* pool_;
+  storage::PageId meta_page_;
+};
+
+}  // namespace pictdb::btree
+
+#endif  // PICTDB_BTREE_BTREE_H_

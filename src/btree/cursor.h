@@ -1,0 +1,39 @@
+#ifndef PICTDB_BTREE_CURSOR_H_
+#define PICTDB_BTREE_CURSOR_H_
+
+#include <optional>
+
+#include "btree/btree.h"
+
+namespace pictdb::btree {
+
+/// Streaming range scan over a B+-tree: walks the leaf chain from the
+/// first key >= lo, yielding (key, rid) pairs until the key exceeds hi.
+/// The tree must not be modified while the cursor is open.
+class BTreeCursor {
+ public:
+  struct Item {
+    Key key;
+    storage::Rid rid;
+  };
+
+  /// Scan [lo, hi], both inclusive.
+  BTreeCursor(const BTree* tree, const Key& lo, const Key& hi)
+      : tree_(tree), lo_(lo), hi_(hi) {}
+
+  /// Next entry in key order, or nullopt at the end of the range.
+  StatusOr<std::optional<Item>> Next();
+
+ private:
+  const BTree* tree_;
+  Key lo_;
+  Key hi_;
+  bool positioned_ = false;
+  bool done_ = false;
+  storage::PageId leaf_ = storage::kInvalidPageId;
+  size_t pos_ = 0;
+};
+
+}  // namespace pictdb::btree
+
+#endif  // PICTDB_BTREE_CURSOR_H_

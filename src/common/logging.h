@@ -1,0 +1,68 @@
+#ifndef PICTDB_COMMON_LOGGING_H_
+#define PICTDB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace pictdb {
+namespace internal_logging {
+
+/// Collects a message via operator<< and aborts the process when
+/// destroyed. Used only by the CHECK macros below; invariant violations in
+/// a storage engine are not recoverable.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets the CHECK macro terminate a streamed expression with a low
+/// precedence operator so `PICTDB_CHECK(x) << "msg"` parses.
+struct Voidify {
+  void operator&(const FatalMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace pictdb
+
+/// Abort with a message if `cond` is false. Always on (release included):
+/// these guard structural invariants whose violation means corruption.
+/// Supports streaming extra context: PICTDB_CHECK(n > 0) << "n=" << n;
+#define PICTDB_CHECK(cond)                                            \
+  (cond) ? (void)0                                                    \
+         : ::pictdb::internal_logging::Voidify() &                    \
+               ::pictdb::internal_logging::FatalMessage(__FILE__,     \
+                                                        __LINE__, #cond)
+
+#define PICTDB_CHECK_OK(expr)                                       \
+  do {                                                              \
+    ::pictdb::Status _st = (expr);                                  \
+    PICTDB_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define PICTDB_DCHECK(cond) PICTDB_CHECK(cond)
+#else
+#define PICTDB_DCHECK(cond) PICTDB_CHECK(true)
+#endif
+
+#endif  // PICTDB_COMMON_LOGGING_H_

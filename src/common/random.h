@@ -1,0 +1,41 @@
+#ifndef PICTDB_COMMON_RANDOM_H_
+#define PICTDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace pictdb {
+
+/// Deterministic 64-bit PRNG (xoshiro256++ seeded via SplitMix64).
+/// Every workload generator and benchmark takes an explicit seed so
+/// experiments are reproducible bit-for-bit across runs and machines.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal (Box-Muller).
+  double NextGaussian();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace pictdb
+
+#endif  // PICTDB_COMMON_RANDOM_H_

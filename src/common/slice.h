@@ -1,0 +1,62 @@
+#ifndef PICTDB_COMMON_SLICE_H_
+#define PICTDB_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace pictdb {
+
+/// Non-owning view over a byte buffer; the pointed-to storage must outlive
+/// the Slice. Used for tuple payloads and page regions.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    PICTDB_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  /// Drop the first n bytes.
+  void RemovePrefix(size_t n) {
+    PICTDB_DCHECK(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = +1;
+    }
+    return r;
+  }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ && std::memcmp(a.data_, b.data_, a.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace pictdb
+
+#endif  // PICTDB_COMMON_SLICE_H_

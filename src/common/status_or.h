@@ -1,0 +1,55 @@
+#ifndef PICTDB_COMMON_STATUS_OR_H_
+#define PICTDB_COMMON_STATUS_OR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace pictdb {
+
+/// Holds either a value of type T or an error Status. Accessing the value
+/// of an error StatusOr aborts (library code should check ok() first or use
+/// PICTDB_ASSIGN_OR_RETURN).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from error status, so functions can
+  /// `return value;` or `return Status::NotFound(...);` naturally.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    PICTDB_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    PICTDB_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PICTDB_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T value() && {
+    PICTDB_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ engaged
+  std::optional<T> value_;
+};
+
+}  // namespace pictdb
+
+#endif  // PICTDB_COMMON_STATUS_OR_H_

@@ -1,0 +1,123 @@
+#include "geom/distance.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pictdb::geom {
+
+namespace {
+
+double PointToRect(const Rect& r, const Point& p) { return MinDistance(r, p); }
+
+double PointToPolygon(const Polygon& poly, const Point& p) {
+  if (poly.Contains(p)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < poly.size(); ++i) {
+    best = std::min(best, Distance(poly.Edge(i), p));
+  }
+  return best;
+}
+
+double RectToSegment(const Rect& r, const Segment& s) {
+  if (Intersects(s, r)) return 0.0;
+  // Segment outside the rect: nearest pair is edge-to-segment.
+  const Polygon outline = Polygon::FromRect(r);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < 4; ++i) {
+    best = std::min(best, Distance(outline.Edge(i), s));
+  }
+  return best;
+}
+
+double PolygonToSegment(const Polygon& poly, const Segment& s) {
+  if (poly.Contains(s.a) || poly.Contains(s.b)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < poly.size(); ++i) {
+    best = std::min(best, Distance(poly.Edge(i), s));
+    if (best == 0.0) return 0.0;
+  }
+  return best;
+}
+
+double RectToRect(const Rect& a, const Rect& b) { return MinDistance(a, b); }
+
+double RectToPolygon(const Rect& r, const Polygon& poly) {
+  if (poly.empty()) return std::numeric_limits<double>::infinity();
+  if (Intersects(poly, r)) return 0.0;
+  const Polygon outline = Polygon::FromRect(r);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < 4; ++i) {
+    best = std::min(best, PolygonToSegment(poly, outline.Edge(i)));
+  }
+  return best;
+}
+
+double PolygonToPolygon(const Polygon& a, const Polygon& b) {
+  if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
+  if (Intersects(a, b)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::min(best, PolygonToSegment(b, a.Edge(i)));
+  }
+  return best;
+}
+
+}  // namespace
+
+double Distance(const Segment& a, const Segment& b) {
+  if (Intersects(a, b)) return 0.0;
+  return std::min(std::min(Distance(a, b.a), Distance(a, b.b)),
+                  std::min(Distance(b, a.a), Distance(b, a.b)));
+}
+
+double DistanceTo(const Geometry& g, const Point& p) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return Distance(g.point(), p);
+    case GeometryType::kSegment:
+      return Distance(g.segment(), p);
+    case GeometryType::kRect:
+      return PointToRect(g.rect(), p);
+    case GeometryType::kRegion:
+      return PointToPolygon(g.region(), p);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double DistanceBetween(const Geometry& a, const Geometry& b) {
+  // Normalize so a.type <= b.type (the metric is symmetric).
+  if (static_cast<int>(a.type()) > static_cast<int>(b.type())) {
+    return DistanceBetween(b, a);
+  }
+  switch (a.type()) {
+    case GeometryType::kPoint:
+      return DistanceTo(b, a.point());
+    case GeometryType::kSegment:
+      switch (b.type()) {
+        case GeometryType::kSegment:
+          return Distance(a.segment(), b.segment());
+        case GeometryType::kRect:
+          return RectToSegment(b.rect(), a.segment());
+        case GeometryType::kRegion:
+          return PolygonToSegment(b.region(), a.segment());
+        default:
+          break;
+      }
+      break;
+    case GeometryType::kRect:
+      switch (b.type()) {
+        case GeometryType::kRect:
+          return RectToRect(a.rect(), b.rect());
+        case GeometryType::kRegion:
+          return RectToPolygon(a.rect(), b.region());
+        default:
+          break;
+      }
+      break;
+    case GeometryType::kRegion:
+      return PolygonToPolygon(a.region(), b.region());
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace pictdb::geom

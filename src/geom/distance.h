@@ -1,0 +1,23 @@
+#ifndef PICTDB_GEOM_DISTANCE_H_
+#define PICTDB_GEOM_DISTANCE_H_
+
+#include "geom/geometry.h"
+
+namespace pictdb::geom {
+
+/// Exact distance from `p` to the nearest point of `g` (0 when `p` lies
+/// on or inside the object). Complements the R-tree's MBR-level MINDIST:
+/// k-NN callers refine candidate order with this when objects are
+/// extended (segments, regions).
+double DistanceTo(const Geometry& g, const Point& p);
+
+/// Minimum distance between two segments (0 if they intersect).
+double Distance(const Segment& a, const Segment& b);
+
+/// Minimum distance between two geometries (0 if they share a point).
+/// Exact for every type combination.
+double DistanceBetween(const Geometry& a, const Geometry& b);
+
+}  // namespace pictdb::geom
+
+#endif  // PICTDB_GEOM_DISTANCE_H_

@@ -1,0 +1,181 @@
+#include "geom/geometry.h"
+
+#include <algorithm>
+
+namespace pictdb::geom {
+
+namespace {
+
+bool PointOnSegment(const Point& p, const Segment& s) {
+  if (Cross(s.a, s.b, p) != 0.0) return false;
+  return std::min(s.a.x, s.b.x) <= p.x && p.x <= std::max(s.a.x, s.b.x) &&
+         std::min(s.a.y, s.b.y) <= p.y && p.y <= std::max(s.a.y, s.b.y);
+}
+
+bool SegmentIntersectsPolygon(const Segment& s, const Polygon& poly) {
+  if (poly.empty()) return false;
+  if (poly.Contains(s.a) || poly.Contains(s.b)) return true;
+  for (size_t i = 0; i < poly.size(); ++i) {
+    if (Intersects(s, poly.Edge(i))) return true;
+  }
+  return false;
+}
+
+bool PolygonContainsSegment(const Polygon& poly, const Segment& s) {
+  if (!poly.Contains(s.a) || !poly.Contains(s.b)) return false;
+  // For a simple polygon the segment could still exit through a concavity;
+  // a crossing of the boundary at a non-endpoint reveals that. Sample the
+  // midpoint of each boundary-intersecting subsegment: cheap and exact for
+  // the polygon shapes the library generates (convex or mildly concave).
+  for (size_t i = 0; i < poly.size(); ++i) {
+    if (Intersects(s, poly.Edge(i))) {
+      const Point mid{(s.a.x + s.b.x) * 0.5, (s.a.y + s.b.y) * 0.5};
+      if (!poly.Contains(mid)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Rect Geometry::Mbr() const {
+  switch (type()) {
+    case GeometryType::kPoint:
+      return Rect::FromPoint(point());
+    case GeometryType::kSegment:
+      return segment().Mbr();
+    case GeometryType::kRect:
+      return rect();
+    case GeometryType::kRegion:
+      return region().Mbr();
+  }
+  return Rect();
+}
+
+double Geometry::Area() const {
+  switch (type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kSegment:
+      return 0.0;
+    case GeometryType::kRect:
+      return rect().Area();
+    case GeometryType::kRegion:
+      return region().Area();
+  }
+  return 0.0;
+}
+
+bool CoveredBy(const Geometry& a, const Geometry& b) {
+  switch (b.type()) {
+    case GeometryType::kRect: {
+      const Rect& w = b.rect();
+      switch (a.type()) {
+        case GeometryType::kPoint:
+          return w.Contains(a.point());
+        case GeometryType::kSegment:
+          return ContainedIn(a.segment(), w);
+        case GeometryType::kRect:
+          return w.Contains(a.rect());
+        case GeometryType::kRegion:
+          return ContainedIn(a.region(), w);
+      }
+      return false;
+    }
+    case GeometryType::kRegion: {
+      const Polygon& poly = b.region();
+      switch (a.type()) {
+        case GeometryType::kPoint:
+          return poly.Contains(a.point());
+        case GeometryType::kSegment:
+          return PolygonContainsSegment(poly, a.segment());
+        case GeometryType::kRect:
+          return Contains(poly, Polygon::FromRect(a.rect()));
+        case GeometryType::kRegion:
+          return Contains(poly, a.region());
+      }
+      return false;
+    }
+    case GeometryType::kSegment: {
+      // A zero-area object can only cover points / collinear subsegments.
+      const Segment& s = b.segment();
+      switch (a.type()) {
+        case GeometryType::kPoint:
+          return PointOnSegment(a.point(), s);
+        case GeometryType::kSegment:
+          return PointOnSegment(a.segment().a, s) &&
+                 PointOnSegment(a.segment().b, s);
+        default:
+          return false;
+      }
+    }
+    case GeometryType::kPoint:
+      return a.is_point() && a.point() == b.point();
+  }
+  return false;
+}
+
+bool Covering(const Geometry& a, const Geometry& b) { return CoveredBy(b, a); }
+
+bool Overlapping(const Geometry& a, const Geometry& b) {
+  // Symmetric "share at least one point". Normalize so a.type <= b.type.
+  if (static_cast<int>(a.type()) > static_cast<int>(b.type())) {
+    return Overlapping(b, a);
+  }
+  switch (a.type()) {
+    case GeometryType::kPoint:
+      switch (b.type()) {
+        case GeometryType::kPoint:
+          return a.point() == b.point();
+        case GeometryType::kSegment:
+          return PointOnSegment(a.point(), b.segment());
+        case GeometryType::kRect:
+          return b.rect().Contains(a.point());
+        case GeometryType::kRegion:
+          return b.region().Contains(a.point());
+      }
+      return false;
+    case GeometryType::kSegment:
+      switch (b.type()) {
+        case GeometryType::kSegment:
+          return Intersects(a.segment(), b.segment());
+        case GeometryType::kRect:
+          return Intersects(a.segment(), b.rect());
+        case GeometryType::kRegion:
+          return SegmentIntersectsPolygon(a.segment(), b.region());
+        default:
+          return false;
+      }
+    case GeometryType::kRect:
+      switch (b.type()) {
+        case GeometryType::kRect:
+          return a.rect().Intersects(b.rect());
+        case GeometryType::kRegion:
+          return Intersects(b.region(), a.rect());
+        default:
+          return false;
+      }
+    case GeometryType::kRegion:
+      return Intersects(a.region(), b.region());
+  }
+  return false;
+}
+
+bool Disjoined(const Geometry& a, const Geometry& b) {
+  return !Overlapping(a, b);
+}
+
+std::string TypeName(GeometryType t) {
+  switch (t) {
+    case GeometryType::kPoint:
+      return "point";
+    case GeometryType::kSegment:
+      return "segment";
+    case GeometryType::kRect:
+      return "rect";
+    case GeometryType::kRegion:
+      return "region";
+  }
+  return "unknown";
+}
+
+}  // namespace pictdb::geom

@@ -1,0 +1,73 @@
+#ifndef PICTDB_GEOM_GEOMETRY_H_
+#define PICTDB_GEOM_GEOMETRY_H_
+
+#include <string>
+#include <variant>
+
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+
+namespace pictdb::geom {
+
+/// Pictorial object classes from the paper: "In a spatial database it is
+/// convenient to classify data objects as points, segments, or regions."
+/// Rect is included as a cheap region representation (windows, MBRs).
+enum class GeometryType { kPoint, kSegment, kRect, kRegion };
+
+/// A spatial object stored at an R-tree leaf or carried in a pictorial
+/// column. The object is "atomic as far as the search is concerned" —
+/// predicates treat it as a whole, never decomposed into primitives.
+class Geometry {
+ public:
+  Geometry() : value_(Point{}) {}
+  explicit Geometry(Point p) : value_(p) {}
+  explicit Geometry(Segment s) : value_(s) {}
+  explicit Geometry(Rect r) : value_(r) {}
+  explicit Geometry(Polygon poly) : value_(std::move(poly)) {}
+
+  GeometryType type() const {
+    return static_cast<GeometryType>(value_.index());
+  }
+  bool is_point() const { return type() == GeometryType::kPoint; }
+  bool is_segment() const { return type() == GeometryType::kSegment; }
+  bool is_rect() const { return type() == GeometryType::kRect; }
+  bool is_region() const { return type() == GeometryType::kRegion; }
+
+  const Point& point() const { return std::get<Point>(value_); }
+  const Segment& segment() const { return std::get<Segment>(value_); }
+  const Rect& rect() const { return std::get<Rect>(value_); }
+  const Polygon& region() const { return std::get<Polygon>(value_); }
+
+  /// Minimal bounding rectangle of the object.
+  Rect Mbr() const;
+
+  /// Area of the object (0 for points and segments).
+  double Area() const;
+
+ private:
+  std::variant<Point, Segment, Rect, Polygon> value_;
+};
+
+/// PSQL spatial comparison operators (§2.2): each receives two objects and
+/// answers whether they satisfy the relation on the picture.
+
+/// `a covered-by b`: every point of a lies within b.
+bool CoveredBy(const Geometry& a, const Geometry& b);
+
+/// `a covering b`: alias for CoveredBy(b, a).
+bool Covering(const Geometry& a, const Geometry& b);
+
+/// `a overlapping b`: they share at least one point.
+bool Overlapping(const Geometry& a, const Geometry& b);
+
+/// `a disjoined b`: they share no point.
+bool Disjoined(const Geometry& a, const Geometry& b);
+
+/// Human-readable geometry type name ("point", "segment", ...).
+std::string TypeName(GeometryType t);
+
+}  // namespace pictdb::geom
+
+#endif  // PICTDB_GEOM_GEOMETRY_H_

@@ -1,0 +1,134 @@
+#include "geom/measure.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace pictdb::geom {
+
+namespace {
+
+/// Total length of y covered by >= k of the given closed intervals.
+double LengthCoveredAtLeast(std::vector<std::pair<double, int>>* events,
+                            int k) {
+  std::sort(events->begin(), events->end());
+  double covered = 0.0;
+  int depth = 0;
+  double prev_y = 0.0;
+  for (const auto& [y, delta] : *events) {
+    if (depth >= k) covered += y - prev_y;
+    depth += delta;
+    prev_y = y;
+  }
+  return covered;
+}
+
+}  // namespace
+
+double TotalArea(const std::vector<Rect>& rects) {
+  double sum = 0.0;
+  for (const Rect& r : rects) sum += r.Area();
+  return sum;
+}
+
+double UnionArea(const std::vector<Rect>& rects) {
+  return AreaCoveredAtLeast(rects, 1);
+}
+
+double AreaCoveredAtLeast(const std::vector<Rect>& rects, int k) {
+  PICTDB_CHECK(k >= 1);
+  std::vector<Rect> live;
+  live.reserve(rects.size());
+  for (const Rect& r : rects) {
+    if (!r.IsEmpty() && r.Area() > 0.0) live.push_back(r);
+  }
+  if (static_cast<int>(live.size()) < k) return 0.0;
+
+  // Slab sweep over distinct x coordinates. Within each slab the active
+  // rects are constant, so the covered-≥k area is slab_width times the y
+  // length covered ≥k.
+  std::vector<double> xs;
+  xs.reserve(live.size() * 2);
+  for (const Rect& r : live) {
+    xs.push_back(r.lo.x);
+    xs.push_back(r.hi.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  // Index rects by entering slab boundary for incremental maintenance.
+  std::sort(live.begin(), live.end(), [](const Rect& a, const Rect& b) {
+    return a.lo.x < b.lo.x;
+  });
+
+  double area = 0.0;
+  size_t next_enter = 0;
+  // Active rects, removed lazily when their hi.x no longer spans the slab.
+  std::vector<Rect> active;
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    const double x0 = xs[i];
+    const double x1 = xs[i + 1];
+    while (next_enter < live.size() && live[next_enter].lo.x <= x0) {
+      active.push_back(live[next_enter]);
+      ++next_enter;
+    }
+    std::erase_if(active, [x1](const Rect& r) { return r.hi.x < x1; });
+    if (static_cast<int>(active.size()) < k) continue;
+    std::vector<std::pair<double, int>> events;
+    events.reserve(active.size() * 2);
+    for (const Rect& r : active) {
+      events.emplace_back(r.lo.y, +1);
+      events.emplace_back(r.hi.y, -1);
+    }
+    area += (x1 - x0) * LengthCoveredAtLeast(&events, k);
+  }
+  return area;
+}
+
+double AreaCoveredAtLeastBrute(const std::vector<Rect>& rects, int k) {
+  PICTDB_CHECK(k >= 1);
+  std::vector<double> xs, ys;
+  for (const Rect& r : rects) {
+    if (r.IsEmpty()) continue;
+    xs.push_back(r.lo.x);
+    xs.push_back(r.hi.x);
+    ys.push_back(r.lo.y);
+    ys.push_back(r.hi.y);
+  }
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  auto xi = [&xs](double v) {
+    return std::lower_bound(xs.begin(), xs.end(), v) - xs.begin();
+  };
+  auto yi = [&ys](double v) {
+    return std::lower_bound(ys.begin(), ys.end(), v) - ys.begin();
+  };
+
+  const size_t nx = xs.size();
+  const size_t ny = ys.size();
+  std::vector<int> count(nx * ny, 0);
+  for (const Rect& r : rects) {
+    if (r.IsEmpty()) continue;
+    for (size_t i = xi(r.lo.x); i < static_cast<size_t>(xi(r.hi.x)); ++i) {
+      for (size_t j = yi(r.lo.y); j < static_cast<size_t>(yi(r.hi.y)); ++j) {
+        ++count[i * ny + j];
+      }
+    }
+  }
+  double area = 0.0;
+  for (size_t i = 0; i + 1 < nx; ++i) {
+    for (size_t j = 0; j + 1 < ny; ++j) {
+      if (count[i * ny + j] >= k) {
+        area += (xs[i + 1] - xs[i]) * (ys[j + 1] - ys[j]);
+      }
+    }
+  }
+  return area;
+}
+
+}  // namespace pictdb::geom

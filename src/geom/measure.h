@@ -1,0 +1,30 @@
+#ifndef PICTDB_GEOM_MEASURE_H_
+#define PICTDB_GEOM_MEASURE_H_
+
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace pictdb::geom {
+
+/// Σ area(r) over all rects, counting overlapping regions multiple times —
+/// exactly the paper's "coverage" when applied to the leaf MBRs.
+double TotalArea(const std::vector<Rect>& rects);
+
+/// Measure of the region covered by at least one rect (Klee's problem).
+double UnionArea(const std::vector<Rect>& rects);
+
+/// Measure of the region covered by at least `k` of the rects. k=2 is the
+/// paper's "overlap": "the total area contained within two or more leaf
+/// MBRs". Exact x-slab sweep with y-interval counting; O(n² log n) worst
+/// case, which is ample at experiment scale.
+double AreaCoveredAtLeast(const std::vector<Rect>& rects, int k);
+
+/// Reference implementation of AreaCoveredAtLeast via full coordinate
+/// compression and a 2D difference grid. O(n²) cells — for tests that
+/// cross-validate the sweep, not for production use.
+double AreaCoveredAtLeastBrute(const std::vector<Rect>& rects, int k);
+
+}  // namespace pictdb::geom
+
+#endif  // PICTDB_GEOM_MEASURE_H_

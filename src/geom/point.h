@@ -1,0 +1,53 @@
+#ifndef PICTDB_GEOM_POINT_H_
+#define PICTDB_GEOM_POINT_H_
+
+#include <cmath>
+
+namespace pictdb::geom {
+
+/// A point in the picture plane. Coordinates are doubles; the paper's
+/// experiments use integer coordinates in [0,1000]² which embed exactly.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  friend Point operator+(const Point& a, const Point& b) {
+    return Point{a.x + b.x, a.y + b.y};
+  }
+  friend Point operator-(const Point& a, const Point& b) {
+    return Point{a.x - b.x, a.y - b.y};
+  }
+  friend Point operator*(const Point& a, double s) {
+    return Point{a.x * s, a.y * s};
+  }
+};
+
+/// Euclidean distance.
+inline double Distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Squared Euclidean distance (no sqrt; for nearest-neighbour comparisons).
+inline double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Cross product of (b-a) x (c-a); sign gives orientation.
+inline double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/// Dot product of (b-a) . (c-a).
+inline double Dot(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.x - a.x) + (b.y - a.y) * (c.y - a.y);
+}
+
+}  // namespace pictdb::geom
+
+#endif  // PICTDB_GEOM_POINT_H_

@@ -1,0 +1,133 @@
+#include "geom/polygon.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pictdb::geom {
+
+Polygon Polygon::FromRect(const Rect& r) {
+  PICTDB_DCHECK(!r.IsEmpty());
+  return Polygon({{r.lo.x, r.lo.y},
+                  {r.hi.x, r.lo.y},
+                  {r.hi.x, r.hi.y},
+                  {r.lo.x, r.hi.y}});
+}
+
+Rect Polygon::Mbr() const {
+  Rect r;
+  for (const Point& v : vertices_) r.ExpandToInclude(v);
+  return r;
+}
+
+double Polygon::SignedArea() const {
+  if (vertices_.size() < 3) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& p = vertices_[i];
+    const Point& q = vertices_[(i + 1) % vertices_.size()];
+    sum += p.x * q.y - q.x * p.y;
+  }
+  return sum * 0.5;
+}
+
+double Polygon::Area() const { return std::fabs(SignedArea()); }
+
+double Polygon::Perimeter() const {
+  if (vertices_.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    sum += Edge(i).Length();
+  }
+  return sum;
+}
+
+Segment Polygon::Edge(size_t i) const {
+  PICTDB_DCHECK(i < vertices_.size());
+  return Segment{vertices_[i], vertices_[(i + 1) % vertices_.size()]};
+}
+
+bool Polygon::Contains(const Point& p) const {
+  if (vertices_.size() < 3) return false;
+  // Boundary counts as inside.
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Segment e = Edge(i);
+    if (Cross(e.a, e.b, p) == 0.0 &&
+        std::min(e.a.x, e.b.x) <= p.x && p.x <= std::max(e.a.x, e.b.x) &&
+        std::min(e.a.y, e.b.y) <= p.y && p.y <= std::max(e.a.y, e.b.y)) {
+      return true;
+    }
+  }
+  // Ray casting toward +x counting crossings, with the usual half-open
+  // rule to avoid double-counting vertices.
+  bool inside = false;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (x_cross > p.x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool Intersects(const Polygon& a, const Polygon& b) {
+  if (a.empty() || b.empty()) return false;
+  if (!a.Mbr().Intersects(b.Mbr())) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (Intersects(a.Edge(i), b.Edge(j))) return true;
+    }
+  }
+  // No edge crossings: either disjoint or one inside the other.
+  return a.Contains(b.vertices()[0]) || b.Contains(a.vertices()[0]);
+}
+
+bool Intersects(const Polygon& poly, const Rect& r) {
+  if (poly.empty() || r.IsEmpty()) return false;
+  if (!poly.Mbr().Intersects(r)) return false;
+  for (const Point& v : poly.vertices()) {
+    if (r.Contains(v)) return true;
+  }
+  // Rect corner inside the polygon (rect fully within region)?
+  if (poly.Contains(Point{r.lo.x, r.lo.y})) return true;
+  // Edge crossings.
+  for (size_t i = 0; i < poly.size(); ++i) {
+    if (Intersects(poly.Edge(i), r)) return true;
+  }
+  return false;
+}
+
+bool ContainedIn(const Polygon& poly, const Rect& r) {
+  if (poly.empty()) return false;
+  for (const Point& v : poly.vertices()) {
+    if (!r.Contains(v)) return false;
+  }
+  return true;
+}
+
+bool Contains(const Polygon& outer, const Polygon& inner) {
+  if (outer.size() < 3 || inner.empty()) return false;
+  // Any edge crossing disqualifies containment of a simple polygon, except
+  // touching; we use the strict test: all inner vertices inside outer and
+  // no proper edge crossings.
+  for (const Point& v : inner.vertices()) {
+    if (!outer.Contains(v)) return false;
+  }
+  for (size_t i = 0; i < outer.size(); ++i) {
+    for (size_t j = 0; j < inner.size(); ++j) {
+      const Segment eo = outer.Edge(i);
+      const Segment ei = inner.Edge(j);
+      if (Intersects(eo, ei)) {
+        // Shared boundary points are fine; a proper crossing is not. Test
+        // whether the inner edge has points strictly outside.
+        const Point mid{(ei.a.x + ei.b.x) * 0.5, (ei.a.y + ei.b.y) * 0.5};
+        if (!outer.Contains(mid)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pictdb::geom

@@ -1,0 +1,66 @@
+#ifndef PICTDB_GEOM_POLYGON_H_
+#define PICTDB_GEOM_POLYGON_H_
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+
+namespace pictdb::geom {
+
+/// Simple polygon — the paper's "region" pictorial class (states, lakes,
+/// time zones). Vertices are stored in ring order without a repeated
+/// closing vertex; edges implicitly wrap around.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  /// Axis-aligned rectangle as a 4-vertex polygon.
+  static Polygon FromRect(const Rect& r);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+  Rect Mbr() const;
+
+  /// Signed shoelace area (positive for counter-clockwise rings).
+  double SignedArea() const;
+  /// |SignedArea| — the paper's `area` function on regions.
+  double Area() const;
+
+  /// Ring perimeter.
+  double Perimeter() const;
+
+  /// Point-in-polygon (boundary counts as inside). Ray-casting with
+  /// on-edge detection.
+  bool Contains(const Point& p) const;
+
+  /// The i-th edge (wraps around at the end).
+  Segment Edge(size_t i) const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// True if the polygons share at least one point (edge crossing, touching,
+/// or one containing the other).
+bool Intersects(const Polygon& a, const Polygon& b);
+
+/// True if any point of `poly` lies inside `r`.
+bool Intersects(const Polygon& poly, const Rect& r);
+
+/// True if every vertex of `poly` lies inside `r` (sufficient for simple
+/// polygons since `r` is convex).
+bool ContainedIn(const Polygon& poly, const Rect& r);
+
+/// True if polygon `outer` fully contains polygon `inner`
+/// (no edge crossings and one inner vertex inside outer).
+bool Contains(const Polygon& outer, const Polygon& inner);
+
+}  // namespace pictdb::geom
+
+#endif  // PICTDB_GEOM_POLYGON_H_

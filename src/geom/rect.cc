@@ -1,0 +1,52 @@
+#include "geom/rect.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pictdb::geom {
+
+Rect UnionOf(const Rect& a, const Rect& b) {
+  Rect out = a;
+  out.ExpandToInclude(b);
+  return out;
+}
+
+Rect IntersectionOf(const Rect& a, const Rect& b) {
+  if (!a.Intersects(b)) return Rect();
+  Rect out;
+  out.lo.x = std::max(a.lo.x, b.lo.x);
+  out.lo.y = std::max(a.lo.y, b.lo.y);
+  out.hi.x = std::min(a.hi.x, b.hi.x);
+  out.hi.y = std::min(a.hi.y, b.hi.y);
+  return out;
+}
+
+double Enlargement(const Rect& base, const Rect& add) {
+  return UnionOf(base, add).Area() - base.Area();
+}
+
+double MinDistance(const Rect& a, const Rect& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return std::numeric_limits<double>::infinity();
+  const double dx =
+      std::max({0.0, a.lo.x - b.hi.x, b.lo.x - a.hi.x});
+  const double dy =
+      std::max({0.0, a.lo.y - b.hi.y, b.lo.y - a.hi.y});
+  return std::hypot(dx, dy);
+}
+
+double MinDistance(const Rect& r, const Point& p) {
+  return MinDistance(r, Rect::FromPoint(p));
+}
+
+std::string ToString(const Rect& r) {
+  std::ostringstream os;
+  if (r.IsEmpty()) {
+    os << "RECT(empty)";
+  } else {
+    os << "RECT(" << r.lo.x << " " << r.lo.y << ", " << r.hi.x << " "
+       << r.hi.y << ")";
+  }
+  return os.str();
+}
+
+}  // namespace pictdb::geom

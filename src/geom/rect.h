@@ -1,0 +1,130 @@
+#ifndef PICTDB_GEOM_RECT_H_
+#define PICTDB_GEOM_RECT_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geom/point.h"
+
+namespace pictdb::geom {
+
+/// Axis-aligned rectangle (the paper's minimal bounding rectangle, MBR).
+/// Invariant for non-empty rects: lo.x <= hi.x and lo.y <= hi.y.
+/// A default-constructed Rect is "empty" (inverted bounds) and acts as the
+/// identity for ExpandToInclude/UnionOf.
+struct Rect {
+  Point lo{std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity()};
+  Point hi{-std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+
+  Rect() = default;
+  Rect(double x1, double y1, double x2, double y2)
+      : lo{std::min(x1, x2), std::min(y1, y2)},
+        hi{std::max(x1, x2), std::max(y1, y2)} {}
+  Rect(const Point& a, const Point& b)
+      : Rect(a.x, a.y, b.x, b.y) {}
+
+  /// Degenerate rectangle covering a single point.
+  static Rect FromPoint(const Point& p) { return Rect(p.x, p.y, p.x, p.y); }
+
+  /// The paper's `{x±dx, y±dy}` window syntax.
+  static Rect FromCenterHalfExtent(double cx, double dx, double cy,
+                                   double dy) {
+    return Rect(cx - dx, cy - dy, cx + dx, cy + dy);
+  }
+
+  bool IsEmpty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  double Width() const { return IsEmpty() ? 0.0 : hi.x - lo.x; }
+  double Height() const { return IsEmpty() ? 0.0 : hi.y - lo.y; }
+  double Area() const { return Width() * Height(); }
+  /// Half-perimeter; the margin used by some split heuristics.
+  double Margin() const { return Width() + Height(); }
+  Point Center() const {
+    return Point{(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5};
+  }
+
+  /// Closed-boundary intersection test (rects touching at an edge
+  /// intersect, matching the paper's INTERSECTS).
+  bool Intersects(const Rect& o) const {
+    if (IsEmpty() || o.IsEmpty()) return false;
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y &&
+           o.lo.y <= hi.y;
+  }
+
+  /// True if this rect fully contains `o` (boundaries may coincide);
+  /// the paper's `covers` operator for rectangles.
+  bool Contains(const Rect& o) const {
+    if (o.IsEmpty()) return true;
+    if (IsEmpty()) return false;
+    return lo.x <= o.lo.x && o.hi.x <= hi.x && lo.y <= o.lo.y &&
+           o.hi.y <= hi.y;
+  }
+
+  bool Contains(const Point& p) const {
+    return !IsEmpty() && lo.x <= p.x && p.x <= hi.x && lo.y <= p.y &&
+           p.y <= hi.y;
+  }
+
+  /// Interiors intersect but neither contains the other — the paper's
+  /// `overlapping` operator.
+  bool Overlaps(const Rect& o) const {
+    if (!IntersectsInterior(o)) return false;
+    return !Contains(o) && !o.Contains(*this);
+  }
+
+  /// Open-interval intersection: true only if the common region has
+  /// positive area.
+  bool IntersectsInterior(const Rect& o) const {
+    if (IsEmpty() || o.IsEmpty()) return false;
+    return lo.x < o.hi.x && o.lo.x < hi.x && lo.y < o.hi.y && o.lo.y < hi.y;
+  }
+
+  /// The paper's `disjoined` operator.
+  bool Disjoint(const Rect& o) const { return !Intersects(o); }
+
+  /// Grow in place to include `o`.
+  void ExpandToInclude(const Rect& o) {
+    if (o.IsEmpty()) return;
+    lo.x = std::min(lo.x, o.lo.x);
+    lo.y = std::min(lo.y, o.lo.y);
+    hi.x = std::max(hi.x, o.hi.x);
+    hi.y = std::max(hi.y, o.hi.y);
+  }
+
+  void ExpandToInclude(const Point& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// Smallest rect containing both arguments.
+Rect UnionOf(const Rect& a, const Rect& b);
+
+/// Common region of both arguments; empty if they do not intersect.
+Rect IntersectionOf(const Rect& a, const Rect& b);
+
+/// Area growth of `base` needed to include `add` (Guttman's enlargement
+/// criterion for ChooseLeaf).
+double Enlargement(const Rect& base, const Rect& add);
+
+/// Minimum distance between two rects (0 if they intersect).
+double MinDistance(const Rect& a, const Rect& b);
+
+/// Minimum distance from a point to a rect (0 if inside).
+double MinDistance(const Rect& r, const Point& p);
+
+/// "RECT(x1 y1, x2 y2)" for debugging.
+std::string ToString(const Rect& r);
+
+}  // namespace pictdb::geom
+
+#endif  // PICTDB_GEOM_RECT_H_

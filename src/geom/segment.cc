@@ -1,0 +1,65 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pictdb::geom {
+
+namespace {
+
+bool OnSegment(const Point& p, const Point& q, const Point& r) {
+  // Assumes p, q, r collinear: is q within the box spanned by p..r?
+  return std::min(p.x, r.x) <= q.x && q.x <= std::max(p.x, r.x) &&
+         std::min(p.y, r.y) <= q.y && q.y <= std::max(p.y, r.y);
+}
+
+int Sign(double v) {
+  if (v > 0) return 1;
+  if (v < 0) return -1;
+  return 0;
+}
+
+}  // namespace
+
+bool Intersects(const Segment& s, const Segment& t) {
+  const int d1 = Sign(Cross(t.a, t.b, s.a));
+  const int d2 = Sign(Cross(t.a, t.b, s.b));
+  const int d3 = Sign(Cross(s.a, s.b, t.a));
+  const int d4 = Sign(Cross(s.a, s.b, t.b));
+  if (d1 != d2 && d3 != d4) return true;
+  if (d1 == 0 && OnSegment(t.a, s.a, t.b)) return true;
+  if (d2 == 0 && OnSegment(t.a, s.b, t.b)) return true;
+  if (d3 == 0 && OnSegment(s.a, t.a, s.b)) return true;
+  if (d4 == 0 && OnSegment(s.a, t.b, s.b)) return true;
+  return false;
+}
+
+bool Intersects(const Segment& s, const Rect& r) {
+  if (r.IsEmpty()) return false;
+  if (r.Contains(s.a) || r.Contains(s.b)) return true;
+  if (!r.Intersects(s.Mbr())) return false;
+  // Neither endpoint inside: the segment intersects iff it crosses one of
+  // the rect's four edges.
+  const Point p1{r.lo.x, r.lo.y};
+  const Point p2{r.hi.x, r.lo.y};
+  const Point p3{r.hi.x, r.hi.y};
+  const Point p4{r.lo.x, r.hi.y};
+  return Intersects(s, Segment{p1, p2}) || Intersects(s, Segment{p2, p3}) ||
+         Intersects(s, Segment{p3, p4}) || Intersects(s, Segment{p4, p1});
+}
+
+bool ContainedIn(const Segment& s, const Rect& r) {
+  return r.Contains(s.a) && r.Contains(s.b);
+}
+
+double Distance(const Segment& s, const Point& p) {
+  const double len2 = DistanceSquared(s.a, s.b);
+  if (len2 == 0.0) return Distance(s.a, p);
+  // Project p onto the line through a,b clamped to the segment.
+  double t = Dot(s.a, s.b, p) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const Point proj = s.a + (s.b - s.a) * t;
+  return Distance(proj, p);
+}
+
+}  // namespace pictdb::geom

@@ -1,0 +1,44 @@
+#ifndef PICTDB_GEOM_SEGMENT_H_
+#define PICTDB_GEOM_SEGMENT_H_
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace pictdb::geom {
+
+/// Line segment — the paper's "segment" pictorial class (e.g. highway
+/// sections). Stored by its two endpoints.
+struct Segment {
+  Point a;
+  Point b;
+
+  Rect Mbr() const {
+    Rect r = Rect::FromPoint(a);
+    r.ExpandToInclude(b);
+    return r;
+  }
+
+  double Length() const { return Distance(a, b); }
+
+  friend bool operator==(const Segment& s, const Segment& t) {
+    return s.a == t.a && s.b == t.b;
+  }
+};
+
+/// True if segments `s` and `t` share at least one point (proper or
+/// touching intersections both count).
+bool Intersects(const Segment& s, const Segment& t);
+
+/// True if any point of the segment lies within the rect (clips the
+/// segment against the rect boundary).
+bool Intersects(const Segment& s, const Rect& r);
+
+/// True if both endpoints (and hence the whole segment) lie inside `r`.
+bool ContainedIn(const Segment& s, const Rect& r);
+
+/// Distance from point `p` to the closest point of segment `s`.
+double Distance(const Segment& s, const Point& p);
+
+}  // namespace pictdb::geom
+
+#endif  // PICTDB_GEOM_SEGMENT_H_

@@ -1,0 +1,112 @@
+#include "geom/transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pictdb::geom {
+
+Transform Transform::Rotation(double radians) {
+  Transform t;
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  t.m00_ = c;
+  t.m01_ = -s;
+  t.m10_ = s;
+  t.m11_ = c;
+  return t;
+}
+
+Transform Transform::Translation(double dx, double dy) {
+  Transform t;
+  t.tx_ = dx;
+  t.ty_ = dy;
+  return t;
+}
+
+Transform Transform::Scale(double s) {
+  Transform t;
+  t.m00_ = s;
+  t.m11_ = s;
+  return t;
+}
+
+Point Transform::Apply(const Point& p) const {
+  return Point{m00_ * p.x + m01_ * p.y + tx_,
+               m10_ * p.x + m11_ * p.y + ty_};
+}
+
+std::vector<Point> Transform::Apply(const std::vector<Point>& pts) const {
+  std::vector<Point> out;
+  out.reserve(pts.size());
+  for (const Point& p : pts) out.push_back(Apply(p));
+  return out;
+}
+
+Transform Transform::Then(const Transform& next) const {
+  Transform t;
+  t.m00_ = next.m00_ * m00_ + next.m01_ * m10_;
+  t.m01_ = next.m00_ * m01_ + next.m01_ * m11_;
+  t.tx_ = next.m00_ * tx_ + next.m01_ * ty_ + next.tx_;
+  t.m10_ = next.m10_ * m00_ + next.m11_ * m10_;
+  t.m11_ = next.m10_ * m01_ + next.m11_ * m11_;
+  t.ty_ = next.m10_ * tx_ + next.m11_ * ty_ + next.ty_;
+  return t;
+}
+
+Transform Transform::Inverse() const {
+  const double det = m00_ * m11_ - m01_ * m10_;
+  PICTDB_CHECK(det != 0.0) << "non-invertible transform";
+  Transform t;
+  t.m00_ = m11_ / det;
+  t.m01_ = -m01_ / det;
+  t.m10_ = -m10_ / det;
+  t.m11_ = m00_ / det;
+  t.tx_ = -(t.m00_ * tx_ + t.m01_ * ty_);
+  t.ty_ = -(t.m10_ * tx_ + t.m11_ * ty_);
+  return t;
+}
+
+bool AllXDistinct(const std::vector<Point>& pts) {
+  std::vector<double> xs;
+  xs.reserve(pts.size());
+  for (const Point& p : pts) xs.push_back(p.x);
+  std::sort(xs.begin(), xs.end());
+  return std::adjacent_find(xs.begin(), xs.end()) == xs.end();
+}
+
+double FindDistinctXRotation(const std::vector<Point>& pts) {
+  // There are at most |S|²/2 bad directions (Lemma 3.1), so scanning a
+  // dense deterministic sequence of candidate angles terminates. Exact
+  // duplicate points can never be separated; they are skipped so the
+  // function remains total.
+  auto distinct_after = [&pts](double alpha) {
+    const Transform rot = Transform::Rotation(alpha);
+    std::vector<Point> rotated = rot.Apply(pts);
+    std::sort(rotated.begin(), rotated.end(),
+              [](const Point& a, const Point& b) {
+                return a.x < b.x || (a.x == b.x && a.y < b.y);
+              });
+    for (size_t i = 1; i < rotated.size(); ++i) {
+      if (rotated[i].x == rotated[i - 1].x &&
+          rotated[i].y != rotated[i - 1].y) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Golden-angle stepping visits angles that are maximally spread out, so
+  // a candidate far from all bad directions appears quickly.
+  constexpr double kGoldenAngle = 2.399963229728653;
+  double alpha = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    if (distinct_after(alpha)) return alpha;
+    alpha = std::fmod(alpha + kGoldenAngle, 2.0 * M_PI);
+  }
+  PICTDB_CHECK(false) << "no distinct-x rotation found in 10000 candidates";
+  return 0.0;
+}
+
+}  // namespace pictdb::geom

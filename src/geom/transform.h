@@ -1,0 +1,55 @@
+#ifndef PICTDB_GEOM_TRANSFORM_H_
+#define PICTDB_GEOM_TRANSFORM_H_
+
+#include <vector>
+
+#include "geom/point.h"
+
+namespace pictdb::geom {
+
+/// 2D affine transform (rotation/scale/translation), row-major 2x3 matrix:
+///   x' = m00*x + m01*y + tx
+///   y' = m10*x + m11*y + ty
+/// Used by the Lemma 3.1 / Theorem 3.2 machinery, which rotates the whole
+/// database frame of reference before packing.
+class Transform {
+ public:
+  /// Identity.
+  Transform() = default;
+
+  /// Counter-clockwise rotation about the origin by `radians`.
+  static Transform Rotation(double radians);
+
+  /// Translation by (dx, dy).
+  static Transform Translation(double dx, double dy);
+
+  /// Uniform scale about the origin.
+  static Transform Scale(double s);
+
+  Point Apply(const Point& p) const;
+  std::vector<Point> Apply(const std::vector<Point>& pts) const;
+
+  /// Composition: (a.Then(b)).Apply(p) == b.Apply(a.Apply(p)).
+  Transform Then(const Transform& next) const;
+
+  /// Inverse transform; requires the matrix to be invertible.
+  Transform Inverse() const;
+
+ private:
+  double m00_ = 1.0, m01_ = 0.0, tx_ = 0.0;
+  double m10_ = 0.0, m11_ = 1.0, ty_ = 0.0;
+};
+
+/// True if all x-coordinates in `pts` are pairwise distinct — the property
+/// F(S) = |S| from Lemma 3.1.
+bool AllXDistinct(const std::vector<Point>& pts);
+
+/// Finds an angle α such that rotating `pts` counter-clockwise by α yields
+/// pairwise-distinct x-coordinates (Lemma 3.1 guarantees existence for any
+/// finite point set). Deterministic: tries candidate angles that avoid the
+/// finitely many "bad" directions determined by point pairs.
+double FindDistinctXRotation(const std::vector<Point>& pts);
+
+}  // namespace pictdb::geom
+
+#endif  // PICTDB_GEOM_TRANSFORM_H_

@@ -1,0 +1,178 @@
+#include "geom/wkt.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace pictdb::geom {
+
+namespace {
+
+/// Tiny recursive-descent reader over the WKT text.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+  std::string ReadWord() {
+    SkipSpace();
+    std::string word;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      word.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(text_[pos_]))));
+      ++pos_;
+    }
+    return word;
+  }
+
+  StatusOr<double> ReadNumber() {
+    SkipSpace();
+    double value = 0.0;
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr == begin) {
+      return Status::InvalidArgument("expected number in WKT at position " +
+                                     std::to_string(pos_));
+    }
+    pos_ += static_cast<size_t>(ptr - begin);
+    return value;
+  }
+
+  StatusOr<Point> ReadPoint() {
+    PICTDB_ASSIGN_OR_RETURN(const double x, ReadNumber());
+    PICTDB_ASSIGN_OR_RETURN(const double y, ReadNumber());
+    return Point{x, y};
+  }
+
+  /// Comma-separated point list up to the closing paren.
+  StatusOr<std::vector<Point>> ReadPointList() {
+    std::vector<Point> pts;
+    do {
+      PICTDB_ASSIGN_OR_RETURN(const Point p, ReadPoint());
+      pts.push_back(p);
+    } while (Eat(','));
+    return pts;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+std::string FormatDouble(double v) {
+  // Shortest representation that round-trips exactly: WKT doubles as a
+  // storage encoding must not lose precision.
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  PICTDB_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+StatusOr<Geometry> ParseWkt(std::string_view text) {
+  Reader r(text);
+  const std::string kind = r.ReadWord();
+  if (kind.empty()) return Status::InvalidArgument("empty WKT");
+  if (!r.Eat('(')) return Status::InvalidArgument("expected ( in WKT");
+
+  if (kind == "POINT") {
+    PICTDB_ASSIGN_OR_RETURN(const Point p, r.ReadPoint());
+    if (!r.Eat(')')) return Status::InvalidArgument("expected ) in WKT");
+    if (!r.AtEnd()) return Status::InvalidArgument("trailing WKT input");
+    return Geometry(p);
+  }
+  if (kind == "SEGMENT" || kind == "LINESTRING") {
+    PICTDB_ASSIGN_OR_RETURN(const std::vector<Point> pts, r.ReadPointList());
+    if (!r.Eat(')')) return Status::InvalidArgument("expected ) in WKT");
+    if (!r.AtEnd()) return Status::InvalidArgument("trailing WKT input");
+    if (pts.size() != 2) {
+      return Status::InvalidArgument("segment needs exactly 2 points");
+    }
+    return Geometry(Segment{pts[0], pts[1]});
+  }
+  if (kind == "BOX" || kind == "RECT") {
+    PICTDB_ASSIGN_OR_RETURN(const std::vector<Point> pts, r.ReadPointList());
+    if (!r.Eat(')')) return Status::InvalidArgument("expected ) in WKT");
+    if (!r.AtEnd()) return Status::InvalidArgument("trailing WKT input");
+    if (pts.size() != 2) {
+      return Status::InvalidArgument("box needs exactly 2 corner points");
+    }
+    return Geometry(Rect(pts[0], pts[1]));
+  }
+  if (kind == "POLYGON") {
+    if (!r.Eat('(')) {
+      return Status::InvalidArgument("expected (( in POLYGON WKT");
+    }
+    PICTDB_ASSIGN_OR_RETURN(std::vector<Point> pts, r.ReadPointList());
+    if (!r.Eat(')') || !r.Eat(')')) {
+      return Status::InvalidArgument("expected )) in POLYGON WKT");
+    }
+    if (!r.AtEnd()) return Status::InvalidArgument("trailing WKT input");
+    // Tolerate an explicit closing vertex, standard in WKT.
+    if (pts.size() >= 2 && pts.front() == pts.back()) pts.pop_back();
+    if (pts.size() < 3) {
+      return Status::InvalidArgument("polygon needs at least 3 vertices");
+    }
+    return Geometry(Polygon(std::move(pts)));
+  }
+  return Status::InvalidArgument("unknown WKT kind: " + kind);
+}
+
+std::string ToWkt(const Geometry& g) {
+  std::ostringstream os;
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      os << "POINT(" << FormatDouble(g.point().x) << " "
+         << FormatDouble(g.point().y) << ")";
+      break;
+    case GeometryType::kSegment:
+      os << "SEGMENT(" << FormatDouble(g.segment().a.x) << " "
+         << FormatDouble(g.segment().a.y) << ", "
+         << FormatDouble(g.segment().b.x) << " "
+         << FormatDouble(g.segment().b.y) << ")";
+      break;
+    case GeometryType::kRect:
+      os << "BOX(" << FormatDouble(g.rect().lo.x) << " "
+         << FormatDouble(g.rect().lo.y) << ", "
+         << FormatDouble(g.rect().hi.x) << " " << FormatDouble(g.rect().hi.y)
+         << ")";
+      break;
+    case GeometryType::kRegion: {
+      os << "POLYGON((";
+      const auto& vs = g.region().vertices();
+      for (size_t i = 0; i < vs.size(); ++i) {
+        if (i) os << ", ";
+        os << FormatDouble(vs[i].x) << " " << FormatDouble(vs[i].y);
+      }
+      os << "))";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pictdb::geom

@@ -1,0 +1,25 @@
+#ifndef PICTDB_GEOM_WKT_H_
+#define PICTDB_GEOM_WKT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status_or.h"
+#include "geom/geometry.h"
+
+namespace pictdb::geom {
+
+/// Text encodings for pictorial objects, in the spirit of WKT:
+///   POINT(x y)
+///   SEGMENT(x1 y1, x2 y2)
+///   BOX(x1 y1, x2 y2)
+///   POLYGON((x1 y1, x2 y2, ...))
+/// Used by tests, examples, and PSQL constant geometry literals.
+StatusOr<Geometry> ParseWkt(std::string_view text);
+
+/// Inverse of ParseWkt.
+std::string ToWkt(const Geometry& g);
+
+}  // namespace pictdb::geom
+
+#endif  // PICTDB_GEOM_WKT_H_

@@ -1,0 +1,32 @@
+#ifndef PICTDB_PACK_HILBERT_H_
+#define PICTDB_PACK_HILBERT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "rtree/rtree.h"
+
+namespace pictdb::pack {
+
+/// Index of (x, y) along the Hilbert curve of order `order` (a 2^order ×
+/// 2^order grid). Coordinates must be < 2^order.
+uint64_t HilbertXyToD(uint32_t order, uint32_t x, uint32_t y);
+
+/// Inverse of HilbertXyToD.
+void HilbertDToXy(uint32_t order, uint64_t d, uint32_t* x, uint32_t* y);
+
+/// Hilbert value of a point within `frame`, discretized to a 2^16 grid.
+uint64_t HilbertValue(const geom::Point& p, const geom::Rect& frame);
+
+/// Hilbert-packed R-tree (Kamel & Faloutsos' descendant of this paper's
+/// PACK): sort leaf items by the Hilbert value of their MBR center, chunk
+/// into full nodes, recurse. Often the best space-filling-curve packer;
+/// included as the extension baseline.
+Status PackHilbert(rtree::RTree* tree, std::vector<rtree::Entry> leaf_items);
+
+}  // namespace pictdb::pack
+
+#endif  // PICTDB_PACK_HILBERT_H_

@@ -1,0 +1,100 @@
+#include "pack/nn_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace pictdb::pack {
+
+NearestNeighborGrid::NearestNeighborGrid(
+    const std::vector<geom::Point>& points)
+    : points_(points), alive_(points.size(), true), remaining_(points.size()) {
+  for (const geom::Point& p : points_) bounds_.ExpandToInclude(p);
+  if (points_.empty()) return;
+
+  // Aim for ~1 point per cell on a square-ish grid.
+  const size_t target = std::max<size_t>(
+      1, static_cast<size_t>(std::sqrt(static_cast<double>(points_.size()))));
+  cols_ = target;
+  rows_ = target;
+  cell_w_ = std::max(bounds_.Width() / static_cast<double>(cols_), 1e-12);
+  cell_h_ = std::max(bounds_.Height() / static_cast<double>(rows_), 1e-12);
+  cells_.resize(cols_ * rows_);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    cells_[CellOf(points_[i])].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+size_t NearestNeighborGrid::CellOf(const geom::Point& p) const {
+  auto clamp_idx = [](double v, size_t n) {
+    if (v < 0) return size_t{0};
+    const size_t i = static_cast<size_t>(v);
+    return i >= n ? n - 1 : i;
+  };
+  const size_t cx = clamp_idx((p.x - bounds_.lo.x) / cell_w_, cols_);
+  const size_t cy = clamp_idx((p.y - bounds_.lo.y) / cell_h_, rows_);
+  return cy * cols_ + cx;
+}
+
+void NearestNeighborGrid::Remove(size_t idx) {
+  PICTDB_CHECK(idx < alive_.size() && alive_[idx]);
+  alive_[idx] = false;
+  --remaining_;
+  auto& cell = cells_[CellOf(points_[idx])];
+  auto it = std::find(cell.begin(), cell.end(), static_cast<uint32_t>(idx));
+  PICTDB_CHECK(it != cell.end());
+  cell.erase(it);
+}
+
+std::optional<size_t> NearestNeighborGrid::Nearest(
+    const geom::Point& q) const {
+  if (remaining_ == 0) return std::nullopt;
+
+  const long qcx = std::clamp<long>(
+      static_cast<long>((q.x - bounds_.lo.x) / cell_w_), 0,
+      static_cast<long>(cols_) - 1);
+  const long qcy = std::clamp<long>(
+      static_cast<long>((q.y - bounds_.lo.y) / cell_h_), 0,
+      static_cast<long>(rows_) - 1);
+
+  size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  const long max_ring = static_cast<long>(std::max(cols_, rows_));
+  for (long ring = 0; ring <= max_ring; ++ring) {
+    // Once a candidate is known, stop as soon as the nearest possible
+    // point in the ring is farther than the candidate.
+    if (found) {
+      const double ring_min =
+          (static_cast<double>(ring) - 1.0) * std::min(cell_w_, cell_h_);
+      if (ring_min > 0 && ring_min * ring_min > best_d2) break;
+    }
+    const long x0 = qcx - ring, x1 = qcx + ring;
+    const long y0 = qcy - ring, y1 = qcy + ring;
+    for (long cy = y0; cy <= y1; ++cy) {
+      if (cy < 0 || cy >= static_cast<long>(rows_)) continue;
+      for (long cx = x0; cx <= x1; ++cx) {
+        if (cx < 0 || cx >= static_cast<long>(cols_)) continue;
+        // Perimeter of the ring only.
+        if (ring > 0 && cx != x0 && cx != x1 && cy != y0 && cy != y1) {
+          continue;
+        }
+        for (const uint32_t idx : cells_[cy * cols_ + cx]) {
+          const double d2 = geom::DistanceSquared(points_[idx], q);
+          if (d2 < best_d2 || (d2 == best_d2 && found && idx < best)) {
+            best_d2 = d2;
+            best = idx;
+            found = true;
+          }
+        }
+      }
+    }
+  }
+  PICTDB_CHECK(found);
+  return best;
+}
+
+}  // namespace pictdb::pack

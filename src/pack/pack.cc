@@ -1,0 +1,186 @@
+#include "pack/pack.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "pack/hilbert.h"
+#include "pack/nn_grid.h"
+
+namespace pictdb::pack {
+
+using rtree::Entry;
+using rtree::RTree;
+
+namespace {
+
+/// Indices of `items` ordered by the chosen spatial criterion applied to
+/// the MBR centers.
+std::vector<size_t> OrderBy(const std::vector<Entry>& items,
+                            SortCriterion criterion) {
+  std::vector<size_t> order(items.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  switch (criterion) {
+    case SortCriterion::kAscendingX:
+      std::stable_sort(order.begin(), order.end(),
+                       [&items](size_t a, size_t b) {
+                         const auto ca = items[a].mbr.Center();
+                         const auto cb = items[b].mbr.Center();
+                         return ca.x < cb.x || (ca.x == cb.x && ca.y < cb.y);
+                       });
+      break;
+    case SortCriterion::kAscendingY:
+      std::stable_sort(order.begin(), order.end(),
+                       [&items](size_t a, size_t b) {
+                         const auto ca = items[a].mbr.Center();
+                         const auto cb = items[b].mbr.Center();
+                         return ca.y < cb.y || (ca.y == cb.y && ca.x < cb.x);
+                       });
+      break;
+    case SortCriterion::kHilbert: {
+      geom::Rect frame;
+      for (const Entry& e : items) frame.ExpandToInclude(e.mbr);
+      std::stable_sort(order.begin(), order.end(),
+                       [&items, &frame](size_t a, size_t b) {
+                         return HilbertValue(items[a].mbr.Center(), frame) <
+                                HilbertValue(items[b].mbr.Center(), frame);
+                       });
+      break;
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::vector<Entry>> GroupNearestNeighbor(
+    const std::vector<Entry>& items, size_t max_per_node,
+    SortCriterion criterion) {
+  PICTDB_CHECK(max_per_node >= 1);
+  const std::vector<size_t> order = OrderBy(items, criterion);
+
+  std::vector<geom::Point> centers;
+  centers.reserve(items.size());
+  for (const Entry& e : items) centers.push_back(e.mbr.Center());
+  NearestNeighborGrid grid(centers);
+
+  std::vector<std::vector<Entry>> groups;
+  size_t cursor = 0;  // next candidate in criterion order
+  while (grid.remaining() > 0) {
+    // I1 := first object of DLIST (in criterion order, still unassigned).
+    while (cursor < order.size() && !grid.Contains(order[cursor])) ++cursor;
+    PICTDB_CHECK(cursor < order.size());
+    const size_t seed = order[cursor];
+    grid.Remove(seed);
+
+    std::vector<Entry> group;
+    group.push_back(items[seed]);
+    // I2..IB := NN(DLIST, I1) — each call returns the remaining item
+    // closest to I1 and deletes it from DLIST.
+    while (group.size() < max_per_node && grid.remaining() > 0) {
+      const auto nn = grid.Nearest(centers[seed]);
+      PICTDB_CHECK(nn.has_value());
+      grid.Remove(*nn);
+      group.push_back(items[*nn]);
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<std::vector<Entry>> GroupSortChunk(
+    const std::vector<Entry>& items, size_t max_per_node,
+    SortCriterion criterion) {
+  PICTDB_CHECK(max_per_node >= 1);
+  const std::vector<size_t> order = OrderBy(items, criterion);
+  std::vector<std::vector<Entry>> groups;
+  for (size_t i = 0; i < order.size(); i += max_per_node) {
+    std::vector<Entry> group;
+    const size_t end = std::min(order.size(), i + max_per_node);
+    for (size_t j = i; j < end; ++j) group.push_back(items[order[j]]);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+Status BulkLoad(RTree* tree, std::vector<Entry> leaf_items,
+                const GroupingFn& grouping) {
+  if (tree->Size() != 0) {
+    return Status::InvalidArgument("bulk load target tree is not empty");
+  }
+  if (leaf_items.empty()) return Status::OK();
+
+  const size_t max = tree->options().max_entries;
+  const uint64_t size = leaf_items.size();
+  std::vector<Entry> items = std::move(leaf_items);
+  uint16_t level = 0;
+
+  while (items.size() > max) {
+    const std::vector<std::vector<Entry>> groups = grouping(items, max);
+    PICTDB_CHECK(groups.size() > 1) << "grouping must make progress";
+    std::vector<Entry> parents;
+    parents.reserve(groups.size());
+    for (const std::vector<Entry>& g : groups) {
+      PICTDB_CHECK(!g.empty() && g.size() <= max);
+      PICTDB_ASSIGN_OR_RETURN(const storage::PageId page,
+                              tree->BulkWriteNode(level, g));
+      Entry parent;
+      for (const Entry& e : g) parent.mbr.ExpandToInclude(e.mbr);
+      parent.payload = Entry::PayloadFromChild(page);
+      parents.push_back(parent);
+    }
+    items = std::move(parents);
+    ++level;
+  }
+
+  PICTDB_ASSIGN_OR_RETURN(const storage::PageId root,
+                          tree->BulkWriteNode(level, items));
+  return tree->BulkSetRoot(root, level + 1u, size);
+}
+
+Status PackNearestNeighbor(RTree* tree, std::vector<Entry> leaf_items,
+                           const PackOptions& options) {
+  return BulkLoad(tree, std::move(leaf_items),
+                  [&options](const std::vector<Entry>& items, size_t max) {
+                    return GroupNearestNeighbor(items, max,
+                                                options.criterion);
+                  });
+}
+
+Status PackSortChunk(RTree* tree, std::vector<Entry> leaf_items,
+                     const PackOptions& options) {
+  return BulkLoad(tree, std::move(leaf_items),
+                  [&options](const std::vector<Entry>& items, size_t max) {
+                    return GroupSortChunk(items, max, options.criterion);
+                  });
+}
+
+std::vector<Entry> MakeLeafEntries(const std::vector<geom::Point>& points,
+                                   const std::vector<storage::Rid>& rids) {
+  PICTDB_CHECK(points.size() == rids.size());
+  std::vector<Entry> out;
+  out.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    Entry e;
+    e.mbr = geom::Rect::FromPoint(points[i]);
+    e.payload = Entry::PayloadFromRid(rids[i]);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Entry> MakeLeafEntries(const std::vector<geom::Rect>& rects,
+                                   const std::vector<storage::Rid>& rids) {
+  PICTDB_CHECK(rects.size() == rids.size());
+  std::vector<Entry> out;
+  out.reserve(rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    Entry e;
+    e.mbr = rects[i];
+    e.payload = Entry::PayloadFromRid(rids[i]);
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace pictdb::pack

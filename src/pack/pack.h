@@ -1,0 +1,72 @@
+#ifndef PICTDB_PACK_PACK_H_
+#define PICTDB_PACK_PACK_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "rtree/rtree.h"
+#include "storage/heap_file.h"
+
+namespace pictdb::pack {
+
+/// The paper's "Order objects of DLIST by some spatial criterion" — the
+/// criterion is pluggable; ascending x is the paper's example and the
+/// default.
+enum class SortCriterion {
+  kAscendingX,
+  kAscendingY,
+  kHilbert,
+};
+
+struct PackOptions {
+  SortCriterion criterion = SortCriterion::kAscendingX;
+};
+
+/// Groups one level's entries into nodes of at most `max_per_node`.
+/// Every group must be non-empty, and more than one group must be
+/// produced when entries.size() > max_per_node.
+using GroupingFn = std::function<std::vector<std::vector<rtree::Entry>>(
+    const std::vector<rtree::Entry>&, size_t max_per_node)>;
+
+/// Shared bottom-up construction: applies `grouping` per level until the
+/// remaining entries fit into a single root node. The target tree must be
+/// freshly created (empty).
+Status BulkLoad(rtree::RTree* tree, std::vector<rtree::Entry> leaf_items,
+                const GroupingFn& grouping);
+
+/// Algorithm PACK from §3.3 of the paper: order the items by the spatial
+/// criterion, then repeatedly take the first remaining item and its B-1
+/// nearest neighbours (by MBR center distance) to form a full node;
+/// recurse on the node MBRs.
+Status PackNearestNeighbor(rtree::RTree* tree,
+                           std::vector<rtree::Entry> leaf_items,
+                           const PackOptions& options = {});
+
+/// Sort-and-chunk packing (what the literature later called the "lowx
+/// packed R-tree"): order by the criterion and cut into consecutive runs
+/// of B. This is also the exact construction used in the proof of
+/// Theorem 3.2.
+Status PackSortChunk(rtree::RTree* tree, std::vector<rtree::Entry> leaf_items,
+                     const PackOptions& options = {});
+
+/// Convenience: wrap points+rids into leaf entries.
+std::vector<rtree::Entry> MakeLeafEntries(
+    const std::vector<geom::Point>& points,
+    const std::vector<storage::Rid>& rids);
+std::vector<rtree::Entry> MakeLeafEntries(
+    const std::vector<geom::Rect>& rects,
+    const std::vector<storage::Rid>& rids);
+
+/// The grouping functions behind the loaders, exposed for tests and for
+/// composing custom loaders.
+std::vector<std::vector<rtree::Entry>> GroupNearestNeighbor(
+    const std::vector<rtree::Entry>& items, size_t max_per_node,
+    SortCriterion criterion);
+std::vector<std::vector<rtree::Entry>> GroupSortChunk(
+    const std::vector<rtree::Entry>& items, size_t max_per_node,
+    SortCriterion criterion);
+
+}  // namespace pictdb::pack
+
+#endif  // PICTDB_PACK_PACK_H_

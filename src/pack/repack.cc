@@ -1,0 +1,80 @@
+#include "pack/repack.h"
+
+#include "common/logging.h"
+
+namespace pictdb::pack {
+
+using rtree::Entry;
+using rtree::LeafHit;
+using rtree::RTree;
+
+Status Repack(RTree* tree, const PackOptions& options) {
+  PICTDB_ASSIGN_OR_RETURN(const std::vector<LeafHit> hits,
+                          tree->CollectAllEntries());
+  std::vector<Entry> items;
+  items.reserve(hits.size());
+  for (const LeafHit& hit : hits) {
+    Entry e;
+    e.mbr = hit.mbr;
+    e.payload = Entry::PayloadFromRid(hit.rid);
+    items.push_back(e);
+  }
+  PICTDB_RETURN_IF_ERROR(tree->Clear());
+  return PackNearestNeighbor(tree, std::move(items), options);
+}
+
+StatusOr<size_t> RepackRegion(RTree* tree, const geom::Rect& region,
+                              const PackOptions& options) {
+  PICTDB_ASSIGN_OR_RETURN(const std::vector<LeafHit> hits,
+                          tree->SearchIntersects(region));
+  if (hits.size() < 2) return size_t{0};  // nothing to regroup
+
+  // Detach the region's entries.
+  for (const LeafHit& hit : hits) {
+    PICTDB_RETURN_IF_ERROR(tree->Delete(hit.mbr, hit.rid));
+  }
+
+  std::vector<Entry> items;
+  items.reserve(hits.size());
+  for (const LeafHit& hit : hits) {
+    Entry e;
+    e.mbr = hit.mbr;
+    e.payload = Entry::PayloadFromRid(hit.rid);
+    items.push_back(e);
+  }
+
+  const size_t max = tree->options().max_entries;
+  if (tree->Height() < 2 || items.size() < max) {
+    // Too shallow (or too few entries to fill a leaf): plain re-insert.
+    for (const Entry& e : items) {
+      PICTDB_RETURN_IF_ERROR(tree->Insert(e.mbr, e.AsRid()));
+    }
+    return items.size();
+  }
+
+  // Regroup into full leaves with the PACK criterion and graft each leaf
+  // back as a subtree. A trailing underfull group is re-inserted entry by
+  // entry so no leaf violates the minimum fill under later deletes.
+  const auto groups = GroupNearestNeighbor(items, max, options.criterion);
+  const size_t min_fill = tree->options().min_entries;
+  size_t repacked = 0;
+  for (const auto& group : groups) {
+    if (group.size() < std::max<size_t>(min_fill, 1)) {
+      for (const Entry& e : group) {
+        PICTDB_RETURN_IF_ERROR(tree->Insert(e.mbr, e.AsRid()));
+        ++repacked;
+      }
+      continue;
+    }
+    geom::Rect mbr;
+    for (const Entry& e : group) mbr.ExpandToInclude(e.mbr);
+    PICTDB_ASSIGN_OR_RETURN(const storage::PageId page,
+                            tree->BulkWriteNode(0, group));
+    PICTDB_RETURN_IF_ERROR(
+        tree->InsertSubtree(page, mbr, /*subtree_level=*/0, group.size()));
+    repacked += group.size();
+  }
+  return repacked;
+}
+
+}  // namespace pictdb::pack

@@ -1,0 +1,40 @@
+#ifndef PICTDB_PACK_ROTATION_H_
+#define PICTDB_PACK_ROTATION_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/transform.h"
+#include "rtree/rtree.h"
+#include "storage/heap_file.h"
+
+namespace pictdb::pack {
+
+/// Constructive content of Theorem 3.2: rotate the point set until all
+/// x-coordinates are distinct (Lemma 3.1), sort by rotated x, and chunk
+/// into runs of `group_size`. The returned leaf MBRs — in the rotated
+/// frame — are pairwise disjoint.
+struct RotationPacking {
+  double angle = 0.0;                    // applied CCW rotation
+  std::vector<geom::Point> rotated;      // points in the rotated frame
+  std::vector<geom::Rect> leaf_mbrs;     // disjoint MBRs (rotated frame)
+};
+
+StatusOr<RotationPacking> ComputeRotationPacking(
+    const std::vector<geom::Point>& points, size_t group_size);
+
+/// Build an R-tree over the *rotated* coordinates using sort-chunk
+/// packing, achieving zero leaf overlap. Queries against this tree must
+/// first be transformed by `transform_out` (the rotation used); this is
+/// the paper's objection (1) to rotation in practice, reproduced here for
+/// the Theorem 3.2 experiments.
+Status PackWithRotation(rtree::RTree* tree,
+                        const std::vector<geom::Point>& points,
+                        const std::vector<storage::Rid>& rids,
+                        geom::Transform* transform_out);
+
+}  // namespace pictdb::pack
+
+#endif  // PICTDB_PACK_ROTATION_H_

@@ -1,0 +1,130 @@
+#ifndef PICTDB_PSQL_AST_H_
+#define PICTDB_PSQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "rel/value.h"
+
+namespace pictdb::psql {
+
+struct SelectStmt;
+
+/// The paper's spatial comparison operators (§2.2).
+enum class SpatialOp {
+  kCoveredBy,    // loc1 covered-by loc2: loc1 lies wholly within loc2
+  kCovering,     // loc1 covering loc2
+  kOverlapping,  // share at least one point
+  kDisjoined,    // share no point
+};
+
+std::string ToString(SpatialOp op);
+
+/// An <area-specification>: a constant window literal `{x±dx, y±dy}`, a
+/// pictorial column reference (`loc`, `cities.loc`), or a nested mapping
+/// whose result locations bind the comparison.
+struct LocExpr {
+  enum class Kind { kWindow, kColumn, kSubquery };
+  Kind kind = Kind::kWindow;
+
+  geom::Rect window;                    // kWindow
+  std::string rel;                      // kColumn (optional qualifier)
+  std::string column;                   // kColumn
+  std::unique_ptr<SelectStmt> subquery; // kSubquery
+};
+
+/// `at <loc> <spatial-op> <loc>`.
+struct AtClause {
+  LocExpr lhs;
+  SpatialOp op = SpatialOp::kCoveredBy;
+  LocExpr rhs;
+};
+
+/// Scalar expression for targets and the where-clause.
+struct Expr {
+  enum class Kind { kLiteral, kColumnRef, kCompare, kAnd, kOr, kNot, kCall };
+  enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+  Kind kind = Kind::kLiteral;
+  rel::Value literal;                  // kLiteral
+  std::string rel;                     // kColumnRef qualifier (may be "")
+  std::string column;                  // kColumnRef
+  CmpOp cmp = CmpOp::kEq;              // kCompare
+  std::string func;                    // kCall ("area", "north", ...)
+  std::vector<std::unique_ptr<Expr>> args;  // children / call arguments
+
+  /// Reconstructed source-ish text for display names and errors.
+  std::string ToString() const;
+};
+
+/// One select target: an expression plus its display name.
+struct TargetItem {
+  std::unique_ptr<Expr> expr;
+  std::string display;
+};
+
+/// One `order by` key.
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+};
+
+/// The PSQL extended mapping:
+///   select <targets> from <relations> on <pictures>
+///   at <area-spec> where <qualification>
+///   [order by <expr> [asc|desc], ...] [limit N]
+/// order/limit come from the SQL base PSQL extends.
+struct SelectStmt {
+  bool star = false;                 // `select *`
+  std::vector<TargetItem> targets;   // empty when star
+  std::vector<std::string> from;
+  std::vector<std::string> on;
+  std::optional<AtClause> at;
+  std::unique_ptr<Expr> where;
+  std::vector<OrderItem> order_by;
+  std::optional<uint64_t> limit;
+};
+
+/// §2.3 database updates: `insert into <relation> values (v, ...)`.
+/// String literals targeting a geometry column are parsed as WKT; a
+/// window literal `{x±dx, y±dy}` becomes the corresponding box geometry.
+struct InsertStmt {
+  std::string relation;
+  std::vector<std::unique_ptr<Expr>> values;  // one literal per column
+};
+
+/// `update <relation> set col = literal, ... [on ...] [at ...] [where ...]`
+/// — §2.3's "modification of a tuple", with every index maintained.
+struct UpdateStmt {
+  std::string relation;
+  std::vector<std::pair<std::string, std::unique_ptr<Expr>>> assignments;
+  std::vector<std::string> on;
+  std::optional<AtClause> at;
+  std::unique_ptr<Expr> where;
+};
+
+/// `delete from <relation> [on <pictures>] [at ...] [where ...]` —
+/// qualification works exactly like select's; qualifying tuples are
+/// removed and every index (B+-tree and R-tree) is maintained.
+struct DeleteStmt {
+  std::string relation;
+  std::vector<std::string> on;
+  std::optional<AtClause> at;
+  std::unique_ptr<Expr> where;
+};
+
+/// Any PSQL statement.
+struct Statement {
+  // Exactly one is set.
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+};
+
+}  // namespace pictdb::psql
+
+#endif  // PICTDB_PSQL_AST_H_

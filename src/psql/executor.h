@@ -1,0 +1,75 @@
+#ifndef PICTDB_PSQL_EXECUTOR_H_
+#define PICTDB_PSQL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "psql/ast.h"
+#include "rel/catalog.h"
+
+namespace pictdb::psql {
+
+/// How a query was answered; lets tests and benches verify that direct
+/// spatial search actually used the R-tree.
+struct ExecStats {
+  bool used_spatial_index = false;
+  bool used_btree_index = false;
+  bool used_spatial_join = false;
+  uint64_t rtree_nodes_visited = 0;
+  uint64_t tuples_fetched = 0;
+  uint64_t rows_emitted = 0;
+};
+
+/// Query result: alphanumeric rows for the standard terminal plus the
+/// qualifying spatial objects for the graphics device (the paper routes
+/// output to both).
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<rel::Value>> rows;
+  /// Geometry values appearing in the result rows, in row order — the
+  /// pictorial output stream.
+  std::vector<geom::Geometry> pictorial;
+  /// Provenance: for non-aggregate results, the rid(s) of the tuple(s)
+  /// each row came from (one per from-relation). Backs DML and callers
+  /// that need to fetch the full tuples.
+  std::vector<std::vector<storage::Rid>> row_rids;
+  ExecStats stats;
+
+  /// Fixed-width table rendering.
+  std::string ToString() const;
+};
+
+/// Evaluates PSQL mappings against a Catalog. Direct spatial search uses
+/// the packed R-trees; indirect search uses B+-tree indexes when the
+/// where-clause allows; juxtaposition runs the simultaneous R-tree join.
+class Executor {
+ public:
+  explicit Executor(rel::Catalog* catalog) : catalog_(catalog) {}
+
+  /// Parse and run a select mapping.
+  StatusOr<ResultSet> Query(std::string_view text);
+
+  /// Parse and run any statement (select / insert / delete). DML returns
+  /// a single-row result with a rows-affected count.
+  StatusOr<ResultSet> Run(std::string_view text);
+
+  /// Run a parsed statement.
+  StatusOr<ResultSet> Execute(const SelectStmt& stmt);
+  StatusOr<ResultSet> ExecuteInsert(const InsertStmt& stmt);
+  StatusOr<ResultSet> ExecuteUpdate(const UpdateStmt& stmt);
+  StatusOr<ResultSet> ExecuteDelete(const DeleteStmt& stmt);
+
+  /// Describe the access plan without executing: which index serves the
+  /// at-clause, whether the where-clause can use a B+-tree, how a
+  /// juxtaposition or nested mapping will be evaluated.
+  StatusOr<std::string> Explain(const SelectStmt& stmt) const;
+  StatusOr<std::string> ExplainQuery(std::string_view text) const;
+
+ private:
+  rel::Catalog* catalog_;
+};
+
+}  // namespace pictdb::psql
+
+#endif  // PICTDB_PSQL_EXECUTOR_H_

@@ -1,0 +1,191 @@
+#include "psql/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace pictdb::psql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto push = [&tokens](TokenKind kind, size_t pos, std::string text_value = "") {
+    Token t;
+    t.kind = kind;
+    t.position = pos;
+    t.text = std::move(text_value);
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+
+    if (IsIdentStart(c)) {
+      std::string ident;
+      while (i < n) {
+        if (IsIdentChar(text[i])) {
+          ident.push_back(text[i]);
+          ++i;
+        } else if (text[i] == '-' && i + 1 < n && IsIdentChar(text[i + 1])) {
+          // Hyphenated names: covered-by, time-zones, us-map.
+          ident.push_back('-');
+          ++i;
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kIdentifier, start, std::move(ident));
+      continue;
+    }
+
+    if (IsDigit(c) ||
+        (c == '-' && i + 1 < n && (IsDigit(text[i + 1]) || text[i + 1] == '.')) ||
+        (c == '.' && i + 1 < n && IsDigit(text[i + 1]))) {
+      double value = 0.0;
+      const char* begin = text.data() + i;
+      const char* end = text.data() + n;
+      auto [ptr, ec] = std::from_chars(begin, end, value);
+      if (ec != std::errc()) {
+        return Status::InvalidArgument("bad number at offset " +
+                                       std::to_string(i));
+      }
+      i += static_cast<size_t>(ptr - begin);
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.number = value;
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    switch (c) {
+      case '\'': {
+        ++i;
+        std::string content;
+        while (i < n && text[i] != '\'') {
+          content.push_back(text[i]);
+          ++i;
+        }
+        if (i == n) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        ++i;  // closing quote
+        push(TokenKind::kString, start, std::move(content));
+        continue;
+      }
+      case ',':
+        push(TokenKind::kComma, start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenKind::kDot, start);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, start);
+        ++i;
+        continue;
+      case '{':
+        push(TokenKind::kLBrace, start);
+        ++i;
+        continue;
+      case '}':
+        push(TokenKind::kRBrace, start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, start);
+        ++i;
+        continue;
+      case '+':
+        if (i + 1 < n && text[i + 1] == '-') {
+          push(TokenKind::kPlusMinus, start);
+          i += 2;
+          continue;
+        }
+        return Status::InvalidArgument("unexpected '+' at offset " +
+                                       std::to_string(i));
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '>') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kGe, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++i;
+        }
+        continue;
+      case '=':
+        push(TokenKind::kEq, start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+          continue;
+        }
+        return Status::InvalidArgument("unexpected '!' at offset " +
+                                       std::to_string(i));
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(i));
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+bool IdentEquals(const Token& token, std::string_view lower_name) {
+  if (token.kind != TokenKind::kIdentifier) return false;
+  if (token.text.size() != lower_name.size()) return false;
+  for (size_t i = 0; i < lower_name.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(token.text[i])) !=
+        lower_name[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pictdb::psql

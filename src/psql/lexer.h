@@ -1,0 +1,52 @@
+#ifndef PICTDB_PSQL_LEXER_H_
+#define PICTDB_PSQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace pictdb::psql {
+
+enum class TokenKind {
+  kIdentifier,  // select, cities, covered-by, hwy-name (keywords included)
+  kNumber,      // 42, -3.5, 450000
+  kString,      // 'New York'
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kPlusMinus,   // "+-" (ASCII for the paper's ±)
+  kStar,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,          // <> or !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier/string content
+  double number = 0.0;   // kNumber
+  size_t position = 0;   // byte offset, for error messages
+};
+
+/// Tokenize PSQL text. Identifiers may contain '-' when the next
+/// character is alphanumeric (the paper's names: time-zones, covered-by,
+/// us-map); a '-' followed by a digit at expression position instead
+/// negates a number literal.
+StatusOr<std::vector<Token>> Tokenize(std::string_view text);
+
+/// Case-insensitive identifier comparison (keywords in PSQL are not
+/// reserved; `select` is matched positionally).
+bool IdentEquals(const Token& token, std::string_view lower_name);
+
+}  // namespace pictdb::psql
+
+#endif  // PICTDB_PSQL_LEXER_H_

@@ -1,0 +1,32 @@
+#ifndef PICTDB_PSQL_PARSER_H_
+#define PICTDB_PSQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status_or.h"
+#include "psql/ast.h"
+
+namespace pictdb::psql {
+
+/// Parse one PSQL mapping:
+///
+///   select city,state,population,loc
+///   from   cities
+///   on     us-map
+///   at     loc covered-by {4 +- 4, 11 +- 9}
+///   where  population > 450000
+///
+/// Nested mappings are allowed as the right side of the at-clause, with
+/// or without parentheses, exactly as written in the paper.
+StatusOr<std::unique_ptr<SelectStmt>> Parse(std::string_view text);
+
+/// Parse any PSQL statement: a select mapping, or the §2.3 update forms
+///   insert into cities values ('Springfield', 'IL', 116250, 'POINT(-89.6 39.8)')
+///   delete from cities on us-map at loc covered-by {0 +- 1, 0 +- 1}
+///   delete from cities where population < 1000
+StatusOr<Statement> ParseStatement(std::string_view text);
+
+}  // namespace pictdb::psql
+
+#endif  // PICTDB_PSQL_PARSER_H_

@@ -1,0 +1,30 @@
+#ifndef PICTDB_REL_CATALOG_IO_H_
+#define PICTDB_REL_CATALOG_IO_H_
+
+#include "common/status_or.h"
+#include "rel/catalog.h"
+#include "storage/page.h"
+
+namespace pictdb::rel {
+
+/// Catalog persistence: serializes every relation's schema + heap/index
+/// page references, every picture with its associations, and all named
+/// locations into a page-chained blob. A pictorial database file plus
+/// the returned PageId is everything needed to reopen it.
+///
+/// Usage:
+///   PageId root = *SaveCatalog(catalog, &pool);
+///   pool.FlushAll();
+///   ... process restart ...
+///   Catalog catalog(&pool);
+///   PICTDB_CHECK_OK(LoadCatalog(&pool, root, &catalog));
+StatusOr<storage::PageId> SaveCatalog(const Catalog& catalog,
+                                      storage::BufferPool* pool);
+
+/// Rebuild `out` (which must be empty) from a SaveCatalog image.
+Status LoadCatalog(storage::BufferPool* pool, storage::PageId root,
+                   Catalog* out);
+
+}  // namespace pictdb::rel
+
+#endif  // PICTDB_REL_CATALOG_IO_H_

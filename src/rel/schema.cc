@@ -1,0 +1,41 @@
+#include "rel/schema.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pictdb::rel {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  // Duplicate column names would make name resolution ambiguous.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      PICTDB_CHECK(columns_[i].name != columns_[j].name)
+          << "duplicate column " << columns_[i].name;
+    }
+  }
+}
+
+StatusOr<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+bool Schema::HasColumn(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+std::string Schema::ToString(const std::string& relation_name) const {
+  std::ostringstream os;
+  os << relation_name << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) os << ", ";
+    os << columns_[i].name << " " << TypeName(columns_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pictdb::rel

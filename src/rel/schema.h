@@ -1,0 +1,43 @@
+#ifndef PICTDB_REL_SCHEMA_H_
+#define PICTDB_REL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "rel/value.h"
+
+namespace pictdb::rel {
+
+/// One column of a relation.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Ordered column list. The paper's pictorial relations look like
+///   cities(city:string, state:string, population:int, loc:geometry).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& at(size_t i) const { return columns_[i]; }
+
+  /// Index of the named column; NotFound otherwise.
+  StatusOr<size_t> IndexOf(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const;
+
+  /// "cities(city string, population int, loc geometry)"-style display.
+  std::string ToString(const std::string& relation_name) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace pictdb::rel
+
+#endif  // PICTDB_REL_SCHEMA_H_

@@ -1,0 +1,69 @@
+#include "rel/tuple.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace pictdb::rel {
+
+Status Tuple::ConformsTo(const Schema& schema) const {
+  if (values_.size() != schema.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(values_.size()) +
+        " != schema arity " + std::to_string(schema.size()));
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i].is_null()) continue;
+    if (values_[i].type() != schema.at(i).type) {
+      return Status::InvalidArgument(
+          "column " + schema.at(i).name + " expects " +
+          TypeName(schema.at(i).type) + ", got " +
+          TypeName(values_[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Tuple::Serialize() const {
+  std::string out;
+  uint32_t count = static_cast<uint32_t>(values_.size());
+  char buf[4];
+  std::memcpy(buf, &count, 4);
+  out.append(buf, 4);
+  for (const Value& v : values_) v.SerializeTo(&out);
+  return out;
+}
+
+StatusOr<Tuple> Tuple::Deserialize(const std::string& data) {
+  if (data.size() < 4) return Status::Corruption("truncated tuple header");
+  uint32_t count;
+  std::memcpy(&count, data.data(), 4);
+  // Every value takes at least a type byte, so a count beyond the
+  // remaining payload is corruption — reject before reserving memory.
+  if (count > data.size() - 4) {
+    return Status::Corruption("tuple value count exceeds payload");
+  }
+  size_t offset = 4;
+  std::vector<Value> values;
+  values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PICTDB_ASSIGN_OR_RETURN(Value v, Value::DeserializeFrom(data, &offset));
+    values.push_back(std::move(v));
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("trailing bytes after tuple");
+  }
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) os << ", ";
+    os << values_[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pictdb::rel

@@ -1,0 +1,41 @@
+#ifndef PICTDB_REL_TUPLE_H_
+#define PICTDB_REL_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "rel/schema.h"
+#include "rel/value.h"
+
+namespace pictdb::rel {
+
+/// One row: values positionally matching a Schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  const std::vector<Value>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+
+  /// Check positional arity and value/column type agreement (nulls match
+  /// any column type).
+  Status ConformsTo(const Schema& schema) const;
+
+  /// Byte encoding for heap-file storage.
+  std::string Serialize() const;
+  static StatusOr<Tuple> Deserialize(const std::string& data);
+
+  /// "(42, Chicago, POINT(1 2))".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace pictdb::rel
+
+#endif  // PICTDB_REL_TUPLE_H_

@@ -1,0 +1,190 @@
+#include "rel/value.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+#include "geom/wkt.h"
+
+namespace pictdb::rel {
+
+StatusOr<double> Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(as_int());
+    case ValueType::kDouble:
+      return as_double();
+    default:
+      return Status::InvalidArgument("value is not numeric: " + ToString());
+  }
+}
+
+StatusOr<int> Value::Compare(const Value& other) const {
+  // Nulls sort first and equal each other (SQL-style total order for
+  // predicate evaluation; PSQL has no explicit NULL semantics).
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  const bool self_num =
+      type() == ValueType::kInt || type() == ValueType::kDouble;
+  const bool other_num =
+      other.type() == ValueType::kInt || other.type() == ValueType::kDouble;
+  if (self_num && other_num) {
+    PICTDB_ASSIGN_OR_RETURN(const double a, AsNumeric());
+    PICTDB_ASSIGN_OR_RETURN(const double b, other.AsNumeric());
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type() == ValueType::kString && other.type() == ValueType::kString) {
+    return as_string().compare(other.as_string()) < 0
+               ? -1
+               : (as_string() == other.as_string() ? 0 : 1);
+  }
+  return Status::InvalidArgument("cannot compare " + TypeName(type()) +
+                                 " with " + TypeName(other.type()));
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << as_double();
+      return os.str();
+    }
+    case ValueType::kString:
+      return as_string();
+    case ValueType::kGeometry:
+      return geom::ToWkt(as_geometry());
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendUint32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+StatusOr<uint32_t> ReadUint32(const std::string& data, size_t* offset) {
+  if (*offset + 4 > data.size()) {
+    return Status::Corruption("truncated value payload");
+  }
+  uint32_t v;
+  std::memcpy(&v, data.data() + *offset, 4);
+  *offset += 4;
+  return v;
+}
+
+}  // namespace
+
+void Value::SerializeTo(std::string* out) const {
+  out->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt: {
+      char buf[8];
+      const int64_t v = as_int();
+      std::memcpy(buf, &v, 8);
+      out->append(buf, 8);
+      break;
+    }
+    case ValueType::kDouble: {
+      char buf[8];
+      const double v = as_double();
+      std::memcpy(buf, &v, 8);
+      out->append(buf, 8);
+      break;
+    }
+    case ValueType::kString: {
+      AppendUint32(static_cast<uint32_t>(as_string().size()), out);
+      out->append(as_string());
+      break;
+    }
+    case ValueType::kGeometry: {
+      // WKT is compact enough at this library's scale and keeps pages
+      // inspectable in a debugger.
+      const std::string wkt = geom::ToWkt(as_geometry());
+      AppendUint32(static_cast<uint32_t>(wkt.size()), out);
+      out->append(wkt);
+      break;
+    }
+  }
+}
+
+StatusOr<Value> Value::DeserializeFrom(const std::string& data,
+                                       size_t* offset) {
+  if (*offset >= data.size()) {
+    return Status::Corruption("truncated value header");
+  }
+  const ValueType type = static_cast<ValueType>(data[*offset]);
+  ++*offset;
+  switch (type) {
+    case ValueType::kNull:
+      return Value();
+    case ValueType::kInt: {
+      if (*offset + 8 > data.size()) {
+        return Status::Corruption("truncated int value");
+      }
+      int64_t v;
+      std::memcpy(&v, data.data() + *offset, 8);
+      *offset += 8;
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      if (*offset + 8 > data.size()) {
+        return Status::Corruption("truncated double value");
+      }
+      double v;
+      std::memcpy(&v, data.data() + *offset, 8);
+      *offset += 8;
+      return Value(v);
+    }
+    case ValueType::kString: {
+      PICTDB_ASSIGN_OR_RETURN(const uint32_t len, ReadUint32(data, offset));
+      if (*offset + len > data.size()) {
+        return Status::Corruption("truncated string value");
+      }
+      Value v{std::string(data.data() + *offset, len)};
+      *offset += len;
+      return v;
+    }
+    case ValueType::kGeometry: {
+      PICTDB_ASSIGN_OR_RETURN(const uint32_t len, ReadUint32(data, offset));
+      if (*offset + len > data.size()) {
+        return Status::Corruption("truncated geometry value");
+      }
+      const std::string wkt(data.data() + *offset, len);
+      *offset += len;
+      PICTDB_ASSIGN_OR_RETURN(geom::Geometry g, geom::ParseWkt(wkt));
+      return Value(std::move(g));
+    }
+  }
+  return Status::Corruption("unknown value type tag");
+}
+
+std::string TypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kGeometry:
+      return "geometry";
+  }
+  return "unknown";
+}
+
+}  // namespace pictdb::rel

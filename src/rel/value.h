@@ -1,0 +1,78 @@
+#ifndef PICTDB_REL_VALUE_H_
+#define PICTDB_REL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status_or.h"
+#include "geom/geometry.h"
+
+namespace pictdb::rel {
+
+/// Column types. Alphanumeric domains are the usual scalar types; a
+/// pictorial domain (the paper's "loc" columns) carries a Geometry.
+///
+/// The paper stores `loc` as a pointer into the picture's R-tree and
+/// keeps the analog form on the picture side; this library inlines the
+/// geometry in the tuple *and* indexes its MBR in the picture's R-tree,
+/// which preserves both directions of the association (tuple -> picture
+/// via the geometry, picture -> tuple via the R-tree leaf Rid).
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kGeometry = 4,
+};
+
+/// A single column value. Cheap to copy for scalars; strings and
+/// geometries allocate.
+class Value {
+ public:
+  Value() = default;  // null
+  explicit Value(int64_t v) : value_(v) {}
+  explicit Value(double v) : value_(v) {}
+  explicit Value(std::string v) : value_(std::move(v)) {}
+  explicit Value(geom::Geometry g) : value_(std::move(g)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const { return static_cast<ValueType>(value_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t as_int() const { return std::get<int64_t>(value_); }
+  double as_double() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const geom::Geometry& as_geometry() const {
+    return std::get<geom::Geometry>(value_);
+  }
+
+  /// Numeric view: ints widen to double. Error for other types.
+  StatusOr<double> AsNumeric() const;
+
+  /// Three-way comparison for predicates; only null/int/double/string
+  /// compare (numerics compare cross-type). InvalidArgument otherwise.
+  StatusOr<int> Compare(const Value& other) const;
+
+  /// Display form ("NULL", "42", "3.14", "Chicago", "POINT(1 2)").
+  std::string ToString() const;
+
+  /// Append the serialized form to `out` (type byte + payload).
+  void SerializeTo(std::string* out) const;
+
+  /// Parse one value from `data` at `*offset`, advancing it.
+  static StatusOr<Value> DeserializeFrom(const std::string& data,
+                                         size_t* offset);
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, geom::Geometry>
+      value_;
+};
+
+/// Type name for error messages ("int", "string", ...).
+std::string TypeName(ValueType t);
+
+}  // namespace pictdb::rel
+
+#endif  // PICTDB_REL_VALUE_H_

@@ -1,0 +1,59 @@
+#include "rtree/cursor.h"
+
+namespace pictdb::rtree {
+
+SearchCursor::SearchCursor(const RTree* tree,
+                           std::function<bool(const geom::Rect&)> prune,
+                           std::function<bool(const geom::Rect&)> accept)
+    : tree_(tree), prune_(std::move(prune)), accept_(std::move(accept)) {
+  if (tree_->Size() > 0) pending_.push_back(tree_->root());
+}
+
+SearchCursor SearchCursor::Intersects(const RTree* tree,
+                                      const geom::Rect& window) {
+  return SearchCursor(
+      tree, [window](const geom::Rect& r) { return r.Intersects(window); },
+      [window](const geom::Rect& r) { return r.Intersects(window); });
+}
+
+SearchCursor SearchCursor::ContainedIn(const RTree* tree,
+                                       const geom::Rect& window) {
+  return SearchCursor(
+      tree, [window](const geom::Rect& r) { return r.Intersects(window); },
+      [window](const geom::Rect& r) { return window.Contains(r); });
+}
+
+StatusOr<std::optional<LeafHit>> SearchCursor::Next() {
+  for (;;) {
+    // Drain the active leaf first.
+    if (leaf_active_) {
+      while (leaf_pos_ < current_leaf_.entries.size()) {
+        const Entry& e = current_leaf_.entries[leaf_pos_++];
+        ++stats_.entries_tested;
+        if (accept_(e.mbr)) {
+          ++stats_.results;
+          return std::optional<LeafHit>(LeafHit{e.mbr, e.AsRid()});
+        }
+      }
+      leaf_active_ = false;
+    }
+    if (pending_.empty()) return std::optional<LeafHit>();
+
+    const storage::PageId id = pending_.back();
+    pending_.pop_back();
+    PICTDB_ASSIGN_OR_RETURN(Node node, tree_->ReadNodePage(id));
+    ++stats_.nodes_visited;
+    if (node.is_leaf()) {
+      current_leaf_ = std::move(node);
+      leaf_pos_ = 0;
+      leaf_active_ = true;
+      continue;
+    }
+    for (const Entry& e : node.entries) {
+      ++stats_.entries_tested;
+      if (prune_(e.mbr)) pending_.push_back(e.AsChild());
+    }
+  }
+}
+
+}  // namespace pictdb::rtree

@@ -1,0 +1,49 @@
+#ifndef PICTDB_RTREE_CURSOR_H_
+#define PICTDB_RTREE_CURSOR_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/status_or.h"
+#include "rtree/rtree.h"
+
+namespace pictdb::rtree {
+
+/// Streaming search over an R-tree: yields qualifying leaf entries one at
+/// a time without materializing the full result set, so callers can stop
+/// early (LIMIT-style consumption) or process results larger than memory.
+/// The tree must not be modified while a cursor is open.
+class SearchCursor {
+ public:
+  /// General form, mirroring RTree::SearchCustom.
+  SearchCursor(const RTree* tree,
+               std::function<bool(const geom::Rect&)> prune,
+               std::function<bool(const geom::Rect&)> accept);
+
+  /// Window-intersection cursor.
+  static SearchCursor Intersects(const RTree* tree, const geom::Rect& window);
+
+  /// Window-containment cursor (the paper's SEARCH semantics).
+  static SearchCursor ContainedIn(const RTree* tree, const geom::Rect& window);
+
+  /// Next qualifying entry, or nullopt at the end of the result stream.
+  StatusOr<std::optional<LeafHit>> Next();
+
+  /// Nodes visited / entries tested so far.
+  const SearchStats& stats() const { return stats_; }
+
+ private:
+  const RTree* tree_;
+  std::function<bool(const geom::Rect&)> prune_;
+  std::function<bool(const geom::Rect&)> accept_;
+  std::vector<storage::PageId> pending_;  // nodes not yet expanded
+  Node current_leaf_;
+  size_t leaf_pos_ = 0;
+  bool leaf_active_ = false;
+  SearchStats stats_;
+};
+
+}  // namespace pictdb::rtree
+
+#endif  // PICTDB_RTREE_CURSOR_H_

@@ -1,0 +1,83 @@
+#include "rtree/join.h"
+
+#include "common/logging.h"
+
+namespace pictdb::rtree {
+
+namespace {
+
+Status JoinRec(const RTree& left, const RTree& right, storage::PageId lid,
+               storage::PageId rid, const JoinCallback& callback,
+               JoinStats* stats) {
+  PICTDB_ASSIGN_OR_RETURN(const Node lnode, left.ReadNodePage(lid));
+  PICTDB_ASSIGN_OR_RETURN(const Node rnode, right.ReadNodePage(rid));
+  if (stats != nullptr) stats->nodes_visited += 2;
+
+  // Unequal levels: descend the taller side against the whole other node.
+  if (lnode.level > rnode.level) {
+    const geom::Rect rmbr = rnode.Mbr();
+    for (const Entry& le : lnode.entries) {
+      if (stats != nullptr) ++stats->pairs_tested;
+      if (le.mbr.Intersects(rmbr)) {
+        PICTDB_RETURN_IF_ERROR(
+            JoinRec(left, right, le.AsChild(), rid, callback, stats));
+      }
+    }
+    return Status::OK();
+  }
+  if (rnode.level > lnode.level) {
+    const geom::Rect lmbr = lnode.Mbr();
+    for (const Entry& re : rnode.entries) {
+      if (stats != nullptr) ++stats->pairs_tested;
+      if (re.mbr.Intersects(lmbr)) {
+        PICTDB_RETURN_IF_ERROR(
+            JoinRec(left, right, lid, re.AsChild(), callback, stats));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Equal levels: pairwise test.
+  for (const Entry& le : lnode.entries) {
+    for (const Entry& re : rnode.entries) {
+      if (stats != nullptr) ++stats->pairs_tested;
+      if (!le.mbr.Intersects(re.mbr)) continue;
+      if (lnode.is_leaf()) {
+        if (stats != nullptr) ++stats->results;
+        callback(LeafHit{le.mbr, le.AsRid()}, LeafHit{re.mbr, re.AsRid()});
+      } else {
+        PICTDB_RETURN_IF_ERROR(JoinRec(left, right, le.AsChild(),
+                                       re.AsChild(), callback, stats));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SpatialJoin(const RTree& left, const RTree& right,
+                   const JoinCallback& callback, JoinStats* stats) {
+  if (left.Size() == 0 || right.Size() == 0) return Status::OK();
+  return JoinRec(left, right, left.root(), right.root(), callback, stats);
+}
+
+Status NestedLoopJoin(const RTree& left, const RTree& right,
+                      const JoinCallback& callback, JoinStats* stats) {
+  PICTDB_ASSIGN_OR_RETURN(const std::vector<LeafHit> lhits,
+                          left.CollectAllEntries());
+  PICTDB_ASSIGN_OR_RETURN(const std::vector<LeafHit> rhits,
+                          right.CollectAllEntries());
+  for (const LeafHit& lh : lhits) {
+    for (const LeafHit& rh : rhits) {
+      if (stats != nullptr) ++stats->pairs_tested;
+      if (lh.mbr.Intersects(rh.mbr)) {
+        if (stats != nullptr) ++stats->results;
+        callback(lh, rh);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pictdb::rtree

@@ -1,0 +1,37 @@
+#ifndef PICTDB_RTREE_JOIN_H_
+#define PICTDB_RTREE_JOIN_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "rtree/rtree.h"
+
+namespace pictdb::rtree {
+
+/// Accounting for join benchmarks.
+struct JoinStats {
+  uint64_t nodes_visited = 0;
+  uint64_t pairs_tested = 0;
+  uint64_t results = 0;
+};
+
+/// Called for every pair of leaf entries whose MBRs intersect.
+using JoinCallback =
+    std::function<void(const LeafHit& left, const LeafHit& right)>;
+
+/// The paper's juxtaposition engine: "simultaneous search on the two
+/// spatial organizations which correspond to the same area". Performs a
+/// synchronized depth-first traversal of both R-trees, descending only
+/// into pairs of subtrees whose MBRs intersect. Trees of different
+/// heights are handled by descending the taller side first.
+Status SpatialJoin(const RTree& left, const RTree& right,
+                   const JoinCallback& callback, JoinStats* stats = nullptr);
+
+/// Baseline for the juxtaposition benchmark: test all |L|x|R| leaf pairs.
+Status NestedLoopJoin(const RTree& left, const RTree& right,
+                      const JoinCallback& callback,
+                      JoinStats* stats = nullptr);
+
+}  // namespace pictdb::rtree
+
+#endif  // PICTDB_RTREE_JOIN_H_

@@ -1,0 +1,121 @@
+#include "rtree/knn.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "geom/distance.h"
+
+namespace pictdb::rtree {
+
+namespace {
+
+/// Priority-queue element: an unexpanded node, an MBR-level candidate
+/// entry, or a refined (exact-distance) entry; keyed by distance.
+struct QueueItem {
+  double distance;
+  enum class Kind { kNode, kEntry, kRefined } kind = Kind::kNode;
+  storage::PageId node;    // kNode
+  LeafHit hit;             // kEntry / kRefined
+
+  friend bool operator>(const QueueItem& a, const QueueItem& b) {
+    return a.distance > b.distance;
+  }
+};
+
+}  // namespace
+
+StatusOr<std::vector<Neighbor>> SearchNearest(const RTree& tree,
+                                              const geom::Point& query,
+                                              size_t k, SearchStats* stats) {
+  std::vector<Neighbor> result;
+  if (k == 0 || tree.Size() == 0) return result;
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      frontier;
+  frontier.push(QueueItem{0.0, QueueItem::Kind::kNode, tree.root(), {}});
+
+  while (!frontier.empty()) {
+    const QueueItem item = frontier.top();
+    frontier.pop();
+
+    if (item.kind == QueueItem::Kind::kEntry) {
+      // Entries pop in exact distance order relative to everything still
+      // queued, so this is the next nearest neighbour.
+      result.push_back(Neighbor{item.hit, item.distance});
+      if (result.size() == k) break;
+      continue;
+    }
+
+    PICTDB_ASSIGN_OR_RETURN(const Node node, tree.ReadNodePage(item.node));
+    if (stats != nullptr) ++stats->nodes_visited;
+    for (const Entry& e : node.entries) {
+      if (stats != nullptr) ++stats->entries_tested;
+      const double d = geom::MinDistance(e.mbr, query);
+      if (node.is_leaf()) {
+        frontier.push(QueueItem{d, QueueItem::Kind::kEntry,
+                                storage::kInvalidPageId,
+                                LeafHit{e.mbr, e.AsRid()}});
+      } else {
+        frontier.push(QueueItem{d, QueueItem::Kind::kNode, e.AsChild(), {}});
+      }
+    }
+  }
+  if (stats != nullptr) stats->results = result.size();
+  return result;
+}
+
+StatusOr<std::vector<Neighbor>> SearchNearestExact(
+    const RTree& tree, const geom::Point& query, size_t k,
+    const GeometryResolver& resolver, SearchStats* stats) {
+  std::vector<Neighbor> result;
+  if (k == 0 || tree.Size() == 0) return result;
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      frontier;
+  frontier.push(QueueItem{0.0, QueueItem::Kind::kNode, tree.root(), {}});
+
+  while (!frontier.empty()) {
+    const QueueItem item = frontier.top();
+    frontier.pop();
+
+    switch (item.kind) {
+      case QueueItem::Kind::kRefined:
+        // Exact distance known and no queued item can beat it.
+        result.push_back(Neighbor{item.hit, item.distance});
+        if (result.size() == k) return result;
+        break;
+      case QueueItem::Kind::kEntry: {
+        // MBR-level candidate: refine to the exact object distance and
+        // re-queue (exact >= MBR MINDIST, so ordering stays correct).
+        PICTDB_ASSIGN_OR_RETURN(const geom::Geometry g,
+                                resolver(item.hit.rid));
+        frontier.push(QueueItem{geom::DistanceTo(g, query),
+                                QueueItem::Kind::kRefined,
+                                storage::kInvalidPageId, item.hit});
+        break;
+      }
+      case QueueItem::Kind::kNode: {
+        PICTDB_ASSIGN_OR_RETURN(const Node node,
+                                tree.ReadNodePage(item.node));
+        if (stats != nullptr) ++stats->nodes_visited;
+        for (const Entry& e : node.entries) {
+          if (stats != nullptr) ++stats->entries_tested;
+          const double d = geom::MinDistance(e.mbr, query);
+          frontier.push(QueueItem{
+              d,
+              node.is_leaf() ? QueueItem::Kind::kEntry
+                             : QueueItem::Kind::kNode,
+              node.is_leaf() ? storage::kInvalidPageId : e.AsChild(),
+              node.is_leaf() ? LeafHit{e.mbr, e.AsRid()} : LeafHit{}});
+        }
+        break;
+      }
+    }
+  }
+  if (stats != nullptr) stats->results = result.size();
+  return result;
+}
+
+}  // namespace pictdb::rtree

@@ -1,0 +1,40 @@
+#include "rtree/metrics.h"
+
+#include <sstream>
+
+#include "geom/measure.h"
+
+namespace pictdb::rtree {
+
+StatusOr<TreeQuality> MeasureTree(const RTree& tree) {
+  TreeQuality q;
+  PICTDB_ASSIGN_OR_RETURN(const std::vector<geom::Rect> leaves,
+                          tree.CollectLeafNodeMbrs());
+  q.coverage = geom::TotalArea(leaves);
+  q.overlap = geom::AreaCoveredAtLeast(leaves, 2);
+  q.depth = tree.Height() - 1;
+  PICTDB_ASSIGN_OR_RETURN(q.nodes, tree.CountNodes());
+  q.size = tree.Size();
+  return q;
+}
+
+StatusOr<double> AverageNodesVisited(
+    const RTree& tree, const std::vector<geom::Point>& queries) {
+  if (queries.empty()) return 0.0;
+  uint64_t total = 0;
+  for (const geom::Point& p : queries) {
+    SearchStats stats;
+    PICTDB_RETURN_IF_ERROR(tree.SearchPoint(p, &stats).status());
+    total += stats.nodes_visited;
+  }
+  return static_cast<double>(total) / static_cast<double>(queries.size());
+}
+
+std::string ToString(const TreeQuality& q) {
+  std::ostringstream os;
+  os << "C=" << q.coverage << " O=" << q.overlap << " D=" << q.depth
+     << " N=" << q.nodes << " J=" << q.size;
+  return os.str();
+}
+
+}  // namespace pictdb::rtree

@@ -1,0 +1,37 @@
+#ifndef PICTDB_RTREE_METRICS_H_
+#define PICTDB_RTREE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status_or.h"
+#include "rtree/rtree.h"
+
+namespace pictdb::rtree {
+
+/// The quality measures reported in the paper's Table 1, computed over a
+/// built tree. Coverage and overlap are defined on *leaf node* MBRs:
+/// "Coverage is the total area of all the MBRs of all leaf R-tree nodes,
+/// and overlap is the total area contained within two or more leaf MBRs."
+struct TreeQuality {
+  double coverage = 0.0;  // Σ area(leaf node MBR)       (paper's C)
+  double overlap = 0.0;   // area covered by >= 2 leaves (paper's O)
+  uint32_t depth = 0;     // edges from root to leaf     (paper's D)
+  uint64_t nodes = 0;     // total nodes                 (paper's N)
+  uint64_t size = 0;      // leaf entries                (paper's J)
+};
+
+/// Measure a tree. Exact computation (slab sweep for overlap).
+StatusOr<TreeQuality> MeasureTree(const RTree& tree);
+
+/// Average nodes visited by running the given point queries — the
+/// paper's A column.
+StatusOr<double> AverageNodesVisited(const RTree& tree,
+                                     const std::vector<geom::Point>& queries);
+
+/// One-line summary for logs: "C=38271 O=994 D=3 N=35 J=100".
+std::string ToString(const TreeQuality& q);
+
+}  // namespace pictdb::rtree
+
+#endif  // PICTDB_RTREE_METRICS_H_

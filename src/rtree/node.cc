@@ -1,0 +1,60 @@
+#include "rtree/node.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pictdb::rtree {
+
+namespace {
+
+// Page layout: { uint16 level; uint16 count; 4B pad }, then `count`
+// packed entries of { double x_lo, y_lo, x_hi, y_hi; uint64 payload }.
+constexpr size_t kNodeHeaderSize = 8;
+constexpr size_t kEntrySize = 4 * sizeof(double) + sizeof(uint64_t);
+
+}  // namespace
+
+size_t NodePageCapacity(uint32_t page_size) {
+  return (page_size - kNodeHeaderSize) / kEntrySize;
+}
+
+Node ReadNode(const char* page, uint32_t page_size) {
+  Node node;
+  uint16_t count;
+  std::memcpy(&node.level, page, 2);
+  std::memcpy(&count, page + 2, 2);
+  PICTDB_CHECK(count <= NodePageCapacity(page_size))
+      << "corrupt R-tree node: count " << count;
+  node.entries.resize(count);
+  const char* p = page + kNodeHeaderSize;
+  for (uint16_t i = 0; i < count; ++i, p += kEntrySize) {
+    Entry& e = node.entries[i];
+    std::memcpy(&e.mbr.lo.x, p, 8);
+    std::memcpy(&e.mbr.lo.y, p + 8, 8);
+    std::memcpy(&e.mbr.hi.x, p + 16, 8);
+    std::memcpy(&e.mbr.hi.y, p + 24, 8);
+    std::memcpy(&e.payload, p + 32, 8);
+  }
+  return node;
+}
+
+void WriteNode(const Node& node, char* page, uint32_t page_size) {
+  PICTDB_CHECK(node.entries.size() <= NodePageCapacity(page_size))
+      << "R-tree node overflow: " << node.entries.size() << " entries";
+  const uint16_t count = static_cast<uint16_t>(node.entries.size());
+  std::memcpy(page, &node.level, 2);
+  std::memcpy(page + 2, &count, 2);
+  std::memset(page + 4, 0, 4);
+  char* p = page + kNodeHeaderSize;
+  for (const Entry& e : node.entries) {
+    std::memcpy(p, &e.mbr.lo.x, 8);
+    std::memcpy(p + 8, &e.mbr.lo.y, 8);
+    std::memcpy(p + 16, &e.mbr.hi.x, 8);
+    std::memcpy(p + 24, &e.mbr.hi.y, 8);
+    std::memcpy(p + 32, &e.payload, 8);
+    p += kEntrySize;
+  }
+}
+
+}  // namespace pictdb::rtree

@@ -1,0 +1,64 @@
+#ifndef PICTDB_RTREE_NODE_H_
+#define PICTDB_RTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+
+namespace pictdb::rtree {
+
+/// One slot of an R-tree node, the paper's
+///   (I, tuple-identifier)  — leaf entries, payload is a Rid
+///   (I, child-pointer)     — non-leaf entries, payload is a PageId
+/// `I` is the minimal bounding rectangle of everything below the entry.
+struct Entry {
+  geom::Rect mbr;
+  uint64_t payload = 0;
+
+  static uint64_t PayloadFromRid(const storage::Rid& rid) {
+    return (static_cast<uint64_t>(rid.page_id) << 16) | rid.slot;
+  }
+  static uint64_t PayloadFromChild(storage::PageId child) { return child; }
+
+  storage::Rid AsRid() const {
+    return storage::Rid{static_cast<storage::PageId>(payload >> 16),
+                        static_cast<uint16_t>(payload & 0xFFFF)};
+  }
+  storage::PageId AsChild() const {
+    return static_cast<storage::PageId>(payload);
+  }
+};
+
+/// In-memory image of an R-tree node. Nodes are read from / written to
+/// fixed-size pages; manipulating a decoded copy keeps the algorithms free
+/// of offset arithmetic. Level 0 is the leaf level (the paper's CLASS
+/// field); `entries.size()` is the paper's VALID counter.
+struct Node {
+  uint16_t level = 0;
+  std::vector<Entry> entries;
+
+  bool is_leaf() const { return level == 0; }
+
+  /// Minimal rectangle bounding all entries.
+  geom::Rect Mbr() const {
+    geom::Rect r;
+    for (const Entry& e : entries) r.ExpandToInclude(e.mbr);
+    return r;
+  }
+};
+
+/// Maximum entries that fit in a page of the given size.
+size_t NodePageCapacity(uint32_t page_size);
+
+/// Decode a node from its page image.
+Node ReadNode(const char* page, uint32_t page_size);
+
+/// Encode a node onto a page image. CHECKs that it fits.
+void WriteNode(const Node& node, char* page, uint32_t page_size);
+
+}  // namespace pictdb::rtree
+
+#endif  // PICTDB_RTREE_NODE_H_

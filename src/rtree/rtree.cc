@@ -1,0 +1,565 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pictdb::rtree {
+
+using geom::Enlargement;
+using geom::Rect;
+using storage::BufferPool;
+using storage::kInvalidPageId;
+using storage::PageGuard;
+using storage::PageId;
+using storage::Rid;
+
+namespace {
+
+// Meta page layout.
+struct MetaImage {
+  PageId root;
+  uint32_t height;
+  uint64_t size;
+  uint16_t max_entries;
+  uint16_t min_entries;
+  uint8_t split;
+  uint8_t forced_reinsert;
+};
+
+MetaImage ReadMeta(const char* page) {
+  MetaImage m;
+  std::memcpy(&m.root, page, 4);
+  std::memcpy(&m.height, page + 4, 4);
+  std::memcpy(&m.size, page + 8, 8);
+  std::memcpy(&m.max_entries, page + 16, 2);
+  std::memcpy(&m.min_entries, page + 18, 2);
+  std::memcpy(&m.split, page + 20, 1);
+  std::memcpy(&m.forced_reinsert, page + 21, 1);
+  return m;
+}
+
+void WriteMeta(const MetaImage& m, char* page) {
+  std::memcpy(page, &m.root, 4);
+  std::memcpy(page + 4, &m.height, 4);
+  std::memcpy(page + 8, &m.size, 8);
+  std::memcpy(page + 16, &m.max_entries, 2);
+  std::memcpy(page + 18, &m.min_entries, 2);
+  std::memcpy(page + 20, &m.split, 1);
+  std::memcpy(page + 21, &m.forced_reinsert, 1);
+}
+
+/// Guttman's ChooseSubtree criterion: least enlargement, ties by smaller
+/// area, then fewer entries is unknowable here so first wins.
+size_t ChooseSubtree(const Node& node, const Rect& mbr) {
+  size_t best = 0;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const double enlargement = Enlargement(node.entries[i].mbr, mbr);
+    const double area = node.entries[i].mbr.Area();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best_enlargement = enlargement;
+      best_area = area;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+size_t RTree::MaxEntries() const {
+  return options_.max_entries != 0 ? options_.max_entries
+                                   : NodePageCapacity(pool_->page_size());
+}
+
+size_t RTree::MinEntries() const {
+  return options_.min_entries != 0 ? options_.min_entries : MaxEntries() / 2;
+}
+
+StatusOr<RTree> RTree::Create(BufferPool* pool, const RTreeOptions& options) {
+  RTreeOptions opts = options;
+  const size_t cap = NodePageCapacity(pool->page_size());
+  if (opts.max_entries == 0) opts.max_entries = cap;
+  if (opts.max_entries < 2 || opts.max_entries > cap) {
+    return Status::InvalidArgument("max_entries out of range for page size");
+  }
+  if (opts.min_entries == 0) opts.min_entries = opts.max_entries / 2;
+  if (opts.min_entries < 1 || 2 * opts.min_entries > opts.max_entries) {
+    return Status::InvalidArgument("min_entries must satisfy 1 <= m <= M/2");
+  }
+
+  PICTDB_ASSIGN_OR_RETURN(PageGuard meta, pool->NewPage());
+  PICTDB_ASSIGN_OR_RETURN(PageGuard root, pool->NewPage());
+  Node empty_root;
+  empty_root.level = 0;
+  WriteNode(empty_root, root.mutable_data(), pool->page_size());
+
+  MetaImage m;
+  m.root = root.id();
+  m.height = 1;
+  m.size = 0;
+  m.max_entries = static_cast<uint16_t>(opts.max_entries);
+  m.min_entries = static_cast<uint16_t>(opts.min_entries);
+  m.split = static_cast<uint8_t>(opts.split);
+  m.forced_reinsert = opts.forced_reinsert ? 1 : 0;
+  WriteMeta(m, meta.mutable_data());
+
+  return RTree(pool, meta.id(), root.id(), 1, 0, opts);
+}
+
+StatusOr<RTree> RTree::Open(BufferPool* pool, PageId meta_page) {
+  PICTDB_ASSIGN_OR_RETURN(PageGuard meta, pool->FetchPage(meta_page));
+  const MetaImage m = ReadMeta(meta.data());
+  RTreeOptions opts;
+  opts.max_entries = m.max_entries;
+  opts.min_entries = m.min_entries;
+  opts.split = static_cast<SplitAlgorithm>(m.split);
+  opts.forced_reinsert = m.forced_reinsert != 0;
+  return RTree(pool, meta_page, m.root, m.height, m.size, opts);
+}
+
+StatusOr<Node> RTree::LoadNode(PageId id) const {
+  PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+  return ReadNode(guard.data(), pool_->page_size());
+}
+
+Status RTree::StoreNode(PageId id, const Node& node) {
+  PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+  WriteNode(node, guard.mutable_data(), pool_->page_size());
+  return Status::OK();
+}
+
+Status RTree::PersistMeta() {
+  PICTDB_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
+  MetaImage m;
+  m.root = root_;
+  m.height = height_;
+  m.size = size_;
+  m.max_entries = static_cast<uint16_t>(options_.max_entries);
+  m.min_entries = static_cast<uint16_t>(options_.min_entries);
+  m.split = static_cast<uint8_t>(options_.split);
+  m.forced_reinsert = options_.forced_reinsert ? 1 : 0;
+  WriteMeta(m, meta.mutable_data());
+  return Status::OK();
+}
+
+StatusOr<RTree::InsertResult> RTree::InsertRec(PageId node_id,
+                                               const Entry& entry,
+                                               uint16_t target_level,
+                                               uint16_t node_level,
+                                               InsertContext* ctx) {
+  PICTDB_ASSIGN_OR_RETURN(Node node, LoadNode(node_id));
+  PICTDB_CHECK(node.level == node_level);
+
+  if (node_level != target_level) {
+    // Descend into the subtree needing the least enlargement.
+    const size_t child_idx = ChooseSubtree(node, entry.mbr);
+    PICTDB_ASSIGN_OR_RETURN(
+        const InsertResult child_result,
+        InsertRec(node.entries[child_idx].AsChild(), entry, target_level,
+                  static_cast<uint16_t>(node_level - 1), ctx));
+    node.entries[child_idx].mbr = child_result.mbr;
+    if (child_result.split) {
+      Entry sibling;
+      sibling.mbr = child_result.split_mbr;
+      sibling.payload = Entry::PayloadFromChild(child_result.split_page);
+      node.entries.push_back(sibling);
+    }
+  } else {
+    node.entries.push_back(entry);
+  }
+
+  InsertResult result;
+  if (node.entries.size() <= MaxEntries()) {
+    PICTDB_RETURN_IF_ERROR(StoreNode(node_id, node));
+    result.mbr = node.Mbr();
+    return result;
+  }
+
+  // Overflow. R*-style forced reinsertion first, if enabled and this is
+  // the level's first overflow of the insertion (and not the root).
+  if (options_.forced_reinsert && ctx != nullptr && node_id != root_ &&
+      node_level < ctx->reinserted_at_level.size() &&
+      !ctx->reinserted_at_level[node_level]) {
+    ctx->reinserted_at_level[node_level] = true;
+    // Closest-to-center entries stay; the farthest ~30% are evicted for
+    // re-insertion (they are the ones stretching the node).
+    const geom::Point center = node.Mbr().Center();
+    std::stable_sort(node.entries.begin(), node.entries.end(),
+                     [&center](const Entry& a, const Entry& b) {
+                       return geom::DistanceSquared(a.mbr.Center(), center) <
+                              geom::DistanceSquared(b.mbr.Center(), center);
+                     });
+    const size_t evict =
+        std::max<size_t>(1, (node.entries.size() * 3) / 10);
+    // Keep at least MinEntries so the node stays legal.
+    const size_t keep = std::max(MinEntries(),
+                                 node.entries.size() - evict);
+    for (size_t i = keep; i < node.entries.size(); ++i) {
+      ctx->pending.emplace_back(node_level, node.entries[i]);
+    }
+    node.entries.resize(keep);
+    PICTDB_RETURN_IF_ERROR(StoreNode(node_id, node));
+    result.mbr = node.Mbr();
+    return result;
+  }
+
+  // Split this node (Guttman's SplitNode + AdjustTree step).
+  auto [group1, group2] =
+      SplitEntries(std::move(node.entries), MinEntries(), options_.split);
+  Node left;
+  left.level = node.level;
+  left.entries = std::move(group1);
+  Node right;
+  right.level = node.level;
+  right.entries = std::move(group2);
+
+  PICTDB_ASSIGN_OR_RETURN(PageGuard right_page, pool_->NewPage());
+  WriteNode(right, right_page.mutable_data(), pool_->page_size());
+  PICTDB_RETURN_IF_ERROR(StoreNode(node_id, left));
+
+  result.mbr = left.Mbr();
+  result.split = true;
+  result.split_mbr = right.Mbr();
+  result.split_page = right_page.id();
+  return result;
+}
+
+Status RTree::InsertAtLevel(const Entry& entry, uint16_t target_level) {
+  PICTDB_CHECK(target_level < height_);
+  InsertContext ctx;
+  ctx.reinserted_at_level.assign(height_, false);
+
+  // The initial entry plus any forced-reinsertion evictions. Each pass
+  // may grow the tree or queue further evictions (at levels that then
+  // split instead, so the loop terminates).
+  std::vector<std::pair<uint16_t, Entry>> work = {{target_level, entry}};
+  while (!work.empty()) {
+    const auto [level, item] = work.back();
+    work.pop_back();
+    PICTDB_ASSIGN_OR_RETURN(
+        const InsertResult result,
+        InsertRec(root_, item, level, static_cast<uint16_t>(height_ - 1),
+                  &ctx));
+    if (result.split) {
+      // Grow the tree: new root over the two halves.
+      Node new_root;
+      new_root.level = static_cast<uint16_t>(height_);
+      Entry left;
+      left.mbr = result.mbr;
+      left.payload = Entry::PayloadFromChild(root_);
+      Entry right;
+      right.mbr = result.split_mbr;
+      right.payload = Entry::PayloadFromChild(result.split_page);
+      new_root.entries = {left, right};
+      PICTDB_ASSIGN_OR_RETURN(PageGuard root_page, pool_->NewPage());
+      WriteNode(new_root, root_page.mutable_data(), pool_->page_size());
+      root_ = root_page.id();
+      ++height_;
+      ctx.reinserted_at_level.resize(height_, false);
+    }
+    for (auto& evicted : ctx.pending) {
+      work.push_back(std::move(evicted));
+    }
+    ctx.pending.clear();
+  }
+  return Status::OK();
+}
+
+Status RTree::Insert(const Rect& mbr, const Rid& rid) {
+  if (mbr.IsEmpty()) {
+    return Status::InvalidArgument("cannot index an empty rectangle");
+  }
+  Entry entry;
+  entry.mbr = mbr;
+  entry.payload = Entry::PayloadFromRid(rid);
+  PICTDB_RETURN_IF_ERROR(InsertAtLevel(entry, 0));
+  ++size_;
+  return PersistMeta();
+}
+
+StatusOr<RTree::DeleteResult> RTree::DeleteRec(
+    PageId node_id, uint16_t node_level, const Rect& mbr, const Rid& rid,
+    std::vector<std::pair<uint16_t, Entry>>* orphans) {
+  PICTDB_ASSIGN_OR_RETURN(Node node, LoadNode(node_id));
+  PICTDB_CHECK(node.level == node_level);
+  DeleteResult result;
+
+  if (node.is_leaf()) {
+    const uint64_t payload = Entry::PayloadFromRid(rid);
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      if (node.entries[i].payload == payload &&
+          node.entries[i].mbr == mbr) {
+        node.entries.erase(node.entries.begin() + i);
+        PICTDB_RETURN_IF_ERROR(StoreNode(node_id, node));
+        result.found = true;
+        result.drop_child = node.entries.size() < MinEntries();
+        result.mbr = node.Mbr();
+        return result;
+      }
+    }
+    return result;  // not found in this leaf
+  }
+
+  // FindLeaf: descend every subtree whose rectangle contains the target.
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    if (!node.entries[i].mbr.Contains(mbr)) continue;
+    const PageId child_id = node.entries[i].AsChild();
+    PICTDB_ASSIGN_OR_RETURN(
+        const DeleteResult child_result,
+        DeleteRec(child_id, static_cast<uint16_t>(node_level - 1), mbr, rid,
+                  orphans));
+    if (!child_result.found) continue;
+
+    if (child_result.drop_child) {
+      // CondenseTree: dissolve the underfull child; queue its remaining
+      // entries for re-insertion at their original level.
+      PICTDB_ASSIGN_OR_RETURN(const Node child, LoadNode(child_id));
+      for (const Entry& e : child.entries) {
+        orphans->emplace_back(child.level, e);
+      }
+      PICTDB_RETURN_IF_ERROR(pool_->FreePage(child_id));
+      node.entries.erase(node.entries.begin() + i);
+    } else {
+      node.entries[i].mbr = child_result.mbr;
+    }
+    PICTDB_RETURN_IF_ERROR(StoreNode(node_id, node));
+    result.found = true;
+    result.drop_child = node.entries.size() < MinEntries();
+    result.mbr = node.Mbr();
+    return result;
+  }
+  return result;
+}
+
+Status RTree::Delete(const Rect& mbr, const Rid& rid) {
+  std::vector<std::pair<uint16_t, Entry>> orphans;
+  PICTDB_ASSIGN_OR_RETURN(
+      const DeleteResult result,
+      DeleteRec(root_, static_cast<uint16_t>(height_ - 1), mbr, rid,
+                &orphans));
+  if (!result.found) {
+    return Status::NotFound("entry not in R-tree");
+  }
+  --size_;
+
+  // Re-insert orphaned entries at their recorded levels. Later root
+  // collapses cannot strand them: orphan levels are below the root level.
+  for (const auto& [level, entry] : orphans) {
+    PICTDB_RETURN_IF_ERROR(InsertAtLevel(entry, level));
+  }
+
+  // Collapse the root while it is an internal node with a single child.
+  for (;;) {
+    PICTDB_ASSIGN_OR_RETURN(const Node root, LoadNode(root_));
+    if (root.is_leaf() || root.entries.size() != 1) break;
+    const PageId only_child = root.entries[0].AsChild();
+    PICTDB_RETURN_IF_ERROR(pool_->FreePage(root_));
+    root_ = only_child;
+    --height_;
+  }
+  return PersistMeta();
+}
+
+Status RTree::SearchRec(PageId node_id,
+                        const std::function<bool(const Rect&)>& prune,
+                        const std::function<bool(const Rect&)>& accept,
+                        std::vector<LeafHit>* out, SearchStats* stats) const {
+  PICTDB_ASSIGN_OR_RETURN(const Node node, LoadNode(node_id));
+  if (stats != nullptr) ++stats->nodes_visited;
+
+  if (node.is_leaf()) {
+    for (const Entry& e : node.entries) {
+      if (stats != nullptr) ++stats->entries_tested;
+      if (accept(e.mbr)) {
+        out->push_back(LeafHit{e.mbr, e.AsRid()});
+        if (stats != nullptr) ++stats->results;
+      }
+    }
+    return Status::OK();
+  }
+  for (const Entry& e : node.entries) {
+    if (stats != nullptr) ++stats->entries_tested;
+    if (prune(e.mbr)) {
+      PICTDB_RETURN_IF_ERROR(
+          SearchRec(e.AsChild(), prune, accept, out, stats));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<LeafHit>> RTree::SearchCustom(
+    const std::function<bool(const Rect&)>& prune,
+    const std::function<bool(const Rect&)>& accept,
+    SearchStats* stats) const {
+  std::vector<LeafHit> out;
+  PICTDB_RETURN_IF_ERROR(SearchRec(root_, prune, accept, &out, stats));
+  return out;
+}
+
+StatusOr<std::vector<LeafHit>> RTree::SearchIntersects(
+    const Rect& window, SearchStats* stats) const {
+  return SearchCustom(
+      [&window](const Rect& r) { return r.Intersects(window); },
+      [&window](const Rect& r) { return r.Intersects(window); }, stats);
+}
+
+StatusOr<std::vector<LeafHit>> RTree::SearchContainedIn(
+    const Rect& window, SearchStats* stats) const {
+  return SearchCustom(
+      [&window](const Rect& r) { return r.Intersects(window); },
+      [&window](const Rect& r) { return window.Contains(r); }, stats);
+}
+
+StatusOr<std::vector<LeafHit>> RTree::SearchPoint(const geom::Point& p,
+                                                  SearchStats* stats) const {
+  return SearchCustom([&p](const Rect& r) { return r.Contains(p); },
+                      [&p](const Rect& r) { return r.Contains(p); }, stats);
+}
+
+StatusOr<uint64_t> RTree::CountNodes() const {
+  uint64_t count = 0;
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    ++count;
+    PICTDB_ASSIGN_OR_RETURN(const Node node, LoadNode(id));
+    if (!node.is_leaf()) {
+      for (const Entry& e : node.entries) stack.push_back(e.AsChild());
+    }
+  }
+  return count;
+}
+
+StatusOr<std::vector<Rect>> RTree::CollectLeafNodeMbrs() const {
+  return CollectNodeMbrsAtLevel(0);
+}
+
+StatusOr<std::vector<Rect>> RTree::CollectNodeMbrsAtLevel(
+    uint16_t level) const {
+  std::vector<Rect> out;
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    PICTDB_ASSIGN_OR_RETURN(const Node node, LoadNode(id));
+    if (node.level == level) {
+      if (!node.entries.empty()) out.push_back(node.Mbr());
+    } else if (node.level > level && !node.is_leaf()) {
+      for (const Entry& e : node.entries) stack.push_back(e.AsChild());
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<LeafHit>> RTree::CollectAllEntries() const {
+  return SearchCustom([](const Rect&) { return true; },
+                      [](const Rect&) { return true; });
+}
+
+Status RTree::ValidateRec(PageId node_id, uint16_t expected_level,
+                          const Rect* parent_mbr, uint64_t* leaf_entries,
+                          bool is_root) const {
+  PICTDB_ASSIGN_OR_RETURN(const Node node, LoadNode(node_id));
+  if (node.level != expected_level) {
+    return Status::Corruption("node level mismatch");
+  }
+  if (node.entries.size() > MaxEntries()) {
+    return Status::Corruption("node overfull");
+  }
+  if (!is_root && node.entries.size() < 1) {
+    return Status::Corruption("empty non-root node");
+  }
+  if (parent_mbr != nullptr && !(node.Mbr() == *parent_mbr)) {
+    return Status::Corruption("parent MBR is not the minimal bound");
+  }
+  if (node.is_leaf()) {
+    *leaf_entries += node.entries.size();
+    return Status::OK();
+  }
+  for (const Entry& e : node.entries) {
+    PICTDB_RETURN_IF_ERROR(
+        ValidateRec(e.AsChild(), static_cast<uint16_t>(expected_level - 1),
+                    &e.mbr, leaf_entries, /*is_root=*/false));
+  }
+  return Status::OK();
+}
+
+Status RTree::Validate() const {
+  uint64_t leaf_entries = 0;
+  PICTDB_RETURN_IF_ERROR(ValidateRec(
+      root_, static_cast<uint16_t>(height_ - 1), nullptr, &leaf_entries,
+      /*is_root=*/true));
+  if (leaf_entries != size_) {
+    return Status::Corruption("recorded size does not match leaf entries");
+  }
+  return Status::OK();
+}
+
+StatusOr<PageId> RTree::BulkWriteNode(uint16_t level,
+                                      const std::vector<Entry>& entries) {
+  if (entries.empty() || entries.size() > MaxEntries()) {
+    return Status::InvalidArgument("bulk node size out of range");
+  }
+  Node node;
+  node.level = level;
+  node.entries = entries;
+  PICTDB_ASSIGN_OR_RETURN(PageGuard page, pool_->NewPage());
+  WriteNode(node, page.mutable_data(), pool_->page_size());
+  return page.id();
+}
+
+Status RTree::Clear() {
+  std::vector<PageId> stack = {root_};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    PICTDB_ASSIGN_OR_RETURN(const Node node, LoadNode(id));
+    if (!node.is_leaf()) {
+      for (const Entry& e : node.entries) stack.push_back(e.AsChild());
+    }
+    PICTDB_RETURN_IF_ERROR(pool_->FreePage(id));
+  }
+  PICTDB_ASSIGN_OR_RETURN(PageGuard root_page, pool_->NewPage());
+  Node empty_root;
+  empty_root.level = 0;
+  WriteNode(empty_root, root_page.mutable_data(), pool_->page_size());
+  root_ = root_page.id();
+  height_ = 1;
+  size_ = 0;
+  return PersistMeta();
+}
+
+Status RTree::InsertSubtree(PageId subtree_root, const Rect& mbr,
+                            uint16_t subtree_level,
+                            uint64_t leaf_entry_count) {
+  if (height_ < subtree_level + 2u) {
+    return Status::InvalidArgument(
+        "tree too shallow to host the subtree; insert entries directly");
+  }
+  Entry entry;
+  entry.mbr = mbr;
+  entry.payload = Entry::PayloadFromChild(subtree_root);
+  PICTDB_RETURN_IF_ERROR(
+      InsertAtLevel(entry, static_cast<uint16_t>(subtree_level + 1)));
+  size_ += leaf_entry_count;
+  return PersistMeta();
+}
+
+Status RTree::BulkSetRoot(PageId root, uint32_t height, uint64_t size) {
+  if (size_ == 0 && height_ == 1 && root_ != root) {
+    // Discard the placeholder root allocated by Create.
+    PICTDB_RETURN_IF_ERROR(pool_->FreePage(root_));
+  }
+  root_ = root;
+  height_ = height;
+  size_ = size;
+  return PersistMeta();
+}
+
+}  // namespace pictdb::rtree

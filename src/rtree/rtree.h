@@ -1,0 +1,237 @@
+#ifndef PICTDB_RTREE_RTREE_H_
+#define PICTDB_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "geom/rect.h"
+#include "rtree/node.h"
+#include "rtree/split.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace pictdb::rtree {
+
+/// Construction-time knobs.
+struct RTreeOptions {
+  /// Maximum entries per node (the paper's branching factor). 0 derives it
+  /// from the page size; the paper's experiments use 4.
+  size_t max_entries = 0;
+
+  /// Minimum fill for non-root nodes under dynamic updates; Guttman
+  /// requires m <= M/2. 0 means max_entries / 2.
+  size_t min_entries = 0;
+
+  /// Heuristic used when a node overflows during INSERT.
+  SplitAlgorithm split = SplitAlgorithm::kQuadratic;
+
+  /// R*-style forced reinsertion: on the first overflow at each level
+  /// per insertion, evict the ~30% of entries whose centers sit farthest
+  /// from the node's center and re-insert them instead of splitting.
+  /// Improves dynamic-tree quality at some insert cost.
+  bool forced_reinsert = false;
+};
+
+/// Per-query search accounting — yields the paper's "average number of
+/// nodes visited" column directly.
+struct SearchStats {
+  uint64_t nodes_visited = 0;
+  uint64_t entries_tested = 0;
+  uint64_t results = 0;
+};
+
+/// A qualifying leaf entry returned by search.
+struct LeafHit {
+  geom::Rect mbr;
+  storage::Rid rid;
+};
+
+/// Disk-resident R-tree over a buffer pool: Guttman's dynamic structure
+/// (INSERT / DELETE / SEARCH) plus a bulk interface used by the PACK
+/// loaders in src/pack/. Leaf entries carry Rids into a heap file (the
+/// paper's pointers from picture objects to relation tuples).
+class RTree {
+ public:
+  /// Create an empty tree.
+  static StatusOr<RTree> Create(storage::BufferPool* pool,
+                                const RTreeOptions& options = {});
+
+  /// Reattach to an existing tree by its meta page (options are persisted
+  /// in the meta page).
+  static StatusOr<RTree> Open(storage::BufferPool* pool,
+                              storage::PageId meta_page);
+
+  // --- Dynamic updates (Guttman 1984) -----------------------------------
+
+  /// Insert a spatial object with bounding box `mbr` referencing `rid`.
+  Status Insert(const geom::Rect& mbr, const storage::Rid& rid);
+
+  /// Remove the entry with exactly this (mbr, rid); NotFound if absent.
+  /// Underfull nodes are condensed and their entries re-inserted.
+  Status Delete(const geom::Rect& mbr, const storage::Rid& rid);
+
+  // --- Search (§3.1) ------------------------------------------------------
+
+  /// All leaf entries whose MBR intersects `window` (the paper's
+  /// INTERSECTS pruning with WITHIN replaced by intersection at the leaf —
+  /// callers needing strict containment use SearchContainedIn).
+  StatusOr<std::vector<LeafHit>> SearchIntersects(
+      const geom::Rect& window, SearchStats* stats = nullptr) const;
+
+  /// All leaf entries whose MBR lies entirely within `window` — the
+  /// paper's SEARCH procedure (INTERSECTS to prune, WITHIN to qualify).
+  StatusOr<std::vector<LeafHit>> SearchContainedIn(
+      const geom::Rect& window, SearchStats* stats = nullptr) const;
+
+  /// Leaf entries whose MBR contains the query point — the Table 1 query
+  /// "Is point (x,y) contained in the database?".
+  StatusOr<std::vector<LeafHit>> SearchPoint(const geom::Point& p,
+                                             SearchStats* stats = nullptr) const;
+
+  /// General traversal: `prune(node_mbr)` decides whether to descend;
+  /// `accept(leaf_mbr)` decides whether a leaf entry qualifies.
+  StatusOr<std::vector<LeafHit>> SearchCustom(
+      const std::function<bool(const geom::Rect&)>& prune,
+      const std::function<bool(const geom::Rect&)>& accept,
+      SearchStats* stats = nullptr) const;
+
+  // --- Introspection ------------------------------------------------------
+
+  /// Height of the tree; 1 means the root is a leaf. (The paper's "depth"
+  /// column counts edges: depth = Height() - 1.)
+  uint32_t Height() const { return height_; }
+
+  /// Number of leaf entries (spatial objects).
+  uint64_t Size() const { return size_; }
+
+  /// Total nodes in the tree (the paper's N column).
+  StatusOr<uint64_t> CountNodes() const;
+
+  /// MBRs of all leaf nodes (not leaf entries) — inputs to the coverage
+  /// and overlap metrics.
+  StatusOr<std::vector<geom::Rect>> CollectLeafNodeMbrs() const;
+
+  /// MBRs of all nodes at `level` (0 = leaves).
+  StatusOr<std::vector<geom::Rect>> CollectNodeMbrsAtLevel(
+      uint16_t level) const;
+
+  /// All leaf entries in tree order.
+  StatusOr<std::vector<LeafHit>> CollectAllEntries() const;
+
+  /// Check structural invariants: parent MBRs minimally bound children,
+  /// node counts within [min,max] (root exempt), uniform leaf depth,
+  /// recorded size matches. Corruption status on violation.
+  Status Validate() const;
+
+  const RTreeOptions& options() const { return options_; }
+  storage::PageId meta_page() const { return meta_page_; }
+  storage::PageId root() const { return root_; }
+  storage::BufferPool* pool() const { return pool_; }
+
+  /// Decode the node stored at `id`. Low-level access for traversals that
+  /// live outside the class (spatial join, visualization).
+  StatusOr<Node> ReadNodePage(storage::PageId id) const {
+    return LoadNode(id);
+  }
+
+  // --- Bulk-load interface (used by src/pack/) ---------------------------
+
+  /// Write a fully-formed node; returns its page id. Entries must not
+  /// exceed max_entries.
+  StatusOr<storage::PageId> BulkWriteNode(uint16_t level,
+                                          const std::vector<Entry>& entries);
+
+  /// Point the tree at a bulk-built root. `height` counts levels,
+  /// `size` the number of leaf entries. Frees the previous root chain
+  /// only if the tree was empty (the normal bulk-load case).
+  Status BulkSetRoot(storage::PageId root, uint32_t height, uint64_t size);
+
+  /// Free every node and reset to an empty tree (used by re-PACK).
+  Status Clear();
+
+  /// Attach a prebuilt subtree whose root node sits at `subtree_root`
+  /// with level `subtree_level` and bounding box `mbr`, containing
+  /// `leaf_entry_count` leaf entries. The entry is placed one level
+  /// above the subtree root (splitting on overflow as usual). Requires
+  /// Height() >= subtree_level + 2. Backbone of the paper's §4 "local
+  /// reorganization" extension.
+  Status InsertSubtree(storage::PageId subtree_root, const geom::Rect& mbr,
+                       uint16_t subtree_level, uint64_t leaf_entry_count);
+
+ private:
+  RTree(storage::BufferPool* pool, storage::PageId meta_page,
+        storage::PageId root, uint32_t height, uint64_t size,
+        const RTreeOptions& options)
+      : pool_(pool),
+        meta_page_(meta_page),
+        root_(root),
+        height_(height),
+        size_(size),
+        options_(options) {}
+
+  struct InsertResult {
+    geom::Rect mbr;                 // updated MBR of the visited child
+    bool split = false;
+    geom::Rect split_mbr;           // MBR of the new sibling
+    storage::PageId split_page = storage::kInvalidPageId;
+  };
+
+  /// Per-insertion state for forced reinsertion: which levels already
+  /// reinserted (they split on the next overflow) and the evicted
+  /// entries awaiting re-insertion.
+  struct InsertContext {
+    std::vector<bool> reinserted_at_level;
+    std::vector<std::pair<uint16_t, Entry>> pending;
+  };
+
+  StatusOr<Node> LoadNode(storage::PageId id) const;
+  Status StoreNode(storage::PageId id, const Node& node);
+  Status PersistMeta();
+
+  StatusOr<InsertResult> InsertRec(storage::PageId node_id,
+                                   const Entry& entry, uint16_t target_level,
+                                   uint16_t node_level, InsertContext* ctx);
+
+  /// Insert an entry that must live at `target_level` (0 for leaf
+  /// entries; >0 when re-inserting orphaned subtrees during condense).
+  Status InsertAtLevel(const Entry& entry, uint16_t target_level);
+
+  struct DeleteResult {
+    bool found = false;
+    bool drop_child = false;  // child became underfull and was dissolved
+    geom::Rect mbr;           // updated MBR of the visited child
+  };
+
+  StatusOr<DeleteResult> DeleteRec(storage::PageId node_id,
+                                   uint16_t node_level,
+                                   const geom::Rect& mbr,
+                                   const storage::Rid& rid,
+                                   std::vector<std::pair<uint16_t, Entry>>*
+                                       orphans);
+
+  Status SearchRec(storage::PageId node_id,
+                   const std::function<bool(const geom::Rect&)>& prune,
+                   const std::function<bool(const geom::Rect&)>& accept,
+                   std::vector<LeafHit>* out, SearchStats* stats) const;
+
+  Status ValidateRec(storage::PageId node_id, uint16_t expected_level,
+                     const geom::Rect* parent_mbr, uint64_t* leaf_entries,
+                     bool is_root) const;
+
+  size_t MaxEntries() const;
+  size_t MinEntries() const;
+
+  storage::BufferPool* pool_;
+  storage::PageId meta_page_;
+  storage::PageId root_;
+  uint32_t height_;
+  uint64_t size_;
+  RTreeOptions options_;
+};
+
+}  // namespace pictdb::rtree
+
+#endif  // PICTDB_RTREE_RTREE_H_

@@ -1,0 +1,245 @@
+#include "rtree/split.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace pictdb::rtree {
+
+namespace {
+
+using geom::Enlargement;
+using geom::Rect;
+using geom::UnionOf;
+
+struct Group {
+  std::vector<Entry> entries;
+  Rect mbr;
+
+  void Add(const Entry& e) {
+    entries.push_back(e);
+    mbr.ExpandToInclude(e.mbr);
+  }
+};
+
+/// Guttman's PickNext (quadratic): the remaining entry with the greatest
+/// preference for one group over the other.
+size_t QuadraticPickNext(const std::vector<Entry>& remaining,
+                         const Group& g1, const Group& g2) {
+  size_t best = 0;
+  double best_diff = -1.0;
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    const double d1 = Enlargement(g1.mbr, remaining[i].mbr);
+    const double d2 = Enlargement(g2.mbr, remaining[i].mbr);
+    const double diff = std::fabs(d1 - d2);
+    if (diff > best_diff) {
+      best_diff = diff;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Resolve ties per Guttman: smaller enlargement, then smaller area, then
+/// fewer entries.
+Group* ChooseGroup(const Entry& e, Group* g1, Group* g2) {
+  const double d1 = Enlargement(g1->mbr, e.mbr);
+  const double d2 = Enlargement(g2->mbr, e.mbr);
+  if (d1 != d2) return d1 < d2 ? g1 : g2;
+  const double a1 = g1->mbr.Area();
+  const double a2 = g2->mbr.Area();
+  if (a1 != a2) return a1 < a2 ? g1 : g2;
+  return g1->entries.size() <= g2->entries.size() ? g1 : g2;
+}
+
+std::pair<std::vector<Entry>, std::vector<Entry>> Distribute(
+    std::vector<Entry> entries, size_t min_entries, size_t seed1,
+    size_t seed2, bool quadratic) {
+  PICTDB_CHECK(seed1 != seed2);
+  Group g1, g2;
+  g1.Add(entries[seed1]);
+  g2.Add(entries[seed2]);
+  // Remove seeds (erase the larger index first).
+  if (seed1 < seed2) std::swap(seed1, seed2);
+  entries.erase(entries.begin() + seed1);
+  entries.erase(entries.begin() + seed2);
+
+  while (!entries.empty()) {
+    // If one group must take everything left to reach the minimum, do so.
+    const size_t left = entries.size();
+    if (g1.entries.size() + left == min_entries) {
+      for (const Entry& e : entries) g1.Add(e);
+      break;
+    }
+    if (g2.entries.size() + left == min_entries) {
+      for (const Entry& e : entries) g2.Add(e);
+      break;
+    }
+    const size_t next =
+        quadratic ? QuadraticPickNext(entries, g1, g2) : 0;
+    const Entry e = entries[next];
+    entries.erase(entries.begin() + next);
+    ChooseGroup(e, &g1, &g2)->Add(e);
+  }
+  return {std::move(g1.entries), std::move(g2.entries)};
+}
+
+}  // namespace
+
+std::pair<size_t, size_t> QuadraticPickSeeds(
+    const std::vector<Entry>& entries) {
+  PICTDB_CHECK(entries.size() >= 2);
+  size_t best_i = 0, best_j = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = UnionOf(entries[i].mbr, entries[j].mbr).Area() -
+                           entries[i].mbr.Area() - entries[j].mbr.Area();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  return {best_i, best_j};
+}
+
+std::pair<size_t, size_t> LinearPickSeeds(const std::vector<Entry>& entries) {
+  PICTDB_CHECK(entries.size() >= 2);
+  // For each dimension: the entry with the highest low side and the one
+  // with the lowest high side, separation normalized by the total width.
+  double best_sep = -std::numeric_limits<double>::infinity();
+  size_t best_i = 0, best_j = 1;
+
+  for (int dim = 0; dim < 2; ++dim) {
+    auto lo_of = [dim](const Entry& e) {
+      return dim == 0 ? e.mbr.lo.x : e.mbr.lo.y;
+    };
+    auto hi_of = [dim](const Entry& e) {
+      return dim == 0 ? e.mbr.hi.x : e.mbr.hi.y;
+    };
+    size_t highest_lo = 0, lowest_hi = 0;
+    double min_lo = lo_of(entries[0]), max_hi = hi_of(entries[0]);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (lo_of(entries[i]) > lo_of(entries[highest_lo])) highest_lo = i;
+      if (hi_of(entries[i]) < hi_of(entries[lowest_hi])) lowest_hi = i;
+      min_lo = std::min(min_lo, lo_of(entries[i]));
+      max_hi = std::max(max_hi, hi_of(entries[i]));
+    }
+    if (highest_lo == lowest_hi) continue;  // degenerate in this dimension
+    const double width = max_hi - min_lo;
+    const double sep =
+        (lo_of(entries[highest_lo]) - hi_of(entries[lowest_hi])) /
+        (width > 0 ? width : 1.0);
+    if (sep > best_sep) {
+      best_sep = sep;
+      best_i = lowest_hi;
+      best_j = highest_lo;
+    }
+  }
+  if (best_i == best_j) best_j = best_i == 0 ? 1 : 0;
+  return {best_i, best_j};
+}
+
+namespace {
+
+/// R*-tree split: sort entries along each axis (by lo then hi), consider
+/// every prefix/suffix distribution with both sides >= min_entries, pick
+/// the axis with the smallest total margin sum, then the distribution on
+/// that axis with the least overlap area (ties by total area).
+std::pair<std::vector<Entry>, std::vector<Entry>> RStarSplit(
+    std::vector<Entry> entries, size_t min_entries) {
+  const size_t n = entries.size();
+
+  auto sorted_by_axis = [&entries](int axis) {
+    std::vector<Entry> sorted = entries;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [axis](const Entry& a, const Entry& b) {
+                       const double alo = axis == 0 ? a.mbr.lo.x : a.mbr.lo.y;
+                       const double blo = axis == 0 ? b.mbr.lo.x : b.mbr.lo.y;
+                       if (alo != blo) return alo < blo;
+                       const double ahi = axis == 0 ? a.mbr.hi.x : a.mbr.hi.y;
+                       const double bhi = axis == 0 ? b.mbr.hi.x : b.mbr.hi.y;
+                       return ahi < bhi;
+                     });
+    return sorted;
+  };
+
+  // Prefix/suffix MBRs make margin/overlap evaluation O(n) per axis.
+  auto evaluate = [n, min_entries](const std::vector<Entry>& sorted,
+                                   double* margin_sum, size_t* best_cut,
+                                   double* best_overlap, double* best_area) {
+    std::vector<Rect> prefix(n), suffix(n);
+    Rect acc;
+    for (size_t i = 0; i < n; ++i) {
+      acc.ExpandToInclude(sorted[i].mbr);
+      prefix[i] = acc;
+    }
+    acc = Rect();
+    for (size_t i = n; i-- > 0;) {
+      acc.ExpandToInclude(sorted[i].mbr);
+      suffix[i] = acc;
+    }
+    *margin_sum = 0;
+    *best_overlap = std::numeric_limits<double>::infinity();
+    *best_area = std::numeric_limits<double>::infinity();
+    *best_cut = min_entries;
+    for (size_t cut = min_entries; cut + min_entries <= n; ++cut) {
+      const Rect& left = prefix[cut - 1];
+      const Rect& right = suffix[cut];
+      *margin_sum += left.Margin() + right.Margin();
+      const double overlap = geom::IntersectionOf(left, right).Area();
+      const double area = left.Area() + right.Area();
+      if (overlap < *best_overlap ||
+          (overlap == *best_overlap && area < *best_area)) {
+        *best_overlap = overlap;
+        *best_area = area;
+        *best_cut = cut;
+      }
+    }
+  };
+
+  double best_margin = std::numeric_limits<double>::infinity();
+  std::vector<Entry> chosen;
+  size_t chosen_cut = min_entries;
+  for (int axis = 0; axis < 2; ++axis) {
+    std::vector<Entry> sorted = sorted_by_axis(axis);
+    double margin_sum, overlap, area;
+    size_t cut;
+    evaluate(sorted, &margin_sum, &cut, &overlap, &area);
+    if (margin_sum < best_margin) {
+      best_margin = margin_sum;
+      chosen = std::move(sorted);
+      chosen_cut = cut;
+    }
+  }
+  std::vector<Entry> left(chosen.begin(), chosen.begin() + chosen_cut);
+  std::vector<Entry> right(chosen.begin() + chosen_cut, chosen.end());
+  return {std::move(left), std::move(right)};
+}
+
+}  // namespace
+
+std::pair<std::vector<Entry>, std::vector<Entry>> SplitEntries(
+    std::vector<Entry> entries, size_t min_entries,
+    SplitAlgorithm algorithm) {
+  PICTDB_CHECK(entries.size() >= 2);
+  PICTDB_CHECK(min_entries >= 1 && 2 * min_entries <= entries.size());
+  std::pair<size_t, size_t> seeds;
+  switch (algorithm) {
+    case SplitAlgorithm::kQuadratic:
+      seeds = QuadraticPickSeeds(entries);
+      break;
+    case SplitAlgorithm::kLinear:
+      seeds = LinearPickSeeds(entries);
+      break;
+    case SplitAlgorithm::kRStar:
+      return RStarSplit(std::move(entries), min_entries);
+  }
+  return Distribute(std::move(entries), min_entries, seeds.first,
+                    seeds.second, algorithm == SplitAlgorithm::kQuadratic);
+}
+
+}  // namespace pictdb::rtree

@@ -1,0 +1,41 @@
+#ifndef PICTDB_RTREE_SPLIT_H_
+#define PICTDB_RTREE_SPLIT_H_
+
+#include <utility>
+#include <vector>
+
+#include "rtree/node.h"
+
+namespace pictdb::rtree {
+
+/// Node splitting heuristics from Guttman's original paper. Exhaustive
+/// search is exponential, so Guttman proposed the quadratic and linear
+/// approximations; quadratic is the one his evaluation (and ours) uses by
+/// default.
+enum class SplitAlgorithm {
+  kQuadratic,
+  kLinear,
+  /// The R*-tree split (Beckmann et al. 1990, a direct descendant of the
+  /// structures this paper works with): choose the split axis by minimum
+  /// total margin over all valid distributions, then the distribution on
+  /// that axis with least overlap (ties: least total area).
+  kRStar,
+};
+
+/// Distribute `entries` (an overflowing node's M+1 entries) into two
+/// groups, each with at least `min_entries`, minimizing total area growth
+/// per the chosen heuristic. Returns {group1, group2}; both non-empty.
+std::pair<std::vector<Entry>, std::vector<Entry>> SplitEntries(
+    std::vector<Entry> entries, size_t min_entries, SplitAlgorithm algorithm);
+
+/// Guttman's PickSeeds (quadratic): the pair of entries wasting the most
+/// area if placed together. Exposed for tests.
+std::pair<size_t, size_t> QuadraticPickSeeds(const std::vector<Entry>& entries);
+
+/// Guttman's LinearPickSeeds: entries with the greatest normalized
+/// separation along either dimension. Exposed for tests.
+std::pair<size_t, size_t> LinearPickSeeds(const std::vector<Entry>& entries);
+
+}  // namespace pictdb::rtree
+
+#endif  // PICTDB_RTREE_SPLIT_H_

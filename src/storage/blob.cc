@@ -1,0 +1,70 @@
+#include "storage/blob.h"
+
+#include <cstring>
+
+namespace pictdb::storage {
+
+namespace {
+constexpr size_t kBlobHeader = 8;  // next (4) + chunk length (4)
+}  // namespace
+
+StatusOr<PageId> WriteBlob(BufferPool* pool, const Slice& data) {
+  const size_t chunk_capacity = pool->page_size() - kBlobHeader;
+  PageId first = kInvalidPageId;
+  PageId prev = kInvalidPageId;
+  size_t offset = 0;
+  do {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard page, pool->NewPage());
+    const uint32_t len = static_cast<uint32_t>(
+        std::min(chunk_capacity, data.size() - offset));
+    char* p = page.mutable_data();
+    const PageId next = kInvalidPageId;  // patched when a successor exists
+    std::memcpy(p, &next, 4);
+    std::memcpy(p + 4, &len, 4);
+    std::memcpy(p + kBlobHeader, data.data() + offset, len);
+    offset += len;
+    if (first == kInvalidPageId) {
+      first = page.id();
+    } else {
+      PICTDB_ASSIGN_OR_RETURN(PageGuard prev_page, pool->FetchPage(prev));
+      const PageId id = page.id();
+      std::memcpy(prev_page.mutable_data(), &id, 4);
+    }
+    prev = page.id();
+  } while (offset < data.size());
+  return first;
+}
+
+StatusOr<std::string> ReadBlob(BufferPool* pool, PageId first) {
+  std::string out;
+  PageId id = first;
+  while (id != kInvalidPageId) {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard page, pool->FetchPage(id));
+    PageId next;
+    uint32_t len;
+    std::memcpy(&next, page.data(), 4);
+    std::memcpy(&len, page.data() + 4, 4);
+    if (len > pool->page_size() - kBlobHeader) {
+      return Status::Corruption("blob chunk length exceeds page capacity");
+    }
+    out.append(page.data() + kBlobHeader, len);
+    id = next;
+  }
+  return out;
+}
+
+Status FreeBlob(BufferPool* pool, PageId first) {
+  PageId id = first;
+  while (id != kInvalidPageId) {
+    PageId next;
+    {
+      PICTDB_ASSIGN_OR_RETURN(PageGuard page, pool->FetchPage(id));
+      std::memcpy(&next, page.data(), 4);
+    }
+    PICTDB_RETURN_IF_ERROR(pool->FreePage(id));
+    id = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace pictdb::storage

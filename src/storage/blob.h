@@ -1,0 +1,25 @@
+#ifndef PICTDB_STORAGE_BLOB_H_
+#define PICTDB_STORAGE_BLOB_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status_or.h"
+#include "storage/buffer_pool.h"
+
+namespace pictdb::storage {
+
+/// Arbitrary-length byte blobs chained across pages; used for metadata
+/// larger than one page (the persistent catalog image). Each page holds
+/// { next PageId, u32 chunk length, data }.
+StatusOr<PageId> WriteBlob(BufferPool* pool, const Slice& data);
+
+/// Read a blob written by WriteBlob.
+StatusOr<std::string> ReadBlob(BufferPool* pool, PageId first);
+
+/// Release the blob's pages back to the allocator.
+Status FreeBlob(BufferPool* pool, PageId first);
+
+}  // namespace pictdb::storage
+
+#endif  // PICTDB_STORAGE_BLOB_H_

@@ -1,0 +1,173 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pictdb::storage {
+
+PageGuard::PageGuard(BufferPool* pool, PageId id, char* data,
+                     bool* dirty_flag)
+    : pool_(pool), id_(id), data_(data), dirty_flag_(dirty_flag) {}
+
+PageGuard::~PageGuard() { Release(); }
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_),
+      id_(other.id_),
+      data_(other.data_),
+      dirty_flag_(other.dirty_flag_) {
+  other.pool_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    dirty_flag_ = other.dirty_flag_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity) {
+  PICTDB_CHECK(capacity_ >= 1);
+  frames_.resize(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    frames_[i].data = std::make_unique<char[]>(disk_->page_size());
+    free_frames_.push_back(capacity_ - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; errors at teardown have nowhere to go.
+  (void)FlushAll();
+}
+
+size_t BufferPool::pinned_frames() const {
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    if (f.page_id != kInvalidPageId && f.pin_count > 0) ++n;
+  }
+  return n;
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = page_table_.find(id);
+  PICTDB_CHECK(it != page_table_.end()) << "unpin of unknown page " << id;
+  Frame& frame = frames_[it->second];
+  PICTDB_CHECK(frame.pin_count > 0) << "unpin of unpinned page " << id;
+  if (--frame.pin_count == 0) {
+    lru_.push_back(it->second);
+    frame.lru_pos = std::prev(lru_.end());
+    frame.in_lru = true;
+  }
+}
+
+StatusOr<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    const size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted(
+        "buffer pool exhausted: all frames pinned");
+  }
+  const size_t idx = lru_.front();
+  lru_.pop_front();
+  Frame& frame = frames_[idx];
+  frame.in_lru = false;
+  ++stats_.evictions;
+  if (frame.dirty) {
+    PICTDB_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.data.get()));
+    ++stats_.flushes;
+    frame.dirty = false;
+  }
+  page_table_.erase(frame.page_id);
+  frame.page_id = kInvalidPageId;
+  return idx;
+}
+
+StatusOr<PageGuard> BufferPool::PinFrame(size_t frame_idx) {
+  Frame& frame = frames_[frame_idx];
+  if (frame.pin_count == 0 && frame.in_lru) {
+    lru_.erase(frame.lru_pos);
+    frame.in_lru = false;
+  }
+  ++frame.pin_count;
+  return PageGuard(this, frame.page_id, frame.data.get(), &frame.dirty);
+}
+
+StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
+  ++stats_.fetches;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    return PinFrame(it->second);
+  }
+  ++stats_.misses;
+  PICTDB_ASSIGN_OR_RETURN(const size_t idx, GetVictimFrame());
+  Frame& frame = frames_[idx];
+  PICTDB_RETURN_IF_ERROR(disk_->ReadPage(id, frame.data.get()));
+  frame.page_id = id;
+  frame.dirty = false;
+  page_table_[id] = idx;
+  return PinFrame(idx);
+}
+
+StatusOr<PageGuard> BufferPool::NewPage() {
+  const PageId id = disk_->AllocatePage();
+  PICTDB_ASSIGN_OR_RETURN(const size_t idx, GetVictimFrame());
+  Frame& frame = frames_[idx];
+  std::memset(frame.data.get(), 0, disk_->page_size());
+  frame.page_id = id;
+  frame.dirty = true;  // must reach disk even if never written again
+  page_table_[id] = idx;
+  return PinFrame(idx);
+}
+
+Status BufferPool::FreePage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    const size_t idx = it->second;
+    Frame& frame = frames_[idx];
+    if (frame.pin_count > 0) {
+      return Status::InvalidArgument("freeing pinned page " +
+                                     std::to_string(id));
+    }
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    frame.page_id = kInvalidPageId;
+    frame.dirty = false;
+    page_table_.erase(it);
+    free_frames_.push_back(idx);
+  }
+  disk_->DeallocatePage(id);
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.dirty) {
+      PICTDB_RETURN_IF_ERROR(
+          disk_->WritePage(frame.page_id, frame.data.get()));
+      frame.dirty = false;
+      ++stats_.flushes;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pictdb::storage

@@ -1,0 +1,121 @@
+#ifndef PICTDB_STORAGE_BUFFER_POOL_H_
+#define PICTDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace pictdb::storage {
+
+/// Counters for cache behaviour; the difference between `fetches` and
+/// `misses` shows how well the LRU pool absorbs a workload's page touches.
+struct BufferPoolStats {
+  uint64_t fetches = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+};
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While alive the frame cannot be evicted;
+/// mutation must go through mutable_data(), which marks the page dirty.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id, char* data, bool* dirty_flag);
+  ~PageGuard();
+
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  const char* data() const { return data_; }
+  char* mutable_data() {
+    *dirty_flag_ = true;
+    return data_;
+  }
+
+  /// Unpin early (before destruction).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  bool* dirty_flag_ = nullptr;
+};
+
+/// Fixed-capacity page cache over a DiskManager with LRU replacement.
+/// Single-threaded by design (the library's execution model is one query
+/// at a time, as in the paper's system).
+class BufferPool {
+ public:
+  /// `capacity` is the number of page frames held in memory.
+  BufferPool(DiskManager* disk, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pin page `id`, reading it from disk on a miss.
+  StatusOr<PageGuard> FetchPage(PageId id);
+
+  /// Allocate a fresh zeroed page and pin it.
+  StatusOr<PageGuard> NewPage();
+
+  /// Drop the page from the pool (without writing it back) and return it
+  /// to the disk manager's free list. The page must not be pinned.
+  Status FreePage(PageId id);
+
+  /// Write all dirty frames back to disk.
+  Status FlushAll();
+
+  DiskManager* disk() const { return disk_; }
+  uint32_t page_size() const { return disk_->page_size(); }
+  size_t capacity() const { return capacity_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  /// Number of currently pinned frames (for tests / leak detection).
+  size_t pinned_frames() const;
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    std::unique_ptr<char[]> data;
+    int pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when pin_count == 0.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id);
+  StatusOr<size_t> GetVictimFrame();  // frame ready for reuse
+  StatusOr<PageGuard> PinFrame(size_t frame_idx);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // front = least recently used
+  std::vector<size_t> free_frames_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace pictdb::storage
+
+#endif  // PICTDB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,135 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pictdb::storage {
+
+InMemoryDiskManager::InMemoryDiskManager(uint32_t page_size)
+    : page_size_(page_size) {
+  PICTDB_CHECK(page_size_ >= 64) << "page size too small: " << page_size_;
+}
+
+Status InMemoryDiskManager::ReadPage(PageId id, char* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  std::memcpy(out, pages_[id].get(), page_size_);
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::WritePage(PageId id, const char* data) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  std::memcpy(pages_[id].get(), data, page_size_);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+PageId InMemoryDiskManager::AllocatePage() {
+  ++stats_.allocations;
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    std::memset(pages_[id].get(), 0, page_size_);
+    return id;
+  }
+  auto buf = std::make_unique<char[]>(page_size_);
+  std::memset(buf.get(), 0, page_size_);
+  pages_.push_back(std::move(buf));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void InMemoryDiskManager::DeallocatePage(PageId id) {
+  PICTDB_CHECK(id < pages_.size());
+  free_list_.push_back(id);
+}
+
+StatusOr<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path, uint32_t page_size, bool truncate) {
+  PICTDB_CHECK(page_size >= 64);
+  std::FILE* f = nullptr;
+  PageId page_count = 0;
+  if (truncate) {
+    f = std::fopen(path.c_str(), "wb+");
+  } else {
+    f = std::fopen(path.c_str(), "rb+");
+    if (f == nullptr) f = std::fopen(path.c_str(), "wb+");
+  }
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek " + path);
+  }
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot tell " + path);
+  }
+  page_count = static_cast<PageId>(static_cast<uint64_t>(size) / page_size);
+  return std::unique_ptr<FileDiskManager>(
+      new FileDiskManager(f, page_size, page_count));
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileDiskManager::ReadPage(PageId id, char* out) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fread(out, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short read of page " + std::to_string(id));
+  }
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId id, const char* data) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(data, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short write of page " + std::to_string(id));
+  }
+  ++stats_.writes;
+  return Status::OK();
+}
+
+PageId FileDiskManager::AllocatePage() {
+  ++stats_.allocations;
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  const PageId id = page_count_++;
+  // Extend the file with a zero page so subsequent reads succeed.
+  std::vector<char> zeros(page_size_, 0);
+  std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET);
+  std::fwrite(zeros.data(), 1, page_size_, file_);
+  return id;
+}
+
+void FileDiskManager::DeallocatePage(PageId id) {
+  PICTDB_CHECK(id < page_count_);
+  free_list_.push_back(id);
+}
+
+}  // namespace pictdb::storage

@@ -1,0 +1,195 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pictdb::storage {
+
+namespace {
+
+/// On-page layout. Slot directory grows up from the header; record bytes
+/// grow down from the page end.
+struct HeapPageHeader {
+  PageId next_page;
+  uint16_t slot_count;
+  uint16_t free_end;  // offset one past the usable data region
+};
+
+struct SlotEntry {
+  uint16_t offset;  // kTombstoneOffset when deleted
+  uint16_t size;
+};
+
+constexpr uint16_t kTombstoneOffset = 0xFFFF;
+
+HeapPageHeader* Header(char* page) {
+  return reinterpret_cast<HeapPageHeader*>(page);
+}
+const HeapPageHeader* Header(const char* page) {
+  return reinterpret_cast<const HeapPageHeader*>(page);
+}
+
+SlotEntry* Slots(char* page) {
+  return reinterpret_cast<SlotEntry*>(page + sizeof(HeapPageHeader));
+}
+const SlotEntry* Slots(const char* page) {
+  return reinterpret_cast<const SlotEntry*>(page + sizeof(HeapPageHeader));
+}
+
+size_t FreeSpace(const char* page) {
+  const HeapPageHeader* h = Header(page);
+  const size_t used_front =
+      sizeof(HeapPageHeader) + h->slot_count * sizeof(SlotEntry);
+  return h->free_end - used_front;
+}
+
+void InitPage(char* page, uint32_t page_size) {
+  HeapPageHeader* h = Header(page);
+  h->next_page = kInvalidPageId;
+  h->slot_count = 0;
+  h->free_end = static_cast<uint16_t>(page_size);
+}
+
+}  // namespace
+
+StatusOr<HeapFile> HeapFile::Create(BufferPool* pool) {
+  PICTDB_CHECK(pool->page_size() <= 0xFFFF)
+      << "heap pages use 16-bit offsets";
+  PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool->NewPage());
+  InitPage(guard.mutable_data(), pool->page_size());
+  return HeapFile(pool, guard.id());
+}
+
+HeapFile HeapFile::Open(BufferPool* pool, PageId first_page) {
+  return HeapFile(pool, first_page);
+}
+
+StatusOr<Rid> HeapFile::Insert(const Slice& record) {
+  const size_t needed = record.size() + sizeof(SlotEntry);
+  const size_t max_record =
+      pool_->page_size() - sizeof(HeapPageHeader) - sizeof(SlotEntry);
+  if (record.size() > max_record) {
+    return Status::InvalidArgument("record larger than page capacity");
+  }
+
+  // Walk to the last page (first-fit on the tail; interior free space is
+  // reclaimed only by compaction, which this library does not need).
+  PageId page_id = first_page_;
+  for (;;) {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page_id));
+    const HeapPageHeader* h = Header(guard.data());
+    if (FreeSpace(guard.data()) >= needed) {
+      char* page = guard.mutable_data();
+      HeapPageHeader* mh = Header(page);
+      const uint16_t offset =
+          static_cast<uint16_t>(mh->free_end - record.size());
+      std::memcpy(page + offset, record.data(), record.size());
+      SlotEntry* slot = Slots(page) + mh->slot_count;
+      slot->offset = offset;
+      slot->size = static_cast<uint16_t>(record.size());
+      mh->free_end = offset;
+      const uint16_t slot_idx = mh->slot_count++;
+      return Rid{page_id, slot_idx};
+    }
+    if (h->next_page != kInvalidPageId) {
+      page_id = h->next_page;
+      continue;
+    }
+    // Tail is full: chain a fresh page.
+    PICTDB_ASSIGN_OR_RETURN(PageGuard fresh, pool_->NewPage());
+    InitPage(fresh.mutable_data(), pool_->page_size());
+    Header(guard.mutable_data())->next_page = fresh.id();
+    page_id = fresh.id();
+  }
+}
+
+StatusOr<std::string> HeapFile::Get(const Rid& rid) const {
+  PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+  const HeapPageHeader* h = Header(guard.data());
+  if (rid.slot >= h->slot_count) {
+    return Status::NotFound("no such slot");
+  }
+  const SlotEntry& slot = Slots(guard.data())[rid.slot];
+  if (slot.offset == kTombstoneOffset) {
+    return Status::NotFound("record deleted");
+  }
+  return std::string(guard.data() + slot.offset, slot.size);
+}
+
+Status HeapFile::Delete(const Rid& rid) {
+  PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+  const HeapPageHeader* h = Header(guard.data());
+  if (rid.slot >= h->slot_count) {
+    return Status::NotFound("no such slot");
+  }
+  SlotEntry* slot = Slots(guard.mutable_data()) + rid.slot;
+  if (slot->offset == kTombstoneOffset) {
+    return Status::NotFound("record already deleted");
+  }
+  slot->offset = kTombstoneOffset;
+  slot->size = 0;
+  return Status::OK();
+}
+
+StatusOr<Rid> HeapFile::Update(const Rid& rid, const Slice& record) {
+  {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page_id));
+    const HeapPageHeader* h = Header(guard.data());
+    if (rid.slot >= h->slot_count) {
+      return Status::NotFound("no such slot");
+    }
+    SlotEntry* slot = Slots(guard.mutable_data()) + rid.slot;
+    if (slot->offset == kTombstoneOffset) {
+      return Status::NotFound("record deleted");
+    }
+    if (record.size() <= slot->size) {
+      char* page = guard.mutable_data();
+      std::memcpy(page + slot->offset, record.data(), record.size());
+      slot->size = static_cast<uint16_t>(record.size());
+      return rid;
+    }
+  }
+  PICTDB_RETURN_IF_ERROR(Delete(rid));
+  return Insert(record);
+}
+
+StatusOr<Rid> HeapFile::FindFrom(PageId page, uint16_t slot) const {
+  PageId page_id = page;
+  uint16_t slot_idx = slot;
+  while (page_id != kInvalidPageId) {
+    PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page_id));
+    const HeapPageHeader* h = Header(guard.data());
+    const SlotEntry* slots = Slots(guard.data());
+    for (; slot_idx < h->slot_count; ++slot_idx) {
+      if (slots[slot_idx].offset != kTombstoneOffset) {
+        return Rid{page_id, slot_idx};
+      }
+    }
+    page_id = h->next_page;
+    slot_idx = 0;
+  }
+  return Rid{};  // invalid: end of file
+}
+
+StatusOr<Rid> HeapFile::First() const { return FindFrom(first_page_, 0); }
+
+StatusOr<Rid> HeapFile::Next(const Rid& rid) const {
+  if (!rid.IsValid()) return Rid{};
+  if (rid.slot == 0xFFFF) {
+    return Status::InvalidArgument("slot overflow in Next");
+  }
+  return FindFrom(rid.page_id, static_cast<uint16_t>(rid.slot + 1));
+}
+
+StatusOr<uint64_t> HeapFile::Count() const {
+  uint64_t n = 0;
+  PICTDB_ASSIGN_OR_RETURN(Rid rid, First());
+  while (rid.IsValid()) {
+    ++n;
+    PICTDB_ASSIGN_OR_RETURN(rid, Next(rid));
+  }
+  return n;
+}
+
+}  // namespace pictdb::storage

@@ -1,0 +1,83 @@
+#ifndef PICTDB_STORAGE_HEAP_FILE_H_
+#define PICTDB_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/status_or.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace pictdb::storage {
+
+/// Record identifier: page + slot. This is the "tuple-identifier" stored
+/// in R-tree leaf entries (the paper's backward pointer from picture to
+/// relation tuple).
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool IsValid() const { return page_id != kInvalidPageId; }
+
+  friend bool operator==(const Rid& a, const Rid& b) {
+    return a.page_id == b.page_id && a.slot == b.slot;
+  }
+  friend bool operator<(const Rid& a, const Rid& b) {
+    return a.page_id < b.page_id ||
+           (a.page_id == b.page_id && a.slot < b.slot);
+  }
+};
+
+/// Unordered collection of variable-length records in slotted pages,
+/// chained into a linked list of pages. Records keep a stable Rid until
+/// deleted. Backing store for relations.
+class HeapFile {
+ public:
+  /// Create a new heap file in `pool`, allocating its first page.
+  static StatusOr<HeapFile> Create(BufferPool* pool);
+
+  /// Reattach to an existing heap file by its first page id.
+  static HeapFile Open(BufferPool* pool, PageId first_page);
+
+  /// Insert a record; returns its Rid.
+  StatusOr<Rid> Insert(const Slice& record);
+
+  /// Fetch a record's bytes.
+  StatusOr<std::string> Get(const Rid& rid) const;
+
+  /// Remove a record. Its slot becomes a tombstone (Rids are never
+  /// recycled within a page, keeping external references unambiguous).
+  Status Delete(const Rid& rid);
+
+  /// Replace a record in place when it fits, else delete + reinsert
+  /// (returning the possibly-new Rid).
+  StatusOr<Rid> Update(const Rid& rid, const Slice& record);
+
+  /// Rid of the first record at or after `prev` in file order, or an
+  /// invalid Rid at the end. Pass a default Rid{first_page(),0} start via
+  /// First().
+  StatusOr<Rid> First() const;
+  StatusOr<Rid> Next(const Rid& rid) const;
+
+  /// Number of live (non-deleted) records.
+  StatusOr<uint64_t> Count() const;
+
+  PageId first_page() const { return first_page_; }
+
+ private:
+  HeapFile(BufferPool* pool, PageId first_page)
+      : pool_(pool), first_page_(first_page) {}
+
+  /// Scan from (page,slot) inclusive for the next live record.
+  StatusOr<Rid> FindFrom(PageId page, uint16_t slot) const;
+
+  BufferPool* pool_;
+  PageId first_page_;
+};
+
+}  // namespace pictdb::storage
+
+#endif  // PICTDB_STORAGE_HEAP_FILE_H_

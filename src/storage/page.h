@@ -1,0 +1,20 @@
+#ifndef PICTDB_STORAGE_PAGE_H_
+#define PICTDB_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace pictdb::storage {
+
+/// Identifier of a fixed-size page within a database file.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Default page size. The R-tree derives its branching factor from this
+/// unless an explicit cap is set (the paper's experiments cap it at 4).
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+}  // namespace pictdb::storage
+
+#endif  // PICTDB_STORAGE_PAGE_H_

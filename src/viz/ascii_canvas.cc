@@ -1,0 +1,105 @@
+#include "viz/ascii_canvas.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pictdb::viz {
+
+AsciiCanvas::AsciiCanvas(const geom::Rect& frame, size_t cols, size_t rows)
+    : frame_(frame), cols_(cols), rows_(rows) {
+  PICTDB_CHECK(!frame.IsEmpty() && cols >= 2 && rows >= 2);
+  grid_.assign(rows_, std::string(cols_, ' '));
+}
+
+bool AsciiCanvas::ToCell(const geom::Point& p, long* cx, long* cy) const {
+  if (!frame_.Contains(p)) return false;
+  const double fx = (p.x - frame_.lo.x) / std::max(frame_.Width(), 1e-12);
+  const double fy = (p.y - frame_.lo.y) / std::max(frame_.Height(), 1e-12);
+  *cx = std::min<long>(static_cast<long>(fx * static_cast<double>(cols_)),
+                       static_cast<long>(cols_) - 1);
+  // Row 0 is the top of the picture (max y).
+  *cy = std::min<long>(static_cast<long>((1.0 - fy) * static_cast<double>(rows_)),
+                       static_cast<long>(rows_) - 1);
+  return true;
+}
+
+void AsciiCanvas::Put(long cx, long cy, char c) {
+  if (cx < 0 || cy < 0 || cx >= static_cast<long>(cols_) ||
+      cy >= static_cast<long>(rows_)) {
+    return;
+  }
+  grid_[static_cast<size_t>(cy)][static_cast<size_t>(cx)] = c;
+}
+
+void AsciiCanvas::DrawPoint(const geom::Point& p, char marker) {
+  long cx, cy;
+  if (ToCell(p, &cx, &cy)) Put(cx, cy, marker);
+}
+
+void AsciiCanvas::DrawRect(const geom::Rect& r, char corner) {
+  if (r.IsEmpty()) return;
+  long x0, y0, x1, y1;
+  // Clamp the rect into the frame first so partially visible rects draw.
+  const geom::Rect clipped = geom::IntersectionOf(r, frame_);
+  if (clipped.IsEmpty()) return;
+  if (!ToCell(clipped.lo, &x0, &y0) || !ToCell(clipped.hi, &x1, &y1)) return;
+  // ToCell flips y: lo -> bottom row (larger cy).
+  std::swap(y0, y1);
+  for (long x = x0; x <= x1; ++x) {
+    Put(x, y0, '-');
+    Put(x, y1, '-');
+  }
+  for (long y = y0; y <= y1; ++y) {
+    Put(x0, y, '|');
+    Put(x1, y, '|');
+  }
+  Put(x0, y0, corner);
+  Put(x1, y0, corner);
+  Put(x0, y1, corner);
+  Put(x1, y1, corner);
+}
+
+void AsciiCanvas::DrawSegment(const geom::Segment& s, char marker) {
+  long x0, y0, x1, y1;
+  if (!ToCell(s.a, &x0, &y0) || !ToCell(s.b, &x1, &y1)) return;
+  // Bresenham.
+  const long dx = std::labs(x1 - x0), sx = x0 < x1 ? 1 : -1;
+  const long dy = -std::labs(y1 - y0), sy = y0 < y1 ? 1 : -1;
+  long err = dx + dy;
+  long x = x0, y = y0;
+  for (;;) {
+    Put(x, y, marker);
+    if (x == x1 && y == y1) break;
+    const long e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y += sy;
+    }
+  }
+}
+
+void AsciiCanvas::DrawLabel(const geom::Point& p, const std::string& text) {
+  long cx, cy;
+  if (!ToCell(p, &cx, &cy)) return;
+  for (size_t i = 0; i < text.size(); ++i) {
+    Put(cx + static_cast<long>(i), cy, text[i]);
+  }
+}
+
+std::string AsciiCanvas::Render() const {
+  std::string out;
+  out.reserve((cols_ + 1) * rows_);
+  for (const std::string& row : grid_) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pictdb::viz

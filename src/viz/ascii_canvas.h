@@ -1,0 +1,50 @@
+#ifndef PICTDB_VIZ_ASCII_CANVAS_H_
+#define PICTDB_VIZ_ASCII_CANVAS_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+
+namespace pictdb::viz {
+
+/// Terminal-resolution "graphics monitor": renders pictorial query output
+/// as a character grid. World coordinates are mapped from `frame` onto a
+/// cols×rows cell raster (y grows upward, so row 0 prints last).
+class AsciiCanvas {
+ public:
+  AsciiCanvas(const geom::Rect& frame, size_t cols, size_t rows);
+
+  /// Plot a point marker.
+  void DrawPoint(const geom::Point& p, char marker = '*');
+
+  /// Draw the outline of a rectangle with -, | and + characters.
+  void DrawRect(const geom::Rect& r, char corner = '+');
+
+  /// Draw a line segment (Bresenham over the cell raster).
+  void DrawSegment(const geom::Segment& s, char marker = '.');
+
+  /// Place a label with its first character at the cell containing `p`.
+  void DrawLabel(const geom::Point& p, const std::string& text);
+
+  /// Render to a newline-joined string (top row first).
+  std::string Render() const;
+
+  size_t cols() const { return cols_; }
+  size_t rows() const { return rows_; }
+
+ private:
+  bool ToCell(const geom::Point& p, long* cx, long* cy) const;
+  void Put(long cx, long cy, char c);
+
+  geom::Rect frame_;
+  size_t cols_;
+  size_t rows_;
+  std::vector<std::string> grid_;  // grid_[row][col], row 0 = top
+};
+
+}  // namespace pictdb::viz
+
+#endif  // PICTDB_VIZ_ASCII_CANVAS_H_

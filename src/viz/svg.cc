@@ -1,0 +1,94 @@
+#include "viz/svg.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace pictdb::viz {
+
+SvgWriter::SvgWriter(const geom::Rect& frame, double width_px)
+    : frame_(frame), width_px_(width_px) {
+  PICTDB_CHECK(!frame.IsEmpty() && width_px > 0);
+  scale_ = width_px_ / std::max(frame_.Width(), 1e-12);
+  height_px_ = frame_.Height() * scale_;
+  if (height_px_ < 1.0) height_px_ = 1.0;
+}
+
+double SvgWriter::X(double wx) const { return (wx - frame_.lo.x) * scale_; }
+double SvgWriter::Y(double wy) const {
+  return height_px_ - (wy - frame_.lo.y) * scale_;
+}
+
+void SvgWriter::AddPoint(const geom::Point& p, const std::string& color,
+                         double radius) {
+  std::ostringstream os;
+  os << "<circle cx=\"" << X(p.x) << "\" cy=\"" << Y(p.y) << "\" r=\""
+     << radius << "\" fill=\"" << color << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::AddRect(const geom::Rect& r, const std::string& stroke,
+                        double stroke_width) {
+  if (r.IsEmpty()) return;
+  std::ostringstream os;
+  os << "<rect x=\"" << X(r.lo.x) << "\" y=\"" << Y(r.hi.y) << "\" width=\""
+     << r.Width() * scale_ << "\" height=\"" << r.Height() * scale_
+     << "\" fill=\"none\" stroke=\"" << stroke << "\" stroke-width=\""
+     << stroke_width << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::AddSegment(const geom::Segment& s, const std::string& stroke,
+                           double stroke_width) {
+  std::ostringstream os;
+  os << "<line x1=\"" << X(s.a.x) << "\" y1=\"" << Y(s.a.y) << "\" x2=\""
+     << X(s.b.x) << "\" y2=\"" << Y(s.b.y) << "\" stroke=\"" << stroke
+     << "\" stroke-width=\"" << stroke_width << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::AddPolygon(const geom::Polygon& poly,
+                           const std::string& stroke,
+                           const std::string& fill) {
+  if (poly.empty()) return;
+  std::ostringstream os;
+  os << "<polygon points=\"";
+  for (size_t i = 0; i < poly.size(); ++i) {
+    if (i) os << " ";
+    os << X(poly.vertices()[i].x) << "," << Y(poly.vertices()[i].y);
+  }
+  os << "\" fill=\"" << fill << "\" stroke=\"" << stroke << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::AddLabel(const geom::Point& p, const std::string& text,
+                         double font_px) {
+  std::ostringstream os;
+  os << "<text x=\"" << X(p.x) << "\" y=\"" << Y(p.y) << "\" font-size=\""
+     << font_px << "\" font-family=\"sans-serif\">" << text << "</text>";
+  elements_.push_back(os.str());
+}
+
+std::string SvgWriter::Finish() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px_
+     << "\" height=\"" << height_px_ << "\" viewBox=\"0 0 " << width_px_
+     << " " << height_px_ << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const std::string& e : elements_) os << e << "\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+Status SvgWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const std::string doc = Finish();
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) return Status::IOError("short write " + path);
+  return Status::OK();
+}
+
+}  // namespace pictdb::viz

@@ -1,0 +1,54 @@
+#ifndef PICTDB_VIZ_SVG_H_
+#define PICTDB_VIZ_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+
+namespace pictdb::viz {
+
+/// Minimal SVG emitter for the figure-style outputs (Fig 3.8a-c): points,
+/// MBR outlines per tree level, segments, polygons. World y is flipped so
+/// pictures render with north up.
+class SvgWriter {
+ public:
+  /// `frame` is the world viewport; output is scaled to width_px wide.
+  SvgWriter(const geom::Rect& frame, double width_px = 800.0);
+
+  void AddPoint(const geom::Point& p, const std::string& color = "black",
+                double radius = 2.0);
+  void AddRect(const geom::Rect& r, const std::string& stroke = "steelblue",
+               double stroke_width = 1.0);
+  void AddSegment(const geom::Segment& s, const std::string& stroke = "gray",
+                  double stroke_width = 1.0);
+  void AddPolygon(const geom::Polygon& poly,
+                  const std::string& stroke = "darkgreen",
+                  const std::string& fill = "none");
+  void AddLabel(const geom::Point& p, const std::string& text,
+                double font_px = 10.0);
+
+  /// Serialize the document.
+  std::string Finish() const;
+
+  /// Serialize and write to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  double X(double wx) const;
+  double Y(double wy) const;
+
+  geom::Rect frame_;
+  double width_px_;
+  double height_px_;
+  double scale_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace pictdb::viz
+
+#endif  // PICTDB_VIZ_SVG_H_

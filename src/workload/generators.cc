@@ -1,0 +1,123 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pictdb::workload {
+
+std::vector<geom::Point> UniformPoints(Random* rng, size_t n,
+                                       const geom::Rect& frame) {
+  std::vector<geom::Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(geom::Point{rng->UniformDouble(frame.lo.x, frame.hi.x),
+                              rng->UniformDouble(frame.lo.y, frame.hi.y)});
+  }
+  return out;
+}
+
+std::vector<geom::Point> ClusteredPoints(Random* rng, size_t n,
+                                         size_t clusters, double sigma,
+                                         const geom::Rect& frame) {
+  PICTDB_CHECK(clusters >= 1);
+  const std::vector<geom::Point> centers =
+      UniformPoints(rng, clusters, frame);
+  std::vector<geom::Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Point& c = centers[rng->Uniform(clusters)];
+    geom::Point p{c.x + sigma * rng->NextGaussian(),
+                  c.y + sigma * rng->NextGaussian()};
+    p.x = std::clamp(p.x, frame.lo.x, frame.hi.x);
+    p.y = std::clamp(p.y, frame.lo.y, frame.hi.y);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<geom::Point> SkewedPoints(Random* rng, size_t n, double alpha,
+                                      const geom::Rect& frame) {
+  PICTDB_CHECK(alpha > 0);
+  std::vector<geom::Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = std::pow(rng->NextDouble(), alpha);
+    out.push_back(
+        geom::Point{frame.lo.x + u * frame.Width(),
+                    rng->UniformDouble(frame.lo.y, frame.hi.y)});
+  }
+  return out;
+}
+
+std::vector<geom::Point> GridPoints(Random* rng, size_t rows, size_t cols,
+                                    double jitter, const geom::Rect& frame) {
+  PICTDB_CHECK(rows >= 1 && cols >= 1);
+  std::vector<geom::Point> out;
+  out.reserve(rows * cols);
+  const double dx = frame.Width() / static_cast<double>(cols);
+  const double dy = frame.Height() / static_cast<double>(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      const double cx = frame.lo.x + (static_cast<double>(c) + 0.5) * dx;
+      const double cy = frame.lo.y + (static_cast<double>(r) + 0.5) * dy;
+      out.push_back(geom::Point{
+          cx + jitter * dx * (rng->NextDouble() - 0.5),
+          cy + jitter * dy * (rng->NextDouble() - 0.5)});
+    }
+  }
+  return out;
+}
+
+std::vector<geom::Rect> DisjointRegions(Random* rng, size_t n,
+                                        const geom::Rect& frame) {
+  // Lattice with at least n cells; shuffle cell order, then carve one
+  // strictly interior sub-rectangle per cell.
+  const size_t side = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  std::vector<size_t> cells(side * side);
+  for (size_t i = 0; i < cells.size(); ++i) cells[i] = i;
+  // Fisher-Yates.
+  for (size_t i = cells.size(); i > 1; --i) {
+    std::swap(cells[i - 1], cells[rng->Uniform(i)]);
+  }
+
+  const double dx = frame.Width() / static_cast<double>(side);
+  const double dy = frame.Height() / static_cast<double>(side);
+  std::vector<geom::Rect> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t cx = cells[i] % side;
+    const size_t cy = cells[i] / side;
+    const double x0 = frame.lo.x + static_cast<double>(cx) * dx;
+    const double y0 = frame.lo.y + static_cast<double>(cy) * dy;
+    // Keep a 5% margin so neighbours never touch.
+    const double w = dx * rng->UniformDouble(0.2, 0.9);
+    const double h = dy * rng->UniformDouble(0.2, 0.9);
+    const double ox = rng->UniformDouble(0.05, 0.95 - w / dx) * dx;
+    const double oy = rng->UniformDouble(0.05, 0.95 - h / dy) * dy;
+    out.push_back(geom::Rect(x0 + ox, y0 + oy, x0 + ox + w, y0 + oy + h));
+  }
+  return out;
+}
+
+std::vector<geom::Segment> RandomSegments(Random* rng, size_t n,
+                                          double max_len,
+                                          const geom::Rect& frame) {
+  std::vector<geom::Segment> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Point a{rng->UniformDouble(frame.lo.x, frame.hi.x),
+                        rng->UniformDouble(frame.lo.y, frame.hi.y)};
+    const double angle = rng->UniformDouble(0, 2 * M_PI);
+    const double len = rng->UniformDouble(0, max_len);
+    geom::Point b{a.x + len * std::cos(angle), a.y + len * std::sin(angle)};
+    b.x = std::clamp(b.x, frame.lo.x, frame.hi.x);
+    b.y = std::clamp(b.y, frame.lo.y, frame.hi.y);
+    out.push_back(geom::Segment{a, b});
+  }
+  return out;
+}
+
+}  // namespace pictdb::workload

@@ -1,0 +1,51 @@
+#ifndef PICTDB_WORKLOAD_GENERATORS_H_
+#define PICTDB_WORKLOAD_GENERATORS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+
+namespace pictdb::workload {
+
+/// The paper's experimental frame: coordinates in [0,1000]².
+inline geom::Rect PaperFrame() { return geom::Rect(0, 0, 1000, 1000); }
+
+/// `n` points uniform in `frame` — the paper's data distribution
+/// ("randomly generated with a uniform distribution in the plane").
+std::vector<geom::Point> UniformPoints(Random* rng, size_t n,
+                                       const geom::Rect& frame);
+
+/// Points drawn around `clusters` Gaussian centers (centers themselves
+/// uniform in the frame); spread is `sigma` in frame units. Points are
+/// clamped into the frame.
+std::vector<geom::Point> ClusteredPoints(Random* rng, size_t n,
+                                         size_t clusters, double sigma,
+                                         const geom::Rect& frame);
+
+/// Skewed marginal: x ~ frame width * U^alpha (alpha>1 piles points
+/// toward the left edge), y uniform. Models the "dead space" maps the
+/// paper worries about.
+std::vector<geom::Point> SkewedPoints(Random* rng, size_t n, double alpha,
+                                      const geom::Rect& frame);
+
+/// Points on a jittered rows×cols lattice covering the frame.
+std::vector<geom::Point> GridPoints(Random* rng, size_t rows, size_t cols,
+                                    double jitter, const geom::Rect& frame);
+
+/// `n` pairwise-disjoint axis-aligned rectangles: the frame is cut into a
+/// lattice and each chosen cell hosts one random sub-rectangle, so
+/// disjointness is structural. Models region objects (states, lakes).
+std::vector<geom::Rect> DisjointRegions(Random* rng, size_t n,
+                                        const geom::Rect& frame);
+
+/// `n` random segments with length at most `max_len` (highway sections).
+std::vector<geom::Segment> RandomSegments(Random* rng, size_t n,
+                                          double max_len,
+                                          const geom::Rect& frame);
+
+}  // namespace pictdb::workload
+
+#endif  // PICTDB_WORKLOAD_GENERATORS_H_

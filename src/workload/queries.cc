@@ -1,0 +1,41 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pictdb::workload {
+
+std::vector<geom::Point> RandomPointQueries(Random* rng, size_t n,
+                                            const geom::Rect& frame) {
+  std::vector<geom::Point> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(geom::Point{rng->UniformDouble(frame.lo.x, frame.hi.x),
+                              rng->UniformDouble(frame.lo.y, frame.hi.y)});
+  }
+  return out;
+}
+
+std::vector<geom::Rect> RandomWindowQueries(Random* rng, size_t n,
+                                            double selectivity,
+                                            const geom::Rect& frame) {
+  PICTDB_CHECK(selectivity > 0 && selectivity <= 1);
+  std::vector<geom::Rect> out;
+  out.reserve(n);
+  const double area = selectivity * frame.Area();
+  for (size_t i = 0; i < n; ++i) {
+    const double aspect = rng->UniformDouble(0.5, 2.0);
+    double w = std::sqrt(area * aspect);
+    double h = area / w;
+    w = std::min(w, frame.Width());
+    h = std::min(h, frame.Height());
+    const double x = rng->UniformDouble(frame.lo.x, frame.hi.x - w);
+    const double y = rng->UniformDouble(frame.lo.y, frame.hi.y - h);
+    out.push_back(geom::Rect(x, y, x + w, y + h));
+  }
+  return out;
+}
+
+}  // namespace pictdb::workload

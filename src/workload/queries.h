@@ -1,0 +1,25 @@
+#ifndef PICTDB_WORKLOAD_QUERIES_H_
+#define PICTDB_WORKLOAD_QUERIES_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace pictdb::workload {
+
+/// The paper's Table 1 queries: "Is point (x,y) contained in the
+/// database?" at uniformly random locations.
+std::vector<geom::Point> RandomPointQueries(Random* rng, size_t n,
+                                            const geom::Rect& frame);
+
+/// Window queries whose area is `selectivity` of the frame's area, with
+/// aspect ratio drawn in [0.5, 2]; clamped to the frame.
+std::vector<geom::Rect> RandomWindowQueries(Random* rng, size_t n,
+                                            double selectivity,
+                                            const geom::Rect& frame);
+
+}  // namespace pictdb::workload
+
+#endif  // PICTDB_WORKLOAD_QUERIES_H_

@@ -1,0 +1,244 @@
+#include "workload/us_catalog.h"
+
+#include "workload/us_cities.h"
+
+namespace pictdb::workload {
+
+namespace {
+
+using geom::Geometry;
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+using geom::Segment;
+using rel::Column;
+using rel::Schema;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+/// Simplified state outlines (bounding boxes in lon/lat) for the states
+/// the paper's examples touch; enough to exercise region search and the
+/// nested lakes-in-eastern-states mapping.
+struct StateBox {
+  const char* name;
+  double density;  // people per square mile, approximate
+  Rect box;
+};
+
+const StateBox kStates[] = {
+    {"New York", 428.7, Rect(-79.8, 40.5, -71.8, 45.0)},
+    {"Pennsylvania", 290.6, Rect(-80.5, 39.7, -74.7, 42.3)},
+    {"Ohio", 288.8, Rect(-84.8, 38.4, -80.5, 42.0)},
+    {"Michigan", 177.7, Rect(-90.4, 41.7, -82.4, 48.3)},
+    {"Illinois", 230.8, Rect(-91.5, 36.9, -87.0, 42.5)},
+    {"Wisconsin", 108.8, Rect(-92.9, 42.5, -86.2, 47.1)},
+    {"Minnesota", 71.7, Rect(-97.2, 43.5, -89.5, 49.4)},
+    {"Florida", 401.4, Rect(-87.6, 24.5, -80.0, 31.0)},
+    {"Texas", 111.6, Rect(-106.6, 25.8, -93.5, 36.5)},
+    {"California", 253.7, Rect(-124.4, 32.5, -114.1, 42.0)},
+    {"Nevada", 28.6, Rect(-120.0, 35.0, -114.0, 42.0)},
+    {"Utah", 39.7, Rect(-114.1, 37.0, -109.0, 42.0)},
+    {"Colorado", 55.7, Rect(-109.1, 37.0, -102.0, 41.0)},
+    {"Washington", 115.9, Rect(-124.8, 45.5, -116.9, 49.0)},
+    {"Oregon", 44.1, Rect(-124.6, 42.0, -116.5, 46.3)},
+    {"Georgia", 185.2, Rect(-85.6, 30.4, -80.8, 35.0)},
+    {"Virginia", 218.4, Rect(-83.7, 36.5, -75.2, 39.5)},
+    {"North Carolina", 214.7, Rect(-84.3, 33.8, -75.5, 36.6)},
+    {"Maine", 43.6, Rect(-71.1, 43.1, -66.9, 47.5)},
+    {"Arizona", 64.9, Rect(-114.8, 31.3, -109.0, 37.0)},
+};
+
+/// The Great Lakes plus a few others, as bounding-box regions with
+/// surface area (sq mi) and volume (cubic mi).
+struct LakeBox {
+  const char* name;
+  double area;
+  double volume;
+  Rect box;
+};
+
+const LakeBox kLakes[] = {
+    {"Lake Superior", 31700, 2900, Rect(-92.1, 46.4, -84.3, 49.0)},
+    {"Lake Michigan", 22404, 1180, Rect(-88.1, 41.6, -85.5, 46.1)},
+    {"Lake Huron", 23007, 850, Rect(-84.8, 43.0, -79.7, 46.3)},
+    {"Lake Erie", 9910, 116, Rect(-83.5, 41.4, -78.9, 42.9)},
+    {"Lake Ontario", 7340, 393, Rect(-79.8, 43.2, -76.0, 44.2)},
+    {"Great Salt Lake", 1700, 4.5, Rect(-113.1, 40.7, -111.9, 41.7)},
+    {"Lake Okeechobee", 734, 1.0, Rect(-81.1, 26.7, -80.6, 27.2)},
+    {"Lake Champlain", 490, 6.2, Rect(-73.4, 43.5, -73.1, 44.9)},
+    {"Lake Tahoe", 191, 36, Rect(-120.2, 38.9, -119.9, 39.3)},
+    {"Lake Mead", 247, 7.0, Rect(-114.9, 36.0, -114.0, 36.5)},
+};
+
+/// Interstate-flavoured highway sections as segments between city pairs.
+struct HighwaySeg {
+  const char* name;
+  int section;
+  const char* from_city;
+  const char* to_city;
+};
+
+const HighwaySeg kHighways[] = {
+    {"I-95", 1, "Miami", "Jacksonville"},
+    {"I-95", 2, "Jacksonville", "Richmond"},
+    {"I-95", 3, "Richmond", "Washington"},
+    {"I-95", 4, "Washington", "Philadelphia"},
+    {"I-95", 5, "Philadelphia", "New York"},
+    {"I-95", 6, "New York", "Boston"},
+    {"I-80", 1, "San Francisco", "Reno"},
+    {"I-80", 2, "Reno", "Salt Lake City"},
+    {"I-80", 3, "Salt Lake City", "Cheyenne"},
+    {"I-80", 4, "Cheyenne", "Omaha"},
+    {"I-80", 5, "Omaha", "Chicago"},
+    {"I-80", 6, "Chicago", "Toledo"},
+    {"I-80", 7, "Toledo", "New York"},
+    {"I-10", 1, "Los Angeles", "Phoenix"},
+    {"I-10", 2, "Phoenix", "El Paso"},
+    {"I-10", 3, "El Paso", "San Antonio"},
+    {"I-10", 4, "San Antonio", "Houston"},
+    {"I-10", 5, "Houston", "New Orleans"},
+    {"I-10", 6, "New Orleans", "Tallahassee"},
+    {"I-10", 7, "Tallahassee", "Jacksonville"},
+    {"I-5", 1, "San Diego", "Los Angeles"},
+    {"I-5", 2, "Los Angeles", "Sacramento"},
+    {"I-5", 3, "Sacramento", "Portland"},
+    {"I-5", 4, "Portland", "Seattle"},
+    {"I-90", 1, "Seattle", "Spokane"},
+    {"I-90", 2, "Spokane", "Billings"},
+    {"I-90", 3, "Billings", "Sioux Falls"},
+    {"I-90", 4, "Sioux Falls", "Madison"},
+    {"I-90", 5, "Madison", "Chicago"},
+    {"I-90", 6, "Chicago", "Cleveland"},
+    {"I-90", 7, "Cleveland", "Buffalo"},
+    {"I-90", 8, "Buffalo", "Boston"},
+};
+
+StatusOr<Point> CityLoc(const char* name) {
+  for (const UsCity& c : UsCities()) {
+    if (c.name == name) return c.loc();
+  }
+  return Status::NotFound(std::string("unknown city ") + name);
+}
+
+}  // namespace
+
+Status BuildUsCatalog(rel::Catalog* catalog, size_t branching_factor) {
+  const Rect frame = ContinentalUsFrame();
+  rtree::RTreeOptions rtree_options;
+  rtree_options.max_entries = branching_factor;
+
+  // --- cities -------------------------------------------------------------
+  PICTDB_RETURN_IF_ERROR(catalog->CreateRelation(
+      "cities", Schema({{"city", ValueType::kString},
+                        {"state", ValueType::kString},
+                        {"population", ValueType::kInt},
+                        {"loc", ValueType::kGeometry}})));
+  {
+    PICTDB_ASSIGN_OR_RETURN(rel::Relation * cities,
+                            catalog->GetRelation("cities"));
+    for (const UsCity& c : ContinentalUsCities()) {
+      PICTDB_RETURN_IF_ERROR(
+          cities
+              ->Insert(Tuple({Value(std::string(c.name)),
+                              Value(std::string(c.state)),
+                              Value(c.population), Value(Geometry(c.loc()))}))
+              .status());
+    }
+    PICTDB_RETURN_IF_ERROR(cities->CreateBTreeIndex("population"));
+    PICTDB_RETURN_IF_ERROR(cities->CreateBTreeIndex("city"));
+  }
+
+  // --- states --------------------------------------------------------------
+  PICTDB_RETURN_IF_ERROR(catalog->CreateRelation(
+      "states", Schema({{"state", ValueType::kString},
+                        {"population-density", ValueType::kDouble},
+                        {"loc", ValueType::kGeometry}})));
+  {
+    PICTDB_ASSIGN_OR_RETURN(rel::Relation * states,
+                            catalog->GetRelation("states"));
+    for (const StateBox& s : kStates) {
+      PICTDB_RETURN_IF_ERROR(
+          states
+              ->Insert(Tuple({Value(std::string(s.name)), Value(s.density),
+                              Value(Geometry(Polygon::FromRect(s.box)))}))
+              .status());
+    }
+    PICTDB_RETURN_IF_ERROR(states->CreateBTreeIndex("state"));
+  }
+
+  // --- time-zones ------------------------------------------------------------
+  PICTDB_RETURN_IF_ERROR(catalog->CreateRelation(
+      "time-zones", Schema({{"zone", ValueType::kString},
+                            {"hour-diff", ValueType::kInt},
+                            {"loc", ValueType::kGeometry}})));
+  {
+    PICTDB_ASSIGN_OR_RETURN(rel::Relation * zones,
+                            catalog->GetRelation("time-zones"));
+    for (const UsTimeZone& z : UsTimeZones()) {
+      PICTDB_RETURN_IF_ERROR(
+          zones
+              ->Insert(Tuple({Value(std::string(z.zone)),
+                              Value(static_cast<int64_t>(z.hour_diff)),
+                              Value(Geometry(z.band))}))
+              .status());
+    }
+  }
+
+  // --- lakes -------------------------------------------------------------------
+  PICTDB_RETURN_IF_ERROR(catalog->CreateRelation(
+      "lakes", Schema({{"lake", ValueType::kString},
+                       {"area", ValueType::kDouble},
+                       {"volume", ValueType::kDouble},
+                       {"loc", ValueType::kGeometry}})));
+  {
+    PICTDB_ASSIGN_OR_RETURN(rel::Relation * lakes,
+                            catalog->GetRelation("lakes"));
+    for (const LakeBox& l : kLakes) {
+      PICTDB_RETURN_IF_ERROR(
+          lakes
+              ->Insert(Tuple({Value(std::string(l.name)), Value(l.area),
+                              Value(l.volume), Value(Geometry(l.box))}))
+              .status());
+    }
+  }
+
+  // --- highways -------------------------------------------------------------------
+  PICTDB_RETURN_IF_ERROR(catalog->CreateRelation(
+      "highways", Schema({{"hwy-name", ValueType::kString},
+                          {"hwy-section", ValueType::kInt},
+                          {"loc", ValueType::kGeometry}})));
+  {
+    PICTDB_ASSIGN_OR_RETURN(rel::Relation * highways,
+                            catalog->GetRelation("highways"));
+    for (const HighwaySeg& h : kHighways) {
+      PICTDB_ASSIGN_OR_RETURN(const Point a, CityLoc(h.from_city));
+      PICTDB_ASSIGN_OR_RETURN(const Point b, CityLoc(h.to_city));
+      PICTDB_RETURN_IF_ERROR(
+          highways
+              ->Insert(Tuple({Value(std::string(h.name)),
+                              Value(static_cast<int64_t>(h.section)),
+                              Value(Geometry(Segment{a, b}))}))
+              .status());
+    }
+  }
+
+  // --- pictures: packed R-trees per association ----------------------------------
+  for (const char* picture : {"us-map", "state-map", "time-zone-map",
+                              "lake-map"}) {
+    PICTDB_RETURN_IF_ERROR(catalog->CreatePicture(picture, frame));
+  }
+  PICTDB_RETURN_IF_ERROR(
+      catalog->Associate("us-map", "cities", "loc", rtree_options));
+  PICTDB_RETURN_IF_ERROR(
+      catalog->Associate("us-map", "highways", "loc", rtree_options));
+  PICTDB_RETURN_IF_ERROR(
+      catalog->Associate("state-map", "states", "loc", rtree_options));
+  PICTDB_RETURN_IF_ERROR(catalog->Associate("time-zone-map", "time-zones",
+                                            "loc", rtree_options));
+  PICTDB_RETURN_IF_ERROR(
+      catalog->Associate("lake-map", "lakes", "loc", rtree_options));
+  return Status::OK();
+}
+
+}  // namespace pictdb::workload

@@ -1,0 +1,25 @@
+#ifndef PICTDB_WORKLOAD_US_CATALOG_H_
+#define PICTDB_WORKLOAD_US_CATALOG_H_
+
+#include "common/status.h"
+#include "rel/catalog.h"
+
+namespace pictdb::workload {
+
+/// Materializes the paper's running example database into `catalog`:
+///
+///   cities(city, state, population, loc)       points, on us-map
+///   states(state, population-density, loc)     regions, on state-map
+///   time-zones(zone, hour-diff, loc)           regions, on time-zone-map
+///   lakes(lake, area, volume, loc)             regions, on lake-map
+///   highways(hwy-name, hwy-section, loc)       segments, on us-map
+///
+/// All five pictures share the continental-US lon/lat frame, so
+/// juxtaposition ("geographic join") across them is meaningful. Spatial
+/// indexes are PACK-built with the given branching factor; alphanumeric
+/// indexes are created on cities.population and states.state.
+Status BuildUsCatalog(rel::Catalog* catalog, size_t branching_factor = 8);
+
+}  // namespace pictdb::workload
+
+#endif  // PICTDB_WORKLOAD_US_CATALOG_H_

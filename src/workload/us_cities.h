@@ -1,0 +1,47 @@
+#ifndef PICTDB_WORKLOAD_US_CITIES_H_
+#define PICTDB_WORKLOAD_US_CITIES_H_
+
+#include <string_view>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace pictdb::workload {
+
+/// One row of the embedded US-cities dataset — the paper's running
+/// example relation cities(city, state, population, loc). Coordinates are
+/// real longitude/latitude (negative longitudes: west).
+struct UsCity {
+  std::string_view name;
+  std::string_view state;
+  int64_t population;  // approximate metro-core population
+  double lon;
+  double lat;
+
+  geom::Point loc() const { return geom::Point{lon, lat}; }
+};
+
+/// The full embedded table (~130 cities across the continental US plus
+/// Alaska/Hawaii).
+const std::vector<UsCity>& UsCities();
+
+/// Cities within the continental US bounding box only (the paper's us-map
+/// picture excludes AK/HI).
+std::vector<UsCity> ContinentalUsCities();
+
+/// MBR of the continental US in lon/lat.
+geom::Rect ContinentalUsFrame();
+
+/// Rough time-zone bands of the continental US in lon/lat (Eastern,
+/// Central, Mountain, Pacific) for the paper's juxtaposition example.
+struct UsTimeZone {
+  std::string_view zone;
+  int hour_diff;  // offset from UTC (standard time)
+  geom::Rect band;
+};
+const std::vector<UsTimeZone>& UsTimeZones();
+
+}  // namespace pictdb::workload
+
+#endif  // PICTDB_WORKLOAD_US_CITIES_H_

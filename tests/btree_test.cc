@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "btree/cursor.h"
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace pictdb::btree {
+namespace {
+
+using storage::BufferPool;
+using storage::InMemoryDiskManager;
+using storage::Rid;
+
+Rid MakeRid(uint32_t page, uint16_t slot) { return Rid{page, slot}; }
+
+struct Env {
+  // Small pages force deep trees quickly (leaf cap 3 at 128 bytes).
+  explicit Env(uint32_t page_size = 128)
+      : disk(page_size), pool(&disk, 512) {}
+  InMemoryDiskManager disk;
+  BufferPool pool;
+};
+
+// --- KeyEncoder ---------------------------------------------------------------
+
+TEST(KeyEncoderTest, Int64Order) {
+  const int64_t values[] = {INT64_MIN, -100, -1, 0, 1, 42, INT64_MAX};
+  const Rid rid = MakeRid(0, 0);
+  for (size_t i = 0; i + 1 < std::size(values); ++i) {
+    EXPECT_LT(KeyEncoder::FromInt64(values[i], rid),
+              KeyEncoder::FromInt64(values[i + 1], rid))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(KeyEncoderTest, DoubleOrder) {
+  const double values[] = {-1e300, -5.5, -1.0, -0.25, 0.0,
+                           0.25,   1.0,  5.5,  1e300};
+  const Rid rid = MakeRid(0, 0);
+  for (size_t i = 0; i + 1 < std::size(values); ++i) {
+    EXPECT_LT(KeyEncoder::FromDouble(values[i], rid),
+              KeyEncoder::FromDouble(values[i + 1], rid))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(KeyEncoderTest, StringOrder) {
+  const Rid rid = MakeRid(0, 0);
+  EXPECT_LT(KeyEncoder::FromString("abc", rid),
+            KeyEncoder::FromString("abd", rid));
+  EXPECT_LT(KeyEncoder::FromString("ab", rid),
+            KeyEncoder::FromString("abc", rid));
+  EXPECT_LT(KeyEncoder::FromString("", rid),
+            KeyEncoder::FromString("a", rid));
+}
+
+TEST(KeyEncoderTest, RidBreaksTies) {
+  EXPECT_LT(KeyEncoder::FromInt64(7, MakeRid(1, 2)),
+            KeyEncoder::FromInt64(7, MakeRid(1, 3)));
+  EXPECT_LT(KeyEncoder::FromInt64(7, MakeRid(1, 9)),
+            KeyEncoder::FromInt64(7, MakeRid(2, 0)));
+}
+
+TEST(KeyEncoderTest, BoundsSpanAllRids) {
+  const Rid lo_rid = MakeRid(0, 0);
+  const Rid hi_rid = MakeRid(0xFFFFFFFE, 0xFFFF);
+  // The scan range [LowerBound(k), UpperBound(k)] is inclusive, so the
+  // lower bound may equal (but never exceed) the smallest real key.
+  EXPECT_FALSE(KeyEncoder::FromInt64(7, lo_rid) <
+               KeyEncoder::Int64LowerBound(7));
+  EXPECT_LT(KeyEncoder::FromInt64(7, hi_rid), KeyEncoder::Int64UpperBound(7));
+  EXPECT_LT(KeyEncoder::Int64UpperBound(7), KeyEncoder::Int64LowerBound(8));
+}
+
+// --- BTree ---------------------------------------------------------------------
+
+TEST(BTreeTest, InsertAndGet) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  const Rid rid = MakeRid(3, 1);
+  ASSERT_TRUE(tree->Insert(KeyEncoder::FromInt64(42, rid), rid).ok());
+  auto found = tree->Get(KeyEncoder::FromInt64(42, rid));
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(*found == rid);
+}
+
+TEST(BTreeTest, GetMissing) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->Get(KeyEncoder::FromInt64(1, MakeRid(0, 0))).status()
+                  .IsNotFound());
+}
+
+TEST(BTreeTest, DuplicateInsertRejected) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  const Rid rid = MakeRid(1, 1);
+  const Key k = KeyEncoder::FromInt64(5, rid);
+  ASSERT_TRUE(tree->Insert(k, rid).ok());
+  EXPECT_TRUE(tree->Insert(k, rid).IsAlreadyExists());
+}
+
+TEST(BTreeTest, DuplicateUserKeysDifferentRids) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  for (uint16_t i = 0; i < 50; ++i) {
+    const Rid rid = MakeRid(7, i);
+    ASSERT_TRUE(tree->Insert(KeyEncoder::FromInt64(99, rid), rid).ok());
+  }
+  auto rids = tree->Scan(KeyEncoder::Int64LowerBound(99),
+                         KeyEncoder::Int64UpperBound(99));
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(rids->size(), 50u);
+}
+
+TEST(BTreeTest, SplitsGrowTheTree) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 200; ++i) {
+    const Rid rid = MakeRid(0, static_cast<uint16_t>(i));
+    ASSERT_TRUE(tree->Insert(KeyEncoder::FromInt64(i, rid), rid).ok());
+  }
+  auto height = tree->Height();
+  ASSERT_TRUE(height.ok());
+  EXPECT_GE(*height, 3);
+  EXPECT_EQ(*tree->Count(), 200u);
+  ASSERT_TRUE(tree->Validate().ok());
+}
+
+TEST(BTreeTest, ScanRange) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 100; ++i) {
+    const Rid rid = MakeRid(0, static_cast<uint16_t>(i));
+    ASSERT_TRUE(tree->Insert(KeyEncoder::FromInt64(i * 2, rid), rid).ok());
+  }
+  // Keys 20..40 even -> 11 entries.
+  auto rids = tree->Scan(KeyEncoder::Int64LowerBound(20),
+                         KeyEncoder::Int64UpperBound(40));
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(rids->size(), 11u);
+  // Scan returns key order: slots 10..20.
+  for (size_t i = 0; i < rids->size(); ++i) {
+    EXPECT_EQ((*rids)[i].slot, 10 + i);
+  }
+}
+
+TEST(BTreeTest, ScanEmptyRange) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  const Rid rid = MakeRid(0, 0);
+  ASSERT_TRUE(tree->Insert(KeyEncoder::FromInt64(5, rid), rid).ok());
+  auto rids = tree->Scan(KeyEncoder::Int64LowerBound(100),
+                         KeyEncoder::Int64UpperBound(200));
+  ASSERT_TRUE(rids.ok());
+  EXPECT_TRUE(rids->empty());
+}
+
+TEST(BTreeTest, DeleteSimple) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  const Rid rid = MakeRid(2, 2);
+  const Key k = KeyEncoder::FromInt64(11, rid);
+  ASSERT_TRUE(tree->Insert(k, rid).ok());
+  ASSERT_TRUE(tree->Delete(k).ok());
+  EXPECT_TRUE(tree->Get(k).status().IsNotFound());
+  EXPECT_TRUE(tree->Delete(k).IsNotFound());
+  EXPECT_EQ(*tree->Count(), 0u);
+}
+
+TEST(BTreeTest, DeleteEverythingCollapsesTree) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  std::vector<Key> keys;
+  for (int i = 0; i < 300; ++i) {
+    const Rid rid = MakeRid(0, static_cast<uint16_t>(i));
+    keys.push_back(KeyEncoder::FromInt64(i, rid));
+    ASSERT_TRUE(tree->Insert(keys.back(), rid).ok());
+  }
+  ASSERT_TRUE(tree->Validate().ok());
+  for (const Key& k : keys) {
+    ASSERT_TRUE(tree->Delete(k).ok());
+  }
+  EXPECT_EQ(*tree->Count(), 0u);
+  EXPECT_EQ(*tree->Height(), 1);
+  ASSERT_TRUE(tree->Validate().ok());
+}
+
+TEST(BTreeTest, DescendingInsertion) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  for (int i = 300; i > 0; --i) {
+    const Rid rid = MakeRid(0, static_cast<uint16_t>(i));
+    ASSERT_TRUE(tree->Insert(KeyEncoder::FromInt64(i, rid), rid).ok());
+  }
+  ASSERT_TRUE(tree->Validate().ok());
+  EXPECT_EQ(*tree->Count(), 300u);
+  // Full scan comes back sorted by key -> slots ascending.
+  auto rids = tree->Scan(KeyEncoder::Int64LowerBound(INT64_MIN),
+                         KeyEncoder::Int64UpperBound(INT64_MAX));
+  ASSERT_TRUE(rids.ok());
+  ASSERT_EQ(rids->size(), 300u);
+  for (size_t i = 1; i < rids->size(); ++i) {
+    EXPECT_LT((*rids)[i - 1].slot, (*rids)[i].slot);
+  }
+}
+
+TEST(BTreeTest, PersistsViaMetaPage) {
+  Env env;
+  storage::PageId meta;
+  {
+    auto tree = BTree::Create(&env.pool);
+    ASSERT_TRUE(tree.ok());
+    meta = tree->meta_page();
+    for (int i = 0; i < 50; ++i) {
+      const Rid rid = MakeRid(0, static_cast<uint16_t>(i));
+      ASSERT_TRUE(tree->Insert(KeyEncoder::FromInt64(i, rid), rid).ok());
+    }
+  }
+  BTree reopened = BTree::Open(&env.pool, meta);
+  EXPECT_EQ(*reopened.Count(), 50u);
+  const Rid rid7 = MakeRid(0, 7);
+  auto found = reopened.Get(KeyEncoder::FromInt64(7, rid7));
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(*found == rid7);
+}
+
+TEST(BTreeCursorTest, StreamsRangeInOrder) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 200; ++i) {
+    const Rid rid = MakeRid(0, static_cast<uint16_t>(i));
+    ASSERT_TRUE(tree->Insert(KeyEncoder::FromInt64(i, rid), rid).ok());
+  }
+  BTreeCursor cursor(&*tree, KeyEncoder::Int64LowerBound(50),
+                     KeyEncoder::Int64UpperBound(120));
+  int expected = 50;
+  for (;;) {
+    auto item = cursor.Next();
+    ASSERT_TRUE(item.ok());
+    if (!item->has_value()) break;
+    EXPECT_EQ((**item).rid.slot, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 121);
+  // Exhausted cursors stay exhausted.
+  auto after = cursor.Next();
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->has_value());
+}
+
+TEST(BTreeCursorTest, EmptyRangeAndEmptyTree) {
+  Env env;
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  BTreeCursor empty_tree(&*tree, KeyEncoder::Int64LowerBound(0),
+                         KeyEncoder::Int64UpperBound(100));
+  auto item = empty_tree.Next();
+  ASSERT_TRUE(item.ok());
+  EXPECT_FALSE(item->has_value());
+
+  const Rid rid = MakeRid(0, 1);
+  ASSERT_TRUE(tree->Insert(KeyEncoder::FromInt64(5, rid), rid).ok());
+  BTreeCursor empty_range(&*tree, KeyEncoder::Int64LowerBound(50),
+                          KeyEncoder::Int64UpperBound(60));
+  item = empty_range.Next();
+  ASSERT_TRUE(item.ok());
+  EXPECT_FALSE(item->has_value());
+}
+
+TEST(BTreeCursorTest, AgreesWithScanAcrossLeafBoundaries) {
+  Env env(128);  // leaf capacity 3: ranges span many leaves
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  Random rng(71);
+  std::set<int64_t> keys;
+  while (keys.size() < 300) {
+    keys.insert(static_cast<int64_t>(rng.Uniform(10000)));
+  }
+  for (const int64_t k : keys) {
+    const Rid rid = MakeRid(static_cast<uint32_t>(k), 0);
+    ASSERT_TRUE(tree->Insert(KeyEncoder::FromInt64(k, rid), rid).ok());
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t lo = static_cast<int64_t>(rng.Uniform(10000));
+    int64_t hi = static_cast<int64_t>(rng.Uniform(10000));
+    if (lo > hi) std::swap(lo, hi);
+    auto batch = tree->Scan(KeyEncoder::Int64LowerBound(lo),
+                            KeyEncoder::Int64UpperBound(hi));
+    ASSERT_TRUE(batch.ok());
+    BTreeCursor cursor(&*tree, KeyEncoder::Int64LowerBound(lo),
+                       KeyEncoder::Int64UpperBound(hi));
+    std::vector<Rid> streamed;
+    for (;;) {
+      auto item = cursor.Next();
+      ASSERT_TRUE(item.ok());
+      if (!item->has_value()) break;
+      streamed.push_back((**item).rid);
+    }
+    ASSERT_EQ(streamed.size(), batch->size());
+    for (size_t i = 0; i < streamed.size(); ++i) {
+      EXPECT_TRUE(streamed[i] == (*batch)[i]);
+    }
+  }
+}
+
+/// Randomized differential test against std::map across page sizes.
+class BTreeRandomized : public ::testing::TestWithParam<
+                            std::tuple<uint32_t /*page*/, int /*seed*/>> {};
+
+TEST_P(BTreeRandomized, MatchesReferenceMap) {
+  const auto [page_size, seed] = GetParam();
+  Env env(page_size);
+  auto tree = BTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+
+  Random rng(static_cast<uint64_t>(seed));
+  std::map<int64_t, Rid> reference;
+
+  for (int step = 0; step < 2000; ++step) {
+    const int64_t user_key = static_cast<int64_t>(rng.Uniform(500));
+    const auto it = reference.find(user_key);
+    if (rng.Bernoulli(0.6)) {
+      if (it == reference.end()) {
+        const Rid rid = MakeRid(static_cast<uint32_t>(user_key), 0);
+        ASSERT_TRUE(
+            tree->Insert(KeyEncoder::FromInt64(user_key, rid), rid).ok());
+        reference[user_key] = rid;
+      }
+    } else if (it != reference.end()) {
+      ASSERT_TRUE(
+          tree->Delete(KeyEncoder::FromInt64(user_key, it->second)).ok());
+      reference.erase(it);
+    }
+  }
+
+  ASSERT_TRUE(tree->Validate().ok());
+  EXPECT_EQ(*tree->Count(), reference.size());
+  for (const auto& [user_key, rid] : reference) {
+    auto found = tree->Get(KeyEncoder::FromInt64(user_key, rid));
+    ASSERT_TRUE(found.ok()) << user_key;
+    EXPECT_TRUE(*found == rid);
+  }
+  // Range scans agree with the reference on 20 random ranges.
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t lo = static_cast<int64_t>(rng.Uniform(500));
+    int64_t hi = static_cast<int64_t>(rng.Uniform(500));
+    if (lo > hi) std::swap(lo, hi);
+    auto rids = tree->Scan(KeyEncoder::Int64LowerBound(lo),
+                           KeyEncoder::Int64UpperBound(hi));
+    ASSERT_TRUE(rids.ok());
+    size_t expected = 0;
+    for (auto it = reference.lower_bound(lo);
+         it != reference.end() && it->first <= hi; ++it) {
+      ++expected;
+    }
+    EXPECT_EQ(rids->size(), expected) << "[" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PageSizesAndSeeds, BTreeRandomized,
+    ::testing::Combine(::testing::Values(128u, 256u, 512u),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace pictdb::btree

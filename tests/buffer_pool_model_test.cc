@@ -1,0 +1,132 @@
+// Differential test of the buffer pool against an in-test reference
+// model: random fetch/new/modify/free sequences must produce byte-exact
+// page contents and LRU-consistent miss behaviour.
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace pictdb::storage {
+namespace {
+
+/// Reference model: page contents plus an exact LRU list of resident
+/// unpinned pages.
+class PoolModel {
+ public:
+  explicit PoolModel(size_t capacity, uint32_t page_size)
+      : capacity_(capacity), page_size_(page_size) {}
+
+  PageId New() {
+    const PageId id = free_ids_.empty()
+                          ? static_cast<PageId>(contents_.size())
+                          : free_ids_.back();
+    if (free_ids_.empty()) {
+      contents_.emplace_back(page_size_, 0);
+    } else {
+      free_ids_.pop_back();
+      std::fill(contents_[id].begin(), contents_[id].end(), 0);
+    }
+    Touch(id);
+    return id;
+  }
+
+  /// Returns true if this fetch must be a miss in the real pool.
+  bool Fetch(PageId id) {
+    const bool resident =
+        std::find(lru_.begin(), lru_.end(), id) != lru_.end();
+    Touch(id);
+    return !resident;
+  }
+
+  void Write(PageId id, size_t offset, char value) {
+    contents_[id][offset] = value;
+  }
+
+  char Read(PageId id, size_t offset) const { return contents_[id][offset]; }
+
+  void Free(PageId id) {
+    lru_.remove(id);
+    free_ids_.push_back(id);
+  }
+
+  size_t LivePages() const { return contents_.size() - free_ids_.size(); }
+
+ private:
+  void Touch(PageId id) {
+    lru_.remove(id);
+    lru_.push_back(id);
+    while (lru_.size() > capacity_) lru_.pop_front();  // evicted
+  }
+
+  size_t capacity_;
+  uint32_t page_size_;
+  std::vector<std::vector<char>> contents_;
+  std::list<PageId> lru_;  // resident pages, LRU first
+  std::vector<PageId> free_ids_;
+};
+
+class BufferPoolModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BufferPoolModelTest, MatchesReferenceModel) {
+  constexpr size_t kCapacity = 8;
+  constexpr uint32_t kPageSize = 128;
+  InMemoryDiskManager disk(kPageSize);
+  BufferPool pool(&disk, kCapacity);
+  PoolModel model(kCapacity, kPageSize);
+
+  Random rng(static_cast<uint64_t>(GetParam()));
+  std::vector<PageId> live;
+
+  for (int step = 0; step < 4000; ++step) {
+    const uint64_t action = rng.Uniform(10);
+    if (action < 2 || live.empty()) {
+      // New page + write a byte.
+      auto guard = pool.NewPage();
+      ASSERT_TRUE(guard.ok());
+      const PageId model_id = model.New();
+      ASSERT_EQ(guard->id(), model_id) << "allocation order diverged";
+      const size_t offset = rng.Uniform(kPageSize);
+      const char value = static_cast<char>(rng.Uniform(256));
+      guard->mutable_data()[offset] = value;
+      model.Write(model_id, offset, value);
+      live.push_back(model_id);
+    } else if (action < 8) {
+      // Fetch, verify a random byte, maybe write one.
+      const PageId id = live[rng.Uniform(live.size())];
+      const uint64_t misses_before = pool.stats().misses;
+      auto guard = pool.FetchPage(id);
+      ASSERT_TRUE(guard.ok());
+      const bool expect_miss = model.Fetch(id);
+      EXPECT_EQ(pool.stats().misses > misses_before, expect_miss)
+          << "step " << step << " page " << id;
+      const size_t check = rng.Uniform(kPageSize);
+      EXPECT_EQ(guard->data()[check], model.Read(id, check))
+          << "content diverged at step " << step;
+      if (rng.Bernoulli(0.5)) {
+        const size_t offset = rng.Uniform(kPageSize);
+        const char value = static_cast<char>(rng.Uniform(256));
+        guard->mutable_data()[offset] = value;
+        model.Write(id, offset, value);
+      }
+    } else if (live.size() > 1) {
+      // Free a page.
+      const size_t pick = rng.Uniform(live.size());
+      ASSERT_TRUE(pool.FreePage(live[pick]).ok());
+      model.Free(live[pick]);
+      live.erase(live.begin() + pick);
+    }
+  }
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  EXPECT_EQ(model.LivePages(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferPoolModelTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace pictdb::storage

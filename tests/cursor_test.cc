@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "pack/pack.h"
+#include "rtree/cursor.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/generators.h"
+
+namespace pictdb::rtree {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+using storage::Rid;
+
+struct Env {
+  Env() : disk(512), pool(&disk, 8192) {}
+  storage::InMemoryDiskManager disk;
+  storage::BufferPool pool;
+};
+
+RTree MakeTree(Env* env, const std::vector<Point>& pts) {
+  RTreeOptions opts;
+  opts.max_entries = 4;
+  auto tree = RTree::Create(&env->pool, opts);
+  PICTDB_CHECK(tree.ok());
+  std::vector<Rid> rids;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    rids.push_back(Rid{static_cast<storage::PageId>(i), 0});
+  }
+  PICTDB_CHECK_OK(pack::PackNearestNeighbor(
+      &*tree, pack::MakeLeafEntries(pts, rids)));
+  return std::move(tree).value();
+}
+
+TEST(SearchCursorTest, EmptyTreeYieldsNothing) {
+  Env env;
+  auto tree = RTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  SearchCursor cursor = SearchCursor::Intersects(&*tree, Rect(0, 0, 10, 10));
+  auto next = cursor.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  // Repeated Next at end stays at end.
+  next = cursor.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+}
+
+TEST(SearchCursorTest, StreamsSameResultsAsBatchSearch) {
+  Env env;
+  Random rng(13);
+  const auto pts = workload::UniformPoints(&rng, 300,
+                                           workload::PaperFrame());
+  RTree tree = MakeTree(&env, pts);
+  const Rect window(200, 200, 700, 700);
+
+  auto batch = tree.SearchIntersects(window);
+  ASSERT_TRUE(batch.ok());
+  std::set<storage::PageId> expected;
+  for (const auto& h : *batch) expected.insert(h.rid.page_id);
+
+  SearchCursor cursor = SearchCursor::Intersects(&tree, window);
+  std::set<storage::PageId> streamed;
+  for (;;) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    EXPECT_TRUE(streamed.insert((**next).rid.page_id).second)
+        << "duplicate hit";
+  }
+  EXPECT_EQ(streamed, expected);
+  EXPECT_EQ(cursor.stats().results, expected.size());
+}
+
+TEST(SearchCursorTest, EarlyTerminationVisitsFewerNodes) {
+  Env env;
+  Random rng(17);
+  const auto pts = workload::UniformPoints(&rng, 1000,
+                                           workload::PaperFrame());
+  RTree tree = MakeTree(&env, pts);
+
+  // LIMIT 5 over a query matching everything.
+  SearchCursor cursor =
+      SearchCursor::Intersects(&tree, workload::PaperFrame());
+  for (int i = 0; i < 5; ++i) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next->has_value());
+  }
+  auto total = tree.CountNodes();
+  ASSERT_TRUE(total.ok());
+  EXPECT_LT(cursor.stats().nodes_visited, *total / 10)
+      << "early-terminated cursor should not touch most of the tree";
+}
+
+TEST(SearchCursorTest, ContainedInSemantics) {
+  Env env;
+  auto tree = RTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(Rect(0, 0, 10, 10), Rid{1, 0}).ok());
+  ASSERT_TRUE(tree->Insert(Rect(5, 5, 25, 25), Rid{2, 0}).ok());
+
+  SearchCursor cursor =
+      SearchCursor::ContainedIn(&*tree, Rect(-1, -1, 12, 12));
+  auto first = cursor.Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ((**first).rid.page_id, 1u);
+  auto end = cursor.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+}
+
+TEST(SearchCursorTest, CustomPredicates) {
+  Env env;
+  Random rng(19);
+  const auto pts = workload::UniformPoints(&rng, 100,
+                                           workload::PaperFrame());
+  RTree tree = MakeTree(&env, pts);
+  // Accept everything left of x=300 (prune uses MBR lo).
+  SearchCursor cursor(
+      &tree, [](const Rect& r) { return r.lo.x < 300; },
+      [](const Rect& r) { return r.hi.x < 300; });
+  size_t streamed = 0;
+  for (;;) {
+    auto next = cursor.Next();
+    ASSERT_TRUE(next.ok());
+    if (!next->has_value()) break;
+    ++streamed;
+  }
+  size_t expected = 0;
+  for (const Point& p : pts) {
+    if (p.x < 300) ++expected;
+  }
+  EXPECT_EQ(streamed, expected);
+}
+
+}  // namespace
+}  // namespace pictdb::rtree

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/distance.h"
+
+namespace pictdb::geom {
+namespace {
+
+Polygon UnitSquareAt(double x, double y) {
+  return Polygon({{x, y}, {x + 1, y}, {x + 1, y + 1}, {x, y + 1}});
+}
+
+TEST(DistanceTest, PointToEachType) {
+  EXPECT_DOUBLE_EQ(DistanceTo(Geometry(Point{0, 0}), Point{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(
+      DistanceTo(Geometry(Segment{{0, 0}, {10, 0}}), Point{5, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(DistanceTo(Geometry(Rect(0, 0, 2, 2)), Point{5, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(DistanceTo(Geometry(UnitSquareAt(0, 0)), Point{4, 1}),
+                   3.0);
+}
+
+TEST(DistanceTest, InsideMeansZero) {
+  EXPECT_EQ(DistanceTo(Geometry(Rect(0, 0, 10, 10)), Point{5, 5}), 0.0);
+  EXPECT_EQ(DistanceTo(Geometry(UnitSquareAt(0, 0)), Point{0.5, 0.5}), 0.0);
+  EXPECT_EQ(DistanceTo(Geometry(Segment{{0, 0}, {4, 4}}), Point{2, 2}), 0.0);
+}
+
+TEST(DistanceTest, SegmentSegment) {
+  // Crossing.
+  EXPECT_EQ(Distance(Segment{{0, 0}, {2, 2}}, Segment{{0, 2}, {2, 0}}), 0.0);
+  // Parallel horizontal.
+  EXPECT_DOUBLE_EQ(
+      Distance(Segment{{0, 0}, {10, 0}}, Segment{{0, 3}, {10, 3}}), 3.0);
+  // Endpoint to interior.
+  EXPECT_DOUBLE_EQ(
+      Distance(Segment{{0, 0}, {10, 0}}, Segment{{5, 2}, {5, 9}}), 2.0);
+  // Skew, nearest at endpoints.
+  EXPECT_DOUBLE_EQ(
+      Distance(Segment{{0, 0}, {1, 0}}, Segment{{4, 4}, {9, 9}}),
+      Distance(Point{1, 0}, Point{4, 4}));
+}
+
+TEST(DistanceTest, RectRect) {
+  EXPECT_EQ(DistanceBetween(Geometry(Rect(0, 0, 2, 2)),
+                            Geometry(Rect(1, 1, 3, 3))),
+            0.0);
+  EXPECT_DOUBLE_EQ(DistanceBetween(Geometry(Rect(0, 0, 1, 1)),
+                                   Geometry(Rect(4, 5, 6, 7))),
+                   5.0);
+}
+
+TEST(DistanceTest, SegmentRect) {
+  const Geometry rect(Rect(0, 0, 4, 4));
+  EXPECT_EQ(DistanceBetween(Geometry(Segment{{-2, 2}, {6, 2}}), rect), 0.0);
+  EXPECT_DOUBLE_EQ(
+      DistanceBetween(Geometry(Segment{{6, 0}, {6, 4}}), rect), 2.0);
+  // Symmetric call order.
+  EXPECT_DOUBLE_EQ(
+      DistanceBetween(rect, Geometry(Segment{{6, 0}, {6, 4}})), 2.0);
+}
+
+TEST(DistanceTest, PolygonCombinations) {
+  const Geometry a(UnitSquareAt(0, 0));
+  const Geometry b(UnitSquareAt(4, 0));
+  EXPECT_DOUBLE_EQ(DistanceBetween(a, b), 3.0);
+  EXPECT_EQ(DistanceBetween(a, Geometry(UnitSquareAt(0.5, 0.5))), 0.0);
+  EXPECT_DOUBLE_EQ(
+      DistanceBetween(a, Geometry(Rect(3, 0, 5, 1))), 2.0);
+  EXPECT_DOUBLE_EQ(
+      DistanceBetween(a, Geometry(Segment{{1, 3}, {2, 3}})),
+      Distance(Point{1, 1}, Point{1, 3}));
+  // Polygon containing a rect.
+  const Geometry big(
+      Polygon({{-5, -5}, {10, -5}, {10, 10}, {-5, 10}}));
+  EXPECT_EQ(DistanceBetween(big, Geometry(Rect(0, 0, 1, 1))), 0.0);
+}
+
+TEST(DistanceTest, ConsistentWithMbrLowerBound) {
+  // DistanceTo(g, p) >= MinDistance(g.Mbr(), p) always — the R-tree
+  // MINDIST really is a lower bound for exact refinement.
+  Random rng(12);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Point p{rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)};
+    const double x = rng.UniformDouble(0, 90);
+    const double y = rng.UniformDouble(0, 90);
+    const Geometry objects[] = {
+        Geometry(Point{x, y}),
+        Geometry(Segment{{x, y},
+                         {x + rng.UniformDouble(0, 10),
+                          y + rng.UniformDouble(0, 10)}}),
+        Geometry(Rect(x, y, x + rng.UniformDouble(0.1, 10),
+                      y + rng.UniformDouble(0.1, 10))),
+        Geometry(Polygon({{x, y},
+                          {x + 5, y + 1},
+                          {x + 3, y + 6}})),
+    };
+    for (const Geometry& g : objects) {
+      const double exact = DistanceTo(g, p);
+      const double bound = MinDistance(g.Mbr(), p);
+      EXPECT_GE(exact + 1e-9, bound);
+    }
+  }
+}
+
+TEST(DistanceTest, SymmetryProperty) {
+  Random rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto random_geometry = [&rng]() {
+      const double x = rng.UniformDouble(0, 80);
+      const double y = rng.UniformDouble(0, 80);
+      switch (rng.Uniform(4)) {
+        case 0:
+          return Geometry(Point{x, y});
+        case 1:
+          return Geometry(Segment{{x, y}, {x + 7, y + 3}});
+        case 2:
+          return Geometry(Rect(x, y, x + 5, y + 4));
+        default:
+          return Geometry(Polygon({{x, y}, {x + 6, y}, {x + 3, y + 5}}));
+      }
+    };
+    const Geometry a = random_geometry();
+    const Geometry b = random_geometry();
+    EXPECT_NEAR(DistanceBetween(a, b), DistanceBetween(b, a), 1e-9);
+    // Zero distance iff they overlap (share a point).
+    if (Overlapping(a, b)) {
+      EXPECT_EQ(DistanceBetween(a, b), 0.0);
+    } else {
+      EXPECT_GT(DistanceBetween(a, b), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pictdb::geom

@@ -1,0 +1,452 @@
+#include <gtest/gtest.h>
+
+#include "geom/geometry.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/rect.h"
+#include "geom/segment.h"
+#include "geom/transform.h"
+#include "geom/wkt.h"
+
+namespace pictdb::geom {
+namespace {
+
+// --- Rect ------------------------------------------------------------------
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_EQ(r.Width(), 0.0);
+}
+
+TEST(RectTest, NormalizesCorners) {
+  const Rect r(10, 20, 2, 4);
+  EXPECT_EQ(r.lo.x, 2);
+  EXPECT_EQ(r.lo.y, 4);
+  EXPECT_EQ(r.hi.x, 10);
+  EXPECT_EQ(r.hi.y, 20);
+}
+
+TEST(RectTest, AreaMarginCenter) {
+  const Rect r(0, 0, 4, 3);
+  EXPECT_EQ(r.Area(), 12.0);
+  EXPECT_EQ(r.Margin(), 7.0);
+  EXPECT_EQ(r.Center(), (Point{2.0, 1.5}));
+}
+
+TEST(RectTest, FromCenterHalfExtentMatchesPaperSyntax) {
+  // The paper's {4±4, 11±9} window.
+  const Rect r = Rect::FromCenterHalfExtent(4, 4, 11, 9);
+  EXPECT_EQ(r, Rect(0, 2, 8, 20));
+}
+
+TEST(RectTest, IntersectsSharedEdgeCounts) {
+  EXPECT_TRUE(Rect(0, 0, 1, 1).Intersects(Rect(1, 0, 2, 1)));
+  EXPECT_FALSE(Rect(0, 0, 1, 1).IntersectsInterior(Rect(1, 0, 2, 1)));
+  EXPECT_FALSE(Rect(0, 0, 1, 1).Intersects(Rect(1.01, 0, 2, 1)));
+}
+
+TEST(RectTest, ContainsRectAndPoint) {
+  const Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Rect(2, 2, 8, 8)));
+  EXPECT_TRUE(outer.Contains(outer));  // boundaries may coincide
+  EXPECT_FALSE(outer.Contains(Rect(2, 2, 11, 8)));
+  EXPECT_TRUE(outer.Contains(Point{0, 0}));
+  EXPECT_FALSE(outer.Contains(Point{10.5, 3}));
+}
+
+TEST(RectTest, OverlapsExcludesContainmentAndTouching) {
+  const Rect a(0, 0, 4, 4);
+  EXPECT_TRUE(a.Overlaps(Rect(2, 2, 6, 6)));
+  EXPECT_FALSE(a.Overlaps(Rect(1, 1, 2, 2)));  // contained
+  EXPECT_FALSE(a.Overlaps(Rect(4, 0, 6, 4)));  // touching edge only
+  EXPECT_FALSE(a.Overlaps(Rect(9, 9, 10, 10)));
+}
+
+TEST(RectTest, DisjointIsNegationOfIntersects) {
+  const Rect a(0, 0, 1, 1);
+  const Rect b(2, 2, 3, 3);
+  EXPECT_TRUE(a.Disjoint(b));
+  EXPECT_FALSE(a.Disjoint(Rect(0.5, 0.5, 3, 3)));
+}
+
+TEST(RectTest, ExpandToInclude) {
+  Rect r;
+  r.ExpandToInclude(Point{3, 4});
+  EXPECT_EQ(r, Rect(3, 4, 3, 4));
+  r.ExpandToInclude(Rect(0, 0, 1, 1));
+  EXPECT_EQ(r, Rect(0, 0, 3, 4));
+  r.ExpandToInclude(Rect());  // empty: no-op
+  EXPECT_EQ(r, Rect(0, 0, 3, 4));
+}
+
+TEST(RectTest, UnionAndIntersection) {
+  const Rect a(0, 0, 2, 2);
+  const Rect b(1, 1, 3, 3);
+  EXPECT_EQ(UnionOf(a, b), Rect(0, 0, 3, 3));
+  EXPECT_EQ(IntersectionOf(a, b), Rect(1, 1, 2, 2));
+  EXPECT_TRUE(IntersectionOf(a, Rect(5, 5, 6, 6)).IsEmpty());
+}
+
+TEST(RectTest, Enlargement) {
+  const Rect base(0, 0, 2, 2);
+  EXPECT_EQ(Enlargement(base, Rect(1, 1, 2, 2)), 0.0);
+  EXPECT_EQ(Enlargement(base, Rect(0, 0, 4, 2)), 4.0);
+}
+
+TEST(RectTest, MinDistance) {
+  const Rect a(0, 0, 1, 1);
+  EXPECT_EQ(MinDistance(a, Rect(0.5, 0.5, 2, 2)), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistance(a, Rect(4, 1, 5, 2)), 3.0);   // pure x gap
+  EXPECT_DOUBLE_EQ(MinDistance(a, Rect(4, 5, 6, 7)), 5.0);   // 3-4-5 diagonal
+  EXPECT_DOUBLE_EQ(MinDistance(a, Point{1, 3}), 2.0);
+  EXPECT_EQ(MinDistance(a, Point{0.5, 0.5}), 0.0);
+}
+
+// --- Segment ----------------------------------------------------------------
+
+TEST(SegmentTest, MbrAndLength) {
+  const Segment s{{0, 0}, {3, 4}};
+  EXPECT_EQ(s.Mbr(), Rect(0, 0, 3, 4));
+  EXPECT_DOUBLE_EQ(s.Length(), 5.0);
+}
+
+TEST(SegmentTest, ProperCrossing) {
+  EXPECT_TRUE(Intersects(Segment{{0, 0}, {2, 2}}, Segment{{0, 2}, {2, 0}}));
+  EXPECT_FALSE(Intersects(Segment{{0, 0}, {1, 1}}, Segment{{2, 0}, {3, 1}}));
+}
+
+TEST(SegmentTest, TouchingEndpointsIntersect) {
+  EXPECT_TRUE(Intersects(Segment{{0, 0}, {1, 1}}, Segment{{1, 1}, {2, 0}}));
+}
+
+TEST(SegmentTest, CollinearOverlapIntersects) {
+  EXPECT_TRUE(Intersects(Segment{{0, 0}, {2, 0}}, Segment{{1, 0}, {3, 0}}));
+  EXPECT_FALSE(Intersects(Segment{{0, 0}, {1, 0}}, Segment{{2, 0}, {3, 0}}));
+}
+
+TEST(SegmentTest, ParallelNonIntersecting) {
+  EXPECT_FALSE(Intersects(Segment{{0, 0}, {2, 0}}, Segment{{0, 1}, {2, 1}}));
+}
+
+TEST(SegmentTest, SegmentRectIntersection) {
+  const Rect r(0, 0, 2, 2);
+  // Endpoint inside.
+  EXPECT_TRUE(Intersects(Segment{{1, 1}, {5, 5}}, r));
+  // Passes through without endpoints inside.
+  EXPECT_TRUE(Intersects(Segment{{-1, 1}, {3, 1}}, r));
+  // Diagonal miss.
+  EXPECT_FALSE(Intersects(Segment{{3, 0}, {5, 2}}, r));
+}
+
+TEST(SegmentTest, ContainedIn) {
+  const Rect r(0, 0, 2, 2);
+  EXPECT_TRUE(ContainedIn(Segment{{0.5, 0.5}, {1.5, 1.5}}, r));
+  EXPECT_FALSE(ContainedIn(Segment{{0.5, 0.5}, {2.5, 1.5}}, r));
+}
+
+TEST(SegmentTest, PointDistance) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(Distance(s, Point{5, 3}), 3.0);   // interior projection
+  EXPECT_DOUBLE_EQ(Distance(s, Point{-3, 4}), 5.0);  // clamps to endpoint
+  EXPECT_EQ(Distance(s, Point{7, 0}), 0.0);
+}
+
+TEST(SegmentTest, DegenerateSegmentDistance) {
+  const Segment s{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(Distance(s, Point{4, 5}), 5.0);
+}
+
+// --- Polygon ----------------------------------------------------------------
+
+Polygon UnitSquare() {
+  return Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+TEST(PolygonTest, AreaAndPerimeter) {
+  EXPECT_DOUBLE_EQ(UnitSquare().Area(), 1.0);
+  EXPECT_DOUBLE_EQ(UnitSquare().Perimeter(), 4.0);
+  // Clockwise ring: negative signed area, same absolute area.
+  const Polygon cw({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_LT(cw.SignedArea(), 0.0);
+  EXPECT_DOUBLE_EQ(cw.Area(), 1.0);
+}
+
+TEST(PolygonTest, TriangleArea) {
+  const Polygon tri({{0, 0}, {4, 0}, {0, 3}});
+  EXPECT_DOUBLE_EQ(tri.Area(), 6.0);
+}
+
+TEST(PolygonTest, Mbr) {
+  const Polygon tri({{0, 1}, {4, 0}, {2, 5}});
+  EXPECT_EQ(tri.Mbr(), Rect(0, 0, 4, 5));
+}
+
+TEST(PolygonTest, ContainsInteriorBoundaryExterior) {
+  const Polygon sq = UnitSquare();
+  EXPECT_TRUE(sq.Contains(Point{0.5, 0.5}));
+  EXPECT_TRUE(sq.Contains(Point{0, 0.5}));   // boundary
+  EXPECT_TRUE(sq.Contains(Point{1, 1}));     // vertex
+  EXPECT_FALSE(sq.Contains(Point{1.5, 0.5}));
+  EXPECT_FALSE(sq.Contains(Point{-0.1, 0}));
+}
+
+TEST(PolygonTest, ContainsConcave) {
+  // A "C" shape: the notch is outside.
+  const Polygon c({{0, 0}, {4, 0}, {4, 1}, {1, 1}, {1, 3},
+                   {4, 3}, {4, 4}, {0, 4}});
+  EXPECT_TRUE(c.Contains(Point{0.5, 2}));
+  EXPECT_FALSE(c.Contains(Point{2.5, 2}));  // inside the notch
+}
+
+TEST(PolygonTest, PolygonPolygonIntersects) {
+  const Polygon a = UnitSquare();
+  const Polygon b({{0.5, 0.5}, {1.5, 0.5}, {1.5, 1.5}, {0.5, 1.5}});
+  const Polygon c({{5, 5}, {6, 5}, {6, 6}, {5, 6}});
+  EXPECT_TRUE(Intersects(a, b));
+  EXPECT_FALSE(Intersects(a, c));
+  // One fully inside the other (no edge crossings).
+  const Polygon inner({{0.25, 0.25}, {0.75, 0.25}, {0.75, 0.75},
+                       {0.25, 0.75}});
+  EXPECT_TRUE(Intersects(a, inner));
+}
+
+TEST(PolygonTest, PolygonRectIntersects) {
+  const Polygon sq = UnitSquare();
+  EXPECT_TRUE(Intersects(sq, Rect(0.5, 0.5, 2, 2)));
+  EXPECT_FALSE(Intersects(sq, Rect(2, 2, 3, 3)));
+  // Rect completely inside the polygon.
+  EXPECT_TRUE(Intersects(sq, Rect(0.4, 0.4, 0.6, 0.6)));
+  // Polygon completely inside the rect.
+  EXPECT_TRUE(Intersects(sq, Rect(-1, -1, 2, 2)));
+}
+
+TEST(PolygonTest, ContainedInRect) {
+  EXPECT_TRUE(ContainedIn(UnitSquare(), Rect(0, 0, 1, 1)));
+  EXPECT_TRUE(ContainedIn(UnitSquare(), Rect(-1, -1, 2, 2)));
+  EXPECT_FALSE(ContainedIn(UnitSquare(), Rect(0.5, 0, 2, 2)));
+}
+
+TEST(PolygonTest, PolygonContainsPolygon) {
+  const Polygon big({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  const Polygon small({{2, 2}, {4, 2}, {4, 4}, {2, 4}});
+  EXPECT_TRUE(Contains(big, small));
+  EXPECT_FALSE(Contains(small, big));
+  const Polygon crossing({{8, 8}, {12, 8}, {12, 12}, {8, 12}});
+  EXPECT_FALSE(Contains(big, crossing));
+}
+
+// --- Geometry variant + PSQL operators --------------------------------------
+
+TEST(GeometryTest, TypesAndMbr) {
+  EXPECT_TRUE(Geometry(Point{1, 2}).is_point());
+  EXPECT_TRUE(Geometry(Segment{{0, 0}, {1, 1}}).is_segment());
+  EXPECT_TRUE(Geometry(Rect(0, 0, 1, 1)).is_rect());
+  EXPECT_TRUE(Geometry(UnitSquare()).is_region());
+  EXPECT_EQ(Geometry(Point{1, 2}).Mbr(), Rect(1, 2, 1, 2));
+  EXPECT_EQ(Geometry(UnitSquare()).Mbr(), Rect(0, 0, 1, 1));
+}
+
+TEST(GeometryTest, AreaFunction) {
+  EXPECT_EQ(Geometry(Point{1, 2}).Area(), 0.0);
+  EXPECT_EQ(Geometry(Segment{{0, 0}, {3, 4}}).Area(), 0.0);
+  EXPECT_EQ(Geometry(Rect(0, 0, 2, 3)).Area(), 6.0);
+  EXPECT_EQ(Geometry(UnitSquare()).Area(), 1.0);
+}
+
+TEST(GeometryTest, CoveredByWindow) {
+  const Geometry window(Rect(0, 0, 10, 10));
+  EXPECT_TRUE(CoveredBy(Geometry(Point{5, 5}), window));
+  EXPECT_FALSE(CoveredBy(Geometry(Point{15, 5}), window));
+  EXPECT_TRUE(CoveredBy(Geometry(Segment{{1, 1}, {9, 9}}), window));
+  EXPECT_FALSE(CoveredBy(Geometry(Segment{{1, 1}, {11, 9}}), window));
+  EXPECT_TRUE(CoveredBy(Geometry(Rect(2, 2, 8, 8)), window));
+  EXPECT_TRUE(CoveredBy(Geometry(UnitSquare()), window));
+}
+
+TEST(GeometryTest, CoveredByRegion) {
+  const Geometry region(Polygon({{0, 0}, {10, 0}, {10, 10}, {0, 10}}));
+  EXPECT_TRUE(CoveredBy(Geometry(Point{5, 5}), region));
+  EXPECT_TRUE(CoveredBy(Geometry(Rect(1, 1, 3, 3)), region));
+  EXPECT_FALSE(CoveredBy(Geometry(Rect(8, 8, 12, 12)), region));
+}
+
+TEST(GeometryTest, CoveringIsInverse) {
+  const Geometry window(Rect(0, 0, 10, 10));
+  const Geometry p(Point{5, 5});
+  EXPECT_TRUE(Covering(window, p));
+  EXPECT_FALSE(Covering(p, window));
+}
+
+TEST(GeometryTest, OverlappingSymmetric) {
+  const Geometry a(Rect(0, 0, 4, 4));
+  const Geometry b(Rect(2, 2, 6, 6));
+  const Geometry c(Rect(5, 5, 6, 6));
+  EXPECT_TRUE(Overlapping(a, b));
+  EXPECT_TRUE(Overlapping(b, a));
+  EXPECT_FALSE(Overlapping(a, c));
+  EXPECT_TRUE(Disjoined(a, c));
+  // Mixed types both directions.
+  const Geometry p(Point{3, 3});
+  EXPECT_TRUE(Overlapping(p, a));
+  EXPECT_TRUE(Overlapping(a, p));
+}
+
+TEST(GeometryTest, SegmentRegionOverlap) {
+  const Geometry region(Polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}}));
+  EXPECT_TRUE(Overlapping(Geometry(Segment{{-1, 2}, {5, 2}}), region));
+  EXPECT_FALSE(Overlapping(Geometry(Segment{{5, 5}, {6, 6}}), region));
+}
+
+TEST(GeometryTest, ZeroAreaCovers) {
+  const Geometry seg(Segment{{0, 0}, {4, 4}});
+  EXPECT_TRUE(CoveredBy(Geometry(Point{2, 2}), seg));
+  EXPECT_FALSE(CoveredBy(Geometry(Point{2, 3}), seg));
+  EXPECT_TRUE(CoveredBy(Geometry(Segment{{1, 1}, {2, 2}}), seg));
+  EXPECT_TRUE(CoveredBy(Geometry(Point{1, 1}), Geometry(Point{1, 1})));
+  EXPECT_FALSE(CoveredBy(Geometry(Rect(0, 0, 1, 1)), seg));
+}
+
+TEST(GeometryTest, TypeNames) {
+  EXPECT_EQ(TypeName(GeometryType::kPoint), "point");
+  EXPECT_EQ(TypeName(GeometryType::kSegment), "segment");
+  EXPECT_EQ(TypeName(GeometryType::kRect), "rect");
+  EXPECT_EQ(TypeName(GeometryType::kRegion), "region");
+}
+
+// --- Transform / Lemma 3.1 ---------------------------------------------------
+
+TEST(TransformTest, RotationPreservesDistances) {
+  const Transform rot = Transform::Rotation(0.7);
+  const Point a{1, 2}, b{5, -3};
+  EXPECT_NEAR(Distance(rot.Apply(a), rot.Apply(b)), Distance(a, b), 1e-12);
+}
+
+TEST(TransformTest, QuarterTurn) {
+  const Transform rot = Transform::Rotation(M_PI / 2);
+  const Point p = rot.Apply(Point{1, 0});
+  EXPECT_NEAR(p.x, 0, 1e-12);
+  EXPECT_NEAR(p.y, 1, 1e-12);
+}
+
+TEST(TransformTest, ComposeAndInverse) {
+  const Transform t =
+      Transform::Rotation(0.3).Then(Transform::Translation(5, -2));
+  const Point p{3, 4};
+  const Point q = t.Apply(p);
+  const Point back = t.Inverse().Apply(q);
+  EXPECT_NEAR(back.x, p.x, 1e-10);
+  EXPECT_NEAR(back.y, p.y, 1e-10);
+}
+
+TEST(TransformTest, ScaleTransform) {
+  const Point p = Transform::Scale(3).Apply(Point{2, -1});
+  EXPECT_EQ(p.x, 6);
+  EXPECT_EQ(p.y, -3);
+}
+
+TEST(TransformTest, AllXDistinct) {
+  EXPECT_TRUE(AllXDistinct({{0, 0}, {1, 5}, {2, 2}}));
+  EXPECT_FALSE(AllXDistinct({{1, 0}, {1, 5}, {2, 2}}));
+}
+
+TEST(TransformTest, FindDistinctXRotationOnVerticalLine) {
+  // All points share x; any nonzero rotation separates them.
+  const std::vector<Point> pts = {{1, 0}, {1, 1}, {1, 2}, {1, 3}};
+  const double alpha = FindDistinctXRotation(pts);
+  const auto rotated = Transform::Rotation(alpha).Apply(pts);
+  EXPECT_TRUE(AllXDistinct(rotated));
+}
+
+TEST(TransformTest, FindDistinctXRotationOnGrid) {
+  // Lattice points: many coincident x and many "bad" pair directions.
+  std::vector<Point> pts;
+  for (int x = 0; x < 6; ++x) {
+    for (int y = 0; y < 6; ++y) pts.push_back(Point{double(x), double(y)});
+  }
+  const double alpha = FindDistinctXRotation(pts);
+  const auto rotated = Transform::Rotation(alpha).Apply(pts);
+  EXPECT_TRUE(AllXDistinct(rotated));
+}
+
+// --- WKT ----------------------------------------------------------------------
+
+TEST(WktTest, ParsePoint) {
+  const auto g = ParseWkt("POINT(3 4)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->is_point());
+  EXPECT_EQ(g->point(), (Point{3, 4}));
+}
+
+TEST(WktTest, ParseSegmentAndLinestring) {
+  const auto g = ParseWkt("SEGMENT(0 0, 2 3)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->is_segment());
+  const auto g2 = ParseWkt("LINESTRING(0 0, 2 3)");
+  ASSERT_TRUE(g2.ok());
+  EXPECT_TRUE(g2->is_segment());
+}
+
+TEST(WktTest, ParseBox) {
+  const auto g = ParseWkt("BOX(0 0, 5 5)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->rect(), Rect(0, 0, 5, 5));
+}
+
+TEST(WktTest, ParsePolygonDropsClosingVertex) {
+  const auto g = ParseWkt("POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->region().size(), 4u);
+  EXPECT_DOUBLE_EQ(g->region().Area(), 16.0);
+}
+
+TEST(WktTest, ParseNegativeAndFractional) {
+  const auto g = ParseWkt("POINT(-74.006 40.7128)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->point().x, -74.006, 1e-9);
+}
+
+TEST(WktTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseWkt("").ok());
+  EXPECT_FALSE(ParseWkt("CIRCLE(0 0, 1)").ok());
+  EXPECT_FALSE(ParseWkt("POINT(1)").ok());
+  EXPECT_FALSE(ParseWkt("POINT(1 2").ok());
+  EXPECT_FALSE(ParseWkt("POINT(1 2) extra").ok());
+  EXPECT_FALSE(ParseWkt("SEGMENT(0 0, 1 1, 2 2)").ok());
+  EXPECT_FALSE(ParseWkt("POLYGON((0 0, 1 1))").ok());
+}
+
+TEST(WktTest, RoundTripIsExactForFullPrecisionDoubles) {
+  // WKT doubles back tuple storage, so serialization must not round.
+  const Geometry g(Point{-123.0351, 45.52306112});
+  const auto back = ParseWkt(ToWkt(g));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->point().x, -123.0351);
+  EXPECT_EQ(back->point().y, 45.52306112);
+  const Geometry tiny(Point{1.0000000000000002, 1e-300});
+  const auto tiny_back = ParseWkt(ToWkt(tiny));
+  ASSERT_TRUE(tiny_back.ok());
+  EXPECT_EQ(tiny_back->point().x, 1.0000000000000002);
+  EXPECT_EQ(tiny_back->point().y, 1e-300);
+}
+
+TEST(WktTest, RoundTripAllTypes) {
+  const char* inputs[] = {
+      "POINT(3 4)",
+      "SEGMENT(0 0, 2 3)",
+      "BOX(0 0, 5 5)",
+      "POLYGON((0 0, 4 0, 4 4))",
+  };
+  for (const char* in : inputs) {
+    const auto g = ParseWkt(in);
+    ASSERT_TRUE(g.ok()) << in;
+    const auto again = ParseWkt(ToWkt(*g));
+    ASSERT_TRUE(again.ok()) << ToWkt(*g);
+    EXPECT_EQ(again->Mbr(), g->Mbr());
+    EXPECT_EQ(again->type(), g->type());
+  }
+}
+
+}  // namespace
+}  // namespace pictdb::geom

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/measure.h"
+
+namespace pictdb::geom {
+namespace {
+
+TEST(MeasureTest, EmptyInput) {
+  EXPECT_EQ(TotalArea({}), 0.0);
+  EXPECT_EQ(UnionArea({}), 0.0);
+  EXPECT_EQ(AreaCoveredAtLeast({}, 2), 0.0);
+}
+
+TEST(MeasureTest, SingleRect) {
+  const std::vector<Rect> rects = {Rect(0, 0, 4, 3)};
+  EXPECT_DOUBLE_EQ(TotalArea(rects), 12.0);
+  EXPECT_DOUBLE_EQ(UnionArea(rects), 12.0);
+  EXPECT_DOUBLE_EQ(AreaCoveredAtLeast(rects, 2), 0.0);
+}
+
+TEST(MeasureTest, DisjointRects) {
+  const std::vector<Rect> rects = {Rect(0, 0, 1, 1), Rect(2, 2, 3, 3),
+                                   Rect(5, 0, 6, 4)};
+  EXPECT_DOUBLE_EQ(TotalArea(rects), 1 + 1 + 4);
+  EXPECT_DOUBLE_EQ(UnionArea(rects), 6.0);
+  EXPECT_DOUBLE_EQ(AreaCoveredAtLeast(rects, 2), 0.0);
+}
+
+TEST(MeasureTest, TwoOverlappingRects) {
+  const std::vector<Rect> rects = {Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)};
+  EXPECT_DOUBLE_EQ(TotalArea(rects), 8.0);
+  EXPECT_DOUBLE_EQ(UnionArea(rects), 7.0);
+  EXPECT_DOUBLE_EQ(AreaCoveredAtLeast(rects, 2), 1.0);
+}
+
+TEST(MeasureTest, IdenticalRectsStackDepth) {
+  const std::vector<Rect> rects = {Rect(0, 0, 2, 2), Rect(0, 0, 2, 2),
+                                   Rect(0, 0, 2, 2)};
+  EXPECT_DOUBLE_EQ(UnionArea(rects), 4.0);
+  EXPECT_DOUBLE_EQ(AreaCoveredAtLeast(rects, 2), 4.0);
+  EXPECT_DOUBLE_EQ(AreaCoveredAtLeast(rects, 3), 4.0);
+  EXPECT_DOUBLE_EQ(AreaCoveredAtLeast(rects, 4), 0.0);
+}
+
+TEST(MeasureTest, CrossShape) {
+  // Horizontal and vertical bar crossing in a 1x1 square.
+  const std::vector<Rect> rects = {Rect(0, 1, 3, 2), Rect(1, 0, 2, 3)};
+  EXPECT_DOUBLE_EQ(UnionArea(rects), 5.0);
+  EXPECT_DOUBLE_EQ(AreaCoveredAtLeast(rects, 2), 1.0);
+}
+
+TEST(MeasureTest, TouchingRectsHaveZeroOverlapArea) {
+  const std::vector<Rect> rects = {Rect(0, 0, 1, 1), Rect(1, 0, 2, 1)};
+  EXPECT_DOUBLE_EQ(UnionArea(rects), 2.0);
+  EXPECT_DOUBLE_EQ(AreaCoveredAtLeast(rects, 2), 0.0);
+}
+
+TEST(MeasureTest, DegenerateRectsIgnored) {
+  const std::vector<Rect> rects = {Rect(0, 0, 0, 5), Rect(0, 0, 5, 0),
+                                   Rect(1, 1, 2, 2)};
+  EXPECT_DOUBLE_EQ(UnionArea(rects), 1.0);
+  EXPECT_DOUBLE_EQ(TotalArea(rects), 1.0);
+}
+
+TEST(MeasureTest, BruteMatchesHandComputed) {
+  const std::vector<Rect> rects = {Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)};
+  EXPECT_DOUBLE_EQ(AreaCoveredAtLeastBrute(rects, 1), 7.0);
+  EXPECT_DOUBLE_EQ(AreaCoveredAtLeastBrute(rects, 2), 1.0);
+}
+
+/// Sweep vs brute-force cross-validation over random rect sets.
+class MeasureCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeasureCrossValidation, SweepMatchesBrute) {
+  Random rng(GetParam());
+  const size_t n = 5 + rng.Uniform(60);
+  std::vector<Rect> rects;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble(0, 90);
+    const double y = rng.UniformDouble(0, 90);
+    rects.push_back(Rect(x, y, x + rng.UniformDouble(0.1, 25),
+                         y + rng.UniformDouble(0.1, 25)));
+  }
+  for (int k = 1; k <= 4; ++k) {
+    const double sweep = AreaCoveredAtLeast(rects, k);
+    const double brute = AreaCoveredAtLeastBrute(rects, k);
+    EXPECT_NEAR(sweep, brute, 1e-6 * std::max(1.0, brute))
+        << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeasureCrossValidation,
+                         ::testing::Range(1, 26));
+
+TEST(MeasureTest, MonotoneInK) {
+  Random rng(77);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.UniformDouble(0, 50);
+    const double y = rng.UniformDouble(0, 50);
+    rects.push_back(Rect(x, y, x + 20, y + 20));
+  }
+  double prev = UnionArea(rects);
+  for (int k = 2; k <= 6; ++k) {
+    const double cur = AreaCoveredAtLeast(rects, k);
+    EXPECT_LE(cur, prev + 1e-9) << "k=" << k;
+    prev = cur;
+  }
+}
+
+TEST(MeasureTest, UnionBoundedByTotal) {
+  Random rng(123);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.UniformDouble(0, 100);
+    const double y = rng.UniformDouble(0, 100);
+    rects.push_back(
+        Rect(x, y, x + rng.UniformDouble(1, 30), y + rng.UniformDouble(1, 30)));
+  }
+  EXPECT_LE(UnionArea(rects), TotalArea(rects) + 1e-9);
+}
+
+TEST(MeasureTest, InclusionExclusionIdentityForTwoRects) {
+  // area(a)+area(b) = union + covered>=2 for any two rects.
+  Random rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x1 = rng.UniformDouble(0, 50), y1 = rng.UniformDouble(0, 50);
+    const double x2 = rng.UniformDouble(0, 50), y2 = rng.UniformDouble(0, 50);
+    const Rect a(x1, y1, x1 + rng.UniformDouble(1, 40),
+                 y1 + rng.UniformDouble(1, 40));
+    const Rect b(x2, y2, x2 + rng.UniformDouble(1, 40),
+                 y2 + rng.UniformDouble(1, 40));
+    const std::vector<Rect> rects = {a, b};
+    EXPECT_NEAR(TotalArea(rects),
+                UnionArea(rects) + AreaCoveredAtLeast(rects, 2), 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace pictdb::geom

@@ -1,0 +1,182 @@
+// Aggregate mappings: count/min/max/sum/avg plus the paper's geometric
+// aggregates (northest & friends), over the US-map example database.
+
+#include <gtest/gtest.h>
+
+#include "psql/executor.h"
+#include "rel/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/us_catalog.h"
+#include "workload/us_cities.h"
+
+namespace pictdb::psql {
+namespace {
+
+class PsqlAggregateTest : public ::testing::Test {
+ protected:
+  PsqlAggregateTest() : disk_(1024), pool_(&disk_, 1 << 14),
+                        catalog_(&pool_) {
+    PICTDB_CHECK_OK(workload::BuildUsCatalog(&catalog_, 4));
+  }
+
+  ResultSet MustQuery(const std::string& text) {
+    Executor exec(&catalog_);
+    auto result = exec.Query(text);
+    PICTDB_CHECK(result.ok()) << text << " -> " << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  storage::InMemoryDiskManager disk_;
+  storage::BufferPool pool_;
+  rel::Catalog catalog_;
+};
+
+TEST_F(PsqlAggregateTest, CountStar) {
+  const ResultSet rs = MustQuery("select count(*) from cities");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(),
+            static_cast<int64_t>(workload::ContinentalUsCities().size()));
+  EXPECT_EQ(rs.columns[0], "count(*)");
+}
+
+TEST_F(PsqlAggregateTest, CountWithWhere) {
+  const ResultSet rs = MustQuery(
+      "select count(*) from cities where population > 1000000");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  int64_t expected = 0;
+  for (const auto& c : workload::ContinentalUsCities()) {
+    if (c.population > 1000000) ++expected;
+  }
+  EXPECT_EQ(rs.rows[0][0].as_int(), expected);
+}
+
+TEST_F(PsqlAggregateTest, CountWithSpatialQualification) {
+  const ResultSet rs = MustQuery(
+      "select count(*) from cities on us-map "
+      "at loc covered-by {-74 +- 4, 41 +- 3}");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  int64_t expected = 0;
+  const geom::Rect window = geom::Rect::FromCenterHalfExtent(-74, 4, 41, 3);
+  for (const auto& c : workload::ContinentalUsCities()) {
+    if (window.Contains(c.loc())) ++expected;
+  }
+  EXPECT_EQ(rs.rows[0][0].as_int(), expected);
+  EXPECT_TRUE(rs.stats.used_spatial_index);
+}
+
+TEST_F(PsqlAggregateTest, MinMaxSumAvg) {
+  const ResultSet rs = MustQuery(
+      "select min(population), max(population), sum(population), "
+      "avg(population) from cities");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  int64_t min_pop = INT64_MAX, max_pop = 0, sum = 0, n = 0;
+  for (const auto& c : workload::ContinentalUsCities()) {
+    min_pop = std::min(min_pop, c.population);
+    max_pop = std::max(max_pop, c.population);
+    sum += c.population;
+    ++n;
+  }
+  EXPECT_EQ(rs.rows[0][0].as_int(), min_pop);
+  EXPECT_EQ(rs.rows[0][1].as_int(), max_pop);
+  EXPECT_DOUBLE_EQ(rs.rows[0][2].as_double(),
+                   static_cast<double>(sum));
+  EXPECT_NEAR(rs.rows[0][3].as_double(),
+              static_cast<double>(sum) / static_cast<double>(n), 1e-6);
+}
+
+TEST_F(PsqlAggregateTest, MinMaxOnStrings) {
+  const ResultSet rs = MustQuery(
+      "select min(city), max(city) from cities");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  std::string lo = "zzzz", hi = "";
+  for (const auto& c : workload::ContinentalUsCities()) {
+    lo = std::min(lo, std::string(c.name));
+    hi = std::max(hi, std::string(c.name));
+  }
+  EXPECT_EQ(rs.rows[0][0].ToString(), lo);
+  EXPECT_EQ(rs.rows[0][1].ToString(), hi);
+}
+
+TEST_F(PsqlAggregateTest, NorthestOfHighway) {
+  // The paper's example: "an aggregate function on a set of highway
+  // segments is northest".
+  const ResultSet rs = MustQuery(
+      "select northest(loc) from highways where hwy-name = 'I-95'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  // I-95's northernmost point in our data is Boston.
+  EXPECT_NEAR(rs.rows[0][0].as_double(), 42.3601, 1e-3);
+}
+
+TEST_F(PsqlAggregateTest, ExtentAggregatesOverCities) {
+  const ResultSet rs = MustQuery(
+      "select northest(loc), southest(loc), eastest(loc), westest(loc) "
+      "from cities");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  double north = -90, south = 90, east = -180, west = 180;
+  for (const auto& c : workload::ContinentalUsCities()) {
+    north = std::max(north, c.lat);
+    south = std::min(south, c.lat);
+    east = std::max(east, c.lon);
+    west = std::min(west, c.lon);
+  }
+  EXPECT_NEAR(rs.rows[0][0].as_double(), north, 1e-9);
+  EXPECT_NEAR(rs.rows[0][1].as_double(), south, 1e-9);
+  EXPECT_NEAR(rs.rows[0][2].as_double(), east, 1e-9);
+  EXPECT_NEAR(rs.rows[0][3].as_double(), west, 1e-9);
+}
+
+TEST_F(PsqlAggregateTest, AggregatesOverEmptySelection) {
+  const ResultSet rs = MustQuery(
+      "select count(*), max(population), avg(population) from cities "
+      "where population > 999999999");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+  EXPECT_TRUE(rs.rows[0][2].is_null());
+}
+
+TEST_F(PsqlAggregateTest, CountColumnSkipsNulls) {
+  // Build a tiny relation with a null population.
+  PICTDB_CHECK_OK(catalog_.CreateRelation(
+      "sparse", rel::Schema({{"name", rel::ValueType::kString},
+                             {"v", rel::ValueType::kInt}})));
+  auto sparse = catalog_.GetRelation("sparse");
+  ASSERT_TRUE(sparse.ok());
+  ASSERT_TRUE((*sparse)
+                  ->Insert(rel::Tuple({rel::Value(std::string("a")),
+                                       rel::Value(int64_t{1})}))
+                  .ok());
+  ASSERT_TRUE((*sparse)
+                  ->Insert(rel::Tuple({rel::Value(std::string("b")),
+                                       rel::Value()}))
+                  .ok());
+  const ResultSet rs = MustQuery("select count(*), count(v) from sparse");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 2);
+  EXPECT_EQ(rs.rows[0][1].as_int(), 1);
+}
+
+TEST_F(PsqlAggregateTest, MixedAggregateAndPlainTargetsRejected) {
+  Executor exec(&catalog_);
+  EXPECT_FALSE(exec.Query("select city, count(*) from cities").ok());
+}
+
+TEST_F(PsqlAggregateTest, JuxtapositionWithAggregate) {
+  // How many (city, zone) pairs does the geographic join produce?
+  const ResultSet rs = MustQuery(
+      "select count(*) from cities,time-zones "
+      "on us-map,time-zone-map "
+      "at cities.loc covered-by time-zones.loc");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  int64_t expected = 0;
+  for (const auto& c : workload::ContinentalUsCities()) {
+    for (const auto& z : workload::UsTimeZones()) {
+      if (z.band.Contains(c.loc())) ++expected;
+    }
+  }
+  EXPECT_EQ(rs.rows[0][0].as_int(), expected);
+}
+
+}  // namespace
+}  // namespace pictdb::psql

@@ -1,0 +1,432 @@
+// End-to-end PSQL tests over the paper's US-map example database: direct
+// spatial search, indirect (alphanumeric) search, juxtaposition, and
+// nested mappings, checked against independently computed answers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "psql/executor.h"
+#include "rel/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/us_catalog.h"
+#include "workload/us_cities.h"
+
+namespace pictdb::psql {
+namespace {
+
+using geom::Rect;
+
+class PsqlTest : public ::testing::Test {
+ protected:
+  PsqlTest() : disk_(1024), pool_(&disk_, 1 << 14), catalog_(&pool_) {
+    PICTDB_CHECK_OK(workload::BuildUsCatalog(&catalog_, 4));
+  }
+
+  ResultSet MustQuery(const std::string& text) {
+    Executor exec(&catalog_);
+    auto result = exec.Query(text);
+    PICTDB_CHECK(result.ok()) << text << " -> " << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::set<std::string> FirstColumnValues(const ResultSet& rs) {
+    std::set<std::string> out;
+    for (const auto& row : rs.rows) out.insert(row[0].ToString());
+    return out;
+  }
+
+  storage::InMemoryDiskManager disk_;
+  storage::BufferPool pool_;
+  rel::Catalog catalog_;
+};
+
+TEST_F(PsqlTest, DirectSpatialSearchUsesTheRTree) {
+  // Eastern-seaboard window around (-74, 41).
+  const ResultSet rs = MustQuery(
+      "select city, population, loc from cities on us-map "
+      "at loc covered-by {-74 +- 4, 41 +- 3}");
+  EXPECT_TRUE(rs.stats.used_spatial_index);
+  const auto names = FirstColumnValues(rs);
+  EXPECT_TRUE(names.count("New York") == 1);
+  EXPECT_TRUE(names.count("Philadelphia") == 1);
+  EXPECT_TRUE(names.count("Los Angeles") == 0);
+
+  // Matches an independent filter over the raw data.
+  const Rect window = Rect::FromCenterHalfExtent(-74, 4, 41, 3);
+  size_t expected = 0;
+  for (const auto& c : workload::ContinentalUsCities()) {
+    if (window.Contains(c.loc())) ++expected;
+  }
+  EXPECT_EQ(rs.rows.size(), expected);
+  // Every row contributed its loc to the pictorial output.
+  EXPECT_EQ(rs.pictorial.size(), rs.rows.size());
+}
+
+TEST_F(PsqlTest, PaperQueryPopulationFilter) {
+  // The §2.2 query: cities in the east with population > 450,000.
+  const ResultSet rs = MustQuery(
+      "select city,state,population,loc from cities on us-map "
+      "at loc covered-by {-77 +- 8, 39 +- 4} "
+      "where population > 450000");
+  for (const auto& row : rs.rows) {
+    EXPECT_GT(row[2].as_int(), 450000);
+  }
+  const auto names = FirstColumnValues(rs);
+  EXPECT_TRUE(names.count("New York") == 1);
+  EXPECT_TRUE(names.count("Philadelphia") == 1);
+}
+
+TEST_F(PsqlTest, IndirectSearchUsesBTreeIndex) {
+  const ResultSet rs = MustQuery(
+      "select city, population from cities where population > 2000000");
+  EXPECT_TRUE(rs.stats.used_btree_index);
+  const auto names = FirstColumnValues(rs);
+  const std::set<std::string> expected = {"New York", "Los Angeles",
+                                          "Chicago", "Houston"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST_F(PsqlTest, IndexIntersectionForMultipleConjuncts) {
+  // Both population and city are indexed: the executor intersects the
+  // two rid sets ("intersection of the indices speeds up the search").
+  const ResultSet rs = MustQuery(
+      "select city, population from cities "
+      "where population > 2000000 and city = 'Chicago'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].ToString(), "Chicago");
+  EXPECT_TRUE(rs.stats.used_btree_index);
+
+  // Contradictory conjuncts intersect to nothing.
+  const ResultSet none = MustQuery(
+      "select city from cities "
+      "where population > 5000000 and city = 'Boise'");
+  EXPECT_TRUE(none.rows.empty());
+
+  // Range + range on the same column.
+  const ResultSet band = MustQuery(
+      "select city from cities "
+      "where population > 1000000 and population < 2000000");
+  for (const auto& row : band.rows) {
+    (void)row;
+  }
+  size_t expected = 0;
+  for (const auto& c : workload::ContinentalUsCities()) {
+    if (c.population > 1000000 && c.population < 2000000) ++expected;
+  }
+  EXPECT_EQ(band.rows.size(), expected);
+}
+
+TEST_F(PsqlTest, StringEqualityViaIndex) {
+  const ResultSet rs =
+      MustQuery("select city, state from cities where city = 'Chicago'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][1].ToString(), "IL");
+  EXPECT_TRUE(rs.stats.used_btree_index);
+}
+
+TEST_F(PsqlTest, SelectStarExpandsColumns) {
+  const ResultSet rs =
+      MustQuery("select * from time-zones");
+  EXPECT_EQ(rs.columns,
+            (std::vector<std::string>{"zone", "hour-diff", "loc"}));
+  EXPECT_EQ(rs.rows.size(), 4u);
+}
+
+TEST_F(PsqlTest, JuxtapositionCitiesWithTimeZones) {
+  // §2.2: every city joined with its time zone.
+  const ResultSet rs = MustQuery(
+      "select city,zone from cities,time-zones "
+      "on us-map,time-zone-map "
+      "at cities.loc covered-by time-zones.loc");
+  EXPECT_TRUE(rs.stats.used_spatial_join);
+
+  // Independent check: every continental city covered by >= 1 band keeps
+  // exactly its bands.
+  size_t expected = 0;
+  for (const auto& c : workload::ContinentalUsCities()) {
+    for (const auto& z : workload::UsTimeZones()) {
+      if (z.band.Contains(c.loc())) ++expected;
+    }
+  }
+  EXPECT_EQ(rs.rows.size(), expected);
+
+  // Spot checks.
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const auto& row : rs.rows) {
+    pairs.insert({row[0].ToString(), row[1].ToString()});
+  }
+  EXPECT_TRUE(pairs.count({"New York", "Eastern"}) == 1);
+  EXPECT_TRUE(pairs.count({"Chicago", "Central"}) == 1);
+  EXPECT_TRUE(pairs.count({"Denver", "Mountain"}) == 1);
+  EXPECT_TRUE(pairs.count({"Seattle", "Pacific"}) == 1);
+  EXPECT_TRUE(pairs.count({"Seattle", "Eastern"}) == 0);
+}
+
+TEST_F(PsqlTest, JuxtapositionHighwaysThroughStates) {
+  const ResultSet rs = MustQuery(
+      "select hwy-name, hwy-section, state from highways, states "
+      "on us-map, state-map "
+      "at highways.loc overlapping states.loc");
+  EXPECT_TRUE(rs.stats.used_spatial_join);
+  EXPECT_GT(rs.rows.size(), 0u);
+  // I-5 never touches Texas; I-10 does.
+  bool i5_texas = false, i10_texas = false;
+  for (const auto& row : rs.rows) {
+    if (row[2].ToString() == "Texas") {
+      if (row[0].ToString() == "I-5") i5_texas = true;
+      if (row[0].ToString() == "I-10") i10_texas = true;
+    }
+  }
+  EXPECT_FALSE(i5_texas);
+  EXPECT_TRUE(i10_texas);
+}
+
+TEST_F(PsqlTest, NestedMappingLakesInNortheasternStates) {
+  // §2.2 nested example: lakes covered by some state in a window. The
+  // inner mapping yields state regions in the north-east; the outer
+  // mapping finds lakes inside those regions.
+  const ResultSet rs = MustQuery(
+      "select lake, area, lakes.loc from lakes on lake-map "
+      "at lakes.loc covered-by "
+      "select states.loc from states on state-map "
+      "at states.loc overlapping {-75 +- 7, 43 +- 4}");
+  const auto names = FirstColumnValues(rs);
+  // Lake Champlain sits inside New York's box; Lake Tahoe is out west.
+  EXPECT_TRUE(names.count("Lake Champlain") == 1);
+  EXPECT_TRUE(names.count("Lake Tahoe") == 0);
+  EXPECT_TRUE(names.count("Great Salt Lake") == 0);
+}
+
+TEST_F(PsqlTest, DoublyNestedMapping) {
+  // "PSQL mappings can have several nested levels": cities inside lakes'
+  // neighbourhoods inside north-eastern states. The innermost mapping
+  // finds states, the middle one lakes overlapping those states, and the
+  // outer one cities overlapping those lakes' boxes (none exist — cities
+  // are points on land; so flip to overlapping the states directly).
+  const ResultSet rs = MustQuery(
+      "select city from cities on us-map "
+      "at loc covered-by "
+      "select states.loc from states on state-map "
+      "at states.loc overlapping "
+      "select lakes.loc from lakes on lake-map "
+      "at lakes.loc overlapping {-88 +- 6, 45 +- 4}");
+  // Great-Lakes states (MI/WI/MN/IL/...) contain these cities.
+  const auto names = FirstColumnValues(rs);
+  EXPECT_TRUE(names.count("Chicago") == 1);
+  EXPECT_TRUE(names.count("Milwaukee") == 1);
+  EXPECT_TRUE(names.count("Los Angeles") == 0);
+}
+
+TEST_F(PsqlTest, QualifiedTargetsInJoin) {
+  const ResultSet rs = MustQuery(
+      "select cities.city, time-zones.zone, cities.loc "
+      "from cities,time-zones on us-map,time-zone-map "
+      "at cities.loc covered-by time-zones.loc "
+      "where cities.population > 3000000");
+  EXPECT_EQ(rs.columns[0], "cities.city");
+  for (const auto& row : rs.rows) {
+    EXPECT_FALSE(row[0].ToString().empty());
+    EXPECT_FALSE(row[1].ToString().empty());
+  }
+  // loc appears in both relations: unqualified use must error.
+  Executor exec(&catalog_);
+  EXPECT_FALSE(exec.Query("select loc from cities,time-zones "
+                          "on us-map,time-zone-map "
+                          "at cities.loc covered-by time-zones.loc")
+                   .ok());
+}
+
+TEST_F(PsqlTest, NestedMappingEmptyInnerYieldsNothing) {
+  const ResultSet rs = MustQuery(
+      "select lake from lakes on lake-map "
+      "at lakes.loc covered-by "
+      "select states.loc from states on state-map "
+      "at states.loc covered-by {0 +- 1, 0 +- 1}");
+  EXPECT_TRUE(rs.rows.empty());
+}
+
+TEST_F(PsqlTest, FunctionsInTargetsAndWhere) {
+  const ResultSet rs = MustQuery(
+      "select lake, area(loc), north(loc) from lakes "
+      "where area(loc) > 10");
+  // Box areas in squared degrees: the Great Lakes qualify easily.
+  const auto names = FirstColumnValues(rs);
+  EXPECT_TRUE(names.count("Lake Superior") == 1);
+  EXPECT_TRUE(names.count("Lake Tahoe") == 0);
+  for (const auto& row : rs.rows) {
+    EXPECT_GT(row[1].as_double(), 10.0);
+    EXPECT_GT(row[2].as_double(), 25.0);  // all are north of 25°N
+  }
+}
+
+TEST_F(PsqlTest, DisjoinedOperator) {
+  const ResultSet rs = MustQuery(
+      "select city from cities on us-map "
+      "at loc disjoined {-74 +- 10, 41 +- 10}");
+  const auto names = FirstColumnValues(rs);
+  EXPECT_TRUE(names.count("Los Angeles") == 1);
+  EXPECT_TRUE(names.count("New York") == 0);
+}
+
+TEST_F(PsqlTest, CoveringOperator) {
+  // Which time zone band covers Denver's location window?
+  const ResultSet rs = MustQuery(
+      "select zone from time-zones on time-zone-map "
+      "at loc covering {-105 +- 1, 39.7 +- 0.2}");
+  const auto names = FirstColumnValues(rs);
+  EXPECT_EQ(names, std::set<std::string>{"Mountain"});
+}
+
+TEST_F(PsqlTest, WindowOnLeftNormalizes) {
+  const ResultSet rs1 = MustQuery(
+      "select city from cities on us-map "
+      "at {-74 +- 4, 41 +- 3} covering loc");
+  const ResultSet rs2 = MustQuery(
+      "select city from cities on us-map "
+      "at loc covered-by {-74 +- 4, 41 +- 3}");
+  EXPECT_EQ(FirstColumnValues(rs1), FirstColumnValues(rs2));
+}
+
+TEST_F(PsqlTest, ErrorsSurfaceCleanly) {
+  Executor exec(&catalog_);
+  EXPECT_FALSE(exec.Query("select city from nowhere").ok());
+  EXPECT_FALSE(exec.Query("select nope from cities").ok());
+  EXPECT_FALSE(
+      exec.Query("select city from cities on not-a-map at loc covered-by "
+                 "{0 +- 1, 0 +- 1}")
+          .ok());
+  // Two relations without a joining at-clause.
+  EXPECT_FALSE(exec.Query("select city from cities, lakes").ok());
+  // Three relations.
+  EXPECT_FALSE(
+      exec.Query("select city from cities, lakes, states").ok());
+  // Non-boolean where.
+  EXPECT_FALSE(exec.Query("select city from cities where city").ok());
+}
+
+TEST_F(PsqlTest, SpatialOperatorsInWhereClause) {
+  // §2.2: spatial operators are callable procedures inside the
+  // qualification. Constant geometries are written as WKT strings.
+  const ResultSet via_where = MustQuery(
+      "select city from cities "
+      "where covered-by(loc, 'BOX(-78 38, -70 44)')");
+  const ResultSet via_at = MustQuery(
+      "select city from cities on us-map "
+      "at loc covered-by {-74 +- 4, 41 +- 3}");
+  EXPECT_EQ(FirstColumnValues(via_where), FirstColumnValues(via_at));
+  // The where-clause form cannot use the index (it is a black-box
+  // procedure to the planner) — that asymmetry is the paper's argument
+  // for the dedicated at-clause.
+  EXPECT_FALSE(via_where.stats.used_spatial_index);
+  EXPECT_TRUE(via_at.stats.used_spatial_index);
+}
+
+TEST_F(PsqlTest, DistanceFunction) {
+  // Cities within 2 degrees of Chicago's location, via distance().
+  const ResultSet rs = MustQuery(
+      "select city, distance(loc, 'POINT(-87.6298 41.8781)') from cities "
+      "where distance(loc, 'POINT(-87.6298 41.8781)') < 2 "
+      "order by distance(loc, 'POINT(-87.6298 41.8781)')");
+  ASSERT_GE(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].ToString(), "Chicago");
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].as_double(), 0.0);
+  for (size_t i = 1; i < rs.rows.size(); ++i) {
+    EXPECT_LE(rs.rows[i - 1][1].as_double(), rs.rows[i][1].as_double());
+    EXPECT_LT(rs.rows[i][1].as_double(), 2.0);
+  }
+}
+
+TEST_F(PsqlTest, OverlappingFunctionBetweenColumns) {
+  // Two-relation where-clause spatial predicate (juxtaposition handles
+  // the candidate generation; the function re-checks exactly).
+  const ResultSet rs = MustQuery(
+      "select hwy-name, state from highways, states "
+      "on us-map, state-map "
+      "at highways.loc overlapping states.loc "
+      "where overlapping(highways.loc, states.loc)");
+  EXPECT_GT(rs.rows.size(), 0u);
+}
+
+TEST_F(PsqlTest, NamedLocations) {
+  // The paper: "The location variable may just be a name of a location
+  // predefined outside the retrieve mapping."
+  ASSERT_TRUE(catalog_
+                  .DefineLocation("eastern-us",
+                                  geom::Geometry(Rect(-82, 35, -66, 45)))
+                  .ok());
+  const ResultSet named = MustQuery(
+      "select city from cities on us-map at loc covered-by eastern-us");
+  const ResultSet inline_window = MustQuery(
+      "select city from cities on us-map "
+      "at loc covered-by {-74 +- 8, 40 +- 5}");
+  EXPECT_EQ(FirstColumnValues(named), FirstColumnValues(inline_window));
+  EXPECT_TRUE(named.stats.used_spatial_index);
+}
+
+TEST_F(PsqlTest, NamedLocationOnLeftSide) {
+  ASSERT_TRUE(catalog_
+                  .DefineLocation("eastern-us",
+                                  geom::Geometry(Rect(-82, 35, -66, 45)))
+                  .ok());
+  const ResultSet rs = MustQuery(
+      "select city from cities on us-map at eastern-us covering loc");
+  EXPECT_TRUE(rs.rows.size() > 0);
+  const ResultSet same = MustQuery(
+      "select city from cities on us-map at loc covered-by eastern-us");
+  EXPECT_EQ(FirstColumnValues(rs), FirstColumnValues(same));
+}
+
+TEST_F(PsqlTest, NamedLocationCanBeRegion) {
+  // Named locations are full geometries, not just boxes.
+  ASSERT_TRUE(
+      catalog_
+          .DefineLocation(
+              "florida-wedge",
+              geom::Geometry(geom::Polygon(
+                  {{-88, 24}, {-79, 24}, {-79, 31}, {-88, 31}})))
+          .ok());
+  const ResultSet rs = MustQuery(
+      "select city from cities on us-map "
+      "at loc covered-by florida-wedge");
+  const auto names = FirstColumnValues(rs);
+  EXPECT_TRUE(names.count("Miami") == 1);
+  EXPECT_TRUE(names.count("Seattle") == 0);
+}
+
+TEST_F(PsqlTest, UnknownBareNameStillErrors) {
+  Executor exec(&catalog_);
+  EXPECT_FALSE(exec.Query("select city from cities on us-map "
+                          "at loc covered-by no-such-place")
+                   .ok());
+}
+
+TEST_F(PsqlTest, ResultSetRendering) {
+  const ResultSet rs =
+      MustQuery("select city, population from cities where city = 'Boston'");
+  const std::string table = rs.ToString();
+  EXPECT_NE(table.find("city"), std::string::npos);
+  EXPECT_NE(table.find("Boston"), std::string::npos);
+  EXPECT_NE(table.find("(1 row)"), std::string::npos);
+}
+
+TEST_F(PsqlTest, DirectSearchVisitsFewNodes) {
+  const ResultSet rs = MustQuery(
+      "select city from cities on us-map "
+      "at loc covered-by {-74 +- 2, 41 +- 2}");
+  // The packed R-tree over ~150 cities has a handful of nodes; a small
+  // window must not visit them all.
+  auto cities = catalog_.GetRelation("cities");
+  ASSERT_TRUE(cities.ok());
+  auto index = (*cities)->SpatialIndex("loc");
+  ASSERT_TRUE(index.ok());
+  auto total = (*index)->CountNodes();
+  ASSERT_TRUE(total.ok());
+  EXPECT_LT(rs.stats.rtree_nodes_visited, *total);
+  EXPECT_GT(rs.stats.rtree_nodes_visited, 0u);
+}
+
+}  // namespace
+}  // namespace pictdb::psql

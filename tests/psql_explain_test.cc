@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "psql/executor.h"
+#include "rel/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/us_catalog.h"
+
+namespace pictdb::psql {
+namespace {
+
+class PsqlExplainTest : public ::testing::Test {
+ protected:
+  PsqlExplainTest() : disk_(1024), pool_(&disk_, 1 << 14),
+                      catalog_(&pool_) {
+    PICTDB_CHECK_OK(workload::BuildUsCatalog(&catalog_, 4));
+  }
+
+  std::string MustExplain(const std::string& text) {
+    Executor exec(&catalog_);
+    auto plan = exec.ExplainQuery(text);
+    PICTDB_CHECK(plan.ok()) << text << " -> " << plan.status().ToString();
+    return std::move(plan).value();
+  }
+
+  storage::InMemoryDiskManager disk_;
+  storage::BufferPool pool_;
+  rel::Catalog catalog_;
+};
+
+TEST_F(PsqlExplainTest, DirectSearchUsesRTree) {
+  const std::string plan = MustExplain(
+      "select city from cities on us-map "
+      "at loc covered-by {-74 +- 4, 41 +- 3}");
+  EXPECT_NE(plan.find("direct spatial search"), std::string::npos);
+  EXPECT_NE(plan.find("packed R-tree"), std::string::npos);
+  EXPECT_NE(plan.find("covered-by"), std::string::npos);
+}
+
+TEST_F(PsqlExplainTest, DisjoinedCannotPrune) {
+  const std::string plan = MustExplain(
+      "select city from cities on us-map "
+      "at loc disjoined {-74 +- 4, 41 +- 3}");
+  EXPECT_NE(plan.find("cannot prune"), std::string::npos);
+}
+
+TEST_F(PsqlExplainTest, IndirectSearchUsesBTree) {
+  const std::string plan = MustExplain(
+      "select city from cities where population > 1000000");
+  EXPECT_NE(plan.find("B+-tree index range scan"), std::string::npos);
+  EXPECT_NE(plan.find("population"), std::string::npos);
+  EXPECT_NE(plan.find("filter: population > 1000000"), std::string::npos);
+}
+
+TEST_F(PsqlExplainTest, IndexIntersectionShown) {
+  const std::string plan = MustExplain(
+      "select city from cities "
+      "where population > 2000000 and city = 'Chicago'");
+  EXPECT_NE(plan.find("intersect"), std::string::npos);
+  EXPECT_NE(plan.find("cities.population"), std::string::npos);
+  EXPECT_NE(plan.find("cities.city"), std::string::npos);
+}
+
+TEST_F(PsqlExplainTest, UnindexedWhereFallsBackToScan) {
+  // `state` has no B+-tree index.
+  const std::string plan = MustExplain(
+      "select city from cities where state = 'TX'");
+  EXPECT_NE(plan.find("sequential scan"), std::string::npos);
+}
+
+TEST_F(PsqlExplainTest, JuxtapositionUsesSimultaneousTraversal) {
+  const std::string plan = MustExplain(
+      "select city,zone from cities,time-zones "
+      "on us-map,time-zone-map "
+      "at cities.loc covered-by time-zones.loc");
+  EXPECT_NE(plan.find("juxtaposition"), std::string::npos);
+  EXPECT_NE(plan.find("simultaneous R-tree traversal"), std::string::npos);
+}
+
+TEST_F(PsqlExplainTest, NestedMappingShowsInnerPlan) {
+  const std::string plan = MustExplain(
+      "select lake from lakes on lake-map "
+      "at lakes.loc covered-by "
+      "select states.loc from states on state-map "
+      "at states.loc overlapping {-75 +- 7, 43 +- 4}");
+  EXPECT_NE(plan.find("nested mapping"), std::string::npos);
+  EXPECT_NE(plan.find("inner>"), std::string::npos);
+  EXPECT_NE(plan.find("overlapping"), std::string::npos);
+}
+
+TEST_F(PsqlExplainTest, ProjectionLine) {
+  EXPECT_NE(MustExplain("select * from cities").find("project: *"),
+            std::string::npos);
+  EXPECT_NE(MustExplain("select city, area(loc) from lakes")
+                .find("project: city, area(loc)"),
+            std::string::npos);
+}
+
+TEST_F(PsqlExplainTest, ErrorsOnUnknownRelation) {
+  Executor exec(&catalog_);
+  EXPECT_FALSE(exec.ExplainQuery("select x from nowhere").ok());
+}
+
+}  // namespace
+}  // namespace pictdb::psql

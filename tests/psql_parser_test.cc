@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "psql/lexer.h"
+#include "psql/parser.h"
+
+namespace pictdb::psql {
+namespace {
+
+// --- Lexer -----------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("select city, population from cities");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 7u);  // incl. kEnd
+  EXPECT_TRUE(IdentEquals((*tokens)[0], "select"));
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kComma);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, HyphenatedIdentifiers) {
+  auto tokens = Tokenize("time-zones covered-by us-map hwy-name");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+  EXPECT_EQ((*tokens)[0].text, "time-zones");
+  EXPECT_EQ((*tokens)[1].text, "covered-by");
+  EXPECT_EQ((*tokens)[2].text, "us-map");
+  EXPECT_EQ((*tokens)[3].text, "hwy-name");
+}
+
+TEST(LexerTest, NumbersIncludingNegatives) {
+  auto tokens = Tokenize("42 -7.5 .25 -87");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 42);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, -7.5);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 0.25);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, -87);
+}
+
+TEST(LexerTest, WindowLiteralTokens) {
+  auto tokens = Tokenize("{4 +- 4, 11 +- 9}");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kLBrace);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kPlusMinus);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kComma);
+  EXPECT_EQ((*tokens)[8].kind, TokenKind::kRBrace);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Tokenize("< <= > >= = <> !=");
+  ASSERT_TRUE(tokens.ok());
+  const TokenKind expected[] = {TokenKind::kLt, TokenKind::kLe,
+                                TokenKind::kGt, TokenKind::kGe,
+                                TokenKind::kEq, TokenKind::kNe,
+                                TokenKind::kNe};
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ((*tokens)[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = Tokenize("city = 'New York'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[2].text, "New York");
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(Tokenize("select #").ok());
+  EXPECT_FALSE(Tokenize("a + b").ok());  // no arithmetic in PSQL
+}
+
+// --- Parser -----------------------------------------------------------------
+
+TEST(ParserTest, PaperQueryOne) {
+  // §2.2 first example, modulo ASCII ± and comma-free numbers.
+  auto stmt = Parse(
+      "select city,state,population,loc "
+      "from cities "
+      "on us-map "
+      "at loc covered-by {4 +- 4, 11 +- 9} "
+      "where population > 450000");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->targets.size(), 4u);
+  EXPECT_EQ((*stmt)->from, std::vector<std::string>{"cities"});
+  EXPECT_EQ((*stmt)->on, std::vector<std::string>{"us-map"});
+  ASSERT_TRUE((*stmt)->at.has_value());
+  EXPECT_EQ((*stmt)->at->op, SpatialOp::kCoveredBy);
+  EXPECT_EQ((*stmt)->at->lhs.kind, LocExpr::Kind::kColumn);
+  EXPECT_EQ((*stmt)->at->lhs.column, "loc");
+  EXPECT_EQ((*stmt)->at->rhs.kind, LocExpr::Kind::kWindow);
+  EXPECT_EQ((*stmt)->at->rhs.window, geom::Rect(0, 2, 8, 20));
+  ASSERT_NE((*stmt)->where, nullptr);
+  EXPECT_EQ((*stmt)->where->kind, Expr::Kind::kCompare);
+}
+
+TEST(ParserTest, JuxtapositionQuery) {
+  // §2.2 juxtaposition example.
+  auto stmt = Parse(
+      "select city,zone "
+      "from cities,time-zones "
+      "on us-map,time-zone-map "
+      "at cities.loc covered-by time-zones.loc");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->from,
+            (std::vector<std::string>{"cities", "time-zones"}));
+  ASSERT_TRUE((*stmt)->at.has_value());
+  EXPECT_EQ((*stmt)->at->lhs.rel, "cities");
+  EXPECT_EQ((*stmt)->at->rhs.rel, "time-zones");
+  EXPECT_EQ((*stmt)->at->rhs.column, "loc");
+}
+
+TEST(ParserTest, PaperSpaceQualifiedColumns) {
+  // The paper writes "cities loc" with a space instead of a dot.
+  auto stmt = Parse(
+      "select city,zone from cities,time-zones "
+      "on us-map,time-zone-map "
+      "at cities loc covered-by time-zones loc");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->at->lhs.rel, "cities");
+  EXPECT_EQ((*stmt)->at->lhs.column, "loc");
+  EXPECT_EQ((*stmt)->at->rhs.rel, "time-zones");
+}
+
+TEST(ParserTest, NestedMapping) {
+  // §2.2 nested lakes example.
+  auto stmt = Parse(
+      "select lake,area,lakes.loc from lakes on lake-map "
+      "at lakes.loc covered-by "
+      "select states.loc from states on state-map "
+      "at states.loc covered-by {4 +- 4, 11 +- 9}");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_TRUE((*stmt)->at.has_value());
+  ASSERT_EQ((*stmt)->at->rhs.kind, LocExpr::Kind::kSubquery);
+  const SelectStmt& inner = *(*stmt)->at->rhs.subquery;
+  EXPECT_EQ(inner.from, std::vector<std::string>{"states"});
+  ASSERT_TRUE(inner.at.has_value());
+  EXPECT_EQ(inner.at->rhs.kind, LocExpr::Kind::kWindow);
+}
+
+TEST(ParserTest, ParenthesizedNestedMapping) {
+  auto stmt = Parse(
+      "select lake from lakes on lake-map "
+      "at loc covered-by (select loc from states on state-map)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->at->rhs.kind, LocExpr::Kind::kSubquery);
+}
+
+TEST(ParserTest, StarTargets) {
+  auto stmt = Parse("select * from cities");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->star);
+  EXPECT_FALSE((*stmt)->at.has_value());
+  EXPECT_EQ((*stmt)->where, nullptr);
+}
+
+TEST(ParserTest, FunctionTargetsAndCalls) {
+  auto stmt = Parse("select lake, area(loc) from lakes where area(loc) > 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->targets[1].expr->kind, Expr::Kind::kCall);
+  EXPECT_EQ((*stmt)->targets[1].display, "area(loc)");
+}
+
+TEST(ParserTest, BooleanConnectives) {
+  auto stmt = Parse(
+      "select city from cities "
+      "where population > 100 and (state = 'TX' or not population < 50)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->where->kind, Expr::Kind::kAnd);
+  EXPECT_EQ((*stmt)->where->args[1]->kind, Expr::Kind::kOr);
+  EXPECT_EQ((*stmt)->where->args[1]->args[1]->kind, Expr::Kind::kNot);
+}
+
+TEST(ParserTest, AllSpatialOperators) {
+  const std::pair<const char*, SpatialOp> cases[] = {
+      {"covered-by", SpatialOp::kCoveredBy},
+      {"covering", SpatialOp::kCovering},
+      {"overlapping", SpatialOp::kOverlapping},
+      {"disjoined", SpatialOp::kDisjoined},
+  };
+  for (const auto& [name, op] : cases) {
+    const std::string q = std::string("select city from cities at loc ") +
+                          name + " {0 +- 1, 0 +- 1}";
+    auto stmt = Parse(q);
+    ASSERT_TRUE(stmt.ok()) << q;
+    EXPECT_EQ((*stmt)->at->op, op) << name;
+  }
+}
+
+TEST(ParserTest, WindowOnLeftSide) {
+  auto stmt = Parse(
+      "select city from cities at {0 +- 5, 0 +- 5} covering loc");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->at->lhs.kind, LocExpr::Kind::kWindow);
+  EXPECT_EQ((*stmt)->at->rhs.kind, LocExpr::Kind::kColumn);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("selec city from cities").ok());
+  EXPECT_FALSE(Parse("select city").ok());                  // missing from
+  EXPECT_FALSE(Parse("select from cities").ok());           // missing targets
+  EXPECT_FALSE(Parse("select city from cities extra").ok());
+  EXPECT_FALSE(Parse("select city from cities at loc {0 +- 1, 0 +- 1}").ok());
+  EXPECT_FALSE(
+      Parse("select city from cities at loc covered-by {1, 2}").ok());
+  EXPECT_FALSE(
+      Parse("select city from cities at loc covered-by {1 +- -2, 0 +- 1}")
+          .ok());
+  EXPECT_FALSE(Parse("select city from cities where population >").ok());
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  auto stmt = Parse("SELECT city FROM cities WHERE population > 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->targets.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pictdb::psql

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "quadtree/quadtree.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace pictdb::quadtree {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+using storage::Rid;
+
+Rid MakeRid(size_t i) {
+  return Rid{static_cast<storage::PageId>(i), 0};
+}
+
+TEST(QuadTreeTest, EmptyTree) {
+  QuadTree tree(Rect(0, 0, 100, 100));
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.CellCount(), 1u);
+  EXPECT_TRUE(tree.SearchIntersects(Rect(0, 0, 100, 100)).empty());
+}
+
+TEST(QuadTreeTest, InsertValidation) {
+  QuadTree tree(Rect(0, 0, 100, 100));
+  EXPECT_TRUE(tree.Insert(Rect(), MakeRid(0)).IsInvalidArgument());
+  EXPECT_TRUE(
+      tree.Insert(Rect(90, 90, 110, 110), MakeRid(0)).IsInvalidArgument());
+  EXPECT_TRUE(tree.Insert(Rect(1, 1, 2, 2), MakeRid(0)).ok());
+}
+
+TEST(QuadTreeTest, SplitsAfterThreshold) {
+  QuadTree tree(Rect(0, 0, 100, 100), /*max_depth=*/8,
+                /*split_threshold=*/4);
+  for (size_t i = 0; i < 20; ++i) {
+    const double x = 2.0 + static_cast<double>(i * 4 % 90);
+    const double y = 2.0 + static_cast<double>(i * 7 % 90);
+    ASSERT_TRUE(tree.Insert(Rect(x, y, x + 1, y + 1), MakeRid(i)).ok());
+  }
+  EXPECT_GT(tree.CellCount(), 1u);
+  EXPECT_GT(tree.DepthInUse(), 0);
+}
+
+TEST(QuadTreeTest, StraddlingObjectsStayHigh) {
+  QuadTree tree(Rect(0, 0, 100, 100), 8, 1);
+  // A rect crossing the center can never descend.
+  ASSERT_TRUE(tree.Insert(Rect(40, 40, 60, 60), MakeRid(1)).ok());
+  ASSERT_TRUE(tree.Insert(Rect(1, 1, 2, 2), MakeRid(2)).ok());
+  ASSERT_TRUE(tree.Insert(Rect(3, 3, 4, 4), MakeRid(3)).ok());
+  // All searches that touch the center find the straddler.
+  auto hits = tree.SearchPoint(Point{50, 50});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(hits[0].rid == MakeRid(1));
+}
+
+TEST(QuadTreeTest, DeleteRemovesExactEntry) {
+  QuadTree tree(Rect(0, 0, 100, 100), 8, 2);
+  for (size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        tree.Insert(Rect(i * 9.0, i * 9.0, i * 9.0 + 1, i * 9.0 + 1),
+                    MakeRid(i))
+            .ok());
+  }
+  EXPECT_TRUE(tree.Delete(Rect(0, 0, 1, 1), MakeRid(0)).ok());
+  EXPECT_EQ(tree.Size(), 9u);
+  EXPECT_TRUE(tree.Delete(Rect(0, 0, 1, 1), MakeRid(0)).IsNotFound());
+  EXPECT_TRUE(tree.SearchPoint(Point{0.5, 0.5}).empty());
+}
+
+/// Differential sweep vs brute force across datasets and parameters.
+class QuadTreeDifferential
+    : public ::testing::TestWithParam<std::tuple<int, size_t /*thresh*/>> {};
+
+TEST_P(QuadTreeDifferential, MatchesBruteForce) {
+  const auto [seed, threshold] = GetParam();
+  Random rng(static_cast<uint64_t>(seed));
+  const Rect frame = workload::PaperFrame();
+  QuadTree tree(frame, 12, threshold);
+
+  std::vector<Rect> objects;
+  // Points and rects mixed.
+  for (const Point& p : workload::UniformPoints(&rng, 150, frame)) {
+    objects.push_back(Rect::FromPoint(p));
+  }
+  for (int i = 0; i < 80; ++i) {
+    const double x = rng.UniformDouble(0, 900);
+    const double y = rng.UniformDouble(0, 900);
+    objects.push_back(Rect(x, y, x + rng.UniformDouble(1, 90),
+                           y + rng.UniformDouble(1, 90)));
+  }
+  for (size_t i = 0; i < objects.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(objects[i], MakeRid(i)).ok());
+  }
+
+  const auto windows = workload::RandomWindowQueries(&rng, 30, 0.02, frame);
+  for (const Rect& w : windows) {
+    QuadStats stats;
+    const auto hits = tree.SearchIntersects(w, &stats);
+    std::set<storage::PageId> got;
+    for (const auto& h : hits) got.insert(h.rid.page_id);
+    std::set<storage::PageId> expected;
+    for (size_t i = 0; i < objects.size(); ++i) {
+      if (objects[i].Intersects(w)) {
+        expected.insert(static_cast<storage::PageId>(i));
+      }
+    }
+    EXPECT_EQ(got, expected);
+    EXPECT_GT(stats.cells_visited, 0u);
+  }
+
+  // Delete half, verify again.
+  for (size_t i = 0; i < objects.size(); i += 2) {
+    ASSERT_TRUE(tree.Delete(objects[i], MakeRid(i)).ok());
+  }
+  for (const Rect& w : windows) {
+    const auto hits = tree.SearchIntersects(w);
+    std::set<storage::PageId> got;
+    for (const auto& h : hits) got.insert(h.rid.page_id);
+    std::set<storage::PageId> expected;
+    for (size_t i = 1; i < objects.size(); i += 2) {
+      if (objects[i].Intersects(w)) {
+        expected.insert(static_cast<storage::PageId>(i));
+      }
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuadTreeDifferential,
+    ::testing::Combine(::testing::Range(1, 5),
+                       ::testing::Values(size_t{2}, size_t{8},
+                                         size_t{32})));
+
+TEST(QuadTreeTest, DepthCapHoldsForCoincidentPoints) {
+  QuadTree tree(Rect(0, 0, 100, 100), /*max_depth=*/5,
+                /*split_threshold=*/2);
+  // 50 identical points can never separate; the depth cap must stop the
+  // recursion rather than splitting forever.
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.Insert(Rect(10, 10, 10.1, 10.1), MakeRid(i)).ok());
+  }
+  EXPECT_LE(tree.DepthInUse(), 5);
+  EXPECT_EQ(tree.SearchPoint(Point{10.05, 10.05}).size(), 50u);
+}
+
+}  // namespace
+}  // namespace pictdb::quadtree

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "viz/ascii_canvas.h"
+#include "viz/svg.h"
+
+namespace pictdb::viz {
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+using geom::Rect;
+using geom::Segment;
+
+TEST(AsciiCanvasTest, BlankRender) {
+  AsciiCanvas canvas(Rect(0, 0, 10, 10), 10, 5);
+  const std::string out = canvas.Render();
+  // 5 rows of 10 spaces.
+  EXPECT_EQ(out, std::string(10, ' ') + "\n" + std::string(10, ' ') + "\n" +
+                     std::string(10, ' ') + "\n" + std::string(10, ' ') +
+                     "\n" + std::string(10, ' ') + "\n");
+}
+
+TEST(AsciiCanvasTest, PointLandsInExpectedCell) {
+  AsciiCanvas canvas(Rect(0, 0, 10, 10), 10, 10);
+  canvas.DrawPoint(Point{0.5, 9.5}, '*');  // top-left area
+  const std::string out = canvas.Render();
+  std::istringstream is(out);
+  std::string first_row;
+  std::getline(is, first_row);
+  EXPECT_EQ(first_row[0], '*');
+}
+
+TEST(AsciiCanvasTest, PointsOutsideFrameIgnored) {
+  AsciiCanvas canvas(Rect(0, 0, 10, 10), 8, 8);
+  canvas.DrawPoint(Point{20, 20});
+  canvas.DrawPoint(Point{-1, 5});
+  EXPECT_EQ(canvas.Render().find('*'), std::string::npos);
+}
+
+TEST(AsciiCanvasTest, RectDrawsBorder) {
+  AsciiCanvas canvas(Rect(0, 0, 100, 100), 20, 20);
+  canvas.DrawRect(Rect(10, 10, 90, 90));
+  const std::string out = canvas.Render();
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find('-'), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(AsciiCanvasTest, RectPartiallyOutsideIsClipped) {
+  AsciiCanvas canvas(Rect(0, 0, 100, 100), 20, 20);
+  canvas.DrawRect(Rect(50, 50, 200, 200));
+  EXPECT_NE(canvas.Render().find('+'), std::string::npos);
+}
+
+TEST(AsciiCanvasTest, SegmentConnectsEndpoints) {
+  AsciiCanvas canvas(Rect(0, 0, 10, 10), 10, 10);
+  canvas.DrawSegment(Segment{{0.5, 0.5}, {9.5, 9.5}}, '.');
+  const std::string out = canvas.Render();
+  // Diagonal of dots: one per row.
+  size_t dots = 0;
+  for (char c : out) {
+    if (c == '.') ++dots;
+  }
+  EXPECT_GE(dots, 10u);
+}
+
+TEST(AsciiCanvasTest, LabelTruncatesAtEdge) {
+  AsciiCanvas canvas(Rect(0, 0, 10, 10), 10, 10);
+  canvas.DrawLabel(Point{8.5, 5}, "Chicago");
+  const std::string out = canvas.Render();
+  EXPECT_NE(out.find("Ch"), std::string::npos);
+  EXPECT_EQ(out.find("Chicago"), std::string::npos);  // clipped
+}
+
+TEST(SvgTest, DocumentStructure) {
+  SvgWriter svg(Rect(0, 0, 100, 50), 400);
+  svg.AddPoint(Point{50, 25}, "red", 3);
+  svg.AddRect(Rect(10, 10, 40, 30), "blue", 2);
+  svg.AddSegment(Segment{{0, 0}, {100, 50}});
+  svg.AddPolygon(Polygon({{10, 10}, {20, 10}, {15, 20}}));
+  svg.AddLabel(Point{5, 5}, "origin");
+  const std::string doc = svg.Finish();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("<circle"), std::string::npos);
+  EXPECT_NE(doc.find("<rect"), std::string::npos);
+  EXPECT_NE(doc.find("<line"), std::string::npos);
+  EXPECT_NE(doc.find("<polygon"), std::string::npos);
+  EXPECT_NE(doc.find(">origin</text>"), std::string::npos);
+  // Aspect ratio preserved: 100x50 world -> 400x200 pixels.
+  EXPECT_NE(doc.find("height=\"200\""), std::string::npos);
+}
+
+TEST(SvgTest, YAxisFlipped) {
+  SvgWriter svg(Rect(0, 0, 100, 100), 100);
+  svg.AddPoint(Point{0, 100});  // top-left in world
+  const std::string doc = svg.Finish();
+  // Should map to pixel (0, 0).
+  EXPECT_NE(doc.find("cx=\"0\" cy=\"0\""), std::string::npos);
+}
+
+TEST(SvgTest, WritesFile) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/pictdb_viz_test.svg";
+  SvgWriter svg(Rect(0, 0, 10, 10), 100);
+  svg.AddPoint(Point{5, 5});
+  ASSERT_TRUE(svg.WriteFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), svg.Finish());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pictdb::viz

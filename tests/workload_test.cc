@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+#include "workload/us_cities.h"
+
+namespace pictdb::workload {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+TEST(GeneratorsTest, UniformPointsInFrame) {
+  Random rng(1);
+  const Rect frame(10, 20, 110, 220);
+  const auto pts = UniformPoints(&rng, 500, frame);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const Point& p : pts) {
+    EXPECT_TRUE(frame.Contains(p));
+  }
+}
+
+TEST(GeneratorsTest, UniformPointsDeterministic) {
+  Random a(7), b(7);
+  const auto pa = UniformPoints(&a, 50, PaperFrame());
+  const auto pb = UniformPoints(&b, 50, PaperFrame());
+  EXPECT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(GeneratorsTest, UniformPointsCoverTheFrame) {
+  Random rng(3);
+  const auto pts = UniformPoints(&rng, 2000, PaperFrame());
+  // Every quadrant receives a decent share.
+  int quadrant_counts[4] = {0, 0, 0, 0};
+  for (const Point& p : pts) {
+    const int q = (p.x > 500 ? 1 : 0) + (p.y > 500 ? 2 : 0);
+    ++quadrant_counts[q];
+  }
+  for (int c : quadrant_counts) {
+    EXPECT_GT(c, 350);
+  }
+}
+
+TEST(GeneratorsTest, ClusteredPointsClampedAndClumped) {
+  Random rng(9);
+  const auto pts = ClusteredPoints(&rng, 800, 3, 15.0, PaperFrame());
+  ASSERT_EQ(pts.size(), 800u);
+  for (const Point& p : pts) EXPECT_TRUE(PaperFrame().Contains(p));
+  // Clustered data occupies less of the frame than uniform data: compare
+  // mean nearest-cluster spread via a crude bounding test — at sigma 15,
+  // at least half the points lie within 3 small boxes of ~90x90.
+  // (Statistical smoke test, seed-pinned.)
+  size_t tight = 0;
+  for (const Point& p : pts) {
+    for (const Point& q : pts) {
+      if (&p != &q && geom::DistanceSquared(p, q) < 25) {
+        ++tight;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(tight, pts.size() / 2);
+}
+
+TEST(GeneratorsTest, SkewedPointsLeanLeft) {
+  Random rng(11);
+  const auto pts = SkewedPoints(&rng, 1000, 3.0, PaperFrame());
+  size_t left = 0;
+  for (const Point& p : pts) {
+    EXPECT_TRUE(PaperFrame().Contains(p));
+    if (p.x < 500) ++left;
+  }
+  EXPECT_GT(left, 700u);
+}
+
+TEST(GeneratorsTest, GridPointsCountAndJitterBounds) {
+  Random rng(13);
+  const auto pts = GridPoints(&rng, 10, 12, 0.4, PaperFrame());
+  EXPECT_EQ(pts.size(), 120u);
+  for (const Point& p : pts) EXPECT_TRUE(PaperFrame().Contains(p));
+}
+
+TEST(GeneratorsTest, DisjointRegionsReallyDisjoint) {
+  Random rng(17);
+  const auto rects = DisjointRegions(&rng, 60, PaperFrame());
+  ASSERT_EQ(rects.size(), 60u);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    EXPECT_FALSE(rects[i].IsEmpty());
+    EXPECT_TRUE(PaperFrame().Contains(rects[i]));
+    for (size_t j = i + 1; j < rects.size(); ++j) {
+      EXPECT_FALSE(rects[i].Intersects(rects[j])) << i << "," << j;
+    }
+  }
+}
+
+TEST(GeneratorsTest, SegmentsRespectLengthCap) {
+  Random rng(19);
+  const auto segs = RandomSegments(&rng, 200, 50.0, PaperFrame());
+  ASSERT_EQ(segs.size(), 200u);
+  for (const auto& s : segs) {
+    EXPECT_TRUE(PaperFrame().Contains(s.a));
+    EXPECT_TRUE(PaperFrame().Contains(s.b));
+    EXPECT_LE(s.Length(), 50.0 * 1.001);
+  }
+}
+
+TEST(QueriesTest, PointQueriesInFrame) {
+  Random rng(23);
+  const auto qs = RandomPointQueries(&rng, 100, PaperFrame());
+  EXPECT_EQ(qs.size(), 100u);
+  for (const Point& p : qs) EXPECT_TRUE(PaperFrame().Contains(p));
+}
+
+TEST(QueriesTest, WindowSelectivityAreas) {
+  Random rng(29);
+  const auto ws = RandomWindowQueries(&rng, 50, 0.01, PaperFrame());
+  for (const Rect& w : ws) {
+    EXPECT_TRUE(PaperFrame().Contains(w));
+    EXPECT_NEAR(w.Area(), 0.01 * PaperFrame().Area(),
+                0.01 * PaperFrame().Area() * 0.01);
+  }
+}
+
+TEST(UsCitiesTest, DatasetShape) {
+  const auto& cities = UsCities();
+  EXPECT_GE(cities.size(), 120u);
+  std::set<std::string_view> names;
+  for (const auto& c : cities) {
+    EXPECT_GT(c.population, 0);
+    EXPECT_LT(c.lon, 0);  // western hemisphere
+    EXPECT_GT(c.lat, 15);
+    names.insert(c.name);
+  }
+  // New York is the largest.
+  int64_t max_pop = 0;
+  for (const auto& c : cities) max_pop = std::max(max_pop, c.population);
+  EXPECT_EQ(max_pop, 8336817);
+}
+
+TEST(UsCitiesTest, ContinentalFilterDropsAlaskaHawaii) {
+  const auto continental = ContinentalUsCities();
+  EXPECT_LT(continental.size(), UsCities().size());
+  for (const auto& c : continental) {
+    EXPECT_TRUE(ContinentalUsFrame().Contains(c.loc()));
+    EXPECT_NE(c.state, "AK");
+    EXPECT_NE(c.state, "HI");
+  }
+}
+
+TEST(UsCitiesTest, TimeZonesTileTheContinent) {
+  const auto& zones = UsTimeZones();
+  ASSERT_EQ(zones.size(), 4u);
+  // Every continental city falls in exactly one zone band.
+  for (const auto& c : ContinentalUsCities()) {
+    int hits = 0;
+    for (const auto& z : zones) {
+      if (z.band.Contains(c.loc())) ++hits;
+    }
+    EXPECT_GE(hits, 1) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace pictdb::workload
