@@ -611,7 +611,7 @@ StatusOr<std::string> Executor::Explain(const SelectStmt& stmt) const {
   return os.str();
 }
 
-StatusOr<ResultSet> Executor::Query(std::string_view text) {
+StatusOr<ResultSet> Executor::Query(std::string_view text) const {
   PICTDB_ASSIGN_OR_RETURN(const std::unique_ptr<SelectStmt> stmt,
                           Parse(text));
   return Execute(*stmt);
@@ -784,7 +784,7 @@ StatusOr<ResultSet> Executor::ExecuteDelete(const DeleteStmt& stmt) {
   return RowsAffected(deleted);
 }
 
-StatusOr<ResultSet> Executor::Execute(const SelectStmt& stmt) {
+StatusOr<ResultSet> Executor::Execute(const SelectStmt& stmt) const {
   ResultSet result;
 
   // --- Bind from-relations and pictures -----------------------------------

@@ -43,19 +43,26 @@ struct ResultSet {
 /// Evaluates PSQL mappings against a Catalog. Direct spatial search uses
 /// the packed R-trees; indirect search uses B+-tree indexes when the
 /// where-clause allows; juxtaposition runs the simultaneous R-tree join.
+///
+/// The executor itself is stateless (all per-query state lives on the
+/// stack, all accounting in the returned ResultSet), so the read path —
+/// Query / Execute / Explain — is const and re-entrant: many threads may
+/// run selects through one Executor over a shared catalog, as the query
+/// service does. DML (Run with insert/update/delete) mutates the catalog
+/// and must not run concurrently with other statements.
 class Executor {
  public:
   explicit Executor(rel::Catalog* catalog) : catalog_(catalog) {}
 
   /// Parse and run a select mapping.
-  StatusOr<ResultSet> Query(std::string_view text);
+  StatusOr<ResultSet> Query(std::string_view text) const;
 
   /// Parse and run any statement (select / insert / delete). DML returns
   /// a single-row result with a rows-affected count.
   StatusOr<ResultSet> Run(std::string_view text);
 
   /// Run a parsed statement.
-  StatusOr<ResultSet> Execute(const SelectStmt& stmt);
+  StatusOr<ResultSet> Execute(const SelectStmt& stmt) const;
   StatusOr<ResultSet> ExecuteInsert(const InsertStmt& stmt);
   StatusOr<ResultSet> ExecuteUpdate(const UpdateStmt& stmt);
   StatusOr<ResultSet> ExecuteDelete(const DeleteStmt& stmt);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.h"
 #include "geom/rect.h"
 #include "storage/heap_file.h"
 #include "storage/page.h"
@@ -19,6 +20,10 @@ struct Entry {
   uint64_t payload = 0;
 
   static uint64_t PayloadFromRid(const storage::Rid& rid) {
+    // The packed form is (page_id << 16) | slot; a page id wider than
+    // 48 bits would shift into oblivion and alias another tuple.
+    PICTDB_CHECK((static_cast<uint64_t>(rid.page_id) >> 48) == 0)
+        << "rid page id " << rid.page_id << " does not fit in 48 bits";
     return (static_cast<uint64_t>(rid.page_id) << 16) | rid.slot;
   }
   static uint64_t PayloadFromChild(storage::PageId child) { return child; }

@@ -1,0 +1,98 @@
+#ifndef PICTDB_SERVICE_METRICS_H_
+#define PICTDB_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pictdb::service {
+
+/// Plain-value service counters, safe to copy, compare, and serialize.
+struct ServiceMetricsSnapshot {
+  uint64_t submitted = 0;  // accepted into the queue
+  uint64_t rejected = 0;   // refused by admission control
+  uint64_t completed = 0;  // finished with an OK result
+  uint64_t failed = 0;     // finished with an error status
+  uint64_t total_latency_us = 0;
+  uint64_t max_latency_us = 0;
+  uint64_t total_nodes_visited = 0;
+  uint64_t total_results = 0;
+
+  uint64_t finished() const { return completed + failed; }
+  double avg_latency_us() const {
+    const uint64_t n = finished();
+    return n == 0 ? 0.0
+                  : static_cast<double>(total_latency_us) /
+                        static_cast<double>(n);
+  }
+  double avg_nodes_visited() const {
+    const uint64_t n = finished();
+    return n == 0 ? 0.0
+                  : static_cast<double>(total_nodes_visited) /
+                        static_cast<double>(n);
+  }
+};
+
+/// Lock-free aggregation of per-query accounting into a service-level
+/// view. Workers record into atomics; Snapshot() produces the plain
+/// struct above for reporting.
+class ServiceMetrics {
+ public:
+  void RecordSubmitted() { Add(submitted_); }
+  void RecordRejected() { Add(rejected_); }
+
+  void RecordCompleted(uint64_t latency_us, uint64_t nodes_visited,
+                       uint64_t results) {
+    Add(completed_);
+    total_latency_us_.fetch_add(latency_us, std::memory_order_relaxed);
+    total_nodes_visited_.fetch_add(nodes_visited,
+                                   std::memory_order_relaxed);
+    total_results_.fetch_add(results, std::memory_order_relaxed);
+    UpdateMax(latency_us);
+  }
+
+  void RecordFailed(uint64_t latency_us) {
+    Add(failed_);
+    total_latency_us_.fetch_add(latency_us, std::memory_order_relaxed);
+    UpdateMax(latency_us);
+  }
+
+  ServiceMetricsSnapshot Snapshot() const {
+    ServiceMetricsSnapshot s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.total_latency_us = total_latency_us_.load(std::memory_order_relaxed);
+    s.max_latency_us = max_latency_us_.load(std::memory_order_relaxed);
+    s.total_nodes_visited =
+        total_nodes_visited_.load(std::memory_order_relaxed);
+    s.total_results = total_results_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  static void Add(std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void UpdateMax(uint64_t latency_us) {
+    uint64_t prev = max_latency_us_.load(std::memory_order_relaxed);
+    while (prev < latency_us &&
+           !max_latency_us_.compare_exchange_weak(
+               prev, latency_us, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> total_latency_us_{0};
+  std::atomic<uint64_t> max_latency_us_{0};
+  std::atomic<uint64_t> total_nodes_visited_{0};
+  std::atomic<uint64_t> total_results_{0};
+};
+
+}  // namespace pictdb::service
+
+#endif  // PICTDB_SERVICE_METRICS_H_

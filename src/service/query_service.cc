@@ -1,0 +1,114 @@
+#include "service/query_service.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+namespace pictdb::service {
+
+namespace {
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+QueryService::QueryService(const rtree::RTree* tree,
+                           const psql::Executor* executor,
+                           const ServiceOptions& options)
+    : tree_(tree),
+      executor_(executor),
+      options_(options),
+      pool_(options.num_threads, options.queue_capacity) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() { pool_.Shutdown(); }
+
+StatusOr<QueryResult> QueryService::Dispatch(const Query& query) const {
+  QueryResult result;
+  if (const auto* w = std::get_if<WindowQuery>(&query)) {
+    PICTDB_ASSIGN_OR_RETURN(
+        result.hits,
+        w->contained_only
+            ? tree_->SearchContainedIn(w->window, &result.stats)
+            : tree_->SearchIntersects(w->window, &result.stats));
+  } else if (const auto* p = std::get_if<PointQuery>(&query)) {
+    PICTDB_ASSIGN_OR_RETURN(result.hits,
+                            tree_->SearchPoint(p->point, &result.stats));
+  } else if (const auto* k = std::get_if<KnnQuery>(&query)) {
+    PICTDB_ASSIGN_OR_RETURN(
+        result.neighbors,
+        rtree::SearchNearest(*tree_, k->point, k->k, &result.stats));
+  } else if (const auto* j = std::get_if<JoinQuery>(&query)) {
+    if (j->other == nullptr) {
+      return Status::InvalidArgument("join query without a right tree");
+    }
+    rtree::JoinStats join_stats;
+    uint64_t pairs = 0;
+    PICTDB_RETURN_IF_ERROR(rtree::SpatialJoin(
+        *tree_, *j->other,
+        [&pairs](const rtree::LeafHit&, const rtree::LeafHit&) { ++pairs; },
+        &join_stats));
+    result.join_pairs = pairs;
+    result.stats.nodes_visited = join_stats.nodes_visited;
+    result.stats.entries_tested = join_stats.pairs_tested;
+    result.stats.results = join_stats.results;
+  } else if (const auto* q = std::get_if<PsqlQuery>(&query)) {
+    if (executor_ == nullptr) {
+      return Status::InvalidArgument(
+          "service was built without a PSQL executor");
+    }
+    PICTDB_ASSIGN_OR_RETURN(psql::ResultSet rs, executor_->Query(q->text));
+    result.stats.nodes_visited = rs.stats.rtree_nodes_visited;
+    result.stats.results = rs.stats.rows_emitted;
+    result.table = std::move(rs);
+  }
+  return result;
+}
+
+StatusOr<std::future<StatusOr<QueryResult>>> QueryService::Submit(
+    Query query) {
+  // shared_ptr because std::function requires copyable callables.
+  auto promise = std::make_shared<std::promise<StatusOr<QueryResult>>>();
+  std::future<StatusOr<QueryResult>> future = promise->get_future();
+  auto shared_query = std::make_shared<Query>(std::move(query));
+
+  const Status admitted = pool_.TrySubmit([this, promise, shared_query] {
+    const auto start = std::chrono::steady_clock::now();
+    StatusOr<QueryResult> outcome = Dispatch(*shared_query);
+    const uint64_t latency_us = ElapsedMicros(start);
+    if (outcome.ok()) {
+      outcome.value().latency_us = latency_us;
+      uint64_t results = outcome.value().stats.results;
+      if (results == 0) {
+        results = outcome.value().hits.size() +
+                  outcome.value().neighbors.size() +
+                  outcome.value().join_pairs;
+      }
+      metrics_.RecordCompleted(latency_us,
+                               outcome.value().stats.nodes_visited, results);
+    } else {
+      metrics_.RecordFailed(latency_us);
+    }
+    promise->set_value(std::move(outcome));
+  });
+  if (!admitted.ok()) {
+    metrics_.RecordRejected();
+    return admitted;
+  }
+  metrics_.RecordSubmitted();
+  return future;
+}
+
+StatusOr<QueryResult> QueryService::RunSync(Query query) {
+  PICTDB_ASSIGN_OR_RETURN(std::future<StatusOr<QueryResult>> future,
+                          Submit(std::move(query)));
+  return future.get();
+}
+
+}  // namespace pictdb::service

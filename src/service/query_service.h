@@ -1,0 +1,134 @@
+#ifndef PICTDB_SERVICE_QUERY_SERVICE_H_
+#define PICTDB_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status_or.h"
+#include "psql/executor.h"
+#include "rtree/join.h"
+#include "rtree/knn.h"
+#include "rtree/rtree.h"
+#include "service/metrics.h"
+#include "service/thread_pool.h"
+
+namespace pictdb::service {
+
+/// Window search over the shared tree: all leaf entries intersecting
+/// `window`, or strictly contained in it (the paper's SEARCH) when
+/// `contained_only` is set.
+struct WindowQuery {
+  geom::Rect window;
+  bool contained_only = false;
+};
+
+/// The Table 1 query "is point (x,y) contained in the database?".
+struct PointQuery {
+  geom::Point point;
+};
+
+/// Branch-and-bound k nearest neighbours of `point`.
+struct KnnQuery {
+  geom::Point point;
+  size_t k = 1;
+};
+
+/// Juxtaposition of the shared tree with another (immutable) tree; the
+/// result is the number of intersecting leaf pairs.
+struct JoinQuery {
+  const rtree::RTree* other = nullptr;
+};
+
+/// A PSQL select mapping, evaluated through the shared executor.
+struct PsqlQuery {
+  std::string text;
+};
+
+using Query =
+    std::variant<WindowQuery, PointQuery, KnnQuery, JoinQuery, PsqlQuery>;
+
+/// Outcome of one query. Which member is filled depends on the variant:
+/// hits for window/point, neighbors for knn, join_pairs for join, table
+/// for psql. `stats` and `latency_us` are always populated.
+struct QueryResult {
+  std::vector<rtree::LeafHit> hits;
+  std::vector<rtree::Neighbor> neighbors;
+  uint64_t join_pairs = 0;
+  std::optional<psql::ResultSet> table;
+  rtree::SearchStats stats;
+  uint64_t latency_us = 0;
+};
+
+struct ServiceOptions {
+  /// Worker threads executing queries.
+  size_t num_threads = 4;
+  /// Bound on queued (admitted but unstarted) queries; submissions
+  /// beyond it are rejected with ResourceExhausted.
+  size_t queue_capacity = 256;
+};
+
+/// Concurrent query service over one shared packed R-tree (and,
+/// optionally, a PSQL executor over a shared catalog).
+///
+/// Concurrency model: after PACK the tree is immutable, so N worker
+/// threads traverse it simultaneously through the thread-safe buffer
+/// pool with no tree-level latching at all — the pool's shard mutexes
+/// are the only locks on the read path. The service must not run
+/// concurrently with writers (Insert/Delete/re-PACK); quiesce it first.
+///
+/// Admission control: Submit() never blocks. When the bounded queue is
+/// full the query is rejected immediately with ResourceExhausted so the
+/// caller can shed or retry, instead of the queue growing without bound.
+class QueryService {
+ public:
+  /// `tree` must outlive the service. `executor` may be null when no
+  /// PSQL queries will be submitted; it must be used read-only for the
+  /// service's lifetime.
+  QueryService(const rtree::RTree* tree, const psql::Executor* executor,
+               const ServiceOptions& options = {});
+
+  /// Drains in-flight queries, then joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Asynchronous submission. An error here means the query was never
+  /// admitted (queue full / shut down); errors during execution surface
+  /// through the future instead.
+  StatusOr<std::future<StatusOr<QueryResult>>> Submit(Query query);
+
+  /// Convenience: submit and wait. Admission errors are returned
+  /// directly.
+  StatusOr<QueryResult> RunSync(Query query);
+
+  /// Graceful shutdown: stop admitting, run every already-accepted
+  /// query to completion, join the workers. Idempotent; also run by the
+  /// destructor.
+  void Shutdown();
+
+  /// Service-level aggregation of per-query accounting.
+  ServiceMetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+
+  /// Queries admitted but not yet started.
+  size_t queue_depth() const { return pool_.queue_depth(); }
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  StatusOr<QueryResult> Dispatch(const Query& query) const;
+
+  const rtree::RTree* tree_;
+  const psql::Executor* executor_;
+  ServiceOptions options_;
+  ServiceMetrics metrics_;
+  ThreadPool pool_;  // last member: workers die before the rest
+};
+
+}  // namespace pictdb::service
+
+#endif  // PICTDB_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,76 @@
+#include "service/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pictdb::service {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
+  PICTDB_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      return Status::InvalidArgument("thread pool is shut down");
+    }
+    if (queue_.size() >= queue_capacity_) {
+      return Status::ResourceExhausted("submission queue full (" +
+                                       std::to_string(queue_capacity_) +
+                                       " tasks)");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutting_down_ = true;
+  work_cv_.notify_all();
+  drain_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (joined_) return;
+  joined_ = true;
+  lock.unlock();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace pictdb::service

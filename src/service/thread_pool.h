@@ -1,0 +1,63 @@
+#ifndef PICTDB_SERVICE_THREAD_POOL_H_
+#define PICTDB_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pictdb::service {
+
+/// Fixed-size worker pool with a bounded submission queue.
+///
+/// Admission control is explicit: TrySubmit never blocks and never grows
+/// the queue past its bound — a full queue is reported as
+/// ResourceExhausted so callers shed load instead of queueing without
+/// limit. Shutdown is graceful: already-accepted tasks (queued and
+/// in-flight) run to completion before the workers exit.
+class ThreadPool {
+ public:
+  ThreadPool(size_t num_threads, size_t queue_capacity);
+
+  /// Joins the workers after draining accepted tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue `task`. ResourceExhausted when the queue is at capacity;
+  /// InvalidArgument after Shutdown.
+  Status TrySubmit(std::function<void()> task);
+
+  /// Stop accepting work, wait until the queue is empty and every
+  /// in-flight task finished, then join the workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t queue_capacity() const { return queue_capacity_; }
+
+  /// Tasks accepted but not yet started (for metrics / tests).
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t queue_capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stop
+  std::condition_variable drain_cv_;  // Shutdown: queue empty and idle
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;          // tasks currently executing
+  bool shutting_down_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace pictdb::service
+
+#endif  // PICTDB_SERVICE_THREAD_POOL_H_

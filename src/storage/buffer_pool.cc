@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -7,8 +8,12 @@
 namespace pictdb::storage {
 
 PageGuard::PageGuard(BufferPool* pool, PageId id, char* data,
-                     bool* dirty_flag)
-    : pool_(pool), id_(id), data_(data), dirty_flag_(dirty_flag) {}
+                     std::atomic<bool>* dirty_flag, size_t frame_idx)
+    : pool_(pool),
+      id_(id),
+      data_(data),
+      dirty_flag_(dirty_flag),
+      frame_idx_(frame_idx) {}
 
 PageGuard::~PageGuard() { Release(); }
 
@@ -16,7 +21,8 @@ PageGuard::PageGuard(PageGuard&& other) noexcept
     : pool_(other.pool_),
       id_(other.id_),
       data_(other.data_),
-      dirty_flag_(other.dirty_flag_) {
+      dirty_flag_(other.dirty_flag_),
+      frame_idx_(other.frame_idx_) {
   other.pool_ = nullptr;
 }
 
@@ -27,6 +33,7 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
     id_ = other.id_;
     data_ = other.data_;
     dirty_flag_ = other.dirty_flag_;
+    frame_idx_ = other.frame_idx_;
     other.pool_ = nullptr;
   }
   return *this;
@@ -34,18 +41,26 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
 
 void PageGuard::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(id_);
+    pool_->Unpin(frame_idx_);
     pool_ = nullptr;
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity)
-    : disk_(disk), capacity_(capacity) {
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, size_t shards)
+    : disk_(disk),
+      capacity_(capacity),
+      shards_(std::max<size_t>(1, std::min(shards, capacity))) {
   PICTDB_CHECK(capacity_ >= 1);
-  frames_.resize(capacity_);
+  frames_ = std::make_unique<Frame[]>(capacity_);
   for (size_t i = 0; i < capacity_; ++i) {
     frames_[i].data = std::make_unique<char[]>(disk_->page_size());
-    free_frames_.push_back(capacity_ - 1 - i);
+  }
+  // Each shard's free list hands out its frames in increasing index
+  // order (so with one shard the allocation order matches the
+  // historical single-threaded pool exactly).
+  for (size_t i = 0; i < capacity_; ++i) {
+    const size_t idx = capacity_ - 1 - i;
+    shards_[idx % shards_.size()].free_frames.push_back(idx);
   }
 }
 
@@ -56,115 +71,170 @@ BufferPool::~BufferPool() {
 
 size_t BufferPool::pinned_frames() const {
   size_t n = 0;
-  for (const Frame& f : frames_) {
-    if (f.page_id != kInvalidPageId && f.pin_count > 0) ++n;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (size_t i = s; i < capacity_; i += shards_.size()) {
+      const Frame& f = frames_[i];
+      if (f.page_id != kInvalidPageId &&
+          f.pin_count.load(std::memory_order_relaxed) > 0) {
+        ++n;
+      }
+    }
   }
   return n;
 }
 
-void BufferPool::Unpin(PageId id) {
-  auto it = page_table_.find(id);
-  PICTDB_CHECK(it != page_table_.end()) << "unpin of unknown page " << id;
-  Frame& frame = frames_[it->second];
-  PICTDB_CHECK(frame.pin_count > 0) << "unpin of unpinned page " << id;
-  if (--frame.pin_count == 0) {
-    lru_.push_back(it->second);
-    frame.lru_pos = std::prev(lru_.end());
+void BufferPool::Unpin(size_t frame_idx) {
+  Frame& frame = frames_[frame_idx];
+  Shard& shard = ShardForFrame(frame_idx);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const int prev = frame.pin_count.fetch_sub(1, std::memory_order_relaxed);
+  PICTDB_CHECK(prev > 0) << "unpin of unpinned page " << frame.page_id;
+  if (prev == 1) {
+    shard.lru.push_back(frame_idx);
+    frame.lru_pos = std::prev(shard.lru.end());
     frame.in_lru = true;
   }
 }
 
-StatusOr<size_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    const size_t idx = free_frames_.back();
-    free_frames_.pop_back();
+StatusOr<size_t> BufferPool::GetVictimFrame(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    const size_t idx = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return idx;
   }
-  if (lru_.empty()) {
+  if (shard.lru.empty()) {
     return Status::ResourceExhausted(
-        "buffer pool exhausted: all frames pinned");
+        "buffer pool exhausted: all frames of the shard pinned");
   }
-  const size_t idx = lru_.front();
-  lru_.pop_front();
+  const size_t idx = shard.lru.front();
+  shard.lru.pop_front();
   Frame& frame = frames_[idx];
   frame.in_lru = false;
-  ++stats_.evictions;
-  if (frame.dirty) {
+  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  if (frame.dirty.load(std::memory_order_relaxed)) {
+    // Written back under the shard lock: the victim must not be readable
+    // from disk in its stale form once it leaves the page table.
     PICTDB_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.data.get()));
-    ++stats_.flushes;
-    frame.dirty = false;
+    stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+    frame.dirty.store(false, std::memory_order_relaxed);
   }
-  page_table_.erase(frame.page_id);
+  shard.page_table.erase(frame.page_id);
   frame.page_id = kInvalidPageId;
   return idx;
 }
 
-StatusOr<PageGuard> BufferPool::PinFrame(size_t frame_idx) {
+PageGuard BufferPool::PinFrame(Shard& shard, size_t frame_idx) {
   Frame& frame = frames_[frame_idx];
-  if (frame.pin_count == 0 && frame.in_lru) {
-    lru_.erase(frame.lru_pos);
+  if (frame.pin_count.load(std::memory_order_relaxed) == 0 &&
+      frame.in_lru) {
+    shard.lru.erase(frame.lru_pos);
     frame.in_lru = false;
   }
-  ++frame.pin_count;
-  return PageGuard(this, frame.page_id, frame.data.get(), &frame.dirty);
+  frame.pin_count.fetch_add(1, std::memory_order_relaxed);
+  return PageGuard(this, frame.page_id, frame.data.get(), &frame.dirty,
+                   frame_idx);
+}
+
+StatusOr<size_t> BufferPool::ClaimFrameLocked(Shard& shard, PageId id) {
+  PICTDB_ASSIGN_OR_RETURN(const size_t idx, GetVictimFrame(shard));
+  Frame& frame = frames_[idx];
+  frame.page_id = id;
+  frame.pin_count.store(1, std::memory_order_relaxed);
+  shard.page_table[id] = idx;
+  return idx;
 }
 
 StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
-  ++stats_.fetches;
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    return PinFrame(it->second);
+  Shard& shard = ShardForPage(id);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  stats_.fetches.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    auto it = shard.page_table.find(id);
+    if (it == shard.page_table.end()) break;
+    Frame& frame = frames_[it->second];
+    if (frame.loading) {
+      // Another thread is reading this page in; wait and re-probe (the
+      // load may fail, in which case the entry disappears).
+      shard.load_cv.wait(lock);
+      continue;
+    }
+    return PinFrame(shard, it->second);
   }
-  ++stats_.misses;
-  PICTDB_ASSIGN_OR_RETURN(const size_t idx, GetVictimFrame());
+
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  PICTDB_ASSIGN_OR_RETURN(const size_t idx, ClaimFrameLocked(shard, id));
   Frame& frame = frames_[idx];
-  PICTDB_RETURN_IF_ERROR(disk_->ReadPage(id, frame.data.get()));
-  frame.page_id = id;
-  frame.dirty = false;
-  page_table_[id] = idx;
-  return PinFrame(idx);
+  frame.loading = true;
+  lock.unlock();
+  // The frame is pinned and flagged, so it cannot be evicted or handed
+  // out while the read runs without the lock.
+  const Status read = disk_->ReadPage(id, frame.data.get());
+  lock.lock();
+  frame.loading = false;
+  if (!read.ok()) {
+    shard.page_table.erase(id);
+    frame.page_id = kInvalidPageId;
+    frame.pin_count.store(0, std::memory_order_relaxed);
+    shard.free_frames.push_back(idx);
+    shard.load_cv.notify_all();
+    return read;
+  }
+  frame.dirty.store(false, std::memory_order_relaxed);
+  shard.load_cv.notify_all();
+  return PageGuard(this, id, frame.data.get(), &frame.dirty, idx);
 }
 
 StatusOr<PageGuard> BufferPool::NewPage() {
   const PageId id = disk_->AllocatePage();
-  PICTDB_ASSIGN_OR_RETURN(const size_t idx, GetVictimFrame());
+  Shard& shard = ShardForPage(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  PICTDB_ASSIGN_OR_RETURN(const size_t idx, ClaimFrameLocked(shard, id));
   Frame& frame = frames_[idx];
   std::memset(frame.data.get(), 0, disk_->page_size());
-  frame.page_id = id;
-  frame.dirty = true;  // must reach disk even if never written again
-  page_table_[id] = idx;
-  return PinFrame(idx);
+  // Must reach disk even if never written again.
+  frame.dirty.store(true, std::memory_order_relaxed);
+  return PageGuard(this, id, frame.data.get(), &frame.dirty, idx);
 }
 
 Status BufferPool::FreePage(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    const size_t idx = it->second;
-    Frame& frame = frames_[idx];
-    if (frame.pin_count > 0) {
-      return Status::InvalidArgument("freeing pinned page " +
-                                     std::to_string(id));
+  Shard& shard = ShardForPage(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.page_table.find(id);
+    if (it != shard.page_table.end()) {
+      const size_t idx = it->second;
+      Frame& frame = frames_[idx];
+      if (frame.pin_count.load(std::memory_order_relaxed) > 0) {
+        return Status::InvalidArgument("freeing pinned page " +
+                                       std::to_string(id));
+      }
+      if (frame.in_lru) {
+        shard.lru.erase(frame.lru_pos);
+        frame.in_lru = false;
+      }
+      frame.page_id = kInvalidPageId;
+      frame.dirty.store(false, std::memory_order_relaxed);
+      shard.page_table.erase(it);
+      shard.free_frames.push_back(idx);
     }
-    if (frame.in_lru) {
-      lru_.erase(frame.lru_pos);
-      frame.in_lru = false;
-    }
-    frame.page_id = kInvalidPageId;
-    frame.dirty = false;
-    page_table_.erase(it);
-    free_frames_.push_back(idx);
   }
   disk_->DeallocatePage(id);
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
-  for (Frame& frame : frames_) {
-    if (frame.page_id != kInvalidPageId && frame.dirty) {
-      PICTDB_RETURN_IF_ERROR(
-          disk_->WritePage(frame.page_id, frame.data.get()));
-      frame.dirty = false;
-      ++stats_.flushes;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (size_t i = s; i < capacity_; i += shards_.size()) {
+      Frame& frame = frames_[i];
+      if (frame.page_id != kInvalidPageId &&
+          frame.dirty.load(std::memory_order_relaxed)) {
+        PICTDB_RETURN_IF_ERROR(
+            disk_->WritePage(frame.page_id, frame.data.get()));
+        frame.dirty.store(false, std::memory_order_relaxed);
+        stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   return Status::OK();

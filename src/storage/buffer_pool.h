@@ -1,9 +1,12 @@
 #ifndef PICTDB_STORAGE_BUFFER_POOL_H_
 #define PICTDB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -14,13 +17,39 @@
 
 namespace pictdb::storage {
 
-/// Counters for cache behaviour; the difference between `fetches` and
-/// `misses` shows how well the LRU pool absorbs a workload's page touches.
-struct BufferPoolStats {
+/// Plain-value image of the pool counters, safe to copy and compare.
+struct BufferPoolStatsSnapshot {
   uint64_t fetches = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t flushes = 0;
+};
+
+/// Counters for cache behaviour; the difference between `fetches` and
+/// `misses` shows how well the LRU pool absorbs a workload's page touches.
+/// Counters are atomic so concurrent readers never race with fetches;
+/// use Snapshot() to read a consistent plain-struct copy.
+struct BufferPoolStats {
+  std::atomic<uint64_t> fetches{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> flushes{0};
+
+  BufferPoolStatsSnapshot Snapshot() const {
+    BufferPoolStatsSnapshot s;
+    s.fetches = fetches.load(std::memory_order_relaxed);
+    s.misses = misses.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    s.flushes = flushes.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    fetches.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+    evictions.store(0, std::memory_order_relaxed);
+    flushes.store(0, std::memory_order_relaxed);
+  }
 };
 
 class BufferPool;
@@ -30,7 +59,8 @@ class BufferPool;
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, PageId id, char* data, bool* dirty_flag);
+  PageGuard(BufferPool* pool, PageId id, char* data,
+            std::atomic<bool>* dirty_flag, size_t frame_idx);
   ~PageGuard();
 
   PageGuard(PageGuard&& other) noexcept;
@@ -42,7 +72,7 @@ class PageGuard {
   PageId id() const { return id_; }
   const char* data() const { return data_; }
   char* mutable_data() {
-    *dirty_flag_ = true;
+    dirty_flag_->store(true, std::memory_order_relaxed);
     return data_;
   }
 
@@ -53,16 +83,26 @@ class PageGuard {
   BufferPool* pool_ = nullptr;
   PageId id_ = kInvalidPageId;
   char* data_ = nullptr;
-  bool* dirty_flag_ = nullptr;
+  std::atomic<bool>* dirty_flag_ = nullptr;
+  size_t frame_idx_ = 0;
 };
 
 /// Fixed-capacity page cache over a DiskManager with LRU replacement.
-/// Single-threaded by design (the library's execution model is one query
-/// at a time, as in the paper's system).
+///
+/// Thread-safe: the frame table is split into `shards` independent
+/// mini-pools (page id -> shard by modulo), each with its own mutex,
+/// page table, LRU list and free list. Pin counts are atomic; a miss
+/// performs its disk read outside the shard lock (the frame is pinned
+/// and flagged as loading, so concurrent fetchers of the same page wait
+/// on the shard's condition variable while other pages proceed).
+/// With shards == 1 (the default) eviction order is byte-identical to
+/// the historical single-threaded pool.
 class BufferPool {
  public:
-  /// `capacity` is the number of page frames held in memory.
-  BufferPool(DiskManager* disk, size_t capacity);
+  /// `capacity` is the number of page frames held in memory; `shards`
+  /// the number of independently locked partitions (clamped to
+  /// capacity).
+  BufferPool(DiskManager* disk, size_t capacity, size_t shards = 1);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -84,8 +124,10 @@ class BufferPool {
   DiskManager* disk() const { return disk_; }
   uint32_t page_size() const { return disk_->page_size(); }
   size_t capacity() const { return capacity_; }
+  size_t shards() const { return shards_.size(); }
   const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  BufferPoolStatsSnapshot StatsSnapshot() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
 
   /// Number of currently pinned frames (for tests / leak detection).
   size_t pinned_frames() const;
@@ -96,23 +138,41 @@ class BufferPool {
   struct Frame {
     PageId page_id = kInvalidPageId;
     std::unique_ptr<char[]> data;
-    int pin_count = 0;
-    bool dirty = false;
-    // Position in lru_ when pin_count == 0.
+    std::atomic<int> pin_count{0};
+    std::atomic<bool> dirty{false};
+    /// True while a miss is reading this frame's page from disk outside
+    /// the shard lock. Guarded by the owning shard's mutex.
+    bool loading = false;
+    // Position in the shard's lru when pin_count == 0.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
-  void Unpin(PageId id);
-  StatusOr<size_t> GetVictimFrame();  // frame ready for reuse
-  StatusOr<PageGuard> PinFrame(size_t frame_idx);
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable load_cv;  // signalled when `loading` clears
+    std::unordered_map<PageId, size_t> page_table;
+    std::list<size_t> lru;  // front = least recently used
+    std::vector<size_t> free_frames;
+  };
+
+  Shard& ShardForPage(PageId id) { return shards_[id % shards_.size()]; }
+  Shard& ShardForFrame(size_t frame_idx) {
+    return shards_[frame_idx % shards_.size()];
+  }
+
+  void Unpin(size_t frame_idx);
+  /// Requires `shard.mu` held. May write a dirty victim back to disk.
+  StatusOr<size_t> GetVictimFrame(Shard& shard);
+  /// Requires `shard.mu` held; frame must hold a valid resident page.
+  PageGuard PinFrame(Shard& shard, size_t frame_idx);
+  /// Claim a victim for `id`, pinned and marked loading. Requires lock.
+  StatusOr<size_t> ClaimFrameLocked(Shard& shard, PageId id);
 
   DiskManager* disk_;
   size_t capacity_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::list<size_t> lru_;  // front = least recently used
-  std::vector<size_t> free_frames_;
+  std::unique_ptr<Frame[]> frames_;
+  std::vector<Shard> shards_;
   BufferPoolStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "storage/disk_manager.h"
 
 #include <cstring>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -12,27 +13,33 @@ InMemoryDiskManager::InMemoryDiskManager(uint32_t page_size)
 }
 
 Status InMemoryDiskManager::ReadPage(PageId id, char* out) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(id));
   }
   std::memcpy(out, pages_[id].get(), page_size_);
-  ++stats_.reads;
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status InMemoryDiskManager::WritePage(PageId id, const char* data) {
+  // Shared lock: distinct pages may be written concurrently (the buffer
+  // pool never writes the same page from two threads), and writes must
+  // not block readers of other pages.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
   }
   std::memcpy(pages_[id].get(), data, page_size_);
-  ++stats_.writes;
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 PageId InMemoryDiskManager::AllocatePage() {
-  ++stats_.allocations;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  stats_.allocations.fetch_add(1, std::memory_order_relaxed);
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
@@ -46,6 +53,7 @@ PageId InMemoryDiskManager::AllocatePage() {
 }
 
 void InMemoryDiskManager::DeallocatePage(PageId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   PICTDB_CHECK(id < pages_.size());
   free_list_.push_back(id);
 }
@@ -83,6 +91,7 @@ FileDiskManager::~FileDiskManager() {
 }
 
 Status FileDiskManager::ReadPage(PageId id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= page_count_) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(id));
@@ -93,11 +102,12 @@ Status FileDiskManager::ReadPage(PageId id, char* out) {
   if (std::fread(out, 1, page_size_, file_) != page_size_) {
     return Status::IOError("short read of page " + std::to_string(id));
   }
-  ++stats_.reads;
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status FileDiskManager::WritePage(PageId id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= page_count_) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
@@ -108,12 +118,13 @@ Status FileDiskManager::WritePage(PageId id, const char* data) {
   if (std::fwrite(data, 1, page_size_, file_) != page_size_) {
     return Status::IOError("short write of page " + std::to_string(id));
   }
-  ++stats_.writes;
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 PageId FileDiskManager::AllocatePage() {
-  ++stats_.allocations;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.allocations.fetch_add(1, std::memory_order_relaxed);
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
@@ -128,8 +139,41 @@ PageId FileDiskManager::AllocatePage() {
 }
 
 void FileDiskManager::DeallocatePage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   PICTDB_CHECK(id < page_count_);
   free_list_.push_back(id);
+}
+
+LatencyDiskManager::LatencyDiskManager(
+    DiskManager* base, std::chrono::microseconds read_latency,
+    std::chrono::microseconds write_latency)
+    : base_(base),
+      read_latency_(read_latency),
+      write_latency_(write_latency) {}
+
+Status LatencyDiskManager::ReadPage(PageId id, char* out) {
+  if (read_latency_.count() > 0) std::this_thread::sleep_for(read_latency_);
+  PICTDB_RETURN_IF_ERROR(base_->ReadPage(id, out));
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LatencyDiskManager::WritePage(PageId id, const char* data) {
+  if (write_latency_.count() > 0) {
+    std::this_thread::sleep_for(write_latency_);
+  }
+  PICTDB_RETURN_IF_ERROR(base_->WritePage(id, data));
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+PageId LatencyDiskManager::AllocatePage() {
+  stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+  return base_->AllocatePage();
+}
+
+void LatencyDiskManager::DeallocatePage(PageId id) {
+  base_->DeallocatePage(id);
 }
 
 }  // namespace pictdb::storage

@@ -1,9 +1,13 @@
 #ifndef PICTDB_STORAGE_DISK_MANAGER_H_
 #define PICTDB_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -13,16 +17,39 @@
 
 namespace pictdb::storage {
 
-/// Counters exposed by every disk manager; benchmarks report these to show
-/// the physical I/O difference between packed and unpacked trees.
-struct DiskStats {
+/// Plain-value image of the I/O counters.
+struct DiskStatsSnapshot {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t allocations = 0;
 };
 
+/// Counters exposed by every disk manager; benchmarks report these to show
+/// the physical I/O difference between packed and unpacked trees. Atomic
+/// so concurrent queries can issue page I/O without racing on accounting.
+struct DiskStats {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> allocations{0};
+
+  DiskStatsSnapshot Snapshot() const {
+    DiskStatsSnapshot s;
+    s.reads = reads.load(std::memory_order_relaxed);
+    s.writes = writes.load(std::memory_order_relaxed);
+    s.allocations = allocations.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    reads.store(0, std::memory_order_relaxed);
+    writes.store(0, std::memory_order_relaxed);
+    allocations.store(0, std::memory_order_relaxed);
+  }
+};
+
 /// Backing store of fixed-size pages. Implementations must support random
-/// page reads/writes and appending fresh pages.
+/// page reads/writes and appending fresh pages, and must be safe to call
+/// from multiple threads (the buffer pool issues page I/O concurrently).
 class DiskManager {
  public:
   virtual ~DiskManager() = default;
@@ -47,7 +74,8 @@ class DiskManager {
   virtual void DeallocatePage(PageId id) = 0;
 
   const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats{}; }
+  DiskStatsSnapshot StatsSnapshot() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
 
  protected:
   DiskStats stats_;
@@ -55,13 +83,15 @@ class DiskManager {
 
 /// Pages held in RAM. The default substrate for experiments: the paper's
 /// metrics (nodes visited, coverage, overlap) are I/O-model metrics, so a
-/// memory store reproduces them exactly while staying fast.
+/// memory store reproduces them exactly while staying fast. Page content
+/// access takes a shared lock; allocation takes an exclusive one.
 class InMemoryDiskManager final : public DiskManager {
  public:
   explicit InMemoryDiskManager(uint32_t page_size = kDefaultPageSize);
 
   uint32_t page_size() const override { return page_size_; }
   PageId page_count() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return static_cast<PageId>(pages_.size());
   }
   Status ReadPage(PageId id, char* out) override;
@@ -71,12 +101,14 @@ class InMemoryDiskManager final : public DiskManager {
 
  private:
   uint32_t page_size_;
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<char[]>> pages_;
   std::vector<PageId> free_list_;
 };
 
 /// Pages stored in a file on disk, for durability demonstrations and for
-/// measuring real I/O.
+/// measuring real I/O. A single mutex serializes all file access (stdio
+/// seek+read pairs are not thread-safe).
 class FileDiskManager final : public DiskManager {
  public:
   /// Creates or opens `path`. A new file is truncated to zero pages.
@@ -90,7 +122,10 @@ class FileDiskManager final : public DiskManager {
   FileDiskManager& operator=(const FileDiskManager&) = delete;
 
   uint32_t page_size() const override { return page_size_; }
-  PageId page_count() const override { return page_count_; }
+  PageId page_count() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return page_count_;
+  }
   Status ReadPage(PageId id, char* out) override;
   Status WritePage(PageId id, const char* data) override;
   PageId AllocatePage() override;
@@ -100,10 +135,35 @@ class FileDiskManager final : public DiskManager {
   FileDiskManager(std::FILE* file, uint32_t page_size, PageId page_count)
       : file_(file), page_size_(page_size), page_count_(page_count) {}
 
+  mutable std::mutex mu_;
   std::FILE* file_;
   uint32_t page_size_;
   PageId page_count_;
   std::vector<PageId> free_list_;
+};
+
+/// Decorator that adds a fixed latency to every page read/write of an
+/// underlying manager. Models the paper's disk-resident setting (a page
+/// touch costs a seek) so concurrency experiments observe realistic I/O
+/// stalls: threads blocked on simulated seeks overlap, which is exactly
+/// the win a concurrent query service extracts from a disk array.
+class LatencyDiskManager final : public DiskManager {
+ public:
+  LatencyDiskManager(DiskManager* base,
+                     std::chrono::microseconds read_latency,
+                     std::chrono::microseconds write_latency);
+
+  uint32_t page_size() const override { return base_->page_size(); }
+  PageId page_count() const override { return base_->page_count(); }
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* data) override;
+  PageId AllocatePage() override;
+  void DeallocatePage(PageId id) override;
+
+ private:
+  DiskManager* base_;
+  std::chrono::microseconds read_latency_;
+  std::chrono::microseconds write_latency_;
 };
 
 }  // namespace pictdb::storage

@@ -1,0 +1,328 @@
+// Concurrency tests for the query service: 8 worker threads x 1k mixed
+// window/kNN queries over one shared PACK-built tree, validated against
+// a single-threaded oracle; plus admission control, graceful shutdown,
+// metrics aggregation, and concurrent PSQL execution over a shared
+// catalog. Run these under -fsanitize=thread as well as plain (see
+// README: cmake -B build-tsan -S . -DPICTDB_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <latch>
+#include <vector>
+
+#include "common/random.h"
+#include "pack/pack.h"
+#include "psql/executor.h"
+#include "rel/catalog.h"
+#include "rtree/rtree.h"
+#include "service/query_service.h"
+#include "service/thread_pool.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/generators.h"
+#include "workload/us_catalog.h"
+
+namespace pictdb::service {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+using rtree::Entry;
+using rtree::RTree;
+
+constexpr size_t kThreads = 8;
+constexpr size_t kQueriesPerThread = 1000;
+constexpr size_t kDistinct = 2000;
+constexpr size_t kObjects = 20000;
+
+/// Shared fixture: a PACK-built tree over kObjects uniform points,
+/// behind a deliberately small sharded pool so concurrent traversals
+/// continuously evict and reload pages.
+class ServiceStressTest : public ::testing::Test {
+ protected:
+  ServiceStressTest()
+      : disk_(512), pool_(&disk_, /*capacity=*/64, /*shards=*/4) {
+    Random rng(42);
+    points_ = workload::UniformPoints(&rng, kObjects, workload::PaperFrame());
+    std::vector<storage::Rid> rids;
+    rids.reserve(points_.size());
+    for (size_t i = 0; i < points_.size(); ++i) {
+      rids.push_back(storage::Rid{static_cast<storage::PageId>(i), 0});
+    }
+    auto tree = RTree::Create(&pool_);
+    PICTDB_CHECK(tree.ok());
+    tree_ = std::make_unique<RTree>(std::move(tree).value());
+    PICTDB_CHECK_OK(pack::PackNearestNeighbor(
+        tree_.get(), pack::MakeLeafEntries(points_, rids)));
+
+    // Query mix and single-threaded oracle. kDistinct distinct queries;
+    // the stress test submits each several times to reach the full
+    // 8x1000 volume without paying the brute-force oracle 8000 times.
+    Random qrng(7);
+    const size_t n = kDistinct;
+    queries_.reserve(n);
+    expected_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (i % 2 == 0) {
+        const double cx = qrng.UniformDouble(0, 1000);
+        const double cy = qrng.UniformDouble(0, 1000);
+        const Rect w = Rect::FromCenterHalfExtent(cx, 15, cy, 15);
+        queries_.push_back(WindowQuery{w, /*contained_only=*/false});
+        size_t count = 0;
+        for (const Point& p : points_) {
+          if (w.Contains(p)) ++count;
+        }
+        expected_.push_back(count);
+      } else {
+        const Point q{qrng.UniformDouble(0, 1000),
+                      qrng.UniformDouble(0, 1000)};
+        queries_.push_back(KnnQuery{q, /*k=*/5});
+        expected_.push_back(5);
+      }
+    }
+  }
+
+  storage::InMemoryDiskManager disk_;
+  storage::BufferPool pool_;
+  std::unique_ptr<RTree> tree_;
+  std::vector<Point> points_;
+  std::vector<Query> queries_;
+  std::vector<size_t> expected_;
+};
+
+TEST_F(ServiceStressTest, EightThreadsMatchSingleThreadedOracle) {
+  const size_t total = kThreads * kQueriesPerThread;
+  ServiceOptions options;
+  options.num_threads = kThreads;
+  options.queue_capacity = total;  // no rejects in this test
+  QueryService service(tree_.get(), /*executor=*/nullptr, options);
+
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  futures.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    auto submitted = service.Submit(queries_[i % kDistinct]);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(submitted).value());
+  }
+
+  for (size_t i = 0; i < futures.size(); ++i) {
+    StatusOr<QueryResult> outcome = futures[i].get();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    const QueryResult& r = outcome.value();
+    const size_t qi = i % kDistinct;
+    if (qi % 2 == 0) {
+      EXPECT_EQ(r.hits.size(), expected_[qi]) << "window query " << i;
+    } else {
+      ASSERT_EQ(r.neighbors.size(), expected_[qi]) << "knn query " << i;
+      for (size_t j = 1; j < r.neighbors.size(); ++j) {
+        EXPECT_LE(r.neighbors[j - 1].distance, r.neighbors[j].distance);
+      }
+    }
+    EXPECT_GT(r.stats.nodes_visited, 0u);
+  }
+
+  service.Shutdown();
+  const ServiceMetricsSnapshot m = service.Metrics();
+  EXPECT_EQ(m.submitted, total);
+  EXPECT_EQ(m.completed, total);
+  EXPECT_EQ(m.rejected, 0u);
+  EXPECT_EQ(m.failed, 0u);
+  EXPECT_GT(m.total_nodes_visited, 0u);
+  EXPECT_GE(m.max_latency_us, 1u);
+  // No pins may leak across eight thousand concurrent traversals.
+  EXPECT_EQ(pool_.pinned_frames(), 0u);
+}
+
+TEST_F(ServiceStressTest, GracefulShutdownDrainsEveryAdmittedQuery) {
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 1024;
+  QueryService service(tree_.get(), nullptr, options);
+
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (size_t i = 0; i < 300; ++i) {
+    auto submitted = service.Submit(queries_[i]);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  service.Shutdown();
+
+  // After Shutdown returns, every admitted query has a ready result.
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_TRUE(f.get().ok());
+  }
+  const ServiceMetricsSnapshot m = service.Metrics();
+  EXPECT_EQ(m.completed + m.failed, 300u);
+
+  // New submissions are refused once shut down.
+  auto late = service.Submit(queries_[0]);
+  EXPECT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsInvalidArgument());
+}
+
+TEST_F(ServiceStressTest, AdmissionControlRejectsWhenQueueIsFull) {
+  // One worker stalled on simulated disk latency; a 2-deep queue must
+  // reject most of a 30-query burst instead of growing unboundedly.
+  ASSERT_TRUE(pool_.FlushAll().ok());  // make the tree visible to disk_
+  storage::LatencyDiskManager slow_disk(&disk_,
+                                        std::chrono::microseconds(20000),
+                                        std::chrono::microseconds(0));
+  storage::BufferPool slow_pool(&slow_disk, 8, /*shards=*/1);
+  auto tree = RTree::Open(&slow_pool, tree_->meta_page());
+  ASSERT_TRUE(tree.ok());
+
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 2;
+  QueryService service(&tree.value(), nullptr, options);
+
+  size_t rejected = 0;
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (size_t i = 0; i < 30; ++i) {
+    auto submitted = service.Submit(queries_[0]);
+    if (submitted.ok()) {
+      futures.push_back(std::move(submitted).value());
+    } else {
+      EXPECT_TRUE(submitted.status().IsResourceExhausted());
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+  const ServiceMetricsSnapshot m = service.Metrics();
+  EXPECT_EQ(m.submitted + m.rejected, 30u);
+  EXPECT_EQ(m.rejected, rejected);
+  EXPECT_EQ(m.completed, m.submitted);
+}
+
+TEST(ThreadPoolTest, BoundedQueueAndGracefulDrain) {
+  ThreadPool pool(2, 2);
+  std::latch started(2);
+  std::latch release(1);
+  std::atomic<int> done{0};
+
+  // Two blockers occupy both workers...
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([&] {
+                      started.count_down();
+                      release.wait();
+                      done.fetch_add(1);
+                    })
+                    .ok());
+  }
+  started.wait();  // both workers now busy, queue empty
+  // ...two more fill the queue; the next is deterministically rejected.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([&] { done.fetch_add(1); }).ok());
+  }
+  const Status overflow = pool.TrySubmit([&] { done.fetch_add(1); });
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_TRUE(overflow.IsResourceExhausted());
+
+  release.count_down();
+  pool.Shutdown();  // must drain every admitted task
+  EXPECT_EQ(done.load(), 4);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+
+  // Submissions after shutdown are refused.
+  EXPECT_FALSE(pool.TrySubmit([] {}).ok());
+}
+
+TEST(ServicePsqlTest, ConcurrentSelectsOverSharedCatalog) {
+  storage::InMemoryDiskManager disk(1024);
+  storage::BufferPool pool(&disk, 1 << 12, /*shards=*/8);
+  rel::Catalog catalog(&pool);
+  PICTDB_CHECK_OK(workload::BuildUsCatalog(&catalog, 4));
+  psql::Executor executor(&catalog);
+
+  // Single-threaded reference.
+  const auto oracle = executor.Query(
+      "select city, population, loc from cities on us-map "
+      "at loc covered-by {-74 +- 4, 41 +- 3}");
+  ASSERT_TRUE(oracle.ok());
+  const size_t expected_rows = oracle.value().rows.size();
+  ASSERT_GT(expected_rows, 0u);
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 1024;
+  QueryService service(nullptr, &executor, options);
+
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (size_t i = 0; i < 400; ++i) {
+    auto submitted = service.Submit(PsqlQuery{
+        "select city, population, loc from cities on us-map "
+        "at loc covered-by {-74 +- 4, 41 +- 3}"});
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& f : futures) {
+    StatusOr<QueryResult> outcome = f.get();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(outcome.value().table.has_value());
+    EXPECT_EQ(outcome.value().table->rows.size(), expected_rows);
+    EXPECT_TRUE(outcome.value().table->stats.used_spatial_index);
+  }
+  service.Shutdown();
+  EXPECT_EQ(service.Metrics().completed, 400u);
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+TEST(ServiceJoinTest, JoinQueryCountsIntersectingPairs) {
+  storage::InMemoryDiskManager disk(512);
+  storage::BufferPool pool(&disk, 256, /*shards=*/2);
+
+  auto make_tree = [&](uint64_t seed) {
+    Random r(seed);
+    const auto pts =
+        workload::UniformPoints(&r, 2000, workload::PaperFrame());
+    std::vector<storage::Rid> rids;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      rids.push_back(storage::Rid{static_cast<storage::PageId>(i), 0});
+    }
+    auto tree = RTree::Create(&pool);
+    PICTDB_CHECK(tree.ok());
+    auto owned = std::make_unique<RTree>(std::move(tree).value());
+    PICTDB_CHECK_OK(pack::PackSortChunk(
+        owned.get(), pack::MakeLeafEntries(pts, rids)));
+    return owned;
+  };
+  auto left = make_tree(1);
+  auto right = make_tree(2);
+
+  // Oracle join count, single-threaded.
+  rtree::JoinStats oracle;
+  uint64_t oracle_pairs = 0;
+  PICTDB_CHECK_OK(rtree::SpatialJoin(
+      *left, *right,
+      [&oracle_pairs](const rtree::LeafHit&, const rtree::LeafHit&) {
+        ++oracle_pairs;
+      },
+      &oracle));
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 64;
+  QueryService service(left.get(), nullptr, options);
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    auto submitted = service.Submit(JoinQuery{right.get()});
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& f : futures) {
+    StatusOr<QueryResult> outcome = f.get();
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().join_pairs, oracle_pairs);
+  }
+}
+
+}  // namespace
+}  // namespace pictdb::service
