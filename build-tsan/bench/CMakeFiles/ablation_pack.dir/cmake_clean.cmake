@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pack.dir/ablation_pack.cc.o"
+  "CMakeFiles/ablation_pack.dir/ablation_pack.cc.o.d"
+  "ablation_pack"
+  "ablation_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_micro.dir/build_micro.cc.o"
+  "CMakeFiles/build_micro.dir/build_micro.cc.o.d"
+  "build_micro"
+  "build_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig33_root_overlap.dir/fig33_root_overlap.cc.o"
+  "CMakeFiles/fig33_root_overlap.dir/fig33_root_overlap.cc.o.d"
+  "fig33_root_overlap"
+  "fig33_root_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig33_root_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

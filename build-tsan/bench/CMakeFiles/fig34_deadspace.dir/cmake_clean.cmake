@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig34_deadspace.dir/fig34_deadspace.cc.o"
+  "CMakeFiles/fig34_deadspace.dir/fig34_deadspace.cc.o.d"
+  "fig34_deadspace"
+  "fig34_deadspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig34_deadspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

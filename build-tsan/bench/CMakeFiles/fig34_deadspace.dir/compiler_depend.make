@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig34_deadspace.
+# This may be replaced when dependencies are built.

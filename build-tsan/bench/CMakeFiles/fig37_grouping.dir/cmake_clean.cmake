@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig37_grouping.dir/fig37_grouping.cc.o"
+  "CMakeFiles/fig37_grouping.dir/fig37_grouping.cc.o.d"
+  "fig37_grouping"
+  "fig37_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig37_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig37_grouping.
+# This may be replaced when dependencies are built.

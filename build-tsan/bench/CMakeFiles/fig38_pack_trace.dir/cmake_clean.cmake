@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig38_pack_trace.dir/fig38_pack_trace.cc.o"
+  "CMakeFiles/fig38_pack_trace.dir/fig38_pack_trace.cc.o.d"
+  "fig38_pack_trace"
+  "fig38_pack_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig38_pack_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juxtaposition.dir/juxtaposition.cc.o"
+  "CMakeFiles/juxtaposition.dir/juxtaposition.cc.o.d"
+  "juxtaposition"
+  "juxtaposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juxtaposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_search.dir/parallel_search.cc.o"
+  "CMakeFiles/parallel_search.dir/parallel_search.cc.o.d"
+  "parallel_search"
+  "parallel_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadtree_compare.dir/quadtree_compare.cc.o"
+  "CMakeFiles/quadtree_compare.dir/quadtree_compare.cc.o.d"
+  "quadtree_compare"
+  "quadtree_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadtree_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

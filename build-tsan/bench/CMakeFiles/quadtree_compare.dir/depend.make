@@ -1,0 +1,2 @@
+# Empty dependencies file for quadtree_compare.
+# This may be replaced when dependencies are built.

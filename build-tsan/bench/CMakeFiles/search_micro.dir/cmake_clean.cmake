@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_micro.dir/search_micro.cc.o"
+  "CMakeFiles/search_micro.dir/search_micro.cc.o.d"
+  "search_micro"
+  "search_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

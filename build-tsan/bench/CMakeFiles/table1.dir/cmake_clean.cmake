@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1.dir/table1.cc.o"
+  "CMakeFiles/table1.dir/table1.cc.o.d"
+  "table1"
+  "table1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm32_zero_overlap.dir/thm32_zero_overlap.cc.o"
+  "CMakeFiles/thm32_zero_overlap.dir/thm32_zero_overlap.cc.o.d"
+  "thm32_zero_overlap"
+  "thm32_zero_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm32_zero_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

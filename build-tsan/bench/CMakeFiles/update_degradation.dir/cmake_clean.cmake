@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_degradation.dir/update_degradation.cc.o"
+  "CMakeFiles/update_degradation.dir/update_degradation.cc.o.d"
+  "update_degradation"
+  "update_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cartography.dir/cartography.cpp.o"
+  "CMakeFiles/cartography.dir/cartography.cpp.o.d"
+  "cartography"
+  "cartography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cartography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psql_shell.dir/psql_shell.cpp.o"
+  "CMakeFiles/psql_shell.dir/psql_shell.cpp.o.d"
+  "psql_shell"
+  "psql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

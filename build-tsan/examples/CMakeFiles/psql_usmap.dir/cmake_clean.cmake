@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psql_usmap.dir/psql_usmap.cpp.o"
+  "CMakeFiles/psql_usmap.dir/psql_usmap.cpp.o.d"
+  "psql_usmap"
+  "psql_usmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psql_usmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_overlap.dir/zero_overlap.cpp.o"
+  "CMakeFiles/zero_overlap.dir/zero_overlap.cpp.o.d"
+  "zero_overlap"
+  "zero_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/pictdb.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/btree/btree.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/pictdb.dir/common/random.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/pictdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/common/status.cc.o.d"
+  "/root/repo/src/geom/distance.cc" "src/CMakeFiles/pictdb.dir/geom/distance.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/geom/distance.cc.o.d"
+  "/root/repo/src/geom/geometry.cc" "src/CMakeFiles/pictdb.dir/geom/geometry.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/geom/geometry.cc.o.d"
+  "/root/repo/src/geom/measure.cc" "src/CMakeFiles/pictdb.dir/geom/measure.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/geom/measure.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/CMakeFiles/pictdb.dir/geom/polygon.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/geom/polygon.cc.o.d"
+  "/root/repo/src/geom/rect.cc" "src/CMakeFiles/pictdb.dir/geom/rect.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/geom/rect.cc.o.d"
+  "/root/repo/src/geom/segment.cc" "src/CMakeFiles/pictdb.dir/geom/segment.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/geom/segment.cc.o.d"
+  "/root/repo/src/geom/transform.cc" "src/CMakeFiles/pictdb.dir/geom/transform.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/geom/transform.cc.o.d"
+  "/root/repo/src/geom/wkt.cc" "src/CMakeFiles/pictdb.dir/geom/wkt.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/geom/wkt.cc.o.d"
+  "/root/repo/src/pack/hilbert.cc" "src/CMakeFiles/pictdb.dir/pack/hilbert.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/pack/hilbert.cc.o.d"
+  "/root/repo/src/pack/nn_grid.cc" "src/CMakeFiles/pictdb.dir/pack/nn_grid.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/pack/nn_grid.cc.o.d"
+  "/root/repo/src/pack/pack.cc" "src/CMakeFiles/pictdb.dir/pack/pack.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/pack/pack.cc.o.d"
+  "/root/repo/src/pack/repack.cc" "src/CMakeFiles/pictdb.dir/pack/repack.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/pack/repack.cc.o.d"
+  "/root/repo/src/pack/rotation.cc" "src/CMakeFiles/pictdb.dir/pack/rotation.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/pack/rotation.cc.o.d"
+  "/root/repo/src/pack/str.cc" "src/CMakeFiles/pictdb.dir/pack/str.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/pack/str.cc.o.d"
+  "/root/repo/src/psql/executor.cc" "src/CMakeFiles/pictdb.dir/psql/executor.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/psql/executor.cc.o.d"
+  "/root/repo/src/psql/lexer.cc" "src/CMakeFiles/pictdb.dir/psql/lexer.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/psql/lexer.cc.o.d"
+  "/root/repo/src/psql/parser.cc" "src/CMakeFiles/pictdb.dir/psql/parser.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/psql/parser.cc.o.d"
+  "/root/repo/src/quadtree/quadtree.cc" "src/CMakeFiles/pictdb.dir/quadtree/quadtree.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/quadtree/quadtree.cc.o.d"
+  "/root/repo/src/rel/catalog.cc" "src/CMakeFiles/pictdb.dir/rel/catalog.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rel/catalog.cc.o.d"
+  "/root/repo/src/rel/catalog_io.cc" "src/CMakeFiles/pictdb.dir/rel/catalog_io.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rel/catalog_io.cc.o.d"
+  "/root/repo/src/rel/relation.cc" "src/CMakeFiles/pictdb.dir/rel/relation.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rel/relation.cc.o.d"
+  "/root/repo/src/rel/schema.cc" "src/CMakeFiles/pictdb.dir/rel/schema.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rel/schema.cc.o.d"
+  "/root/repo/src/rel/tuple.cc" "src/CMakeFiles/pictdb.dir/rel/tuple.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rel/tuple.cc.o.d"
+  "/root/repo/src/rel/value.cc" "src/CMakeFiles/pictdb.dir/rel/value.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rel/value.cc.o.d"
+  "/root/repo/src/rtree/cursor.cc" "src/CMakeFiles/pictdb.dir/rtree/cursor.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rtree/cursor.cc.o.d"
+  "/root/repo/src/rtree/join.cc" "src/CMakeFiles/pictdb.dir/rtree/join.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rtree/join.cc.o.d"
+  "/root/repo/src/rtree/knn.cc" "src/CMakeFiles/pictdb.dir/rtree/knn.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rtree/knn.cc.o.d"
+  "/root/repo/src/rtree/metrics.cc" "src/CMakeFiles/pictdb.dir/rtree/metrics.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rtree/metrics.cc.o.d"
+  "/root/repo/src/rtree/node.cc" "src/CMakeFiles/pictdb.dir/rtree/node.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rtree/node.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/CMakeFiles/pictdb.dir/rtree/rtree.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rtree/rtree.cc.o.d"
+  "/root/repo/src/rtree/split.cc" "src/CMakeFiles/pictdb.dir/rtree/split.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/rtree/split.cc.o.d"
+  "/root/repo/src/service/query_service.cc" "src/CMakeFiles/pictdb.dir/service/query_service.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/service/query_service.cc.o.d"
+  "/root/repo/src/service/thread_pool.cc" "src/CMakeFiles/pictdb.dir/service/thread_pool.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/service/thread_pool.cc.o.d"
+  "/root/repo/src/storage/blob.cc" "src/CMakeFiles/pictdb.dir/storage/blob.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/storage/blob.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/pictdb.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/pictdb.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/pictdb.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/viz/ascii_canvas.cc" "src/CMakeFiles/pictdb.dir/viz/ascii_canvas.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/viz/ascii_canvas.cc.o.d"
+  "/root/repo/src/viz/svg.cc" "src/CMakeFiles/pictdb.dir/viz/svg.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/viz/svg.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/pictdb.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/pictdb.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/workload/queries.cc.o.d"
+  "/root/repo/src/workload/us_catalog.cc" "src/CMakeFiles/pictdb.dir/workload/us_catalog.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/workload/us_catalog.cc.o.d"
+  "/root/repo/src/workload/us_cities.cc" "src/CMakeFiles/pictdb.dir/workload/us_cities.cc.o" "gcc" "src/CMakeFiles/pictdb.dir/workload/us_cities.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cursor_test.dir/cursor_test.cc.o"
+  "CMakeFiles/cursor_test.dir/cursor_test.cc.o.d"
+  "cursor_test"
+  "cursor_test.pdb"
+  "cursor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_test.dir/measure_test.cc.o"
+  "CMakeFiles/measure_test.dir/measure_test.cc.o.d"
+  "measure_test"
+  "measure_test.pdb"
+  "measure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

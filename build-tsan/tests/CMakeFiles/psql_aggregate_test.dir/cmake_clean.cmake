@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psql_aggregate_test.dir/psql_aggregate_test.cc.o"
+  "CMakeFiles/psql_aggregate_test.dir/psql_aggregate_test.cc.o.d"
+  "psql_aggregate_test"
+  "psql_aggregate_test.pdb"
+  "psql_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psql_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

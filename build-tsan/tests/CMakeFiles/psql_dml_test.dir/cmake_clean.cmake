@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psql_dml_test.dir/psql_dml_test.cc.o"
+  "CMakeFiles/psql_dml_test.dir/psql_dml_test.cc.o.d"
+  "psql_dml_test"
+  "psql_dml_test.pdb"
+  "psql_dml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psql_dml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

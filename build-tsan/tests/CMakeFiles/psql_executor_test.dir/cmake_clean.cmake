@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psql_executor_test.dir/psql_executor_test.cc.o"
+  "CMakeFiles/psql_executor_test.dir/psql_executor_test.cc.o.d"
+  "psql_executor_test"
+  "psql_executor_test.pdb"
+  "psql_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psql_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

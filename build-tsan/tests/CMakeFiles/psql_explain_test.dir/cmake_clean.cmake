@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psql_explain_test.dir/psql_explain_test.cc.o"
+  "CMakeFiles/psql_explain_test.dir/psql_explain_test.cc.o.d"
+  "psql_explain_test"
+  "psql_explain_test.pdb"
+  "psql_explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psql_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psql_orderby_test.dir/psql_orderby_test.cc.o"
+  "CMakeFiles/psql_orderby_test.dir/psql_orderby_test.cc.o.d"
+  "psql_orderby_test"
+  "psql_orderby_test.pdb"
+  "psql_orderby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psql_orderby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

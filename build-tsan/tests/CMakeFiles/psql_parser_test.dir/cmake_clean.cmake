@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psql_parser_test.dir/psql_parser_test.cc.o"
+  "CMakeFiles/psql_parser_test.dir/psql_parser_test.cc.o.d"
+  "psql_parser_test"
+  "psql_parser_test.pdb"
+  "psql_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadtree_test.dir/quadtree_test.cc.o"
+  "CMakeFiles/quadtree_test.dir/quadtree_test.cc.o.d"
+  "quadtree_test"
+  "quadtree_test.pdb"
+  "quadtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reinsert_test.dir/reinsert_test.cc.o"
+  "CMakeFiles/reinsert_test.dir/reinsert_test.cc.o.d"
+  "reinsert_test"
+  "reinsert_test.pdb"
+  "reinsert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reinsert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_test.dir/rel_test.cc.o"
+  "CMakeFiles/rel_test.dir/rel_test.cc.o.d"
+  "rel_test"
+  "rel_test.pdb"
+  "rel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repack_test.dir/repack_test.cc.o"
+  "CMakeFiles/repack_test.dir/repack_test.cc.o.d"
+  "repack_test"
+  "repack_test.pdb"
+  "repack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotation_test.dir/rotation_test.cc.o"
+  "CMakeFiles/rotation_test.dir/rotation_test.cc.o.d"
+  "rotation_test"
+  "rotation_test.pdb"
+  "rotation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtree_property_test.dir/rtree_property_test.cc.o"
+  "CMakeFiles/rtree_property_test.dir/rtree_property_test.cc.o.d"
+  "rtree_property_test"
+  "rtree_property_test.pdb"
+  "rtree_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

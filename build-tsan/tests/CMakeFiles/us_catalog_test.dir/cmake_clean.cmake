@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/us_catalog_test.dir/us_catalog_test.cc.o"
+  "CMakeFiles/us_catalog_test.dir/us_catalog_test.cc.o.d"
+  "us_catalog_test"
+  "us_catalog_test.pdb"
+  "us_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/us_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
