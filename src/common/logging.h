@@ -65,4 +65,39 @@ struct Voidify {
 #define PICTDB_DCHECK(cond) PICTDB_CHECK(true)
 #endif
 
+namespace pictdb {
+namespace internal_logging {
+
+/// Collects a message via operator<< and emits it to stderr when
+/// destroyed. Unlike FatalMessage this does not abort: it reports
+/// recoverable anomalies (double frees, leaked pins, injected faults)
+/// that the caller handles by returning early or degrading.
+class WarnMessage {
+ public:
+  WarnMessage(const char* file, int line) {
+    stream_ << file << ":" << line << " WARNING: ";
+  }
+
+  WarnMessage(const WarnMessage&) = delete;
+  WarnMessage& operator=(const WarnMessage&) = delete;
+
+  ~WarnMessage() { std::cerr << stream_.str() << std::endl; }
+
+  template <typename T>
+  WarnMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace pictdb
+
+/// Non-fatal log line: PICTDB_LOG_WARN() << "freed page " << id << " twice";
+#define PICTDB_LOG_WARN() \
+  ::pictdb::internal_logging::WarnMessage(__FILE__, __LINE__)
+
 #endif  // PICTDB_COMMON_LOGGING_H_

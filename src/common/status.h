@@ -20,6 +20,8 @@ enum class StatusCode : int {
   kAlreadyExists = 7,
   kResourceExhausted = 8,
   kInternal = 9,
+  kDataLoss = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// Return-value error type. Cheap to copy in the OK case (no allocation);
@@ -56,6 +58,12 @@ class Status {
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
   }
+  static Status DataLoss(std::string_view msg) {
+    return Status(StatusCode::kDataLoss, msg);
+  }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -71,6 +79,10 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -23,6 +23,65 @@ Status Repack(RTree* tree, const PackOptions& options) {
   return PackNearestNeighbor(tree, std::move(items), options);
 }
 
+StatusOr<ScrubReport> ScrubAndRepack(RTree* tree,
+                                     storage::PageQuarantine* quarantine,
+                                     const std::vector<Entry>* base_entries,
+                                     const PackOptions& options) {
+  PICTDB_CHECK(quarantine != nullptr);
+  ScrubReport report;
+  rtree::SearchOptions degrade;
+  degrade.degraded_ok = true;
+  degrade.quarantine = quarantine;
+
+  // Scrub: walk whatever is still reachable, salvaging leaf entries and
+  // remembering which old pages can safely be freed. Unreadable pages go
+  // to the quarantine (directly, not via SearchOptions — this loop needs
+  // the page ids of the *readable* set too).
+  std::vector<storage::PageId> readable;
+  std::vector<Entry> salvaged;
+  std::vector<storage::PageId> stack{tree->root()};
+  while (!stack.empty()) {
+    const storage::PageId id = stack.back();
+    stack.pop_back();
+    auto loaded = tree->ReadNodePage(id);
+    if (!loaded.ok()) {
+      if (!degrade.ShouldDegrade(loaded.status())) return loaded.status();
+      quarantine->Add(id);
+      ++report.pages_quarantined;
+      continue;
+    }
+    readable.push_back(id);
+    const rtree::Node node = std::move(loaded).value();
+    if (node.is_leaf()) {
+      salvaged.insert(salvaged.end(), node.entries.begin(),
+                      node.entries.end());
+    } else {
+      for (const Entry& e : node.entries) stack.push_back(e.AsChild());
+    }
+  }
+  report.entries_recovered = salvaged.size();
+
+  // Reset to a fresh empty root without touching the old (partially
+  // unreadable) node chain, then return the readable old pages to the
+  // free list. Quarantined pages stay allocated forever.
+  PICTDB_RETURN_IF_ERROR(tree->ResetForRebuild());
+  for (const storage::PageId id : readable) {
+    PICTDB_RETURN_IF_ERROR(tree->pool()->FreePage(id));
+    ++report.pages_freed;
+  }
+
+  std::vector<Entry> items;
+  if (base_entries != nullptr) {
+    report.rebuilt_from_base = true;
+    items = *base_entries;
+  } else {
+    items = std::move(salvaged);
+  }
+  PICTDB_RETURN_IF_ERROR(
+      PackNearestNeighbor(tree, std::move(items), options));
+  return report;
+}
+
 StatusOr<size_t> RepackRegion(RTree* tree, const geom::Rect& region,
                               const PackOptions& options) {
   PICTDB_ASSIGN_OR_RETURN(const std::vector<LeafHit> hits,

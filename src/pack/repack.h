@@ -1,10 +1,13 @@
 #ifndef PICTDB_PACK_REPACK_H_
 #define PICTDB_PACK_REPACK_H_
 
+#include <vector>
+
 #include "common/status_or.h"
 #include "geom/rect.h"
 #include "pack/pack.h"
 #include "rtree/rtree.h"
+#include "storage/quarantine.h"
 
 namespace pictdb::pack {
 
@@ -22,6 +25,33 @@ Status Repack(rtree::RTree* tree, const PackOptions& options = {});
 /// re-insertion when the tree is too shallow to host subtrees.
 StatusOr<size_t> RepackRegion(rtree::RTree* tree, const geom::Rect& region,
                               const PackOptions& options = {});
+
+/// Outcome of a ScrubAndRepack pass.
+struct ScrubReport {
+  /// Leaf entries salvaged from still-readable leaves during the scrub.
+  uint64_t entries_recovered = 0;
+  /// Unreadable pages discovered (added to the quarantine, never reused).
+  uint64_t pages_quarantined = 0;
+  /// Readable old-tree pages returned to the free list.
+  uint64_t pages_freed = 0;
+  /// True when the rebuild used caller-supplied base entries rather than
+  /// the salvaged set.
+  bool rebuilt_from_base = false;
+};
+
+/// Recovery path for a tree with unreadable (corrupt / permanently
+/// failing) pages: scrub the tree in degraded mode — salvaging every
+/// leaf entry reachable through readable pages and quarantining the
+/// rest — then rebuild from scratch with PACK. When `base_entries` is
+/// non-null it is treated as the authoritative record of the indexed
+/// objects (e.g. re-derived from the heap file) and the rebuild uses it
+/// instead of the salvaged set, restoring the full pre-corruption
+/// answer. Quarantined pages are never freed, so permanently bad media
+/// is never reused.
+StatusOr<ScrubReport> ScrubAndRepack(
+    rtree::RTree* tree, storage::PageQuarantine* quarantine,
+    const std::vector<rtree::Entry>* base_entries = nullptr,
+    const PackOptions& options = {});
 
 /// Simple churn monitor implementing a repack policy: count updates and
 /// recommend a full re-PACK once they exceed `threshold_fraction` of the

@@ -4,23 +4,31 @@ namespace pictdb::rtree {
 
 SearchCursor::SearchCursor(const RTree* tree,
                            std::function<bool(const geom::Rect&)> prune,
-                           std::function<bool(const geom::Rect&)> accept)
-    : tree_(tree), prune_(std::move(prune)), accept_(std::move(accept)) {
+                           std::function<bool(const geom::Rect&)> accept,
+                           const SearchOptions& options)
+    : tree_(tree),
+      prune_(std::move(prune)),
+      accept_(std::move(accept)),
+      options_(options) {
   if (tree_->Size() > 0) pending_.push_back(tree_->root());
 }
 
 SearchCursor SearchCursor::Intersects(const RTree* tree,
-                                      const geom::Rect& window) {
+                                      const geom::Rect& window,
+                                      const SearchOptions& options) {
   return SearchCursor(
       tree, [window](const geom::Rect& r) { return r.Intersects(window); },
-      [window](const geom::Rect& r) { return r.Intersects(window); });
+      [window](const geom::Rect& r) { return r.Intersects(window); },
+      options);
 }
 
 SearchCursor SearchCursor::ContainedIn(const RTree* tree,
-                                       const geom::Rect& window) {
+                                       const geom::Rect& window,
+                                       const SearchOptions& options) {
   return SearchCursor(
       tree, [window](const geom::Rect& r) { return r.Intersects(window); },
-      [window](const geom::Rect& r) { return window.Contains(r); });
+      [window](const geom::Rect& r) { return window.Contains(r); },
+      options);
 }
 
 StatusOr<std::optional<LeafHit>> SearchCursor::Next() {
@@ -39,9 +47,20 @@ StatusOr<std::optional<LeafHit>> SearchCursor::Next() {
     }
     if (pending_.empty()) return std::optional<LeafHit>();
 
+    PICTDB_RETURN_IF_ERROR(options_.CheckRunnable());
     const storage::PageId id = pending_.back();
     pending_.pop_back();
-    PICTDB_ASSIGN_OR_RETURN(Node node, tree_->ReadNodePage(id));
+    auto loaded = tree_->ReadNodePage(id);
+    if (!loaded.ok()) {
+      if (options_.ShouldDegrade(loaded.status())) {
+        if (options_.quarantine != nullptr) options_.quarantine->Add(id);
+        ++stats_.skipped_subtrees;
+        stats_.degraded = true;
+        continue;
+      }
+      return loaded.status();
+    }
+    Node node = std::move(loaded).value();
     ++stats_.nodes_visited;
     if (node.is_leaf()) {
       current_leaf_ = std::move(node);

@@ -16,16 +16,22 @@ namespace pictdb::rtree {
 /// The tree must not be modified while a cursor is open.
 class SearchCursor {
  public:
-  /// General form, mirroring RTree::SearchCustom.
+  /// General form, mirroring RTree::SearchCustom. `options` carries the
+  /// per-query deadline/cancel flag (polled once per expanded node) and
+  /// the degraded-mode setting (unreadable subtrees are skipped and
+  /// recorded in stats()).
   SearchCursor(const RTree* tree,
                std::function<bool(const geom::Rect&)> prune,
-               std::function<bool(const geom::Rect&)> accept);
+               std::function<bool(const geom::Rect&)> accept,
+               const SearchOptions& options = {});
 
   /// Window-intersection cursor.
-  static SearchCursor Intersects(const RTree* tree, const geom::Rect& window);
+  static SearchCursor Intersects(const RTree* tree, const geom::Rect& window,
+                                 const SearchOptions& options = {});
 
   /// Window-containment cursor (the paper's SEARCH semantics).
-  static SearchCursor ContainedIn(const RTree* tree, const geom::Rect& window);
+  static SearchCursor ContainedIn(const RTree* tree, const geom::Rect& window,
+                                  const SearchOptions& options = {});
 
   /// Next qualifying entry, or nullopt at the end of the result stream.
   StatusOr<std::optional<LeafHit>> Next();
@@ -37,6 +43,7 @@ class SearchCursor {
   const RTree* tree_;
   std::function<bool(const geom::Rect&)> prune_;
   std::function<bool(const geom::Rect&)> accept_;
+  SearchOptions options_;
   std::vector<storage::PageId> pending_;  // nodes not yet expanded
   Node current_leaf_;
   size_t leaf_pos_ = 0;

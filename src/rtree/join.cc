@@ -6,11 +6,35 @@ namespace pictdb::rtree {
 
 namespace {
 
+/// Load one side of a join pair; on an unreadable page in degraded mode
+/// the pair is skipped (quarantining the page) instead of failing the
+/// whole join. Sets `*skip` when the caller should drop the pair.
+StatusOr<Node> LoadJoinNode(const RTree& tree, storage::PageId id,
+                            JoinStats* stats, const SearchOptions& options,
+                            bool* skip) {
+  auto loaded = tree.ReadNodePage(id);
+  if (loaded.ok()) return loaded;
+  if (!options.ShouldDegrade(loaded.status())) return loaded;
+  if (options.quarantine != nullptr) options.quarantine->Add(id);
+  if (stats != nullptr) {
+    ++stats->skipped_subtrees;
+    stats->degraded = true;
+  }
+  *skip = true;
+  return Node{};
+}
+
 Status JoinRec(const RTree& left, const RTree& right, storage::PageId lid,
                storage::PageId rid, const JoinCallback& callback,
-               JoinStats* stats) {
-  PICTDB_ASSIGN_OR_RETURN(const Node lnode, left.ReadNodePage(lid));
-  PICTDB_ASSIGN_OR_RETURN(const Node rnode, right.ReadNodePage(rid));
+               JoinStats* stats, const SearchOptions& options) {
+  PICTDB_RETURN_IF_ERROR(options.CheckRunnable());
+  bool skip = false;
+  PICTDB_ASSIGN_OR_RETURN(const Node lnode,
+                          LoadJoinNode(left, lid, stats, options, &skip));
+  if (skip) return Status::OK();
+  PICTDB_ASSIGN_OR_RETURN(const Node rnode,
+                          LoadJoinNode(right, rid, stats, options, &skip));
+  if (skip) return Status::OK();
   if (stats != nullptr) stats->nodes_visited += 2;
 
   // Unequal levels: descend the taller side against the whole other node.
@@ -20,7 +44,7 @@ Status JoinRec(const RTree& left, const RTree& right, storage::PageId lid,
       if (stats != nullptr) ++stats->pairs_tested;
       if (le.mbr.Intersects(rmbr)) {
         PICTDB_RETURN_IF_ERROR(
-            JoinRec(left, right, le.AsChild(), rid, callback, stats));
+            JoinRec(left, right, le.AsChild(), rid, callback, stats, options));
       }
     }
     return Status::OK();
@@ -31,7 +55,7 @@ Status JoinRec(const RTree& left, const RTree& right, storage::PageId lid,
       if (stats != nullptr) ++stats->pairs_tested;
       if (re.mbr.Intersects(lmbr)) {
         PICTDB_RETURN_IF_ERROR(
-            JoinRec(left, right, lid, re.AsChild(), callback, stats));
+            JoinRec(left, right, lid, re.AsChild(), callback, stats, options));
       }
     }
     return Status::OK();
@@ -47,7 +71,8 @@ Status JoinRec(const RTree& left, const RTree& right, storage::PageId lid,
         callback(LeafHit{le.mbr, le.AsRid()}, LeafHit{re.mbr, re.AsRid()});
       } else {
         PICTDB_RETURN_IF_ERROR(JoinRec(left, right, le.AsChild(),
-                                       re.AsChild(), callback, stats));
+                                       re.AsChild(), callback, stats,
+                                       options));
       }
     }
   }
@@ -57,9 +82,11 @@ Status JoinRec(const RTree& left, const RTree& right, storage::PageId lid,
 }  // namespace
 
 Status SpatialJoin(const RTree& left, const RTree& right,
-                   const JoinCallback& callback, JoinStats* stats) {
+                   const JoinCallback& callback, JoinStats* stats,
+                   const SearchOptions& options) {
   if (left.Size() == 0 || right.Size() == 0) return Status::OK();
-  return JoinRec(left, right, left.root(), right.root(), callback, stats);
+  return JoinRec(left, right, left.root(), right.root(), callback, stats,
+                 options);
 }
 
 Status NestedLoopJoin(const RTree& left, const RTree& right,

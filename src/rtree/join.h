@@ -13,6 +13,10 @@ struct JoinStats {
   uint64_t nodes_visited = 0;
   uint64_t pairs_tested = 0;
   uint64_t results = 0;
+  /// Node pairs skipped over unreadable/corrupt pages (degraded mode).
+  uint64_t skipped_subtrees = 0;
+  /// True iff any pair was skipped: the join output may be partial.
+  bool degraded = false;
 };
 
 /// Called for every pair of leaf entries whose MBRs intersect.
@@ -25,7 +29,8 @@ using JoinCallback =
 /// into pairs of subtrees whose MBRs intersect. Trees of different
 /// heights are handled by descending the taller side first.
 Status SpatialJoin(const RTree& left, const RTree& right,
-                   const JoinCallback& callback, JoinStats* stats = nullptr);
+                   const JoinCallback& callback, JoinStats* stats = nullptr,
+                   const SearchOptions& options = {});
 
 /// Baseline for the juxtaposition benchmark: test all |L|x|R| leaf pairs.
 Status NestedLoopJoin(const RTree& left, const RTree& right,

@@ -22,11 +22,26 @@ struct QueueItem {
   }
 };
 
+/// Shared degraded-mode handling for a failed node read during a
+/// best-first traversal: quarantine + account, or propagate.
+Status HandleNodeReadFailure(const Status& st, storage::PageId node,
+                             SearchStats* stats,
+                             const SearchOptions& options) {
+  if (!options.ShouldDegrade(st)) return st;
+  if (options.quarantine != nullptr) options.quarantine->Add(node);
+  if (stats != nullptr) {
+    ++stats->skipped_subtrees;
+    stats->degraded = true;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<std::vector<Neighbor>> SearchNearest(const RTree& tree,
                                               const geom::Point& query,
-                                              size_t k, SearchStats* stats) {
+                                              size_t k, SearchStats* stats,
+                                              const SearchOptions& options) {
   std::vector<Neighbor> result;
   if (k == 0 || tree.Size() == 0) return result;
 
@@ -36,6 +51,7 @@ StatusOr<std::vector<Neighbor>> SearchNearest(const RTree& tree,
   frontier.push(QueueItem{0.0, QueueItem::Kind::kNode, tree.root(), {}});
 
   while (!frontier.empty()) {
+    PICTDB_RETURN_IF_ERROR(options.CheckRunnable());
     const QueueItem item = frontier.top();
     frontier.pop();
 
@@ -47,7 +63,14 @@ StatusOr<std::vector<Neighbor>> SearchNearest(const RTree& tree,
       continue;
     }
 
-    PICTDB_ASSIGN_OR_RETURN(const Node node, tree.ReadNodePage(item.node));
+    auto loaded = tree.ReadNodePage(item.node);
+    if (!loaded.ok()) {
+      PICTDB_RETURN_IF_ERROR(HandleNodeReadFailure(loaded.status(),
+                                                   item.node, stats,
+                                                   options));
+      continue;
+    }
+    const Node node = std::move(loaded).value();
     if (stats != nullptr) ++stats->nodes_visited;
     for (const Entry& e : node.entries) {
       if (stats != nullptr) ++stats->entries_tested;
@@ -67,7 +90,8 @@ StatusOr<std::vector<Neighbor>> SearchNearest(const RTree& tree,
 
 StatusOr<std::vector<Neighbor>> SearchNearestExact(
     const RTree& tree, const geom::Point& query, size_t k,
-    const GeometryResolver& resolver, SearchStats* stats) {
+    const GeometryResolver& resolver, SearchStats* stats,
+    const SearchOptions& options) {
   std::vector<Neighbor> result;
   if (k == 0 || tree.Size() == 0) return result;
 
@@ -77,6 +101,7 @@ StatusOr<std::vector<Neighbor>> SearchNearestExact(
   frontier.push(QueueItem{0.0, QueueItem::Kind::kNode, tree.root(), {}});
 
   while (!frontier.empty()) {
+    PICTDB_RETURN_IF_ERROR(options.CheckRunnable());
     const QueueItem item = frontier.top();
     frontier.pop();
 
@@ -97,8 +122,13 @@ StatusOr<std::vector<Neighbor>> SearchNearestExact(
         break;
       }
       case QueueItem::Kind::kNode: {
-        PICTDB_ASSIGN_OR_RETURN(const Node node,
-                                tree.ReadNodePage(item.node));
+        auto loaded = tree.ReadNodePage(item.node);
+        if (!loaded.ok()) {
+          PICTDB_RETURN_IF_ERROR(HandleNodeReadFailure(
+              loaded.status(), item.node, stats, options));
+          break;
+        }
+        const Node node = std::move(loaded).value();
         if (stats != nullptr) ++stats->nodes_visited;
         for (const Entry& e : node.entries) {
           if (stats != nullptr) ++stats->entries_tested;

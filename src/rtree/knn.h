@@ -24,10 +24,9 @@ struct Neighbor {
 /// search stops once the k-th best candidate is closer than the nearest
 /// unexpanded node. Distances are to leaf MBRs (exact for points, a
 /// lower bound for extended objects; callers refine if needed).
-StatusOr<std::vector<Neighbor>> SearchNearest(const RTree& tree,
-                                              const geom::Point& query,
-                                              size_t k,
-                                              SearchStats* stats = nullptr);
+StatusOr<std::vector<Neighbor>> SearchNearest(
+    const RTree& tree, const geom::Point& query, size_t k,
+    SearchStats* stats = nullptr, const SearchOptions& options = {});
 
 /// Fetches the exact geometry behind a leaf entry (e.g. from the
 /// relation tuple the Rid points to).
@@ -41,7 +40,8 @@ using GeometryResolver =
 /// unrefined candidate. Resolves only the geometries it must.
 StatusOr<std::vector<Neighbor>> SearchNearestExact(
     const RTree& tree, const geom::Point& query, size_t k,
-    const GeometryResolver& resolver, SearchStats* stats = nullptr);
+    const GeometryResolver& resolver, SearchStats* stats = nullptr,
+    const SearchOptions& options = {});
 
 }  // namespace pictdb::rtree
 

@@ -368,8 +368,24 @@ Status RTree::Delete(const Rect& mbr, const Rid& rid) {
 Status RTree::SearchRec(PageId node_id,
                         const std::function<bool(const Rect&)>& prune,
                         const std::function<bool(const Rect&)>& accept,
-                        std::vector<LeafHit>* out, SearchStats* stats) const {
-  PICTDB_ASSIGN_OR_RETURN(const Node node, LoadNode(node_id));
+                        std::vector<LeafHit>* out, SearchStats* stats,
+                        const SearchOptions& options) const {
+  PICTDB_RETURN_IF_ERROR(options.CheckRunnable());
+  auto loaded = LoadNode(node_id);
+  if (!loaded.ok()) {
+    if (options.ShouldDegrade(loaded.status())) {
+      // Quarantine the bad page and carry on with the rest of the tree:
+      // a partial answer flagged degraded beats no answer.
+      if (options.quarantine != nullptr) options.quarantine->Add(node_id);
+      if (stats != nullptr) {
+        ++stats->skipped_subtrees;
+        stats->degraded = true;
+      }
+      return Status::OK();
+    }
+    return loaded.status();
+  }
+  const Node node = std::move(loaded).value();
   if (stats != nullptr) ++stats->nodes_visited;
 
   if (node.is_leaf()) {
@@ -386,7 +402,7 @@ Status RTree::SearchRec(PageId node_id,
     if (stats != nullptr) ++stats->entries_tested;
     if (prune(e.mbr)) {
       PICTDB_RETURN_IF_ERROR(
-          SearchRec(e.AsChild(), prune, accept, out, stats));
+          SearchRec(e.AsChild(), prune, accept, out, stats, options));
     }
   }
   return Status::OK();
@@ -394,31 +410,41 @@ Status RTree::SearchRec(PageId node_id,
 
 StatusOr<std::vector<LeafHit>> RTree::SearchCustom(
     const std::function<bool(const Rect&)>& prune,
-    const std::function<bool(const Rect&)>& accept,
-    SearchStats* stats) const {
+    const std::function<bool(const Rect&)>& accept, SearchStats* stats,
+    const SearchOptions& options) const {
   std::vector<LeafHit> out;
-  PICTDB_RETURN_IF_ERROR(SearchRec(root_, prune, accept, &out, stats));
+  // Degraded-mode accounting must have somewhere to live even when the
+  // caller did not ask for stats.
+  SearchStats local;
+  SearchStats* s = stats != nullptr ? stats : &local;
+  PICTDB_RETURN_IF_ERROR(SearchRec(root_, prune, accept, &out, s, options));
   return out;
 }
 
 StatusOr<std::vector<LeafHit>> RTree::SearchIntersects(
-    const Rect& window, SearchStats* stats) const {
+    const Rect& window, SearchStats* stats,
+    const SearchOptions& options) const {
   return SearchCustom(
       [&window](const Rect& r) { return r.Intersects(window); },
-      [&window](const Rect& r) { return r.Intersects(window); }, stats);
+      [&window](const Rect& r) { return r.Intersects(window); }, stats,
+      options);
 }
 
 StatusOr<std::vector<LeafHit>> RTree::SearchContainedIn(
-    const Rect& window, SearchStats* stats) const {
+    const Rect& window, SearchStats* stats,
+    const SearchOptions& options) const {
   return SearchCustom(
       [&window](const Rect& r) { return r.Intersects(window); },
-      [&window](const Rect& r) { return window.Contains(r); }, stats);
+      [&window](const Rect& r) { return window.Contains(r); }, stats,
+      options);
 }
 
-StatusOr<std::vector<LeafHit>> RTree::SearchPoint(const geom::Point& p,
-                                                  SearchStats* stats) const {
+StatusOr<std::vector<LeafHit>> RTree::SearchPoint(
+    const geom::Point& p, SearchStats* stats,
+    const SearchOptions& options) const {
   return SearchCustom([&p](const Rect& r) { return r.Contains(p); },
-                      [&p](const Rect& r) { return r.Contains(p); }, stats);
+                      [&p](const Rect& r) { return r.Contains(p); }, stats,
+                      options);
 }
 
 StatusOr<uint64_t> RTree::CountNodes() const {
@@ -525,6 +551,17 @@ Status RTree::Clear() {
     }
     PICTDB_RETURN_IF_ERROR(pool_->FreePage(id));
   }
+  PICTDB_ASSIGN_OR_RETURN(PageGuard root_page, pool_->NewPage());
+  Node empty_root;
+  empty_root.level = 0;
+  WriteNode(empty_root, root_page.mutable_data(), pool_->page_size());
+  root_ = root_page.id();
+  height_ = 1;
+  size_ = 0;
+  return PersistMeta();
+}
+
+Status RTree::ResetForRebuild() {
   PICTDB_ASSIGN_OR_RETURN(PageGuard root_page, pool_->NewPage());
   Node empty_root;
   empty_root.level = 0;

@@ -1,6 +1,8 @@
 #ifndef PICTDB_RTREE_RTREE_H_
 #define PICTDB_RTREE_RTREE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "rtree/split.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
+#include "storage/quarantine.h"
 
 namespace pictdb::rtree {
 
@@ -36,11 +39,62 @@ struct RTreeOptions {
 };
 
 /// Per-query search accounting — yields the paper's "average number of
-/// nodes visited" column directly.
+/// nodes visited" column directly. The degraded fields report fault
+/// handling: subtrees skipped because their root page was unreadable.
 struct SearchStats {
   uint64_t nodes_visited = 0;
   uint64_t entries_tested = 0;
   uint64_t results = 0;
+  /// Subtrees skipped over unreadable/corrupt pages (degraded mode).
+  uint64_t skipped_subtrees = 0;
+  /// True iff any subtree was skipped: the result set may be partial.
+  bool degraded = false;
+};
+
+/// Per-query execution controls: a cooperative deadline and cancel flag
+/// checked once per visited node, and a degraded mode that skips corrupt
+/// subtrees (recording them in `quarantine`) instead of failing the
+/// whole query.
+struct SearchOptions {
+  /// Absolute deadline; expiry surfaces as Status::DeadlineExceeded with
+  /// whatever had been found so far discarded. max() = no deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  /// Externally owned cancel flag, polled per node; a set flag surfaces
+  /// as DeadlineExceeded("query cancelled").
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// On an unreadable/corrupt page: skip that subtree, flag the result
+  /// degraded, and keep searching — instead of propagating the error.
+  bool degraded_ok = false;
+
+  /// When set (and degraded_ok), skipped page ids are recorded here for
+  /// later ScrubAndRepack recovery.
+  storage::PageQuarantine* quarantine = nullptr;
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+
+  /// Deadline/cancel poll shared by every traversal loop.
+  Status CheckRunnable() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded("query cancelled");
+    }
+    if (has_deadline() && std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("query deadline expired");
+    }
+    return Status::OK();
+  }
+
+  /// True when `st` (a failed page load) should degrade the search
+  /// rather than abort it.
+  bool ShouldDegrade(const Status& st) const {
+    return degraded_ok &&
+           (st.IsDataLoss() || st.IsCorruption() || st.IsIOError() ||
+            st.IsOutOfRange());
+  }
 };
 
 /// A qualifying leaf entry returned by search.
@@ -79,24 +133,27 @@ class RTree {
   /// INTERSECTS pruning with WITHIN replaced by intersection at the leaf —
   /// callers needing strict containment use SearchContainedIn).
   StatusOr<std::vector<LeafHit>> SearchIntersects(
-      const geom::Rect& window, SearchStats* stats = nullptr) const;
+      const geom::Rect& window, SearchStats* stats = nullptr,
+      const SearchOptions& options = {}) const;
 
   /// All leaf entries whose MBR lies entirely within `window` — the
   /// paper's SEARCH procedure (INTERSECTS to prune, WITHIN to qualify).
   StatusOr<std::vector<LeafHit>> SearchContainedIn(
-      const geom::Rect& window, SearchStats* stats = nullptr) const;
+      const geom::Rect& window, SearchStats* stats = nullptr,
+      const SearchOptions& options = {}) const;
 
   /// Leaf entries whose MBR contains the query point — the Table 1 query
   /// "Is point (x,y) contained in the database?".
-  StatusOr<std::vector<LeafHit>> SearchPoint(const geom::Point& p,
-                                             SearchStats* stats = nullptr) const;
+  StatusOr<std::vector<LeafHit>> SearchPoint(
+      const geom::Point& p, SearchStats* stats = nullptr,
+      const SearchOptions& options = {}) const;
 
   /// General traversal: `prune(node_mbr)` decides whether to descend;
   /// `accept(leaf_mbr)` decides whether a leaf entry qualifies.
   StatusOr<std::vector<LeafHit>> SearchCustom(
       const std::function<bool(const geom::Rect&)>& prune,
       const std::function<bool(const geom::Rect&)>& accept,
-      SearchStats* stats = nullptr) const;
+      SearchStats* stats = nullptr, const SearchOptions& options = {}) const;
 
   // --- Introspection ------------------------------------------------------
 
@@ -151,6 +208,12 @@ class RTree {
 
   /// Free every node and reset to an empty tree (used by re-PACK).
   Status Clear();
+
+  /// Reset to an empty tree WITHOUT traversing (and thus without
+  /// reading) the old nodes — the recovery path when the old tree is
+  /// partially unreadable. The caller is responsible for freeing
+  /// whatever old pages are still readable (ScrubAndRepack does).
+  Status ResetForRebuild();
 
   /// Attach a prebuilt subtree whose root node sits at `subtree_root`
   /// with level `subtree_level` and bounding box `mbr`, containing
@@ -215,7 +278,8 @@ class RTree {
   Status SearchRec(storage::PageId node_id,
                    const std::function<bool(const geom::Rect&)>& prune,
                    const std::function<bool(const geom::Rect&)>& accept,
-                   std::vector<LeafHit>* out, SearchStats* stats) const;
+                   std::vector<LeafHit>* out, SearchStats* stats,
+                   const SearchOptions& options) const;
 
   Status ValidateRec(storage::PageId node_id, uint16_t expected_level,
                      const geom::Rect* parent_mbr, uint64_t* leaf_entries,

@@ -16,6 +16,8 @@ struct ServiceMetricsSnapshot {
   uint64_t max_latency_us = 0;
   uint64_t total_nodes_visited = 0;
   uint64_t total_results = 0;
+  uint64_t deadline_exceeded = 0;  // failures due to deadline/cancel
+  uint64_t degraded = 0;           // completions with partial results
 
   uint64_t finished() const { return completed + failed; }
   double avg_latency_us() const {
@@ -56,6 +58,14 @@ class ServiceMetrics {
     UpdateMax(latency_us);
   }
 
+  /// The failure was a deadline expiry or cancellation (in addition to
+  /// RecordFailed).
+  void RecordDeadlineExceeded() { Add(deadline_exceeded_); }
+
+  /// The completion skipped unreadable subtrees (in addition to
+  /// RecordCompleted).
+  void RecordDegraded() { Add(degraded_); }
+
   ServiceMetricsSnapshot Snapshot() const {
     ServiceMetricsSnapshot s;
     s.submitted = submitted_.load(std::memory_order_relaxed);
@@ -67,6 +77,9 @@ class ServiceMetrics {
     s.total_nodes_visited =
         total_nodes_visited_.load(std::memory_order_relaxed);
     s.total_results = total_results_.load(std::memory_order_relaxed);
+    s.deadline_exceeded =
+        deadline_exceeded_.load(std::memory_order_relaxed);
+    s.degraded = degraded_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -91,6 +104,8 @@ class ServiceMetrics {
   std::atomic<uint64_t> max_latency_us_{0};
   std::atomic<uint64_t> total_nodes_visited_{0};
   std::atomic<uint64_t> total_results_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> degraded_{0};
 };
 
 }  // namespace pictdb::service

@@ -29,21 +29,26 @@ QueryService::~QueryService() { Shutdown(); }
 
 void QueryService::Shutdown() { pool_.Shutdown(); }
 
-StatusOr<QueryResult> QueryService::Dispatch(const Query& query) const {
+StatusOr<QueryResult> QueryService::Dispatch(
+    const Query& query, const rtree::SearchOptions& search_options) {
   QueryResult result;
   if (const auto* w = std::get_if<WindowQuery>(&query)) {
     PICTDB_ASSIGN_OR_RETURN(
         result.hits,
         w->contained_only
-            ? tree_->SearchContainedIn(w->window, &result.stats)
-            : tree_->SearchIntersects(w->window, &result.stats));
+            ? tree_->SearchContainedIn(w->window, &result.stats,
+                                       search_options)
+            : tree_->SearchIntersects(w->window, &result.stats,
+                                      search_options));
   } else if (const auto* p = std::get_if<PointQuery>(&query)) {
-    PICTDB_ASSIGN_OR_RETURN(result.hits,
-                            tree_->SearchPoint(p->point, &result.stats));
+    PICTDB_ASSIGN_OR_RETURN(
+        result.hits,
+        tree_->SearchPoint(p->point, &result.stats, search_options));
   } else if (const auto* k = std::get_if<KnnQuery>(&query)) {
     PICTDB_ASSIGN_OR_RETURN(
         result.neighbors,
-        rtree::SearchNearest(*tree_, k->point, k->k, &result.stats));
+        rtree::SearchNearest(*tree_, k->point, k->k, &result.stats,
+                             search_options));
   } else if (const auto* j = std::get_if<JoinQuery>(&query)) {
     if (j->other == nullptr) {
       return Status::InvalidArgument("join query without a right tree");
@@ -53,50 +58,74 @@ StatusOr<QueryResult> QueryService::Dispatch(const Query& query) const {
     PICTDB_RETURN_IF_ERROR(rtree::SpatialJoin(
         *tree_, *j->other,
         [&pairs](const rtree::LeafHit&, const rtree::LeafHit&) { ++pairs; },
-        &join_stats));
+        &join_stats, search_options));
     result.join_pairs = pairs;
     result.stats.nodes_visited = join_stats.nodes_visited;
     result.stats.entries_tested = join_stats.pairs_tested;
     result.stats.results = join_stats.results;
+    result.stats.skipped_subtrees = join_stats.skipped_subtrees;
+    result.stats.degraded = join_stats.degraded;
   } else if (const auto* q = std::get_if<PsqlQuery>(&query)) {
     if (executor_ == nullptr) {
       return Status::InvalidArgument(
           "service was built without a PSQL executor");
     }
+    // The PSQL executor has no cooperative poll points yet, so the
+    // deadline/cancel check happens only at dispatch.
+    PICTDB_RETURN_IF_ERROR(search_options.CheckRunnable());
     PICTDB_ASSIGN_OR_RETURN(psql::ResultSet rs, executor_->Query(q->text));
     result.stats.nodes_visited = rs.stats.rtree_nodes_visited;
     result.stats.results = rs.stats.rows_emitted;
     result.table = std::move(rs);
   }
+  result.degraded = result.stats.degraded;
+  result.skipped_subtrees = result.stats.skipped_subtrees;
   return result;
 }
 
 StatusOr<std::future<StatusOr<QueryResult>>> QueryService::Submit(
-    Query query) {
+    Query query, const QueryOptions& options) {
   // shared_ptr because std::function requires copyable callables.
   auto promise = std::make_shared<std::promise<StatusOr<QueryResult>>>();
   std::future<StatusOr<QueryResult>> future = promise->get_future();
   auto shared_query = std::make_shared<Query>(std::move(query));
 
-  const Status admitted = pool_.TrySubmit([this, promise, shared_query] {
-    const auto start = std::chrono::steady_clock::now();
-    StatusOr<QueryResult> outcome = Dispatch(*shared_query);
-    const uint64_t latency_us = ElapsedMicros(start);
-    if (outcome.ok()) {
-      outcome.value().latency_us = latency_us;
-      uint64_t results = outcome.value().stats.results;
-      if (results == 0) {
-        results = outcome.value().hits.size() +
-                  outcome.value().neighbors.size() +
-                  outcome.value().join_pairs;
-      }
-      metrics_.RecordCompleted(latency_us,
-                               outcome.value().stats.nodes_visited, results);
-    } else {
-      metrics_.RecordFailed(latency_us);
-    }
-    promise->set_value(std::move(outcome));
-  });
+  // The deadline anchors to submission, not execution start, so queue
+  // wait eats into the budget (the caller's clock is what matters).
+  rtree::SearchOptions search_options;
+  if (options.timeout.count() > 0) {
+    search_options.deadline = std::chrono::steady_clock::now() +
+                              options.timeout;
+  }
+  search_options.cancel = &cancel_all_;
+  search_options.degraded_ok = options.degraded_ok;
+  search_options.quarantine = &quarantine_;
+
+  const Status admitted =
+      pool_.TrySubmit([this, promise, shared_query, search_options] {
+        const auto start = std::chrono::steady_clock::now();
+        StatusOr<QueryResult> outcome =
+            Dispatch(*shared_query, search_options);
+        const uint64_t latency_us = ElapsedMicros(start);
+        if (outcome.ok()) {
+          outcome.value().latency_us = latency_us;
+          uint64_t results = outcome.value().stats.results;
+          if (results == 0) {
+            results = outcome.value().hits.size() +
+                      outcome.value().neighbors.size() +
+                      outcome.value().join_pairs;
+          }
+          metrics_.RecordCompleted(
+              latency_us, outcome.value().stats.nodes_visited, results);
+          if (outcome.value().degraded) metrics_.RecordDegraded();
+        } else {
+          metrics_.RecordFailed(latency_us);
+          if (outcome.status().IsDeadlineExceeded()) {
+            metrics_.RecordDeadlineExceeded();
+          }
+        }
+        promise->set_value(std::move(outcome));
+      });
   if (!admitted.ok()) {
     metrics_.RecordRejected();
     return admitted;
@@ -105,9 +134,10 @@ StatusOr<std::future<StatusOr<QueryResult>>> QueryService::Submit(
   return future;
 }
 
-StatusOr<QueryResult> QueryService::RunSync(Query query) {
+StatusOr<QueryResult> QueryService::RunSync(Query query,
+                                            const QueryOptions& options) {
   PICTDB_ASSIGN_OR_RETURN(std::future<StatusOr<QueryResult>> future,
-                          Submit(std::move(query)));
+                          Submit(std::move(query), options));
   return future.get();
 }
 

@@ -1,6 +1,8 @@
 #ifndef PICTDB_SERVICE_QUERY_SERVICE_H_
 #define PICTDB_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <optional>
@@ -15,6 +17,7 @@
 #include "rtree/rtree.h"
 #include "service/metrics.h"
 #include "service/thread_pool.h"
+#include "storage/quarantine.h"
 
 namespace pictdb::service {
 
@@ -61,6 +64,20 @@ struct QueryResult {
   std::optional<psql::ResultSet> table;
   rtree::SearchStats stats;
   uint64_t latency_us = 0;
+  /// True when unreadable subtrees were skipped: the result is partial.
+  bool degraded = false;
+  /// How many subtrees were skipped (0 unless degraded).
+  uint64_t skipped_subtrees = 0;
+};
+
+/// Per-query execution controls.
+struct QueryOptions {
+  /// Wall-clock budget measured from Submit(); 0 = no deadline. Expiry
+  /// fails the query with Status::DeadlineExceeded.
+  std::chrono::microseconds timeout{0};
+  /// Skip unreadable/corrupt subtrees (quarantining their pages) and
+  /// return partial results flagged `degraded` instead of failing.
+  bool degraded_ok = false;
 };
 
 struct ServiceOptions {
@@ -99,12 +116,25 @@ class QueryService {
 
   /// Asynchronous submission. An error here means the query was never
   /// admitted (queue full / shut down); errors during execution surface
-  /// through the future instead.
-  StatusOr<std::future<StatusOr<QueryResult>>> Submit(Query query);
+  /// through the future instead. `options.timeout` starts counting now,
+  /// so time spent queued eats into the budget.
+  StatusOr<std::future<StatusOr<QueryResult>>> Submit(
+      Query query, const QueryOptions& options = {});
 
   /// Convenience: submit and wait. Admission errors are returned
   /// directly.
-  StatusOr<QueryResult> RunSync(Query query);
+  StatusOr<QueryResult> RunSync(Query query,
+                                const QueryOptions& options = {});
+
+  /// Cooperatively cancel every in-flight and queued query: each fails
+  /// with DeadlineExceeded at its next per-node poll. Queries submitted
+  /// afterwards also fail until ClearCancel().
+  void CancelAll() { cancel_all_.store(true, std::memory_order_relaxed); }
+  void ClearCancel() { cancel_all_.store(false, std::memory_order_relaxed); }
+
+  /// Pages quarantined by degraded-mode queries (input to recovery via
+  /// pack::ScrubAndRepack).
+  storage::PageQuarantine* quarantine() { return &quarantine_; }
 
   /// Graceful shutdown: stop admitting, run every already-accepted
   /// query to completion, join the workers. Idempotent; also run by the
@@ -120,12 +150,15 @@ class QueryService {
   const ServiceOptions& options() const { return options_; }
 
  private:
-  StatusOr<QueryResult> Dispatch(const Query& query) const;
+  StatusOr<QueryResult> Dispatch(const Query& query,
+                                 const rtree::SearchOptions& search_options);
 
   const rtree::RTree* tree_;
   const psql::Executor* executor_;
   ServiceOptions options_;
   ServiceMetrics metrics_;
+  std::atomic<bool> cancel_all_{false};
+  storage::PageQuarantine quarantine_;
   ThreadPool pool_;  // last member: workers die before the rest
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -46,11 +47,17 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity, size_t shards)
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, size_t shards,
+                       const BufferPoolOptions& options)
     : disk_(disk),
       capacity_(capacity),
-      shards_(std::max<size_t>(1, std::min(shards, capacity))) {
+      options_(options),
+      shards_(std::max<size_t>(1, std::min(shards, capacity))),
+      jitter_rng_(options.retry_jitter_seed) {
   PICTDB_CHECK(capacity_ >= 1);
+  PICTDB_CHECK(!options_.checksum_pages ||
+               disk_->page_size() > 2 * kPageTrailerSize)
+      << "page size too small for a checksum trailer";
   frames_ = std::make_unique<Frame[]>(capacity_);
   for (size_t i = 0; i < capacity_; ++i) {
     frames_[i].data = std::make_unique<char[]>(disk_->page_size());
@@ -65,6 +72,21 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity, size_t shards)
 }
 
 BufferPool::~BufferPool() {
+  // Pin-leak check: every guard must have been released (or explicitly
+  // leaked) by now; a live pin here means some caller lost track of a
+  // page reference.
+  const size_t leaked = pinned_frames();
+  if (leaked > 0) {
+    stats_.pin_leaks.store(leaked, std::memory_order_relaxed);
+    if (options_.pin_leak_gauge != nullptr) {
+      options_.pin_leak_gauge->fetch_add(leaked, std::memory_order_relaxed);
+    }
+    PICTDB_LOG_WARN() << leaked
+                      << " page pin(s) still held at buffer pool "
+                         "destruction";
+    PICTDB_DCHECK(options_.tolerate_pin_leaks)
+        << "buffer pool destroyed with " << leaked << " live pins";
+  }
   // Best-effort flush; errors at teardown have nowhere to go.
   (void)FlushAll();
 }
@@ -97,6 +119,61 @@ void BufferPool::Unpin(size_t frame_idx) {
   }
 }
 
+void BufferPool::Backoff(int attempt) {
+  const auto base = options_.retry_backoff_base.count();
+  if (base <= 0) return;
+  auto window = base << std::min(attempt, 20);
+  window = std::min<decltype(window)>(window,
+                                      options_.retry_backoff_cap.count());
+  uint64_t jitter;
+  {
+    std::lock_guard<std::mutex> lock(jitter_mu_);
+    jitter = jitter_rng_.Uniform(static_cast<uint64_t>(window) + 1);
+  }
+  if (jitter > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(jitter));
+  }
+}
+
+Status BufferPool::ReadPageWithRetry(PageId id, char* out) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options_.max_read_retries; ++attempt) {
+    if (attempt > 0) {
+      stats_.read_retries.fetch_add(1, std::memory_order_relaxed);
+      Backoff(attempt - 1);
+    }
+    last = disk_->ReadPage(id, out);
+    if (last.ok()) {
+      if (!options_.checksum_pages) return Status::OK();
+      last = VerifyPageTrailer(out, disk_->page_size(), id);
+      if (last.ok()) return Status::OK();
+      // A checksum failure may be a transient in-flight bit flip:
+      // re-reading can clear it. Persistent corruption exhausts the
+      // retry budget and propagates as DataLoss.
+      stats_.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+    } else if (!last.IsIOError() && !last.IsDataLoss()) {
+      return last;  // not transient by contract (e.g. OutOfRange)
+    }
+  }
+  return last;
+}
+
+Status BufferPool::WritePageWithRetry(PageId id, char* data) {
+  if (options_.checksum_pages) {
+    StampPageTrailer(data, disk_->page_size());
+  }
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options_.max_write_retries; ++attempt) {
+    if (attempt > 0) {
+      stats_.write_retries.fetch_add(1, std::memory_order_relaxed);
+      Backoff(attempt - 1);
+    }
+    last = disk_->WritePage(id, data);
+    if (last.ok() || !last.IsIOError()) return last;
+  }
+  return last;
+}
+
 StatusOr<size_t> BufferPool::GetVictimFrame(Shard& shard) {
   if (!shard.free_frames.empty()) {
     const size_t idx = shard.free_frames.back();
@@ -115,7 +192,8 @@ StatusOr<size_t> BufferPool::GetVictimFrame(Shard& shard) {
   if (frame.dirty.load(std::memory_order_relaxed)) {
     // Written back under the shard lock: the victim must not be readable
     // from disk in its stale form once it leaves the page table.
-    PICTDB_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.data.get()));
+    PICTDB_RETURN_IF_ERROR(
+        WritePageWithRetry(frame.page_id, frame.data.get()));
     stats_.flushes.fetch_add(1, std::memory_order_relaxed);
     frame.dirty.store(false, std::memory_order_relaxed);
   }
@@ -169,7 +247,7 @@ StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
   lock.unlock();
   // The frame is pinned and flagged, so it cannot be evicted or handed
   // out while the read runs without the lock.
-  const Status read = disk_->ReadPage(id, frame.data.get());
+  const Status read = ReadPageWithRetry(id, frame.data.get());
   lock.lock();
   frame.loading = false;
   if (!read.ok()) {
@@ -231,7 +309,7 @@ Status BufferPool::FlushAll() {
       if (frame.page_id != kInvalidPageId &&
           frame.dirty.load(std::memory_order_relaxed)) {
         PICTDB_RETURN_IF_ERROR(
-            disk_->WritePage(frame.page_id, frame.data.get()));
+            WritePageWithRetry(frame.page_id, frame.data.get()));
         frame.dirty.store(false, std::memory_order_relaxed);
         stats_.flushes.fetch_add(1, std::memory_order_relaxed);
       }

@@ -2,6 +2,7 @@
 #define PICTDB_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -10,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "common/status_or.h"
 #include "storage/disk_manager.h"
@@ -23,6 +25,10 @@ struct BufferPoolStatsSnapshot {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t flushes = 0;
+  uint64_t read_retries = 0;
+  uint64_t write_retries = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t pin_leaks = 0;
 };
 
 /// Counters for cache behaviour; the difference between `fetches` and
@@ -34,6 +40,14 @@ struct BufferPoolStats {
   std::atomic<uint64_t> misses{0};
   std::atomic<uint64_t> evictions{0};
   std::atomic<uint64_t> flushes{0};
+  /// Transient I/O errors and checksum failures absorbed by re-reading.
+  std::atomic<uint64_t> read_retries{0};
+  /// Transient I/O errors absorbed by re-writing (flush / eviction).
+  std::atomic<uint64_t> write_retries{0};
+  /// Miss reads whose page trailer failed verification (pre-retry).
+  std::atomic<uint64_t> checksum_failures{0};
+  /// Pins still held when the pool was destroyed (gauge, set once).
+  std::atomic<uint64_t> pin_leaks{0};
 
   BufferPoolStatsSnapshot Snapshot() const {
     BufferPoolStatsSnapshot s;
@@ -41,6 +55,10 @@ struct BufferPoolStats {
     s.misses = misses.load(std::memory_order_relaxed);
     s.evictions = evictions.load(std::memory_order_relaxed);
     s.flushes = flushes.load(std::memory_order_relaxed);
+    s.read_retries = read_retries.load(std::memory_order_relaxed);
+    s.write_retries = write_retries.load(std::memory_order_relaxed);
+    s.checksum_failures = checksum_failures.load(std::memory_order_relaxed);
+    s.pin_leaks = pin_leaks.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -49,7 +67,41 @@ struct BufferPoolStats {
     misses.store(0, std::memory_order_relaxed);
     evictions.store(0, std::memory_order_relaxed);
     flushes.store(0, std::memory_order_relaxed);
+    read_retries.store(0, std::memory_order_relaxed);
+    write_retries.store(0, std::memory_order_relaxed);
+    checksum_failures.store(0, std::memory_order_relaxed);
+    pin_leaks.store(0, std::memory_order_relaxed);
   }
+};
+
+/// Fault-tolerance knobs. The defaults give every pool page checksums
+/// and a short bounded retry envelope; tests tune them down (or off) to
+/// exercise specific failure modes.
+struct BufferPoolOptions {
+  /// Reserve the last kPageTrailerSize bytes of each page for a
+  /// magic+CRC32 trailer, stamped on flush and verified on miss reads.
+  /// page_size() excludes the trailer, so consumers shrink accordingly.
+  bool checksum_pages = true;
+
+  /// Retries after the first failed attempt of a miss read (transient
+  /// IOError or checksum failure) / of a flush write (IOError). 0
+  /// disables retrying.
+  int max_read_retries = 4;
+  int max_write_retries = 4;
+
+  /// Exponential backoff between attempts: sleep Uniform(0, min(base <<
+  /// attempt, cap)) — full jitter, deterministic per pool (seeded).
+  std::chrono::microseconds retry_backoff_base{50};
+  std::chrono::microseconds retry_backoff_cap{2000};
+  uint64_t retry_jitter_seed = 0x9e3779b9u;
+
+  /// Destruction with live pins trips a debug assertion unless set.
+  /// (The pin-leak test sets it and observes the gauge instead.)
+  bool tolerate_pin_leaks = false;
+
+  /// Optional external gauge also incremented by leaked-pin detection at
+  /// destruction (the pool's own stats die with it).
+  std::atomic<uint64_t>* pin_leak_gauge = nullptr;
 };
 
 class BufferPool;
@@ -79,6 +131,11 @@ class PageGuard {
   /// Unpin early (before destruction).
   void Release();
 
+  /// Abandon the pin WITHOUT unpinning — the frame stays pinned forever.
+  /// Only for tests of the pool's leak detection and for crash paths
+  /// that must not touch a possibly-dead pool.
+  void Leak() { pool_ = nullptr; }
+
  private:
   BufferPool* pool_ = nullptr;
   PageId id_ = kInvalidPageId;
@@ -97,12 +154,19 @@ class PageGuard {
 /// on the shard's condition variable while other pages proceed).
 /// With shards == 1 (the default) eviction order is byte-identical to
 /// the historical single-threaded pool.
+///
+/// Fault tolerance: pages carry a CRC32 trailer stamped on flush and
+/// verified on miss reads (torn writes and bit rot surface as
+/// Status::DataLoss); transient read/write errors are absorbed by a
+/// bounded exponential-backoff retry loop; permanent errors propagate
+/// to the caller as the failing Status.
 class BufferPool {
  public:
   /// `capacity` is the number of page frames held in memory; `shards`
   /// the number of independently locked partitions (clamped to
   /// capacity).
-  BufferPool(DiskManager* disk, size_t capacity, size_t shards = 1);
+  BufferPool(DiskManager* disk, size_t capacity, size_t shards = 1,
+             const BufferPoolOptions& options = {});
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -122,9 +186,17 @@ class BufferPool {
   Status FlushAll();
 
   DiskManager* disk() const { return disk_; }
-  uint32_t page_size() const { return disk_->page_size(); }
+
+  /// Bytes of each page usable by consumers — the disk page size minus
+  /// the checksum trailer (when enabled).
+  uint32_t page_size() const {
+    return disk_->page_size() -
+           (options_.checksum_pages ? kPageTrailerSize : 0);
+  }
+
   size_t capacity() const { return capacity_; }
   size_t shards() const { return shards_.size(); }
+  const BufferPoolOptions& options() const { return options_; }
   const BufferPoolStats& stats() const { return stats_; }
   BufferPoolStatsSnapshot StatsSnapshot() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
@@ -169,11 +241,22 @@ class BufferPool {
   /// Claim a victim for `id`, pinned and marked loading. Requires lock.
   StatusOr<size_t> ClaimFrameLocked(Shard& shard, PageId id);
 
+  /// Miss-path read with checksum verification and bounded
+  /// exponential-backoff retry of transient failures.
+  Status ReadPageWithRetry(PageId id, char* out);
+  /// Flush-path write: stamps the trailer, retries transient IOErrors.
+  Status WritePageWithRetry(PageId id, char* data);
+  /// Sleep the backoff interval for `attempt` (0-based), with jitter.
+  void Backoff(int attempt);
+
   DiskManager* disk_;
   size_t capacity_;
+  BufferPoolOptions options_;
   std::unique_ptr<Frame[]> frames_;
   std::vector<Shard> shards_;
   BufferPoolStats stats_;
+  std::mutex jitter_mu_;
+  Random jitter_rng_;
 };
 
 }  // namespace pictdb::storage

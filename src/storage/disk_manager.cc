@@ -43,6 +43,7 @@ PageId InMemoryDiskManager::AllocatePage() {
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
+    free_set_.erase(id);
     std::memset(pages_[id].get(), 0, page_size_);
     return id;
   }
@@ -54,7 +55,15 @@ PageId InMemoryDiskManager::AllocatePage() {
 
 void InMemoryDiskManager::DeallocatePage(PageId id) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  PICTDB_CHECK(id < pages_.size());
+  if (id >= pages_.size()) {
+    PICTDB_LOG_WARN() << "deallocate of unallocated page " << id
+                      << " (page count " << pages_.size() << "); ignored";
+    return;
+  }
+  if (!free_set_.insert(id).second) {
+    PICTDB_LOG_WARN() << "double free of page " << id << "; ignored";
+    return;
+  }
   free_list_.push_back(id);
 }
 
@@ -128,6 +137,7 @@ PageId FileDiskManager::AllocatePage() {
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
+    free_set_.erase(id);
     return id;
   }
   const PageId id = page_count_++;
@@ -140,7 +150,15 @@ PageId FileDiskManager::AllocatePage() {
 
 void FileDiskManager::DeallocatePage(PageId id) {
   std::lock_guard<std::mutex> lock(mu_);
-  PICTDB_CHECK(id < page_count_);
+  if (id >= page_count_) {
+    PICTDB_LOG_WARN() << "deallocate of unallocated page " << id
+                      << " (page count " << page_count_ << "); ignored";
+    return;
+  }
+  if (!free_set_.insert(id).second) {
+    PICTDB_LOG_WARN() << "double free of page " << id << "; ignored";
+    return;
+  }
   free_list_.push_back(id);
 }
 

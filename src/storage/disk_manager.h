@@ -9,6 +9,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -70,7 +71,8 @@ class DiskManager {
   virtual PageId AllocatePage() = 0;
 
   /// Return a page to the free list; it may be handed out again by
-  /// AllocatePage. Freed pages keep their storage.
+  /// AllocatePage. Freed pages keep their storage. Out-of-range ids and
+  /// double frees are logged and ignored (never corrupt the free list).
   virtual void DeallocatePage(PageId id) = 0;
 
   const DiskStats& stats() const { return stats_; }
@@ -104,6 +106,7 @@ class InMemoryDiskManager final : public DiskManager {
   mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<char[]>> pages_;
   std::vector<PageId> free_list_;
+  std::unordered_set<PageId> free_set_;  // mirrors free_list_
 };
 
 /// Pages stored in a file on disk, for durability demonstrations and for
@@ -140,6 +143,7 @@ class FileDiskManager final : public DiskManager {
   uint32_t page_size_;
   PageId page_count_;
   std::vector<PageId> free_list_;
+  std::unordered_set<PageId> free_set_;  // mirrors free_list_
 };
 
 /// Decorator that adds a fixed latency to every page read/write of an

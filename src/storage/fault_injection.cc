@@ -1,0 +1,92 @@
+#include "storage/fault_injection.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pictdb::storage {
+
+FaultInjectionDiskManager::FaultInjectionDiskManager(DiskManager* base,
+                                                     const FaultPlan& plan)
+    : base_(base), plan_(plan), rng_(plan.seed) {}
+
+bool FaultInjectionDiskManager::Roll(double rate) {
+  if (rate <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_ && rng_.Bernoulli(rate);
+}
+
+uint64_t FaultInjectionDiskManager::RollUniform(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.Uniform(n);
+}
+
+void FaultInjectionDiskManager::AddPermanentReadFault(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  permanent_read_faults_.insert(id);
+}
+
+void FaultInjectionDiskManager::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  permanent_read_faults_.clear();
+}
+
+Status FaultInjectionDiskManager::ReadPage(PageId id, char* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (permanent_read_faults_.count(id) != 0) {
+      permanent_read_errors_.fetch_add(1, std::memory_order_relaxed);
+      return Status::DataLoss("injected permanent read fault on page " +
+                              std::to_string(id));
+    }
+  }
+  if (Roll(plan_.transient_read_error_rate)) {
+    transient_read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected transient read error on page " +
+                           std::to_string(id));
+  }
+  PICTDB_RETURN_IF_ERROR(base_->ReadPage(id, out));
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  if (Roll(plan_.read_bit_flip_rate)) {
+    const uint64_t bit = RollUniform(uint64_t{page_size()} * 8);
+    out[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    bit_flips_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionDiskManager::WritePage(PageId id, const char* data) {
+  if (Roll(plan_.transient_write_error_rate)) {
+    transient_write_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected transient write error on page " +
+                           std::to_string(id));
+  }
+  if (Roll(plan_.torn_write_rate)) {
+    // Persist only a prefix, keep the old tail — and report success, as
+    // a real torn write would. The page checksum catches it on read.
+    const uint32_t ps = page_size();
+    const uint32_t keep = 1 + static_cast<uint32_t>(RollUniform(ps - 1));
+    std::vector<char> merged(ps);
+    PICTDB_RETURN_IF_ERROR(base_->ReadPage(id, merged.data()));
+    std::memcpy(merged.data(), data, keep);
+    PICTDB_RETURN_IF_ERROR(base_->WritePage(id, merged.data()));
+    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    stats_.writes.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  PICTDB_RETURN_IF_ERROR(base_->WritePage(id, data));
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+PageId FaultInjectionDiskManager::AllocatePage() {
+  stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+  return base_->AllocatePage();
+}
+
+void FaultInjectionDiskManager::DeallocatePage(PageId id) {
+  base_->DeallocatePage(id);
+}
+
+}  // namespace pictdb::storage

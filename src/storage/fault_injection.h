@@ -1,0 +1,107 @@
+#ifndef PICTDB_STORAGE_FAULT_INJECTION_H_
+#define PICTDB_STORAGE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace pictdb::storage {
+
+/// What to inject, and how often. Rates are per-operation probabilities
+/// drawn from a PRNG seeded with `seed`, so a single-threaded workload
+/// reproduces the exact same fault sequence on every run.
+struct FaultPlan {
+  uint64_t seed = 0x0f417u;
+
+  /// ReadPage fails with IOError before touching the medium; the data is
+  /// intact, so a retry succeeds (unless it rolls a fault again).
+  double transient_read_error_rate = 0.0;
+
+  /// WritePage fails with IOError before touching the medium.
+  double transient_write_error_rate = 0.0;
+
+  /// ReadPage succeeds but one random bit of the returned buffer is
+  /// flipped — transient corruption (bus glitch); the medium is intact.
+  double read_bit_flip_rate = 0.0;
+
+  /// WritePage reports success but persists only a random prefix of the
+  /// page, leaving the tail at its previous content — the classic torn
+  /// write. Detected later by the page checksum, not at write time.
+  double torn_write_rate = 0.0;
+};
+
+/// Plain-value image of the fault counters.
+struct FaultStatsSnapshot {
+  uint64_t transient_read_errors = 0;
+  uint64_t transient_write_errors = 0;
+  uint64_t bit_flips = 0;
+  uint64_t torn_writes = 0;
+  uint64_t permanent_read_errors = 0;
+};
+
+/// Decorator that injects disk faults per a FaultPlan. Composes with the
+/// other decorators — e.g. FaultInjectionDiskManager over
+/// LatencyDiskManager over InMemoryDiskManager models a slow, flaky
+/// disk. Thread-safe; the PRNG is guarded by a mutex.
+class FaultInjectionDiskManager final : public DiskManager {
+ public:
+  FaultInjectionDiskManager(DiskManager* base, const FaultPlan& plan);
+
+  uint32_t page_size() const override { return base_->page_size(); }
+  PageId page_count() const override { return base_->page_count(); }
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* data) override;
+  PageId AllocatePage() override;
+  void DeallocatePage(PageId id) override;
+
+  /// Mark `id` permanently unreadable: every ReadPage fails with
+  /// DataLoss, modelling a dead sector. Retries cannot absorb it.
+  void AddPermanentReadFault(PageId id);
+
+  /// Stop injecting everything (permanent faults included) — "repair the
+  /// disk" so recovery paths can be exercised after a fault episode.
+  void ClearFaults();
+
+  FaultStatsSnapshot fault_stats() const {
+    FaultStatsSnapshot s;
+    s.transient_read_errors =
+        transient_read_errors_.load(std::memory_order_relaxed);
+    s.transient_write_errors =
+        transient_write_errors_.load(std::memory_order_relaxed);
+    s.bit_flips = bit_flips_.load(std::memory_order_relaxed);
+    s.torn_writes = torn_writes_.load(std::memory_order_relaxed);
+    s.permanent_read_errors =
+        permanent_read_errors_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  DiskManager* base() const { return base_; }
+
+ private:
+  /// Draw one Bernoulli under the plan mutex.
+  bool Roll(double rate);
+  uint64_t RollUniform(uint64_t n);
+
+  DiskManager* base_;
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  Random rng_;
+  bool armed_ = true;
+  std::unordered_set<PageId> permanent_read_faults_;
+
+  std::atomic<uint64_t> transient_read_errors_{0};
+  std::atomic<uint64_t> transient_write_errors_{0};
+  std::atomic<uint64_t> bit_flips_{0};
+  std::atomic<uint64_t> torn_writes_{0};
+  std::atomic<uint64_t> permanent_read_errors_{0};
+};
+
+}  // namespace pictdb::storage
+
+#endif  // PICTDB_STORAGE_FAULT_INJECTION_H_

@@ -1,0 +1,57 @@
+#ifndef PICTDB_STORAGE_QUARANTINE_H_
+#define PICTDB_STORAGE_QUARANTINE_H_
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace pictdb::storage {
+
+/// Thread-safe set of page ids known to be unreadable or corrupt.
+/// Degraded-mode searches record the pages they had to skip here; the
+/// ScrubAndRepack recovery routine reads it to keep those pages out of
+/// the rebuilt tree (a quarantined id is never returned to the free
+/// list, so the bad medium is never written to again).
+class PageQuarantine {
+ public:
+  void Add(PageId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pages_.insert(id);
+  }
+
+  bool Contains(PageId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.count(id) != 0;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Sorted copy, for reporting.
+  std::vector<PageId> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<PageId> out(pages_.begin(), pages_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    pages_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_set<PageId> pages_;
+};
+
+}  // namespace pictdb::storage
+
+#endif  // PICTDB_STORAGE_QUARANTINE_H_

@@ -78,7 +78,10 @@ TEST_P(BufferPoolModelTest, MatchesReferenceModel) {
   constexpr uint32_t kPageSize = 128;
   InMemoryDiskManager disk(kPageSize);
   BufferPool pool(&disk, kCapacity);
-  PoolModel model(kCapacity, kPageSize);
+  // Only the usable (pre-trailer) bytes belong to the consumer; the
+  // checksum trailer at the end of each disk page is the pool's.
+  const uint32_t usable = pool.page_size();
+  PoolModel model(kCapacity, usable);
 
   Random rng(static_cast<uint64_t>(GetParam()));
   std::vector<PageId> live;
@@ -91,7 +94,7 @@ TEST_P(BufferPoolModelTest, MatchesReferenceModel) {
       ASSERT_TRUE(guard.ok());
       const PageId model_id = model.New();
       ASSERT_EQ(guard->id(), model_id) << "allocation order diverged";
-      const size_t offset = rng.Uniform(kPageSize);
+      const size_t offset = rng.Uniform(usable);
       const char value = static_cast<char>(rng.Uniform(256));
       guard->mutable_data()[offset] = value;
       model.Write(model_id, offset, value);
@@ -105,11 +108,11 @@ TEST_P(BufferPoolModelTest, MatchesReferenceModel) {
       const bool expect_miss = model.Fetch(id);
       EXPECT_EQ(pool.stats().misses > misses_before, expect_miss)
           << "step " << step << " page " << id;
-      const size_t check = rng.Uniform(kPageSize);
+      const size_t check = rng.Uniform(usable);
       EXPECT_EQ(guard->data()[check], model.Read(id, check))
           << "content diverged at step " << step;
       if (rng.Bernoulli(0.5)) {
-        const size_t offset = rng.Uniform(kPageSize);
+        const size_t offset = rng.Uniform(usable);
         const char value = static_cast<char>(rng.Uniform(256));
         guard->mutable_data()[offset] = value;
         model.Write(id, offset, value);

@@ -15,6 +15,7 @@
 #include "rel/tuple.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/page.h"
 #include "workload/us_catalog.h"
 
 namespace pictdb {
@@ -129,6 +130,57 @@ TEST(FuzzLiteTest, TupleDeserializeMutatedValidBytes) {
     mutated[pos] = static_cast<char>(rng.Uniform(256));
     (void)rel::Tuple::Deserialize(mutated);
   }
+}
+
+TEST(FuzzLiteTest, PageTrailerVerifyNeverCrashesOnRandomBytes) {
+  constexpr uint32_t kPageSize = 256;
+  Random rng(7);
+  std::vector<char> page(kPageSize);
+  int accepted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    for (char& c : page) c = static_cast<char>(rng.Uniform(256));
+    if (storage::VerifyPageTrailer(page.data(), kPageSize, i).ok()) {
+      ++accepted;
+    }
+  }
+  // Random bytes essentially never carry a valid magic+CRC trailer (and
+  // are essentially never all-zero).
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(FuzzLiteTest, PageTrailerStampVerifyRoundTrip) {
+  constexpr uint32_t kPageSize = 256;
+  Random rng(8);
+  std::vector<char> page(kPageSize);
+  for (int i = 0; i < 2000; ++i) {
+    for (char& c : page) c = static_cast<char>(rng.Uniform(256));
+    storage::StampPageTrailer(page.data(), kPageSize);
+    EXPECT_TRUE(storage::VerifyPageTrailer(page.data(), kPageSize).ok());
+  }
+}
+
+TEST(FuzzLiteTest, PageTrailerDetectsSingleByteMutations) {
+  constexpr uint32_t kPageSize = 256;
+  Random rng(9);
+  std::vector<char> page(kPageSize);
+  for (int i = 0; i < 2000; ++i) {
+    for (char& c : page) c = static_cast<char>(rng.Uniform(256));
+    storage::StampPageTrailer(page.data(), kPageSize);
+    const size_t pos = rng.Uniform(kPageSize);
+    const char flip = static_cast<char>(1u << rng.Uniform(8));
+    page[pos] = static_cast<char>(page[pos] ^ flip);
+    const Status st = storage::VerifyPageTrailer(page.data(), kPageSize, i);
+    EXPECT_FALSE(st.ok()) << "undetected mutation at byte " << pos;
+    EXPECT_TRUE(st.IsDataLoss());
+  }
+}
+
+TEST(FuzzLiteTest, PageTrailerAcceptsAllZeroPages) {
+  // Freshly allocated, never-flushed pages are all zeros and must verify
+  // clean (they carry no trailer yet).
+  constexpr uint32_t kPageSize = 512;
+  std::vector<char> page(kPageSize, 0);
+  EXPECT_TRUE(storage::VerifyPageTrailer(page.data(), kPageSize).ok());
 }
 
 }  // namespace
