@@ -50,12 +50,13 @@ int main() {
     pictdb::viz::SvgWriter svg(frame, 900);
     for (const Point& p : pts) svg.AddPoint(p, "black", 1.5);
     for (const Rect& r : *mbrs) svg.AddRect(r, "crimson", 1.0);
-    char path[64];
-    std::snprintf(path, sizeof(path), "fig38_level%u.svg", level);
-    PICTDB_CHECK_OK(svg.WriteFile(path));
+    char name[64];
+    std::snprintf(name, sizeof(name), "fig38_level%u.svg", level);
+    PICTDB_CHECK_OK(svg.WriteFigure(name));
   }
-  std::printf("SVGs written: fig38_level0.svg (=Fig 3.8b), "
-              "fig38_level1.svg (=Fig 3.8c), ...\n\n");
+  std::printf("SVGs written to %s (=Fig 3.8b), %s (=Fig 3.8c), ...\n\n",
+              pictdb::viz::FigurePath("fig38_level0.svg").c_str(),
+              pictdb::viz::FigurePath("fig38_level1.svg").c_str());
 
   // ASCII view of the leaf grouping (Fig 3.8b).
   pictdb::viz::AsciiCanvas canvas(frame, 100, 30);

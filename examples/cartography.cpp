@@ -147,8 +147,10 @@ int main(int argc, char** argv) {
       auto level1 = tree->CollectNodeMbrsAtLevel(1);
       PICTDB_CHECK(level1.ok());
       for (const auto& r : *level1) svg.AddRect(r, "crimson", 1.2);
-      PICTDB_CHECK_OK(svg.WriteFile("cartography_packed_level1.svg"));
-      std::printf("  (packed level-1 MBRs -> cartography_packed_level1.svg)\n");
+      PICTDB_CHECK_OK(svg.WriteFigure("cartography_packed_level1.svg"));
+      std::printf(
+          "  (packed level-1 MBRs -> %s)\n",
+          pictdb::viz::FigurePath("cartography_packed_level1.svg").c_str());
     }
   }
   std::printf(

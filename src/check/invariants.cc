@@ -1,0 +1,240 @@
+#include "check/invariants.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "geom/measure.h"
+#include "rtree/node.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace pictdb::check {
+
+using geom::Rect;
+using rtree::Entry;
+using rtree::Node;
+using storage::PageId;
+
+const char* ToString(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kUnreadablePage: return "unreadable-page";
+    case ViolationKind::kLevelMismatch: return "level-mismatch";
+    case ViolationKind::kOverfullNode: return "overfull-node";
+    case ViolationKind::kUnderfullNode: return "underfull-node";
+    case ViolationKind::kEmptyNode: return "empty-node";
+    case ViolationKind::kParentMbrMismatch: return "parent-mbr-mismatch";
+    case ViolationKind::kInvalidEntryMbr: return "invalid-entry-mbr";
+    case ViolationKind::kDuplicatePage: return "duplicate-page";
+    case ViolationKind::kQuarantinedPageReachable:
+      return "quarantined-page-reachable";
+    case ViolationKind::kChecksumMismatch: return "checksum-mismatch";
+    case ViolationKind::kSizeMismatch: return "size-mismatch";
+    case ViolationKind::kPinLeak: return "pin-leak";
+  }
+  return "unknown";
+}
+
+std::string Violation::ToString() const {
+  std::ostringstream os;
+  os << check::ToString(kind);
+  if (page != storage::kInvalidPageId) os << " page=" << page;
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+std::string ValidationReport::ToString() const {
+  std::ostringstream os;
+  os << "C=" << coverage << " O=" << overlap << " D=" << depth
+     << " N=" << nodes << " J=" << leaf_entries;
+  if (violations.empty()) {
+    os << " [valid]";
+  } else {
+    os << " [" << violations.size() << " violation(s)]";
+    for (const Violation& v : violations) os << "\n  " << v.ToString();
+  }
+  return os.str();
+}
+
+namespace {
+
+bool FiniteAndOrdered(const Rect& r) {
+  return std::isfinite(r.lo.x) && std::isfinite(r.lo.y) &&
+         std::isfinite(r.hi.x) && std::isfinite(r.hi.y) && r.lo.x <= r.hi.x &&
+         r.lo.y <= r.hi.y;
+}
+
+}  // namespace
+
+ValidationReport TreeValidator::Check(const rtree::RTree& tree) const {
+  ValidationReport report;
+  storage::BufferPool* pool = tree.pool();
+  const size_t pinned_before = pool->pinned_frames();
+
+  const size_t max_entries =
+      tree.options().max_entries != 0
+          ? tree.options().max_entries
+          : rtree::NodePageCapacity(pool->page_size());
+  const size_t min_entries = tree.options().min_entries != 0
+                                 ? tree.options().min_entries
+                                 : max_entries / 2;
+
+  auto add = [&](ViolationKind kind, PageId page, std::string detail) {
+    if (report.violations.size() < options_.max_violations) {
+      report.violations.push_back(Violation{kind, page, std::move(detail)});
+    }
+  };
+
+  // --- The walk -----------------------------------------------------------
+  // Iterative DFS with an explicit visited set, so aliased subtrees and
+  // cycles surface as kDuplicatePage instead of hanging the checker.
+  struct PendingNode {
+    PageId id;
+    uint16_t expected_level;
+    bool has_parent = false;
+    Rect parent_mbr;  // the parent entry's MBR, checked for minimality
+  };
+  std::vector<PendingNode> stack;
+  stack.push_back(PendingNode{
+      tree.root(), static_cast<uint16_t>(tree.Height() - 1), false, Rect()});
+
+  std::unordered_set<PageId> visited;
+  std::vector<Rect> leaf_mbrs;
+  uint64_t leaf_entries = 0;
+
+  while (!stack.empty()) {
+    const PendingNode item = stack.back();
+    stack.pop_back();
+
+    if (!visited.insert(item.id).second) {
+      add(ViolationKind::kDuplicatePage, item.id,
+          "page reachable along more than one path");
+      continue;
+    }
+    if (options_.quarantine != nullptr &&
+        options_.quarantine->Contains(item.id)) {
+      add(ViolationKind::kQuarantinedPageReachable, item.id,
+          "quarantined page still referenced by the tree");
+    }
+
+    auto loaded = tree.ReadNodePage(item.id);
+    if (!loaded.ok()) {
+      add(ViolationKind::kUnreadablePage, item.id,
+          loaded.status().ToString());
+      continue;
+    }
+    const Node node = std::move(loaded).value();
+    ++report.nodes;
+
+    const bool is_root = item.id == tree.root();
+    if (node.level != item.expected_level) {
+      std::ostringstream os;
+      os << "stored level " << node.level << ", walk depth implies "
+         << item.expected_level;
+      add(ViolationKind::kLevelMismatch, item.id, os.str());
+      // Descending through a node whose level lies would chase payloads
+      // that may not be page ids at all; stop here.
+      continue;
+    }
+    if (node.entries.size() > max_entries) {
+      std::ostringstream os;
+      os << node.entries.size() << " entries > max " << max_entries;
+      add(ViolationKind::kOverfullNode, item.id, os.str());
+    }
+    if (!is_root && node.entries.empty()) {
+      add(ViolationKind::kEmptyNode, item.id, "non-root node has no entries");
+    } else if (options_.check_min_fill && !is_root &&
+               node.entries.size() < min_entries) {
+      std::ostringstream os;
+      os << node.entries.size() << " entries < min " << min_entries;
+      add(ViolationKind::kUnderfullNode, item.id, os.str());
+    }
+
+    bool entries_sane = true;
+    for (const Entry& e : node.entries) {
+      if (!FiniteAndOrdered(e.mbr)) {
+        add(ViolationKind::kInvalidEntryMbr, item.id,
+            "entry MBR empty or non-finite: " + geom::ToString(e.mbr));
+        entries_sane = false;
+      }
+    }
+    if (item.has_parent && !(node.Mbr() == item.parent_mbr)) {
+      // Full precision: a single flipped mantissa bit must not print as
+      // "X != X".
+      const Rect& p = item.parent_mbr;
+      const Rect m = node.Mbr();
+      std::ostringstream os;
+      os << std::setprecision(17) << "parent entry [" << p.lo.x << ", "
+         << p.lo.y << ", " << p.hi.x << ", " << p.hi.y
+         << "] != minimal bound [" << m.lo.x << ", " << m.lo.y << ", "
+         << m.hi.x << ", " << m.hi.y << "]";
+      add(ViolationKind::kParentMbrMismatch, item.id, os.str());
+    }
+
+    if (node.is_leaf()) {
+      leaf_entries += node.entries.size();
+      if (options_.measure_quality && !node.entries.empty()) {
+        leaf_mbrs.push_back(node.Mbr());
+      }
+      continue;
+    }
+    if (!entries_sane) continue;  // child MBRs untrustworthy; don't recurse
+    for (const Entry& e : node.entries) {
+      stack.push_back(PendingNode{e.AsChild(),
+                                  static_cast<uint16_t>(node.level - 1), true,
+                                  e.mbr});
+    }
+  }
+
+  report.leaf_entries = leaf_entries;
+  report.depth = tree.Height() - 1;
+  if (leaf_entries != tree.Size()) {
+    std::ostringstream os;
+    os << "meta records " << tree.Size() << " entries, walk found "
+       << leaf_entries;
+    add(ViolationKind::kSizeMismatch, tree.meta_page(), os.str());
+  }
+
+  if (options_.measure_quality) {
+    report.coverage = geom::TotalArea(leaf_mbrs);
+    report.overlap = geom::AreaCoveredAtLeast(leaf_mbrs, 2);
+  }
+
+  // --- On-disk CRC verification ------------------------------------------
+  // Flush first so clean cached copies aren't failed against stale disk
+  // images; then bypass the pool and check what the medium actually holds.
+  if (options_.check_checksums && pool->options().checksum_pages) {
+    const Status flushed = pool->FlushAll();
+    if (!flushed.ok()) {
+      add(ViolationKind::kChecksumMismatch, storage::kInvalidPageId,
+          "flush before CRC scan failed: " + flushed.ToString());
+    } else {
+      storage::DiskManager* disk = pool->disk();
+      std::vector<char> raw(disk->page_size());
+      for (const PageId id : visited) {
+        const Status read = disk->ReadPage(id, raw.data());
+        if (!read.ok()) continue;  // already reported as unreadable above
+        const Status crc =
+            storage::VerifyPageTrailer(raw.data(), disk->page_size(), id);
+        if (!crc.ok()) {
+          add(ViolationKind::kChecksumMismatch, id, crc.ToString());
+        }
+      }
+    }
+  }
+
+  // --- Pin-leak detection -------------------------------------------------
+  const size_t pinned_after = pool->pinned_frames();
+  if (pinned_after > pinned_before) {
+    std::ostringstream os;
+    os << pinned_after - pinned_before << " frame(s) left pinned by the walk";
+    add(ViolationKind::kPinLeak, storage::kInvalidPageId, os.str());
+  }
+
+  return report;
+}
+
+}  // namespace pictdb::check

@@ -1,0 +1,127 @@
+#ifndef PICTDB_CHECK_INVARIANTS_H_
+#define PICTDB_CHECK_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtree/rtree.h"
+#include "storage/quarantine.h"
+
+namespace pictdb::check {
+
+/// Classes of structural damage the validator can report. Each finding
+/// names the page it was observed on, so a report doubles as a repair
+/// worklist (feed the pages to ScrubAndRepack's quarantine).
+enum class ViolationKind {
+  /// A reachable page failed to load (I/O error, checksum mismatch on
+  /// the miss read, out-of-range id from a corrupt child pointer).
+  kUnreadablePage,
+  /// node.level disagrees with the depth the walk reached it at — leaf
+  /// depth is not uniform, or a child pointer jumped levels.
+  kLevelMismatch,
+  /// More entries than the tree's branching factor allows.
+  kOverfullNode,
+  /// Fewer than min_entries in a non-root node (checked only when
+  /// ValidatorOptions::check_min_fill is set; packed trees legitimately
+  /// leave their last node per level underfull).
+  kUnderfullNode,
+  /// A non-root node with no entries at all.
+  kEmptyNode,
+  /// The parent's entry MBR is not exactly the minimal bound of the
+  /// child it points to (covers-all-children and minimality both fail
+  /// as inequality here).
+  kParentMbrMismatch,
+  /// An entry MBR is empty (inverted bounds) or non-finite.
+  kInvalidEntryMbr,
+  /// The same page is reachable along two paths — the "tree" is a DAG
+  /// or cycle. Each extra path is one violation.
+  kDuplicatePage,
+  /// A page in the caller's quarantine is still reachable from the
+  /// root; recovery was supposed to have cut it out.
+  kQuarantinedPageReachable,
+  /// The on-disk image of a reachable page fails its CRC trailer.
+  kChecksumMismatch,
+  /// The meta page's recorded entry count disagrees with the leaf
+  /// entries actually found.
+  kSizeMismatch,
+  /// The walk left buffer-pool pins behind (page guard leak).
+  kPinLeak,
+};
+
+const char* ToString(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  storage::PageId page = storage::kInvalidPageId;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Outcome of one validation pass. `violations` empty means the tree is
+/// structurally sound; the measured Table 1 metrics (C/O/D/N, plus J)
+/// are computed by the checker's own walk, independent of whatever the
+/// builder believes, so regression suites can assert on them without
+/// trusting the code under test.
+struct ValidationReport {
+  std::vector<Violation> violations;
+
+  /// Paper metrics as measured by the walk (valid even when violations
+  /// were found, over the readable part of the tree).
+  double coverage = 0.0;    // Σ area(leaf node MBR)          — C
+  double overlap = 0.0;     // area under >= 2 leaf MBRs      — O
+  uint32_t depth = 0;       // root-to-leaf edges             — D
+  uint64_t nodes = 0;       // nodes reached by the walk      — N
+  uint64_t leaf_entries = 0;  // spatial objects              — J
+
+  bool ok() const { return violations.empty(); }
+
+  /// Multi-line human summary: metrics plus every violation.
+  std::string ToString() const;
+};
+
+struct ValidatorOptions {
+  /// Enforce Guttman's m <= M/2 lower bound on non-root nodes. Off by
+  /// default: PACK legitimately leaves the trailing node of each level
+  /// underfull.
+  bool check_min_fill = false;
+
+  /// Flush the pool and re-read every reachable page straight from the
+  /// disk manager, verifying its CRC trailer — catches rot that the
+  /// cached copy would hide. Skipped automatically when the pool runs
+  /// without checksums.
+  bool check_checksums = true;
+
+  /// Compute coverage/overlap (the sweep is O(n² log n) in the number
+  /// of leaves; turn off for very large trees in teardown hooks).
+  bool measure_quality = true;
+
+  /// When set, any reachable page found in this quarantine is reported
+  /// as kQuarantinedPageReachable.
+  const storage::PageQuarantine* quarantine = nullptr;
+
+  /// Violations recorded per pass before the walk stops adding more
+  /// (the walk itself still completes, so metrics stay meaningful).
+  size_t max_violations = 64;
+};
+
+/// Walks an R-tree through its buffer pool and checks every structural
+/// invariant the engine relies on. Read-only and usable on any tree —
+/// packed, dynamically grown, or freshly scrubbed. Never aborts: damage
+/// is reported, not thrown, so it can run inside recovery paths and
+/// over intentionally corrupted test trees.
+class TreeValidator {
+ public:
+  explicit TreeValidator(const ValidatorOptions& options = {})
+      : options_(options) {}
+
+  ValidationReport Check(const rtree::RTree& tree) const;
+
+ private:
+  ValidatorOptions options_;
+};
+
+}  // namespace pictdb::check
+
+#endif  // PICTDB_CHECK_INVARIANTS_H_

@@ -32,6 +32,12 @@ void FaultInjectionDiskManager::ClearFaults() {
   permanent_read_faults_.clear();
 }
 
+void FaultInjectionDiskManager::SetPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  armed_ = true;
+}
+
 Status FaultInjectionDiskManager::ReadPage(PageId id, char* out) {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -68,6 +68,11 @@ class FaultInjectionDiskManager final : public DiskManager {
   /// disk" so recovery paths can be exercised after a fault episode.
   void ClearFaults();
 
+  /// Replace the plan's rates and re-arm the injector. The PRNG keeps
+  /// its stream (it is part of the reproducible fault sequence), so a
+  /// ClearFaults / SetPlan cycle replays deterministically.
+  void SetPlan(const FaultPlan& plan);
+
   FaultStatsSnapshot fault_stats() const {
     FaultStatsSnapshot s;
     s.transient_read_errors =

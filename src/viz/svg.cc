@@ -1,6 +1,8 @@
 #include "viz/svg.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
 
 #include "common/logging.h"
@@ -89,6 +91,19 @@ Status SvgWriter::WriteFile(const std::string& path) const {
   std::fclose(f);
   if (written != doc.size()) return Status::IOError("short write " + path);
   return Status::OK();
+}
+
+Status SvgWriter::WriteFigure(const std::string& filename) const {
+  return WriteFile(FigurePath(filename));
+}
+
+std::string FigurePath(const std::string& filename) {
+  const char* env = std::getenv("PICTDB_FIGURE_DIR");
+  const std::filesystem::path dir =
+      env != nullptr && env[0] != '\0' ? env : "examples/figures";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; open reports
+  return (dir / filename).string();
 }
 
 }  // namespace pictdb::viz

@@ -38,6 +38,9 @@ class SvgWriter {
   /// Serialize and write to `path`.
   Status WriteFile(const std::string& path) const;
 
+  /// Serialize and write to FigurePath(filename).
+  Status WriteFigure(const std::string& filename) const;
+
  private:
   double X(double wx) const;
   double Y(double wy) const;
@@ -48,6 +51,12 @@ class SvgWriter {
   double scale_;
   std::vector<std::string> elements_;
 };
+
+/// Canonical home for generated figures: `$PICTDB_FIGURE_DIR` when set,
+/// `examples/figures/` otherwise. The directory is created on demand and
+/// the joined path for `filename` returned, so figure-emitting tools all
+/// land in one place instead of littering the working directory.
+std::string FigurePath(const std::string& filename);
 
 }  // namespace pictdb::viz
 

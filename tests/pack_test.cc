@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "check/invariants.h"
 #include "common/random.h"
 #include "pack/hilbert.h"
 #include "pack/nn_grid.h"
@@ -30,6 +31,14 @@ struct Env {
   storage::InMemoryDiskManager disk;
   storage::BufferPool pool;
 };
+
+/// Teardown-style deep check: full invariant walk plus CRC scan and
+/// pin-leak detection, stricter than tree.Validate().
+void ExpectValidTree(const RTree& tree) {
+  const check::ValidationReport report =
+      check::TreeValidator().Check(tree);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
 
 std::vector<Entry> PointItems(const std::vector<Point>& pts) {
   std::vector<Rid> rids;
@@ -209,6 +218,7 @@ TEST_P(PackBuilders, BuildsValidTreeWithAllEntries) {
   ASSERT_TRUE(builder()(&*tree, PointItems(pts)).ok());
   EXPECT_EQ(tree->Size(), 217u);
   ASSERT_TRUE(tree->Validate().ok());
+  ExpectValidTree(*tree);
   auto all = tree->CollectAllEntries();
   ASSERT_TRUE(all.ok());
   EXPECT_EQ(all->size(), 217u);
@@ -237,6 +247,7 @@ TEST_P(PackBuilders, HandlesTinyInputs) {
     ASSERT_TRUE(builder()(&*tree, PointItems(pts)).ok()) << "n=" << n;
     EXPECT_EQ(tree->Size(), n);
     ASSERT_TRUE(tree->Validate().ok()) << "n=" << n;
+    ExpectValidTree(*tree);
   }
 }
 
@@ -280,6 +291,7 @@ TEST_P(PackBuilders, PackedTreeSupportsLaterUpdates) {
   }
   EXPECT_EQ(tree->Size(), 100u);
   ASSERT_TRUE(tree->Validate().ok());
+  ExpectValidTree(*tree);
 }
 
 std::string BuilderName(const ::testing::TestParamInfo<int>& info) {
@@ -323,6 +335,8 @@ TEST(PackQualityTest, PackBeatsInsertOnUniformPoints) {
   auto pq = rtree::MeasureTree(*packed);
   auto dq = rtree::MeasureTree(*dynamic);
   ASSERT_TRUE(pq.ok() && dq.ok());
+  ExpectValidTree(*packed);
+  ExpectValidTree(*dynamic);
   EXPECT_LT(pq->nodes, dq->nodes);
   EXPECT_LE(pq->depth, dq->depth);
 

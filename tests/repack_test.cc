@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "check/invariants.h"
 #include "common/random.h"
 #include "pack/pack.h"
 #include "pack/repack.h"
@@ -28,6 +29,14 @@ struct Env {
 
 Rid MakeRid(size_t i) {
   return Rid{static_cast<storage::PageId>(i), 0};
+}
+
+
+/// Teardown-style deep check: full invariant walk (parent MBRs, levels,
+/// fill factors, CRCs, pin leaks), stricter than tree.Validate().
+void ExpectValidTree(const RTree& tree) {
+  const check::ValidationReport report = check::TreeValidator().Check(tree);
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 std::set<storage::PageId> AllRidPages(const RTree& tree) {
@@ -103,6 +112,7 @@ TEST(RepackTest, RestoresPackedQualityAfterChurn) {
   // Node count back to the packed optimum for 1000 entries.
   EXPECT_EQ(repacked_quality->size, 1000u);
   EXPECT_LT(repacked_quality->nodes, churned_quality->nodes);
+  ExpectValidTree(*tree);
 }
 
 TEST(RepackTest, RepackEmptyTreeIsNoop) {
@@ -149,6 +159,7 @@ TEST(RepackRegionTest, LocalReorganizationPreservesContent) {
     }
     EXPECT_TRUE(found) << i;
   }
+  ExpectValidTree(*tree);
 }
 
 TEST(RepackRegionTest, ImprovesLocalQuality) {
@@ -179,6 +190,7 @@ TEST(RepackRegionTest, ImprovesLocalQuality) {
   auto after = rtree::MeasureTree(*tree);
   ASSERT_TRUE(after.ok());
   EXPECT_LE(after->nodes, before->nodes);
+  ExpectValidTree(*tree);
 }
 
 TEST(RepackRegionTest, EmptyRegionRepacksNothing) {

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "check/invariants.h"
 #include "common/random.h"
 #include "rtree/metrics.h"
 #include "rtree/node.h"
@@ -29,6 +30,13 @@ struct Env {
 
 Rid MakeRid(size_t i) {
   return Rid{static_cast<storage::PageId>(i), 0};
+}
+
+/// Teardown-style deep check: full invariant walk (parent MBRs, levels,
+/// fill factors, CRCs, pin leaks), stricter than tree.Validate().
+void ExpectValidTree(const rtree::RTree& tree) {
+  const check::ValidationReport report = check::TreeValidator().Check(tree);
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 // --- Node serialization --------------------------------------------------------
@@ -251,6 +259,7 @@ TEST(RTreeTest, GrowsAndValidates) {
   EXPECT_EQ(tree->Size(), 200u);
   EXPECT_GE(tree->Height(), 3u);
   ASSERT_TRUE(tree->Validate().ok());
+  ExpectValidTree(*tree);
 }
 
 TEST(RTreeTest, SearchMatchesBruteForce) {
@@ -284,6 +293,7 @@ TEST(RTreeTest, SearchMatchesBruteForce) {
     }
     EXPECT_EQ(got, expected) << "window " << geom::ToString(window);
   }
+  ExpectValidTree(*tree);
 }
 
 TEST(RTreeTest, DeleteRemovesAndCondenses) {
@@ -318,6 +328,7 @@ TEST(RTreeTest, DeleteRemovesAndCondenses) {
     }
     EXPECT_EQ(found, i % 2 == 1) << i;
   }
+  ExpectValidTree(*tree);
 }
 
 TEST(RTreeTest, DeleteMissingEntry) {
@@ -346,6 +357,7 @@ TEST(RTreeTest, DeleteEverythingLeavesEmptyValidTree) {
   EXPECT_EQ(tree->Size(), 0u);
   EXPECT_EQ(tree->Height(), 1u);
   ASSERT_TRUE(tree->Validate().ok());
+  ExpectValidTree(*tree);
 }
 
 TEST(RTreeTest, SearchStatsCountNodes) {

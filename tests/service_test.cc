@@ -13,6 +13,7 @@
 #include <latch>
 #include <vector>
 
+#include "check/invariants.h"
 #include "common/random.h"
 #include "pack/pack.h"
 #include "psql/executor.h"
@@ -83,6 +84,15 @@ class ServiceStressTest : public ::testing::Test {
         expected_.push_back(5);
       }
     }
+  }
+
+  /// Teardown: the shared tree must survive the concurrent battering
+  /// with every structural invariant intact (parent MBRs, levels, CRCs,
+  /// no leaked pins).
+  void TearDown() override {
+    const check::ValidationReport report =
+        check::TreeValidator().Check(*tree_);
+    EXPECT_TRUE(report.ok()) << report.ToString();
   }
 
   storage::InMemoryDiskManager disk_;
