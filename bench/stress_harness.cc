@@ -10,6 +10,14 @@
 //   stress_harness --faults [seed] [ops]    1% transient faults + bit flips
 //   stress_harness --replay file.trace      re-run a saved reproducer
 //   stress_harness --demo-shrink            plant a corruption, show ddmin
+//   stress_harness --lint-env [seed]        short smoke over exactly the
+//                                           lock-annotated paths (shard
+//                                           mutexes, admission queue,
+//                                           fault injector, quarantine) —
+//                                           run under a TSan build so the
+//                                           dynamic race detector checks
+//                                           the same paths the static
+//                                           analysis signed off on
 
 #include <cstdio>
 #include <cstdlib>
@@ -69,7 +77,7 @@ int RunAndReport(const std::vector<Op>& trace, const StressConfig& config) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool service = false, faults = false, demo = false;
+  bool service = false, faults = false, demo = false, lint_env = false;
   std::string replay_path;
   uint64_t seed = 1;
   size_t ops = 1000;
@@ -83,6 +91,8 @@ int main(int argc, char** argv) {
       faults = true;
     } else if (arg == "--demo-shrink") {
       demo = true;
+    } else if (arg == "--lint-env") {
+      lint_env = true;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_path = argv[++i];
     } else if (pos == 0) {
@@ -91,6 +101,24 @@ int main(int argc, char** argv) {
     } else {
       ops = std::strtoull(arg.c_str(), nullptr, 10);
     }
+  }
+
+  if (lint_env) {
+    // Belt and suspenders with the static analysis: a short
+    // service-routed, fault-injected run touches every mutex the
+    // annotation pass covers (buffer-pool shard + jitter PRNG, fault
+    // injector plan, quarantine, thread-pool queue — all contended by
+    // four workers), so a TSan build of this mode dynamically
+    // re-checks the paths clang -Wthread-safety verified statically.
+    // Keep it small enough for a CI smoke.
+    StressConfig config = BaseConfig(seed, 400);
+    config.use_service = true;
+    config.service_threads = 4;
+    config.pool_frames = 32;  // force eviction + miss traffic per shard
+    EnableFaults(&config);
+    const StressOutcome outcome = RunTrace(GenerateTrace(config), config);
+    std::printf("lint-env smoke: %s\n", outcome.Summary().c_str());
+    return outcome.failed ? 1 : 0;
   }
 
   StressConfig config = BaseConfig(seed, ops);

@@ -1,0 +1,62 @@
+# Configure-time negative-compile suite: proves that the static
+# analysis itself works by feeding the compiler seeded violations and
+# demanding rejection. Three probes (tests/negative_compile/):
+#
+#   lock_discipline_ok.cc    must COMPILE  (positive control: the flags
+#                                           and include paths are sane)
+#   discarded_status.cc      must FAIL     (a dropped [[nodiscard]]
+#                                           Status is a build error)
+#   guarded_by_violation.cc  must FAIL     (clang only: touching a
+#                                           GUARDED_BY field without the
+#                                           lock is a build error)
+#
+# An unexpected outcome is a FATAL_ERROR, so a regression in the
+# annotation layer (e.g. someone deletes [[nodiscard]] or breaks the
+# macro expansion) stops the build at configure time.
+
+function(pictdb_negative_compile_probe source expect_compile extra_flags)
+  set(probe_src "${PROJECT_SOURCE_DIR}/tests/negative_compile/${source}")
+  try_compile(
+    probe_ok
+    "${CMAKE_BINARY_DIR}/negative_compile/${source}.dir"
+    "${probe_src}"
+    COMPILE_DEFINITIONS "${extra_flags}"
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${PROJECT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=${CMAKE_CXX_STANDARD}"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+    OUTPUT_VARIABLE probe_output)
+  if(expect_compile AND NOT probe_ok)
+    message(FATAL_ERROR
+      "negative-compile harness: ${source} should compile but did not.\n"
+      "${probe_output}")
+  elseif(NOT expect_compile AND probe_ok)
+    message(FATAL_ERROR
+      "negative-compile harness: ${source} compiled but must be "
+      "rejected — the static analysis it probes is no longer armed.")
+  endif()
+  if(expect_compile)
+    message(STATUS "negative-compile: ${source} compiles (as required)")
+  else()
+    message(STATUS "negative-compile: ${source} rejected (as required)")
+  endif()
+endfunction()
+
+function(pictdb_run_negative_compile_tests)
+  # Shared flags: warnings-as-errors exactly like the real build.
+  set(base_flags "-Wall;-Wextra;-Werror")
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    list(APPEND base_flags "-Wthread-safety")
+  endif()
+
+  pictdb_negative_compile_probe(lock_discipline_ok.cc TRUE "${base_flags}")
+  pictdb_negative_compile_probe(discarded_status.cc FALSE "${base_flags}")
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    pictdb_negative_compile_probe(
+      guarded_by_violation.cc FALSE "${base_flags}")
+  else()
+    message(STATUS
+      "negative-compile: guarded_by_violation.cc skipped (thread safety "
+      "analysis needs clang; compiler is ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+endfunction()

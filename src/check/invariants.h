@@ -64,7 +64,9 @@ struct Violation {
 /// are computed by the checker's own walk, independent of whatever the
 /// builder believes, so regression suites can assert on them without
 /// trusting the code under test.
-struct ValidationReport {
+/// [[nodiscard]]: a dropped report is a dropped verdict — callers
+/// must at least look at ok().
+struct [[nodiscard]] ValidationReport {
   std::vector<Violation> violations;
 
   /// Paper metrics as measured by the walk (valid even when violations

@@ -70,7 +70,7 @@ struct DiffMismatch {
   std::string description;
 };
 
-struct DiffReport {
+struct [[nodiscard]] DiffReport {
   uint64_t queries = 0;
   uint64_t matches = 0;
   uint64_t degraded_subsets = 0;

@@ -89,7 +89,7 @@ struct StressConfig {
 /// What a trace execution observed. `failed` flips on the first
 /// invariant violation or oracle divergence; the trace index and a
 /// human message identify it for the shrinker.
-struct StressOutcome {
+struct [[nodiscard]] StressOutcome {
   bool failed = false;
   size_t failing_op = 0;
   std::string message;

@@ -26,7 +26,12 @@ enum class StatusCode : int {
 
 /// Return-value error type. Cheap to copy in the OK case (no allocation);
 /// error statuses carry a message.
-class Status {
+///
+/// [[nodiscard]]: ignoring a returned Status silently swallows the
+/// error, so every call site must consume it — check it, propagate it,
+/// or (rarely, e.g. teardown with nowhere to report) discard it
+/// explicitly with a `(void)` cast and a comment saying why.
+class [[nodiscard]] Status {
  public:
   Status() = default;
 

@@ -12,8 +12,11 @@ namespace pictdb {
 /// Holds either a value of type T or an error Status. Accessing the value
 /// of an error StatusOr aborts (library code should check ok() first or use
 /// PICTDB_ASSIGN_OR_RETURN).
+///
+/// [[nodiscard]] for the same reason as Status: a dropped StatusOr is a
+/// dropped error (and a dropped value).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value and from error status, so functions can
   /// `return value;` or `return Status::NotFound(...);` naturally.

@@ -1,0 +1,98 @@
+#ifndef PICTDB_COMMON_THREAD_ANNOTATIONS_H_
+#define PICTDB_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations.
+///
+/// These macros expand to clang's `thread_safety` attributes when the
+/// compiler supports them (clang with -Wthread-safety) and to nothing
+/// everywhere else (GCC, MSVC), so annotated code stays portable. The
+/// analysis is purely static: annotating a field with GUARDED_BY(mu)
+/// makes every unlocked access a compile error under
+/// `clang++ -Wthread-safety -Werror`, turning lock-discipline bugs into
+/// build breaks instead of TSan lottery tickets.
+///
+/// The annotations only fire on types declared as capabilities, which
+/// is why the project wraps std::mutex in pictdb::Mutex (see
+/// common/mutex.h) — libstdc++'s std::mutex carries no annotations.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PICTDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PICTDB_THREAD_ANNOTATION_(x)  // no-op on non-clang compilers
+#endif
+
+/// Declares a class to be a capability (lockable) type.
+#define CAPABILITY(x) PICTDB_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY PICTDB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated field may only be accessed while holding the given
+/// capability.
+#define GUARDED_BY(x) PICTDB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The pointee of the annotated pointer may only be accessed while
+/// holding the given capability.
+#define PT_GUARDED_BY(x) PICTDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Callers must hold the given capability (exclusively) when calling
+/// the annotated function; the function neither acquires nor releases
+/// it.
+#define REQUIRES(...) \
+  PICTDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// As REQUIRES, but shared (reader) access suffices.
+#define REQUIRES_SHARED(...) \
+  PICTDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability and holds it on
+/// return; callers must not already hold it.
+#define ACQUIRE(...) \
+  PICTDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// As ACQUIRE, for shared (reader) acquisition.
+#define ACQUIRE_SHARED(...) \
+  PICTDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases the capability, which callers must
+/// hold on entry.
+#define RELEASE(...) \
+  PICTDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// As RELEASE, for shared (reader) release.
+#define RELEASE_SHARED(...) \
+  PICTDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases a capability held either exclusively
+/// or shared.
+#define RELEASE_GENERIC(...) \
+  PICTDB_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// The annotated function attempts to acquire the capability, returning
+/// the given value on success.
+#define TRY_ACQUIRE(...) \
+  PICTDB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the given capability (deadlock prevention for
+/// non-reentrant locks).
+#define EXCLUDES(...) PICTDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to assume so from here on.
+#define ASSERT_CAPABILITY(x) \
+  PICTDB_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The annotated function returns a reference to the given capability
+/// (used by accessors that expose a mutex).
+#define RETURN_CAPABILITY(x) PICTDB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside the annotated function.
+/// Every use must carry a comment justifying why the analysis cannot
+/// see the invariant (see DESIGN.md §10 for the suppression policy).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PICTDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // PICTDB_COMMON_THREAD_ANNOTATIONS_H_

@@ -19,7 +19,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 Status ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutting_down_) {
       return Status::InvalidArgument("thread pool is shut down");
     }
@@ -30,25 +30,30 @@ Status ThreadPool::TrySubmit(std::function<void()> task) {
     }
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return Status::OK();
 }
 
 void ThreadPool::Shutdown() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   shutting_down_ = true;
-  work_cv_.notify_all();
-  drain_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-  if (joined_) return;
+  work_cv_.NotifyAll();
+  while (!queue_.empty() || active_ != 0) {
+    drain_cv_.Wait(&mu_);
+  }
+  if (joined_) {
+    mu_.Unlock();
+    return;
+  }
   joined_ = true;
-  lock.unlock();
+  mu_.Unlock();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -56,9 +61,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && queue_.empty()) {
+        work_cv_.Wait(&mu_);
+      }
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -66,9 +72,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) drain_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) drain_cv_.NotifyAll();
     }
   }
 }

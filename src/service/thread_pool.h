@@ -1,14 +1,13 @@
 #ifndef PICTDB_SERVICE_THREAD_POOL_H_
 #define PICTDB_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace pictdb::service {
@@ -32,30 +31,30 @@ class ThreadPool {
 
   /// Enqueue `task`. ResourceExhausted when the queue is at capacity;
   /// InvalidArgument after Shutdown.
-  Status TrySubmit(std::function<void()> task);
+  Status TrySubmit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Stop accepting work, wait until the queue is empty and every
   /// in-flight task finished, then join the workers. Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
   size_t queue_capacity() const { return queue_capacity_; }
 
   /// Tasks accepted but not yet started (for metrics / tests).
-  size_t queue_depth() const;
+  size_t queue_depth() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   const size_t queue_capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: queue non-empty or stop
-  std::condition_variable drain_cv_;  // Shutdown: queue empty and idle
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  size_t active_ = 0;          // tasks currently executing
-  bool shutting_down_ = false;
-  bool joined_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;   // workers: queue non-empty or stop
+  CondVar drain_cv_;  // Shutdown: queue empty and idle
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written only by ctor / Shutdown
+  size_t active_ GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  bool joined_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pictdb::service

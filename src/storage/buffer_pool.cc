@@ -64,10 +64,14 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity, size_t shards,
   }
   // Each shard's free list hands out its frames in increasing index
   // order (so with one shard the allocation order matches the
-  // historical single-threaded pool exactly).
+  // historical single-threaded pool exactly). The locks are not yet
+  // contended, but Shard's guarded members are owned by Shard, not by
+  // the pool, so the constructor still acquires them.
   for (size_t i = 0; i < capacity_; ++i) {
     const size_t idx = capacity_ - 1 - i;
-    shards_[idx % shards_.size()].free_frames.push_back(idx);
+    Shard& shard = shards_[idx % shards_.size()];
+    MutexLock lock(&shard.mu);
+    shard.free_frames.push_back(idx);
   }
 }
 
@@ -87,14 +91,20 @@ BufferPool::~BufferPool() {
     PICTDB_DCHECK(options_.tolerate_pin_leaks)
         << "buffer pool destroyed with " << leaked << " live pins";
   }
-  // Best-effort flush; errors at teardown have nowhere to go.
-  (void)FlushAll();
+  // Best-effort flush; errors at teardown have nowhere to propagate,
+  // but a failed final flush is dirty data that never reached disk —
+  // silently swallowing it would hide real data loss, so log it.
+  const Status flushed = FlushAll();
+  if (!flushed.ok()) {
+    PICTDB_LOG_WARN() << "final flush failed at buffer pool destruction: "
+                      << flushed.ToString();
+  }
 }
 
 size_t BufferPool::pinned_frames() const {
   size_t n = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    MutexLock lock(&shards_[s].mu);
     for (size_t i = s; i < capacity_; i += shards_.size()) {
       const Frame& f = frames_[i];
       if (f.page_id != kInvalidPageId &&
@@ -109,7 +119,7 @@ size_t BufferPool::pinned_frames() const {
 void BufferPool::Unpin(size_t frame_idx) {
   Frame& frame = frames_[frame_idx];
   Shard& shard = ShardForFrame(frame_idx);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   const int prev = frame.pin_count.fetch_sub(1, std::memory_order_relaxed);
   PICTDB_CHECK(prev > 0) << "unpin of unpinned page " << frame.page_id;
   if (prev == 1) {
@@ -127,7 +137,7 @@ void BufferPool::Backoff(int attempt) {
                                       options_.retry_backoff_cap.count());
   uint64_t jitter;
   {
-    std::lock_guard<std::mutex> lock(jitter_mu_);
+    MutexLock lock(&jitter_mu_);
     jitter = jitter_rng_.Uniform(static_cast<uint64_t>(window) + 1);
   }
   if (jitter > 0) {
@@ -225,7 +235,10 @@ StatusOr<size_t> BufferPool::ClaimFrameLocked(Shard& shard, PageId id) {
 
 StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
   Shard& shard = ShardForPage(id);
-  std::unique_lock<std::mutex> lock(shard.mu);
+  // Explicit Lock/Unlock (not an RAII guard): the miss path hands the
+  // lock back around its disk read, and the analysis checks that every
+  // return below balances the acquire.
+  shard.mu.Lock();
   stats_.fetches.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
     auto it = shard.page_table.find(id);
@@ -234,39 +247,48 @@ StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
     if (frame.loading) {
       // Another thread is reading this page in; wait and re-probe (the
       // load may fail, in which case the entry disappears).
-      shard.load_cv.wait(lock);
+      shard.load_cv.Wait(&shard.mu);
       continue;
     }
-    return PinFrame(shard, it->second);
+    PageGuard guard = PinFrame(shard, it->second);
+    shard.mu.Unlock();
+    return guard;
   }
 
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
-  PICTDB_ASSIGN_OR_RETURN(const size_t idx, ClaimFrameLocked(shard, id));
+  StatusOr<size_t> claimed = ClaimFrameLocked(shard, id);
+  if (!claimed.ok()) {
+    shard.mu.Unlock();
+    return std::move(claimed).status();
+  }
+  const size_t idx = claimed.value();
   Frame& frame = frames_[idx];
   frame.loading = true;
-  lock.unlock();
+  shard.mu.Unlock();
   // The frame is pinned and flagged, so it cannot be evicted or handed
   // out while the read runs without the lock.
   const Status read = ReadPageWithRetry(id, frame.data.get());
-  lock.lock();
+  shard.mu.Lock();
   frame.loading = false;
   if (!read.ok()) {
     shard.page_table.erase(id);
     frame.page_id = kInvalidPageId;
     frame.pin_count.store(0, std::memory_order_relaxed);
     shard.free_frames.push_back(idx);
-    shard.load_cv.notify_all();
+    shard.load_cv.NotifyAll();
+    shard.mu.Unlock();
     return read;
   }
   frame.dirty.store(false, std::memory_order_relaxed);
-  shard.load_cv.notify_all();
+  shard.load_cv.NotifyAll();
+  shard.mu.Unlock();
   return PageGuard(this, id, frame.data.get(), &frame.dirty, idx);
 }
 
 StatusOr<PageGuard> BufferPool::NewPage() {
   const PageId id = disk_->AllocatePage();
   Shard& shard = ShardForPage(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   PICTDB_ASSIGN_OR_RETURN(const size_t idx, ClaimFrameLocked(shard, id));
   Frame& frame = frames_[idx];
   std::memset(frame.data.get(), 0, disk_->page_size());
@@ -278,7 +300,7 @@ StatusOr<PageGuard> BufferPool::NewPage() {
 Status BufferPool::FreePage(PageId id) {
   Shard& shard = ShardForPage(id);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.page_table.find(id);
     if (it != shard.page_table.end()) {
       const size_t idx = it->second;
@@ -303,7 +325,7 @@ Status BufferPool::FreePage(PageId id) {
 
 Status BufferPool::FlushAll() {
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    MutexLock lock(&shards_[s].mu);
     for (size_t i = s; i < capacity_; i += shards_.size()) {
       Frame& frame = frames_[i];
       if (frame.page_id != kInvalidPageId &&

@@ -3,14 +3,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/status_or.h"
@@ -207,13 +206,18 @@ class BufferPool {
  private:
   friend class PageGuard;
 
+  /// Non-atomic Frame fields (page_id, loading, lru_pos, in_lru) are
+  /// guarded by the owning shard's mutex. That guard rotates with the
+  /// frame index, so it cannot be named in a GUARDED_BY annotation —
+  /// the per-shard containers below carry the static annotations, and
+  /// TSan covers the frame fields dynamically.
   struct Frame {
     PageId page_id = kInvalidPageId;
     std::unique_ptr<char[]> data;
     std::atomic<int> pin_count{0};
     std::atomic<bool> dirty{false};
     /// True while a miss is reading this frame's page from disk outside
-    /// the shard lock. Guarded by the owning shard's mutex.
+    /// the shard lock.
     bool loading = false;
     // Position in the shard's lru when pin_count == 0.
     std::list<size_t>::iterator lru_pos;
@@ -221,11 +225,11 @@ class BufferPool {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable load_cv;  // signalled when `loading` clears
-    std::unordered_map<PageId, size_t> page_table;
-    std::list<size_t> lru;  // front = least recently used
-    std::vector<size_t> free_frames;
+    mutable Mutex mu;
+    CondVar load_cv;  // signalled when `loading` clears
+    std::unordered_map<PageId, size_t> page_table GUARDED_BY(mu);
+    std::list<size_t> lru GUARDED_BY(mu);  // front = least recently used
+    std::vector<size_t> free_frames GUARDED_BY(mu);
   };
 
   Shard& ShardForPage(PageId id) { return shards_[id % shards_.size()]; }
@@ -234,12 +238,13 @@ class BufferPool {
   }
 
   void Unpin(size_t frame_idx);
-  /// Requires `shard.mu` held. May write a dirty victim back to disk.
-  StatusOr<size_t> GetVictimFrame(Shard& shard);
-  /// Requires `shard.mu` held; frame must hold a valid resident page.
-  PageGuard PinFrame(Shard& shard, size_t frame_idx);
-  /// Claim a victim for `id`, pinned and marked loading. Requires lock.
-  StatusOr<size_t> ClaimFrameLocked(Shard& shard, PageId id);
+  /// May write a dirty victim back to disk.
+  StatusOr<size_t> GetVictimFrame(Shard& shard) REQUIRES(shard.mu);
+  /// Frame must hold a valid resident page.
+  PageGuard PinFrame(Shard& shard, size_t frame_idx) REQUIRES(shard.mu);
+  /// Claim a victim for `id`, pinned and marked loading.
+  StatusOr<size_t> ClaimFrameLocked(Shard& shard, PageId id)
+      REQUIRES(shard.mu);
 
   /// Miss-path read with checksum verification and bounded
   /// exponential-backoff retry of transient failures.
@@ -247,7 +252,7 @@ class BufferPool {
   /// Flush-path write: stamps the trailer, retries transient IOErrors.
   Status WritePageWithRetry(PageId id, char* data);
   /// Sleep the backoff interval for `attempt` (0-based), with jitter.
-  void Backoff(int attempt);
+  void Backoff(int attempt) EXCLUDES(jitter_mu_);
 
   DiskManager* disk_;
   size_t capacity_;
@@ -255,8 +260,8 @@ class BufferPool {
   std::unique_ptr<Frame[]> frames_;
   std::vector<Shard> shards_;
   BufferPoolStats stats_;
-  std::mutex jitter_mu_;
-  Random jitter_rng_;
+  Mutex jitter_mu_;
+  Random jitter_rng_ GUARDED_BY(jitter_mu_);
 };
 
 }  // namespace pictdb::storage

@@ -13,7 +13,7 @@ InMemoryDiskManager::InMemoryDiskManager(uint32_t page_size)
 }
 
 Status InMemoryDiskManager::ReadPage(PageId id, char* out) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(id));
@@ -27,7 +27,7 @@ Status InMemoryDiskManager::WritePage(PageId id, const char* data) {
   // Shared lock: distinct pages may be written concurrently (the buffer
   // pool never writes the same page from two threads), and writes must
   // not block readers of other pages.
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
@@ -38,7 +38,7 @@ Status InMemoryDiskManager::WritePage(PageId id, const char* data) {
 }
 
 PageId InMemoryDiskManager::AllocatePage() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   stats_.allocations.fetch_add(1, std::memory_order_relaxed);
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
@@ -54,7 +54,7 @@ PageId InMemoryDiskManager::AllocatePage() {
 }
 
 void InMemoryDiskManager::DeallocatePage(PageId id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   if (id >= pages_.size()) {
     PICTDB_LOG_WARN() << "deallocate of unallocated page " << id
                       << " (page count " << pages_.size() << "); ignored";
@@ -82,12 +82,12 @@ StatusOr<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
     return Status::IOError("cannot open " + path);
   }
   if (std::fseek(f, 0, SEEK_END) != 0) {
-    std::fclose(f);
+    (void)std::fclose(f);  // already failing; nothing readable was written
     return Status::IOError("cannot seek " + path);
   }
   const long size = std::ftell(f);
   if (size < 0) {
-    std::fclose(f);
+    (void)std::fclose(f);  // already failing; nothing readable was written
     return Status::IOError("cannot tell " + path);
   }
   page_count = static_cast<PageId>(static_cast<uint64_t>(size) / page_size);
@@ -96,11 +96,17 @@ StatusOr<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
 }
 
 FileDiskManager::~FileDiskManager() {
-  if (file_ != nullptr) std::fclose(file_);
+  MutexLock lock(&mu_);
+  if (file_ != nullptr && std::fclose(file_) != 0) {
+    // A failed close can lose buffered page writes; teardown cannot
+    // propagate, but it must not be silent.
+    PICTDB_LOG_WARN() << "fclose failed at disk manager destruction; "
+                         "buffered writes may be lost";
+  }
 }
 
 Status FileDiskManager::ReadPage(PageId id, char* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id >= page_count_) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(id));
@@ -116,7 +122,7 @@ Status FileDiskManager::ReadPage(PageId id, char* out) {
 }
 
 Status FileDiskManager::WritePage(PageId id, const char* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id >= page_count_) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
@@ -132,7 +138,7 @@ Status FileDiskManager::WritePage(PageId id, const char* data) {
 }
 
 PageId FileDiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_.allocations.fetch_add(1, std::memory_order_relaxed);
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
@@ -141,15 +147,21 @@ PageId FileDiskManager::AllocatePage() {
     return id;
   }
   const PageId id = page_count_++;
-  // Extend the file with a zero page so subsequent reads succeed.
+  // Extend the file with a zero page so subsequent reads succeed. The
+  // interface cannot report allocation I/O errors, but swallowing them
+  // silently turned up as unreadable pages much later — log here so the
+  // failure is attributable.
   std::vector<char> zeros(page_size_, 0);
-  std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET);
-  std::fwrite(zeros.data(), 1, page_size_, file_);
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0 ||
+      std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
+    PICTDB_LOG_WARN() << "failed to extend file for page " << id
+                      << "; reads of it will fail until it is written";
+  }
   return id;
 }
 
 void FileDiskManager::DeallocatePage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id >= page_count_) {
     PICTDB_LOG_WARN() << "deallocate of unallocated page " << id
                       << " (page count " << page_count_ << "); ignored";

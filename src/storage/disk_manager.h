@@ -6,12 +6,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/status_or.h"
 #include "storage/page.h"
@@ -92,21 +91,22 @@ class InMemoryDiskManager final : public DiskManager {
   explicit InMemoryDiskManager(uint32_t page_size = kDefaultPageSize);
 
   uint32_t page_size() const override { return page_size_; }
-  PageId page_count() const override {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+  PageId page_count() const override EXCLUDES(mu_) {
+    ReaderMutexLock lock(&mu_);
     return static_cast<PageId>(pages_.size());
   }
-  Status ReadPage(PageId id, char* out) override;
-  Status WritePage(PageId id, const char* data) override;
-  PageId AllocatePage() override;
-  void DeallocatePage(PageId id) override;
+  Status ReadPage(PageId id, char* out) override EXCLUDES(mu_);
+  Status WritePage(PageId id, const char* data) override EXCLUDES(mu_);
+  PageId AllocatePage() override EXCLUDES(mu_);
+  void DeallocatePage(PageId id) override EXCLUDES(mu_);
 
  private:
   uint32_t page_size_;
-  mutable std::shared_mutex mu_;
-  std::vector<std::unique_ptr<char[]>> pages_;
-  std::vector<PageId> free_list_;
-  std::unordered_set<PageId> free_set_;  // mirrors free_list_
+  mutable SharedMutex mu_;
+  std::vector<std::unique_ptr<char[]>> pages_ GUARDED_BY(mu_);
+  std::vector<PageId> free_list_ GUARDED_BY(mu_);
+  // Mirrors free_list_ for O(1) double-free detection.
+  std::unordered_set<PageId> free_set_ GUARDED_BY(mu_);
 };
 
 /// Pages stored in a file on disk, for durability demonstrations and for
@@ -125,25 +125,26 @@ class FileDiskManager final : public DiskManager {
   FileDiskManager& operator=(const FileDiskManager&) = delete;
 
   uint32_t page_size() const override { return page_size_; }
-  PageId page_count() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+  PageId page_count() const override EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return page_count_;
   }
-  Status ReadPage(PageId id, char* out) override;
-  Status WritePage(PageId id, const char* data) override;
-  PageId AllocatePage() override;
-  void DeallocatePage(PageId id) override;
+  Status ReadPage(PageId id, char* out) override EXCLUDES(mu_);
+  Status WritePage(PageId id, const char* data) override EXCLUDES(mu_);
+  PageId AllocatePage() override EXCLUDES(mu_);
+  void DeallocatePage(PageId id) override EXCLUDES(mu_);
 
  private:
   FileDiskManager(std::FILE* file, uint32_t page_size, PageId page_count)
       : file_(file), page_size_(page_size), page_count_(page_count) {}
 
-  mutable std::mutex mu_;
-  std::FILE* file_;
+  mutable Mutex mu_;
+  std::FILE* file_ GUARDED_BY(mu_);  // stdio seek+read is not atomic
   uint32_t page_size_;
-  PageId page_count_;
-  std::vector<PageId> free_list_;
-  std::unordered_set<PageId> free_set_;  // mirrors free_list_
+  PageId page_count_ GUARDED_BY(mu_);
+  std::vector<PageId> free_list_ GUARDED_BY(mu_);
+  // Mirrors free_list_ for O(1) double-free detection.
+  std::unordered_set<PageId> free_set_ GUARDED_BY(mu_);
 };
 
 /// Decorator that adds a fixed latency to every page read/write of an

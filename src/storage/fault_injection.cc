@@ -10,51 +10,54 @@ FaultInjectionDiskManager::FaultInjectionDiskManager(DiskManager* base,
                                                      const FaultPlan& plan)
     : base_(base), plan_(plan), rng_(plan.seed) {}
 
-bool FaultInjectionDiskManager::Roll(double rate) {
-  if (rate <= 0.0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
-  return armed_ && rng_.Bernoulli(rate);
+bool FaultInjectionDiskManager::Roll(double FaultPlan::*rate) {
+  MutexLock lock(&mu_);
+  // Rate 0 must not consume a PRNG draw, so disarmed/zero-rate runs
+  // keep the same fault stream as runs without the injector.
+  const double r = plan_.*rate;
+  if (r <= 0.0) return false;
+  return armed_ && rng_.Bernoulli(r);
 }
 
 uint64_t FaultInjectionDiskManager::RollUniform(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rng_.Uniform(n);
 }
 
 void FaultInjectionDiskManager::AddPermanentReadFault(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   permanent_read_faults_.insert(id);
 }
 
 void FaultInjectionDiskManager::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   armed_ = false;
   permanent_read_faults_.clear();
 }
 
 void FaultInjectionDiskManager::SetPlan(const FaultPlan& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   plan_ = plan;
   armed_ = true;
 }
 
 Status FaultInjectionDiskManager::ReadPage(PageId id, char* out) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (permanent_read_faults_.count(id) != 0) {
       permanent_read_errors_.fetch_add(1, std::memory_order_relaxed);
       return Status::DataLoss("injected permanent read fault on page " +
                               std::to_string(id));
     }
   }
-  if (Roll(plan_.transient_read_error_rate)) {
+  if (Roll(&FaultPlan::transient_read_error_rate)) {
     transient_read_errors_.fetch_add(1, std::memory_order_relaxed);
     return Status::IOError("injected transient read error on page " +
                            std::to_string(id));
   }
   PICTDB_RETURN_IF_ERROR(base_->ReadPage(id, out));
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
-  if (Roll(plan_.read_bit_flip_rate)) {
+  if (Roll(&FaultPlan::read_bit_flip_rate)) {
     const uint64_t bit = RollUniform(uint64_t{page_size()} * 8);
     out[bit / 8] ^= static_cast<char>(1u << (bit % 8));
     bit_flips_.fetch_add(1, std::memory_order_relaxed);
@@ -63,12 +66,12 @@ Status FaultInjectionDiskManager::ReadPage(PageId id, char* out) {
 }
 
 Status FaultInjectionDiskManager::WritePage(PageId id, const char* data) {
-  if (Roll(plan_.transient_write_error_rate)) {
+  if (Roll(&FaultPlan::transient_write_error_rate)) {
     transient_write_errors_.fetch_add(1, std::memory_order_relaxed);
     return Status::IOError("injected transient write error on page " +
                            std::to_string(id));
   }
-  if (Roll(plan_.torn_write_rate)) {
+  if (Roll(&FaultPlan::torn_write_rate)) {
     // Persist only a prefix, keep the old tail — and report success, as
     // a real torn write would. The page checksum catches it on read.
     const uint32_t ps = page_size();

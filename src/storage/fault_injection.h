@@ -3,9 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
@@ -62,16 +62,16 @@ class FaultInjectionDiskManager final : public DiskManager {
 
   /// Mark `id` permanently unreadable: every ReadPage fails with
   /// DataLoss, modelling a dead sector. Retries cannot absorb it.
-  void AddPermanentReadFault(PageId id);
+  void AddPermanentReadFault(PageId id) EXCLUDES(mu_);
 
   /// Stop injecting everything (permanent faults included) — "repair the
   /// disk" so recovery paths can be exercised after a fault episode.
-  void ClearFaults();
+  void ClearFaults() EXCLUDES(mu_);
 
   /// Replace the plan's rates and re-arm the injector. The PRNG keeps
   /// its stream (it is part of the reproducible fault sequence), so a
   /// ClearFaults / SetPlan cycle replays deterministically.
-  void SetPlan(const FaultPlan& plan);
+  void SetPlan(const FaultPlan& plan) EXCLUDES(mu_);
 
   FaultStatsSnapshot fault_stats() const {
     FaultStatsSnapshot s;
@@ -89,16 +89,18 @@ class FaultInjectionDiskManager final : public DiskManager {
   DiskManager* base() const { return base_; }
 
  private:
-  /// Draw one Bernoulli under the plan mutex.
-  bool Roll(double rate);
-  uint64_t RollUniform(uint64_t n);
+  /// Draw one Bernoulli against the plan rate named by `rate`, reading
+  /// the plan and the PRNG under the mutex (a raw double parameter
+  /// would force callers to read `plan_` unlocked, racing SetPlan).
+  bool Roll(double FaultPlan::*rate) EXCLUDES(mu_);
+  uint64_t RollUniform(uint64_t n) EXCLUDES(mu_);
 
   DiskManager* base_;
-  mutable std::mutex mu_;
-  FaultPlan plan_;
-  Random rng_;
-  bool armed_ = true;
-  std::unordered_set<PageId> permanent_read_faults_;
+  mutable Mutex mu_;
+  FaultPlan plan_ GUARDED_BY(mu_);
+  Random rng_ GUARDED_BY(mu_);
+  bool armed_ GUARDED_BY(mu_) = true;
+  std::unordered_set<PageId> permanent_read_faults_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> transient_read_errors_{0};
   std::atomic<uint64_t> transient_write_errors_{0};

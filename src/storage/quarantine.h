@@ -2,10 +2,10 @@
 #define PICTDB_STORAGE_QUARANTINE_H_
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "storage/page.h"
 
 namespace pictdb::storage {
@@ -17,39 +17,39 @@ namespace pictdb::storage {
 /// list, so the bad medium is never written to again).
 class PageQuarantine {
  public:
-  void Add(PageId id) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Add(PageId id) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     pages_.insert(id);
   }
 
-  bool Contains(PageId id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool Contains(PageId id) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return pages_.count(id) != 0;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return pages_.size();
   }
 
   bool empty() const { return size() == 0; }
 
   /// Sorted copy, for reporting.
-  std::vector<PageId> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PageId> Snapshot() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     std::vector<PageId> out(pages_.begin(), pages_.end());
     std::sort(out.begin(), out.end());
     return out;
   }
 
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     pages_.clear();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_set<PageId> pages_;
+  mutable Mutex mu_;
+  std::unordered_set<PageId> pages_ GUARDED_BY(mu_);
 };
 
 }  // namespace pictdb::storage

@@ -21,6 +21,8 @@
 #include "workload/generators.h"
 #include "workload/us_catalog.h"
 
+#include "lint_guard.h"
+
 namespace pictdb::check {
 namespace {
 
@@ -68,9 +70,27 @@ bool HasViolation(const ValidationReport& report, ViolationKind kind) {
       [kind](const Violation& v) { return v.kind == kind; });
 }
 
+// Teardown guard shared by the validator/diff suites: the checkers can
+// only vouch for the tree if they themselves pass every analysis
+// unassisted, so each test re-asserts src/check/ carries no
+// suppression comments.
+class TreeValidatorTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    testing_support::AssertNoLintSuppressionsInCheckSubsystem();
+  }
+};
+
+class DiffRunnerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    testing_support::AssertNoLintSuppressionsInCheckSubsystem();
+  }
+};
+
 // --- TreeValidator ----------------------------------------------------------
 
-TEST(TreeValidatorTest, AcceptsHealthyPackedTree) {
+TEST_F(TreeValidatorTest, AcceptsHealthyPackedTree) {
   Env env;
   const auto entries = UniformPointEntries(7, 1000);
   const RTree tree = BuildPacked(&env, entries);
@@ -84,7 +104,7 @@ TEST(TreeValidatorTest, AcceptsHealthyPackedTree) {
   EXPECT_EQ(env.pool.pinned_frames(), 0u);
 }
 
-TEST(TreeValidatorTest, AcceptsHealthyGuttmanTree) {
+TEST_F(TreeValidatorTest, AcceptsHealthyGuttmanTree) {
   Env env;
   auto created = RTree::Create(&env.pool);
   PICTDB_CHECK(created.ok());
@@ -97,7 +117,7 @@ TEST(TreeValidatorTest, AcceptsHealthyGuttmanTree) {
   EXPECT_EQ(report.leaf_entries, 600u);
 }
 
-TEST(TreeValidatorTest, QualityNumbersAgreeWithMetricsModule) {
+TEST_F(TreeValidatorTest, QualityNumbersAgreeWithMetricsModule) {
   Env env;
   const RTree tree = BuildPacked(&env, UniformPointEntries(3, 500), 8);
 
@@ -113,7 +133,7 @@ TEST(TreeValidatorTest, QualityNumbersAgreeWithMetricsModule) {
   EXPECT_EQ(report.leaf_entries, quality->size);
 }
 
-TEST(TreeValidatorTest, CatchesCorruptedInnerMbr) {
+TEST_F(TreeValidatorTest, CatchesCorruptedInnerMbr) {
   Env env;
   RTree tree = BuildPacked(&env, UniformPointEntries(5, 1000), 8);
   ASSERT_GE(tree.Height(), 2u) << "need an inner node to corrupt";
@@ -138,7 +158,7 @@ TEST(TreeValidatorTest, CatchesCorruptedInnerMbr) {
       << report.ToString();
 }
 
-TEST(TreeValidatorTest, CatchesOnDiskChecksumRot) {
+TEST_F(TreeValidatorTest, CatchesOnDiskChecksumRot) {
   Env env;
   RTree tree = BuildPacked(&env, UniformPointEntries(9, 300));
   PICTDB_CHECK_OK(env.pool.FlushAll());
@@ -156,7 +176,7 @@ TEST(TreeValidatorTest, CatchesOnDiskChecksumRot) {
       << report.ToString();
 }
 
-TEST(TreeValidatorTest, FlagsReachableQuarantinedPage) {
+TEST_F(TreeValidatorTest, FlagsReachableQuarantinedPage) {
   Env env;
   const RTree tree = BuildPacked(&env, UniformPointEntries(13, 200));
 
@@ -246,7 +266,7 @@ TEST(CompareNeighborsTest, ClassifiesAllThreeVerdicts) {
 
 Oracle OracleOf(const std::vector<Entry>& entries) { return Oracle(entries); }
 
-TEST(DiffRunnerTest, CleanTreeMatchesOracleExactly) {
+TEST_F(DiffRunnerTest, CleanTreeMatchesOracleExactly) {
   Env env;
   const auto entries = UniformPointEntries(21, 2000);
   const RTree tree = BuildPacked(&env, entries);
@@ -262,7 +282,7 @@ TEST(DiffRunnerTest, CleanTreeMatchesOracleExactly) {
   EXPECT_EQ(report->matches, report->queries) << report->Summary();
 }
 
-TEST(DiffRunnerTest, ServiceReplayMatchesOracle) {
+TEST_F(DiffRunnerTest, ServiceReplayMatchesOracle) {
   Env env;
   const auto entries = UniformPointEntries(23, 1500);
   const RTree tree = BuildPacked(&env, entries);
@@ -280,7 +300,7 @@ TEST(DiffRunnerTest, ServiceReplayMatchesOracle) {
   EXPECT_EQ(env.pool.pinned_frames(), 0u);
 }
 
-TEST(DiffRunnerTest, JoinQueriesMatchBruteForcePairCount) {
+TEST_F(DiffRunnerTest, JoinQueriesMatchBruteForcePairCount) {
   Env env;
   const auto left_entries = UniformPointEntries(31, 800);
   const auto right_entries = UniformPointEntries(37, 800);
@@ -300,7 +320,7 @@ TEST(DiffRunnerTest, JoinQueriesMatchBruteForcePairCount) {
   EXPECT_TRUE(report->clean()) << report->Summary();
 }
 
-TEST(DiffRunnerTest, PsqlWhereQueriesMatchRelationScan) {
+TEST_F(DiffRunnerTest, PsqlWhereQueriesMatchRelationScan) {
   storage::InMemoryDiskManager disk(1024);
   storage::BufferPool pool(&disk, 1 << 12);
   rel::Catalog catalog(&pool);
@@ -346,7 +366,7 @@ TEST(DiffRunnerTest, PsqlWhereQueriesMatchRelationScan) {
   EXPECT_TRUE(report->clean()) << report->Summary();
 }
 
-TEST(DiffRunnerTest, FaultyDiskYieldsNoWrongAnswers) {
+TEST_F(DiffRunnerTest, FaultyDiskYieldsNoWrongAnswers) {
   storage::InMemoryDiskManager mem(512);
   storage::FaultPlan quiet;  // build cleanly, then arm
   storage::FaultInjectionDiskManager faulty(&mem, quiet);
@@ -381,7 +401,7 @@ TEST(DiffRunnerTest, FaultyDiskYieldsNoWrongAnswers) {
   EXPECT_EQ(report->failures, 0u) << report->Summary();
 }
 
-TEST(DiffRunnerTest, CatchesPlantedWrongAnswers) {
+TEST_F(DiffRunnerTest, CatchesPlantedWrongAnswers) {
   Env env;
   const auto entries = UniformPointEntries(43, 2000);
   RTree tree = BuildPacked(&env, entries, 8);

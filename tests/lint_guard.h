@@ -1,0 +1,56 @@
+#ifndef PICTDB_TESTS_LINT_GUARD_H_
+#define PICTDB_TESTS_LINT_GUARD_H_
+
+// Grep-style source guard shared by the verification-subsystem tests:
+// asserts that src/check/ carries zero lint / thread-safety-analysis
+// suppression comments. The check subsystem is the code that vouches
+// for everything else, so it must pass every analysis unassisted — a
+// NOLINT sneaking in there weakens the whole verification story. Wired
+// into the TreeValidator and DiffRunner test teardowns (and the
+// standalone static_analysis_test) so any suite touching the checkers
+// re-verifies the bar.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace pictdb::testing_support {
+
+inline void AssertNoLintSuppressionsInCheckSubsystem() {
+  const std::filesystem::path check_dir =
+      std::filesystem::path(PICTDB_SOURCE_DIR) / "src" / "check";
+  ASSERT_TRUE(std::filesystem::is_directory(check_dir))
+      << "source tree not found at " << check_dir
+      << " (PICTDB_SOURCE_DIR misconfigured?)";
+  size_t files_scanned = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(check_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext != ".cc" && ext != ".h") continue;
+    ++files_scanned;
+    std::ifstream in(entry.path());
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      EXPECT_EQ(line.find("NOLINT"), std::string::npos)
+          << entry.path() << ":" << lineno
+          << ": lint suppression in src/check/";
+      EXPECT_EQ(line.find("NO_THREAD_SAFETY_ANALYSIS"), std::string::npos)
+          << entry.path() << ":" << lineno
+          << ": thread-safety-analysis suppression in src/check/";
+    }
+  }
+  // Guard the guard: if the glob ever matches nothing, the assertion
+  // above would pass vacuously.
+  ASSERT_GE(files_scanned, 6u)
+      << "expected the six src/check/ sources; layout changed?";
+}
+
+}  // namespace pictdb::testing_support
+
+#endif  // PICTDB_TESTS_LINT_GUARD_H_

@@ -1,0 +1,22 @@
+// Negative-compile probe: a bare call to a Status-returning function
+// with the result discarded. Because pictdb::Status is [[nodiscard]],
+// this translation unit MUST fail to compile with -Werror (GCC:
+// -Werror=unused-result; clang: -Werror=unused-result) — the
+// configure-time harness in cmake/NegativeCompileTests.cmake verifies
+// that it does, so a future accidental removal of the attribute breaks
+// the build instead of silently re-legalising swallowed errors.
+
+#include "common/status.h"
+
+namespace {
+
+pictdb::Status MightFail() {
+  return pictdb::Status::IOError("synthetic failure");
+}
+
+}  // namespace
+
+int main() {
+  MightFail();  // discarded Status: must be rejected by the compiler
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Negative-compile probe: reads and writes a GUARDED_BY field without
+// holding its mutex. Under clang with -Wthread-safety -Werror this MUST
+// fail to compile — the configure-time harness verifies that it does,
+// proving the annotation layer (common/thread_annotations.h +
+// common/mutex.h) is actually armed and not macro-expanding to nothing.
+//
+// On compilers without the analysis (GCC) the probe compiles clean and
+// the harness skips the expectation.
+
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {  // missing MutexLock: a seeded lock-discipline bug
+    ++value_;
+  }
+
+ private:
+  pictdb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

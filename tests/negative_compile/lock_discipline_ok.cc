@@ -1,0 +1,39 @@
+// Positive control for the negative-compile harness: the same shape of
+// code as guarded_by_violation.cc but with correct lock discipline (and
+// a consumed Status). This MUST compile under the exact flags the
+// negative probes are compiled with — otherwise a broken include path
+// or flag typo would make the negative probes "fail" for the wrong
+// reason and the harness would vacuously pass.
+
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    pictdb::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Get() const EXCLUDES(mu_) {
+    pictdb::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable pictdb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+pictdb::Status MightFail() { return pictdb::Status::OK(); }
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  const pictdb::Status st = MightFail();
+  return st.ok() && c.Get() == 1 ? 0 : 1;
+}

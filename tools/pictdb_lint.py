@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules the generic tools cannot express.
+
+Run from anywhere: paths are resolved relative to the repository root
+(the parent of this script's directory). Exit status 0 = clean,
+1 = findings (one per line: path:line: RULE: message).
+
+Rules
+-----
+PIN-GUARD       Every BufferPool::FetchPage / NewPage call must bind its
+                PageGuard (assignment, ASSIGN_OR_RETURN, or return) so
+                the pin has an owner with a scope; a bare call pins a
+                page with no one responsible for unpinning it.
+RAW-NEW         No raw `new` / `delete` expressions outside storage
+                internals (src/storage/). The leaky-singleton idiom
+                (`static ... = *new T{...}`) for function-local tables
+                is exempt.
+MUTEX-WRAPPER   No `std::mutex` / `std::shared_mutex` /
+                `std::condition_variable` / std lock RAII types outside
+                src/common/mutex.h. Everything locks through the
+                annotated pictdb::Mutex wrappers, otherwise clang's
+                thread safety analysis cannot see the capability.
+CRC-VERIFY      Structural check on src/storage/buffer_pool.cc: the
+                miss-read path must verify the page CRC trailer
+                (ReadPageWithRetry calls VerifyPageTrailer, and
+                FetchPage's miss path reads through ReadPageWithRetry).
+SEEDED-RANDOM   src/check/ may only use the project's seeded PRNG:
+                std::random_device, std::mt19937, rand(), srand() and
+                time-based seeds are forbidden (traces must replay
+                byte-identically).
+NO-SUPPRESS     src/check/ must not carry lint/analysis suppression
+                comments (NOLINT, NO_THREAD_SAFETY_ANALYSIS): the
+                verification subsystem is held to the strictest bar.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+CXX_SUFFIXES = {".cc", ".h", ".cpp"}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | '//' | '/*' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "//"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "/*"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                mode = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        else:
+            if c == "\n":
+                if mode == "//":
+                    mode = None
+                out.append("\n")
+            elif mode == "/*" and c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            elif mode in "\"'" and c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            elif mode in "\"'" and c == mode:
+                mode = None
+                out.append(c)
+            else:
+                out.append(" " if c != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+def iter_source_files(root: Path):
+    for path in sorted(root.rglob("*")):
+        if path.suffix in CXX_SUFFIXES and path.is_file():
+            yield path
+
+
+def relpath(path: Path) -> str:
+    return str(path.relative_to(REPO_ROOT))
+
+
+def check_pin_guard(path: Path, clean: str, findings: list):
+    """FetchPage/NewPage results must be bound to a guard in scope."""
+    if path.name == "buffer_pool.h":
+        return  # the declarations themselves
+    lines = clean.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        m = re.search(r"\b(FetchPage|NewPage)\s*\(", line)
+        if not m:
+            continue
+        # Declarations / definitions of the methods themselves.
+        if re.search(r"StatusOr<\s*PageGuard\s*>", line):
+            continue
+        # Join the statement the call belongs to: walk back while the
+        # preceding line does not end a statement/brace (wrapped
+        # ASSIGN_OR_RETURN calls put the binding on an earlier line).
+        start = lineno - 1
+        while start > 0 and not re.search(r"[;{}]\s*$", lines[start - 1]):
+            start -= 1
+        stmt = " ".join(lines[start:lineno])
+        bound = (
+            "=" in stmt.split(m.group(0))[0]
+            or "ASSIGN_OR_RETURN" in stmt
+            or stmt.strip().startswith("return ")
+            or re.search(r"\b(FetchPage|NewPage)\s*\([^)]*\)\s*\.", stmt)
+        )
+        if not bound:
+            findings.append(
+                (relpath(path), lineno, "PIN-GUARD",
+                 f"{m.group(1)}() result must be bound to a PageGuard "
+                 "(naked pin has no owner to unpin it)"))
+
+
+def check_raw_new(path: Path, clean: str, findings: list):
+    rel = relpath(path)
+    if rel.startswith("src/storage/"):
+        return  # storage internals own raw placement of page frames
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        if re.search(r"=\s*delete\b", line):
+            continue  # deleted special member
+        if re.search(r"static\b.*\*\s*new\b", line):
+            continue  # leaky-singleton table, intentional
+        if re.search(r"\bnew\b\s+[A-Za-z_:<]", line):
+            findings.append((rel, lineno, "RAW-NEW",
+                             "raw new outside src/storage/ — use "
+                             "std::make_unique / containers"))
+        if re.search(r"\bdelete\b\s+[A-Za-z_*]|\bdelete\[\]", line):
+            findings.append((rel, lineno, "RAW-NEW",
+                             "raw delete outside src/storage/"))
+
+
+MUTEX_FORBIDDEN = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable|condition_variable_any|lock_guard|scoped_lock|"
+    r"unique_lock|shared_lock)\b")
+
+
+def check_mutex_wrapper(path: Path, clean: str, findings: list):
+    rel = relpath(path)
+    if rel == "src/common/mutex.h":
+        return  # the one place allowed to touch the std types
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        m = MUTEX_FORBIDDEN.search(line)
+        if m:
+            findings.append(
+                (rel, lineno, "MUTEX-WRAPPER",
+                 f"{m.group(0)} outside common/mutex.h — use "
+                 "pictdb::Mutex / MutexLock / CondVar so the thread "
+                 "safety analysis sees the lock"))
+
+
+def check_crc_verify(findings: list):
+    path = SRC / "storage" / "buffer_pool.cc"
+    text = path.read_text(encoding="utf-8")
+    if "VerifyPageTrailer" not in text:
+        findings.append(
+            (relpath(path), 1, "CRC-VERIFY",
+             "ReadPageWithRetry no longer verifies the page CRC trailer"))
+        return
+    # The miss path must read through the retry+verify helper, never the
+    # raw disk manager.
+    fetch = text.split("BufferPool::FetchPage", 1)
+    if len(fetch) < 2 or "ReadPageWithRetry" not in fetch[1].split("\n}\n")[0]:
+        findings.append(
+            (relpath(path), 1, "CRC-VERIFY",
+             "FetchPage miss path does not read via ReadPageWithRetry"))
+
+
+def check_seeded_random(path: Path, clean: str, findings: list):
+    rel = relpath(path)
+    if not rel.startswith("src/check/"):
+        return
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        for pat, what in (
+            (r"std::random_device", "std::random_device"),
+            (r"std::mt19937", "std::mt19937"),
+            (r"\bsrand\s*\(", "srand()"),
+            (r"(?<![\w:])rand\s*\(\s*\)", "rand()"),
+            (r"::now\s*\(\)\s*\.time_since_epoch.*seed", "time-based seed"),
+        ):
+            if re.search(pat, line):
+                findings.append(
+                    (rel, lineno, "SEEDED-RANDOM",
+                     f"{what} in src/check/ — use the seeded "
+                     "pictdb::Random so traces replay deterministically"))
+
+
+def check_no_suppress(path: Path, raw_text: str, findings: list):
+    """Runs on the RAW text: suppressions live in comments."""
+    rel = relpath(path)
+    if not rel.startswith("src/check/"):
+        return
+    for lineno, line in enumerate(raw_text.splitlines(), 1):
+        if "NOLINT" in line or "NO_THREAD_SAFETY_ANALYSIS" in line:
+            findings.append(
+                (rel, lineno, "NO-SUPPRESS",
+                 "analysis suppression in src/check/ — the verification "
+                 "subsystem must pass the analyses unassisted"))
+
+
+def run_lint() -> list:
+    findings = []
+    for path in iter_source_files(SRC):
+        raw = path.read_text(encoding="utf-8")
+        clean = strip_comments_and_strings(raw)
+        check_pin_guard(path, clean, findings)
+        check_raw_new(path, clean, findings)
+        check_mutex_wrapper(path, clean, findings)
+        check_seeded_random(path, clean, findings)
+        check_no_suppress(path, raw, findings)
+    check_crc_verify(findings)
+    return findings
+
+
+def main() -> int:
+    findings = run_lint()
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: {rule}: {msg}")
+    if findings:
+        print(f"pictdb_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("pictdb_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# One-command clang-tidy over the whole tree, driven by the build's
+# compile_commands.json (exported by default; see CMakeLists.txt).
+#
+#   tools/run_clang_tidy.sh [build-dir]   # default build dir: ./build
+#
+# Exit codes: 0 clean, 1 findings, 2 environment not usable (no
+# clang-tidy or no compile database) — CI treats 2 as a hard failure,
+# local runs get a clear message.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+tidy=""
+for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+            clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "${cand}" >/dev/null 2>&1; then
+    tidy="${cand}"
+    break
+  fi
+done
+if [[ -z "${tidy}" ]]; then
+  echo "run_clang_tidy: no clang-tidy binary found on PATH" >&2
+  echo "  (install clang-tidy; the CI static-analysis job does)" >&2
+  exit 2
+fi
+
+db="${build_dir}/compile_commands.json"
+if [[ ! -f "${db}" ]]; then
+  echo "run_clang_tidy: ${db} not found" >&2
+  echo "  configure first: cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 2
+fi
+
+# First-party translation units only: generated/third-party code (none
+# today) and test mains would drown the signal.
+mapfile -t files < <(cd "${repo_root}" \
+  && find src bench examples -name '*.cc' -o -name '*.cpp' | sort)
+
+echo "run_clang_tidy: ${tidy} over ${#files[@]} files (db: ${db})"
+status=0
+printf '%s\n' "${files[@]}" | xargs -P "$(nproc)" -n 8 \
+  "${tidy}" -p "${build_dir}" --quiet || status=1
+
+if [[ "${status}" -ne 0 ]]; then
+  echo "run_clang_tidy: findings above must be fixed (or the profile" >&2
+  echo "  adjusted with justification in .clang-tidy)" >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean"
