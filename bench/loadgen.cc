@@ -1,0 +1,809 @@
+// loadgen: SLO-reporting load generator for pictdb_server.
+//
+// Drives a mixed window / point / kNN / join / PSQL workload over the
+// binary protocol in closed-loop (each client thread sends the next
+// request when the previous answers) or open-loop mode (requests are
+// scheduled at a fixed aggregate rate and latency is measured from the
+// *scheduled* send time, so queueing delay is not hidden — no
+// coordinated omission). Reports per-variant and total p50/p95/p99/max
+// plus goodput, and checks them against optional SLO thresholds.
+//
+// Differential verification: the dataset served by pictdb_server is
+// fully determined by (seed, objects, overlay), so loadgen regenerates
+// it locally, answers every prepared query through check::Oracle (and a
+// local PSQL executor over the same US catalog), and compares every
+// wire response. Exact answers must match byte-for-byte on rids /
+// distances / pair counts / rendered rows; responses flagged degraded
+// must be subsets. Anything else is a wrong answer and fails the run.
+//
+//   loadgen --endpoint=unix:/tmp/pictdb.sock --objects=100000
+//       --duration=10 --clients=8
+//
+// Exit codes: 0 ok, 1 wrong answers, 2 SLO breach, 3 setup failure.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/oracle.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "pack/pack.h"
+#include "psql/executor.h"
+#include "rel/catalog.h"
+#include "service/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+#include "workload/generators.h"
+#include "workload/us_catalog.h"
+
+namespace {
+
+using namespace pictdb;  // NOLINT(build/namespaces) — bench binary
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kVariants = service::kQueryVariants;  // window point knn join psql
+
+struct Endpoint {
+  bool is_unix = true;
+  std::string path_or_host;
+  int port = 0;
+};
+
+struct Flags {
+  std::vector<Endpoint> endpoints;
+  size_t objects = 100000;
+  size_t overlay = 1000;
+  uint64_t seed = 4242;
+  double duration_s = 10.0;
+  size_t clients = 8;
+  bool open_loop = false;
+  double rate = 1000.0;  // aggregate target qps in open-loop mode
+  size_t query_pool = 256;
+  uint32_t knn_k = 10;
+  uint64_t timeout_us = 0;
+  bool degraded_ok = false;
+  bool verify = true;
+  std::array<uint64_t, kVariants> mix = {40, 15, 20, 5, 20};
+  // SLO thresholds over the TOTAL latency distribution (0 = unchecked).
+  uint64_t slo_p50_us = 0;
+  uint64_t slo_p95_us = 0;
+  uint64_t slo_p99_us = 0;
+  double slo_goodput = 0.0;
+  // Optional mid-run fault episode (server must run --allow-admin).
+  double fault_start_s = -1.0;
+  double fault_duration_s = 2.0;
+  double fault_rate = 0.0;
+};
+
+bool ParseEndpoint(const std::string& spec, Endpoint* out) {
+  if (spec.rfind("unix:", 0) == 0) {
+    out->is_unix = true;
+    out->path_or_host = spec.substr(5);
+    return !out->path_or_host.empty();
+  }
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+  out->is_unix = false;
+  out->path_or_host = spec.substr(0, colon);
+  out->port = std::atoi(spec.c_str() + colon + 1);
+  return out->port > 0;
+}
+
+bool ParseMix(const std::string& spec, std::array<uint64_t, kVariants>* mix) {
+  mix->fill(0);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    const size_t colon = part.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string name = part.substr(0, colon);
+    const uint64_t weight = std::strtoull(part.c_str() + colon + 1, nullptr, 10);
+    size_t variant = kVariants;
+    for (size_t v = 0; v < kVariants; ++v) {
+      if (name == service::kQueryVariantNames[v]) variant = v;
+    }
+    if (variant == kVariants) return false;
+    (*mix)[variant] = weight;
+    pos = comma + 1;
+  }
+  uint64_t total = 0;
+  for (uint64_t w : *mix) total += w;
+  return total > 0;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--open-loop") {
+      flags->open_loop = true;
+    } else if (arg == "--degraded-ok") {
+      flags->degraded_ok = true;
+    } else if (arg == "--no-verify") {
+      flags->verify = false;
+    } else if (ParseFlag(arg, "endpoint", &value)) {
+      size_t pos = 0;
+      while (pos < value.size()) {
+        size_t comma = value.find(',', pos);
+        if (comma == std::string::npos) comma = value.size();
+        Endpoint ep;
+        if (!ParseEndpoint(value.substr(pos, comma - pos), &ep)) {
+          std::fprintf(stderr, "bad endpoint: %s\n", value.c_str());
+          return false;
+        }
+        flags->endpoints.push_back(ep);
+        pos = comma + 1;
+      }
+    } else if (ParseFlag(arg, "objects", &value)) {
+      flags->objects = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "overlay", &value)) {
+      flags->overlay = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "seed", &value)) {
+      flags->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "duration", &value)) {
+      flags->duration_s = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "clients", &value)) {
+      flags->clients = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "rate", &value)) {
+      flags->rate = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "query-pool", &value)) {
+      flags->query_pool = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "knn-k", &value)) {
+      flags->knn_k = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (ParseFlag(arg, "timeout-us", &value)) {
+      flags->timeout_us = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "mix", &value)) {
+      if (!ParseMix(value, &flags->mix)) {
+        std::fprintf(stderr, "bad mix: %s\n", value.c_str());
+        return false;
+      }
+    } else if (ParseFlag(arg, "slo-p50-us", &value)) {
+      flags->slo_p50_us = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "slo-p95-us", &value)) {
+      flags->slo_p95_us = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "slo-p99-us", &value)) {
+      flags->slo_p99_us = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "slo-goodput", &value)) {
+      flags->slo_goodput = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "fault-start", &value)) {
+      flags->fault_start_s = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "fault-duration", &value)) {
+      flags->fault_duration_s = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "fault-rate", &value)) {
+      flags->fault_rate = std::atof(value.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (flags->endpoints.empty()) {
+    std::fprintf(stderr,
+                 "usage: loadgen --endpoint=unix:PATH|HOST:PORT[,...]\n"
+                 "  [--objects=N] [--overlay=N] [--seed=S] [--duration=SEC]\n"
+                 "  [--clients=N] [--open-loop --rate=QPS] [--query-pool=N]\n"
+                 "  [--knn-k=K] [--timeout-us=N] [--degraded-ok]\n"
+                 "  [--mix=window:40,point:15,knn:20,join:5,psql:20]\n"
+                 "  [--slo-p50-us=N] [--slo-p95-us=N] [--slo-p99-us=N]\n"
+                 "  [--slo-goodput=F] [--no-verify]\n"
+                 "  [--fault-start=SEC] [--fault-duration=SEC]"
+                 " [--fault-rate=R]\n");
+    return false;
+  }
+  return true;
+}
+
+/// One request from the pool plus its oracle-computed answer.
+struct Prepared {
+  net::Request request;
+  size_t variant = 0;
+  std::vector<net::WireRid> rids;  // window / point (sorted)
+  std::vector<double> dists;       // knn (ascending)
+  uint64_t pairs = 0;              // join
+  std::vector<std::vector<std::string>> rows;  // psql (rendered)
+};
+
+net::WireRid ToWire(const storage::Rid& rid) {
+  return net::WireRid{rid.page_id, rid.slot};
+}
+
+std::vector<net::WireRid> SortedRids(const std::vector<rtree::LeafHit>& hits) {
+  std::vector<net::WireRid> rids;
+  rids.reserve(hits.size());
+  for (const auto& hit : hits) rids.push_back(ToWire(hit.rid));
+  std::sort(rids.begin(), rids.end(), [](net::WireRid a, net::WireRid b) {
+    return a.page_id != b.page_id ? a.page_id < b.page_id : a.slot < b.slot;
+  });
+  return rids;
+}
+
+/// Rebuild the server's dataset (same seeds, same generators) and
+/// precompute every query's expected answer by linear scan.
+struct QueryPool {
+  std::array<std::vector<Prepared>, kVariants> by_variant;
+
+  const Prepared* Pick(size_t variant, Random* rng) const {
+    const auto& pool = by_variant[variant];
+    if (pool.empty()) return nullptr;
+    return &pool[rng->Uniform(pool.size())];
+  }
+};
+
+bool BuildQueryPool(const Flags& flags, QueryPool* out) {
+  Random rng(flags.seed);
+  const std::vector<geom::Point> points =
+      workload::UniformPoints(&rng, flags.objects, workload::PaperFrame());
+  std::vector<storage::Rid> rids(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    rids[i] = storage::Rid{static_cast<storage::PageId>(i + 1), 0};
+  }
+  const check::Oracle base(pack::MakeLeafEntries(points, rids));
+
+  Random overlay_rng(flags.seed + 1);
+  const std::vector<geom::Point> centers = workload::UniformPoints(
+      &overlay_rng, flags.overlay, workload::PaperFrame());
+  std::vector<geom::Rect> rects;
+  rects.reserve(centers.size());
+  std::vector<storage::Rid> overlay_rids(centers.size());
+  for (size_t i = 0; i < centers.size(); ++i) {
+    rects.push_back(
+        geom::Rect::FromCenterHalfExtent(centers[i].x, 4.0, centers[i].y, 4.0));
+    overlay_rids[i] = storage::Rid{static_cast<storage::PageId>(i + 1), 1};
+  }
+  const check::Oracle overlay(pack::MakeLeafEntries(rects, overlay_rids));
+
+  Random qrng(flags.seed * 7919 + 17);
+  const geom::Rect frame = workload::PaperFrame();
+  const net::WireOptions wire_options{flags.timeout_us, flags.degraded_ok};
+
+  // Window queries: centers uniform, half extents in [2, 25] so
+  // selectivity spans roughly 1e-5 .. 2e-3 of the frame.
+  for (size_t i = 0; i < flags.query_pool; ++i) {
+    const double cx = qrng.UniformDouble(frame.lo.x, frame.hi.x);
+    const double cy = qrng.UniformDouble(frame.lo.y, frame.hi.y);
+    const double hx = qrng.UniformDouble(2.0, 25.0);
+    const double hy = qrng.UniformDouble(2.0, 25.0);
+    Prepared p;
+    const geom::Rect window = geom::Rect::FromCenterHalfExtent(cx, hx, cy, hy);
+    p.request.body = net::WindowRequest{window, false};
+    p.request.options = wire_options;
+    p.variant = 0;
+    if (flags.verify) p.rids = SortedRids(base.Intersects(window));
+    out->by_variant[0].push_back(std::move(p));
+  }
+
+  // Point queries: half dataset points (hits), half random (misses).
+  for (size_t i = 0; i < flags.query_pool; ++i) {
+    geom::Point q;
+    if (i % 2 == 0 && !points.empty()) {
+      q = points[qrng.Uniform(points.size())];
+    } else {
+      q = geom::Point{qrng.UniformDouble(frame.lo.x, frame.hi.x),
+                      qrng.UniformDouble(frame.lo.y, frame.hi.y)};
+    }
+    Prepared p;
+    p.request.body = net::PointRequest{q};
+    p.request.options = wire_options;
+    p.variant = 1;
+    if (flags.verify) p.rids = SortedRids(base.AtPoint(q));
+    out->by_variant[1].push_back(std::move(p));
+  }
+
+  // kNN queries.
+  for (size_t i = 0; i < flags.query_pool; ++i) {
+    const geom::Point q{qrng.UniformDouble(frame.lo.x, frame.hi.x),
+                        qrng.UniformDouble(frame.lo.y, frame.hi.y)};
+    Prepared p;
+    p.request.body = net::KnnRequest{q, flags.knn_k};
+    p.request.options = wire_options;
+    p.variant = 2;
+    if (flags.verify) {
+      for (const auto& n : base.Nearest(q, flags.knn_k)) {
+        p.dists.push_back(n.distance);
+      }
+    }
+    out->by_variant[2].push_back(std::move(p));
+  }
+
+  // Join: one canonical request (the server hosts exactly one overlay).
+  {
+    Prepared p;
+    p.request.body = net::JoinRequest{0};
+    p.request.options = wire_options;
+    p.variant = 3;
+    if (flags.verify) p.pairs = base.CountJoinPairs(overlay);
+    out->by_variant[3].push_back(std::move(p));
+  }
+
+  // PSQL: population-threshold templates over the shared US catalog,
+  // answered locally through the same executor and rendered the same
+  // way the server renders TableResponse rows.
+  storage::InMemoryDiskManager catalog_disk(512);
+  storage::BufferPool catalog_pool(&catalog_disk, 512, 2);
+  rel::Catalog catalog(&catalog_pool);
+  const Status built = workload::BuildUsCatalog(&catalog);
+  if (!built.ok()) {
+    std::fprintf(stderr, "local catalog build failed: %s\n",
+                 built.ToString().c_str());
+    return false;
+  }
+  const psql::Executor executor(&catalog);
+  std::vector<std::string> psql_texts = {
+      "select count(*) from cities",
+      "select min(population), max(population) from cities",
+  };
+  for (size_t i = 0; i < std::min<size_t>(flags.query_pool, 24); ++i) {
+    psql_texts.push_back("select city, population from cities "
+                         "where population > " +
+                         std::to_string(50000 + 40000 * i));
+  }
+  for (const std::string& text : psql_texts) {
+    Prepared p;
+    p.request.body = net::PsqlRequest{text};
+    p.request.options = wire_options;
+    p.variant = 4;
+    if (flags.verify) {
+      auto rs = executor.Query(text);
+      if (!rs.ok()) {
+        std::fprintf(stderr, "local psql failed (%s): %s\n", text.c_str(),
+                     rs.status().ToString().c_str());
+        return false;
+      }
+      for (const auto& row : rs.value().rows) {
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (const rel::Value& value : row) cells.push_back(value.ToString());
+        p.rows.push_back(std::move(cells));
+      }
+    }
+    out->by_variant[4].push_back(std::move(p));
+  }
+  return true;
+}
+
+enum class Verdict { kExact, kDegradedSubset, kWrong };
+
+bool IsSubset(const std::vector<net::WireRid>& got_sorted,
+              const std::vector<net::WireRid>& want_sorted) {
+  return std::includes(
+      want_sorted.begin(), want_sorted.end(), got_sorted.begin(),
+      got_sorted.end(), [](net::WireRid a, net::WireRid b) {
+        return a.page_id != b.page_id ? a.page_id < b.page_id
+                                      : a.slot < b.slot;
+      });
+}
+
+Verdict CheckResponse(const Prepared& prepared, const net::Client::Result& r,
+                      std::string* why) {
+  const bool degraded = r.degraded();
+  switch (prepared.variant) {
+    case 0:
+    case 1: {
+      const auto* hits = std::get_if<net::HitsResponse>(&r.response.body);
+      if (hits == nullptr) {
+        *why = "wrong response body for window/point";
+        return Verdict::kWrong;
+      }
+      std::vector<net::WireRid> got;
+      got.reserve(hits->hits.size());
+      for (const auto& hit : hits->hits) got.push_back(hit.rid);
+      std::sort(got.begin(), got.end(), [](net::WireRid a, net::WireRid b) {
+        return a.page_id != b.page_id ? a.page_id < b.page_id
+                                      : a.slot < b.slot;
+      });
+      if (got == prepared.rids) return Verdict::kExact;
+      if (degraded && IsSubset(got, prepared.rids)) {
+        return Verdict::kDegradedSubset;
+      }
+      *why = "hits mismatch: got " + std::to_string(got.size()) + " want " +
+             std::to_string(prepared.rids.size()) +
+             (degraded ? " (degraded, not a subset)" : "");
+      return Verdict::kWrong;
+    }
+    case 2: {
+      const auto* nn = std::get_if<net::NeighborsResponse>(&r.response.body);
+      if (nn == nullptr) {
+        *why = "wrong response body for knn";
+        return Verdict::kWrong;
+      }
+      if (degraded) {
+        // A partial scan may miss true neighbours; distances are still
+        // real object distances, so only the count bound is checkable.
+        return nn->neighbors.size() <= prepared.dists.size()
+                   ? Verdict::kDegradedSubset
+                   : Verdict::kWrong;
+      }
+      if (nn->neighbors.size() != prepared.dists.size()) {
+        *why = "knn count mismatch: got " +
+               std::to_string(nn->neighbors.size()) + " want " +
+               std::to_string(prepared.dists.size());
+        return Verdict::kWrong;
+      }
+      for (size_t i = 0; i < prepared.dists.size(); ++i) {
+        const double got = nn->neighbors[i].distance;
+        const double want = prepared.dists[i];
+        if (std::abs(got - want) > 1e-9 * std::max(1.0, want)) {
+          *why = "knn distance mismatch at rank " + std::to_string(i);
+          return Verdict::kWrong;
+        }
+      }
+      return Verdict::kExact;
+    }
+    case 3: {
+      const auto* join = std::get_if<net::JoinResponse>(&r.response.body);
+      if (join == nullptr) {
+        *why = "wrong response body for join";
+        return Verdict::kWrong;
+      }
+      if (join->pairs == prepared.pairs) return Verdict::kExact;
+      if (degraded && join->pairs <= prepared.pairs) {
+        return Verdict::kDegradedSubset;
+      }
+      *why = "join pairs mismatch: got " + std::to_string(join->pairs) +
+             " want " + std::to_string(prepared.pairs);
+      return Verdict::kWrong;
+    }
+    case 4: {
+      const auto* table = std::get_if<net::TableResponse>(&r.response.body);
+      if (table == nullptr) {
+        *why = "wrong response body for psql";
+        return Verdict::kWrong;
+      }
+      // The catalog is in memory on the server, so PSQL answers never
+      // degrade; exact row match is required.
+      if (table->rows == prepared.rows) return Verdict::kExact;
+      *why = "psql rows mismatch: got " + std::to_string(table->rows.size()) +
+             " rows, want " + std::to_string(prepared.rows.size());
+      return Verdict::kWrong;
+    }
+    default:
+      *why = "unknown variant";
+      return Verdict::kWrong;
+  }
+}
+
+struct Counters {
+  std::atomic<uint64_t> attempted{0};
+  std::atomic<uint64_t> exact{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> cached{0};
+  std::atomic<uint64_t> wrong{0};
+  std::atomic<uint64_t> rejected{0};  // quota/backpressure (ResourceExhausted)
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> errors{0};  // structured errors (e.g. fault episode)
+  std::atomic<uint64_t> transport{0};  // connection drops + reconnects
+};
+
+struct Shared {
+  const Flags* flags = nullptr;
+  const QueryPool* pool = nullptr;
+  Clock::time_point start;
+  Clock::time_point deadline;
+  Counters counters;
+  std::array<service::LatencyHistogram, kVariants> variant_hist;
+  service::LatencyHistogram cached_hist;
+  service::LatencyHistogram uncached_hist;
+  std::atomic<uint64_t> open_loop_slot{0};
+  std::mutex wrong_mu;
+  std::vector<std::string> wrong_examples;
+
+  void RecordWrong(const std::string& why) {
+    counters.wrong.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(wrong_mu);
+    if (wrong_examples.size() < 8) wrong_examples.push_back(why);
+  }
+};
+
+StatusOr<net::Client> Connect(const Endpoint& ep) {
+  if (ep.is_unix) return net::Client::ConnectUnix(ep.path_or_host);
+  return net::Client::ConnectTcp(ep.path_or_host, ep.port);
+}
+
+size_t PickVariant(const std::array<uint64_t, kVariants>& mix, Random* rng) {
+  uint64_t total = 0;
+  for (uint64_t w : mix) total += w;
+  uint64_t roll = rng->Uniform(total);
+  for (size_t v = 0; v < kVariants; ++v) {
+    if (roll < mix[v]) return v;
+    roll -= mix[v];
+  }
+  return 0;
+}
+
+void Worker(Shared* shared, size_t thread_index) {
+  const Flags& flags = *shared->flags;
+  const Endpoint& endpoint =
+      flags.endpoints[thread_index % flags.endpoints.size()];
+  Random rng(flags.seed * 104729 + thread_index * 31 + 7);
+
+  std::optional<net::Client> client;
+  auto ensure_connected = [&]() -> bool {
+    if (client.has_value()) return true;
+    auto connected = Connect(endpoint);
+    if (!connected.ok()) return false;
+    client.emplace(std::move(connected).value());
+    (void)client->SetRecvTimeout(std::chrono::milliseconds(10000));
+    return true;
+  };
+
+  while (Clock::now() < shared->deadline) {
+    if (!ensure_connected()) {
+      shared->counters.transport.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    const size_t variant = PickVariant(flags.mix, &rng);
+    const Prepared* prepared = shared->pool->Pick(variant, &rng);
+    if (prepared == nullptr) continue;
+
+    // Open loop: latency clock starts at the slot's scheduled time, so
+    // server queueing under overload is charged to the server.
+    Clock::time_point latency_from = Clock::now();
+    if (flags.open_loop) {
+      const uint64_t slot =
+          shared->open_loop_slot.fetch_add(1, std::memory_order_relaxed);
+      const auto scheduled =
+          shared->start + std::chrono::microseconds(static_cast<uint64_t>(
+                              1e6 * static_cast<double>(slot) / flags.rate));
+      if (scheduled > shared->deadline) return;
+      std::this_thread::sleep_until(scheduled);
+      latency_from = scheduled;
+    }
+
+    shared->counters.attempted.fetch_add(1, std::memory_order_relaxed);
+    auto result = client->Call(prepared->request);
+    const uint64_t latency_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              latency_from)
+            .count());
+
+    if (!result.ok()) {
+      const Status& status = result.status();
+      if (status.IsResourceExhausted()) {
+        shared->counters.rejected.fetch_add(1, std::memory_order_relaxed);
+      } else if (status.IsDeadlineExceeded()) {
+        shared->counters.deadline.fetch_add(1, std::memory_order_relaxed);
+        client.reset();  // response may still arrive; desynced, reconnect
+      } else if (status.IsIOError() || status.IsInternal()) {
+        shared->counters.transport.fetch_add(1, std::memory_order_relaxed);
+        client.reset();
+      } else {
+        // Structured server-side error (fault episode exhausting
+        // retries, quarantined subtree, ...): an allowed outcome —
+        // the server said "no answer", it did not answer wrongly.
+        shared->counters.errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+
+    shared->variant_hist[variant].Record(latency_us);
+    if (result.value().cached()) {
+      shared->counters.cached.fetch_add(1, std::memory_order_relaxed);
+      shared->cached_hist.Record(latency_us);
+    } else {
+      shared->uncached_hist.Record(latency_us);
+    }
+
+    if (!flags.verify) {
+      shared->counters.exact.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::string why;
+    switch (CheckResponse(*prepared, result.value(), &why)) {
+      case Verdict::kExact:
+        shared->counters.exact.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Verdict::kDegradedSubset:
+        shared->counters.degraded.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Verdict::kWrong:
+        shared->RecordWrong(std::string(service::kQueryVariantNames[variant]) +
+                            ": " + why);
+        break;
+    }
+  }
+}
+
+/// Arms the fault episode on every endpoint at --fault-start, clears it
+/// --fault-duration later. Requires the server to run --allow-admin.
+void FaultEpisode(const Flags& flags, Clock::time_point start) {
+  std::this_thread::sleep_until(
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(flags.fault_start_s)));
+  std::printf("# fault episode: rate=%.3g for %.1fs\n", flags.fault_rate,
+              flags.fault_duration_s);
+  std::fflush(stdout);
+  for (const Endpoint& ep : flags.endpoints) {
+    auto admin = Connect(ep);
+    if (!admin.ok()) continue;
+    const Status armed = admin.value().SetFaults(flags.fault_rate,
+                                                 flags.fault_rate / 10.0);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "SetFaults failed (server without --allow-admin?):"
+                           " %s\n",
+                   armed.ToString().c_str());
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(flags.fault_duration_s)));
+  for (const Endpoint& ep : flags.endpoints) {
+    auto admin = Connect(ep);
+    if (admin.ok()) (void)admin.value().SetFaults(0.0, 0.0);
+  }
+  std::printf("# fault episode cleared\n");
+  std::fflush(stdout);
+}
+
+void PrintHistogramRow(const char* name,
+                       const service::HistogramSnapshot& snapshot) {
+  std::printf("  %-8s n=%-8llu p50=%-8llu p95=%-8llu p99=%-8llu max=%llu\n",
+              name, static_cast<unsigned long long>(snapshot.count()),
+              static_cast<unsigned long long>(snapshot.ValueAtQuantile(0.50)),
+              static_cast<unsigned long long>(snapshot.ValueAtQuantile(0.95)),
+              static_cast<unsigned long long>(snapshot.ValueAtQuantile(0.99)),
+              static_cast<unsigned long long>(snapshot.max));
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 3;
+
+  QueryPool pool;
+  if (!BuildQueryPool(flags, &pool)) return 3;
+
+  // Fail fast if no endpoint answers a ping before spawning the fleet.
+  {
+    auto probe = Connect(flags.endpoints[0]);
+    if (!probe.ok() || !probe.value().Ping().ok()) {
+      std::fprintf(stderr, "endpoint probe failed: %s\n",
+                   probe.ok() ? "ping refused"
+                              : probe.status().ToString().c_str());
+      return 3;
+    }
+  }
+
+  Shared shared;
+  shared.flags = &flags;
+  shared.pool = &pool;
+  shared.start = Clock::now();
+  shared.deadline =
+      shared.start + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(flags.duration_s));
+
+  std::vector<std::thread> workers;
+  workers.reserve(flags.clients);
+  for (size_t t = 0; t < flags.clients; ++t) {
+    workers.emplace_back(Worker, &shared, t);
+  }
+  std::optional<std::thread> fault_thread;
+  if (flags.fault_rate > 0.0 && flags.fault_start_s >= 0.0) {
+    fault_thread.emplace(FaultEpisode, flags, shared.start);
+  }
+  for (auto& w : workers) w.join();
+  if (fault_thread.has_value()) fault_thread->join();
+
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - shared.start).count();
+  const Counters& c = shared.counters;
+  const uint64_t attempted = c.attempted.load();
+  const uint64_t good = c.exact.load() + c.degraded.load();
+  const double goodput =
+      attempted == 0 ? 0.0
+                     : static_cast<double>(good) / static_cast<double>(attempted);
+
+  std::printf("== loadgen report ==\n");
+  std::printf(
+      "mode=%s clients=%zu endpoints=%zu elapsed=%.1fs throughput=%.0f qps\n",
+      flags.open_loop ? "open" : "closed", flags.clients,
+      flags.endpoints.size(), elapsed_s,
+      static_cast<double>(attempted) / elapsed_s);
+  std::printf("attempted=%llu exact=%llu degraded=%llu cached=%llu "
+              "rejected=%llu deadline=%llu errors=%llu transport=%llu "
+              "wrong=%llu\n",
+              static_cast<unsigned long long>(attempted),
+              static_cast<unsigned long long>(c.exact.load()),
+              static_cast<unsigned long long>(c.degraded.load()),
+              static_cast<unsigned long long>(c.cached.load()),
+              static_cast<unsigned long long>(c.rejected.load()),
+              static_cast<unsigned long long>(c.deadline.load()),
+              static_cast<unsigned long long>(c.errors.load()),
+              static_cast<unsigned long long>(c.transport.load()),
+              static_cast<unsigned long long>(c.wrong.load()));
+  std::printf("goodput=%.4f (correct answers / attempted)\n", goodput);
+
+  std::printf("latency (us, client-side%s):\n",
+              flags.open_loop ? ", from scheduled send time" : "");
+  service::HistogramSnapshot total;
+  for (size_t v = 0; v < kVariants; ++v) {
+    const service::HistogramSnapshot snapshot =
+        shared.variant_hist[v].Snapshot();
+    total.Merge(snapshot);
+    PrintHistogramRow(service::kQueryVariantNames[v], snapshot);
+  }
+  PrintHistogramRow("TOTAL", total);
+  const service::HistogramSnapshot cached_snapshot =
+      shared.cached_hist.Snapshot();
+  const service::HistogramSnapshot uncached_snapshot =
+      shared.uncached_hist.Snapshot();
+  if (cached_snapshot.count() > 0) {
+    std::printf("result-cache split:\n");
+    PrintHistogramRow("hit", cached_snapshot);
+    PrintHistogramRow("miss", uncached_snapshot);
+  }
+
+  // Server-side view (first endpoint): service metrics + cache counters.
+  {
+    auto stats_client = Connect(flags.endpoints[0]);
+    if (stats_client.ok()) {
+      auto stats = stats_client.value().ServerStats();
+      if (stats.ok()) {
+        const net::StatsResponse& s = stats.value();
+        std::printf("server[0]: submitted=%llu completed=%llu failed=%llu "
+                    "degraded=%llu cache_hits=%llu cache_evictions=%llu "
+                    "quota_rej=%llu backpressure_rej=%llu\n",
+                    static_cast<unsigned long long>(s.submitted),
+                    static_cast<unsigned long long>(s.completed),
+                    static_cast<unsigned long long>(s.failed),
+                    static_cast<unsigned long long>(s.degraded),
+                    static_cast<unsigned long long>(s.cache_hits),
+                    static_cast<unsigned long long>(s.cache_evictions),
+                    static_cast<unsigned long long>(s.quota_rejections),
+                    static_cast<unsigned long long>(s.backpressure_rejections));
+      }
+    }
+  }
+
+  for (const std::string& example : shared.wrong_examples) {
+    std::printf("WRONG: %s\n", example.c_str());
+  }
+
+  bool slo_ok = true;
+  auto check_slo = [&](const char* name, uint64_t got, uint64_t limit) {
+    if (limit == 0) return;
+    const bool ok = got <= limit;
+    slo_ok = slo_ok && ok;
+    std::printf("SLO %-12s %8llu <= %8llu  %s\n", name,
+                static_cast<unsigned long long>(got),
+                static_cast<unsigned long long>(limit), ok ? "OK" : "BREACH");
+  };
+  check_slo("p50_us", total.ValueAtQuantile(0.50), flags.slo_p50_us);
+  check_slo("p95_us", total.ValueAtQuantile(0.95), flags.slo_p95_us);
+  check_slo("p99_us", total.ValueAtQuantile(0.99), flags.slo_p99_us);
+  if (flags.slo_goodput > 0.0) {
+    const bool ok = goodput >= flags.slo_goodput;
+    slo_ok = slo_ok && ok;
+    std::printf("SLO goodput      %8.4f >= %8.4f  %s\n", goodput,
+                flags.slo_goodput, ok ? "OK" : "BREACH");
+  }
+
+  if (c.wrong.load() > 0) return 1;
+  if (!slo_ok) return 2;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

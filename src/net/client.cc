@@ -1,0 +1,232 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+namespace pictdb::net {
+
+StatusOr<Client> Client::ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long");
+  }
+  memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket(AF_UNIX) failed");
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message =
+        "connect(" + path + ") failed: " + strerror(errno);
+    close(fd);
+    return Status::IOError(message);
+  }
+  return Client(fd);
+}
+
+StatusOr<Client> Client::ConnectTcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket(AF_INET) failed");
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message = "connect(" + host + ":" +
+                                std::to_string(port) +
+                                ") failed: " + strerror(errno);
+    close(fd);
+    return Status::IOError(message);
+  }
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status Client::SetRecvTimeout(std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError("setsockopt(SO_RCVTIMEO) failed");
+  }
+  return Status::OK();
+}
+
+Status Client::WriteAll(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = send(fd_, bytes.data() + off, bytes.size() - off,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("send failed: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::ReadExact(char* out, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t got = recv(fd_, out + off, n - off, 0);
+    if (got > 0) {
+      off += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) return Status::IOError("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv timed out");
+    }
+    return Status::IOError(std::string("recv failed: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::SendRaw(std::string_view bytes) { return WriteAll(bytes); }
+
+StatusOr<std::string> Client::ReadFrameRaw(FrameHeader* header_out) {
+  char header_bytes[kFrameHeaderSize];
+  PICTDB_RETURN_IF_ERROR(ReadExact(header_bytes, sizeof(header_bytes)));
+  FrameHeader header;
+  PICTDB_RETURN_IF_ERROR(DecodeFrameHeader(
+      std::string_view(header_bytes, sizeof(header_bytes)), &header));
+  std::string payload(header.payload_len, '\0');
+  if (header.payload_len > 0) {
+    PICTDB_RETURN_IF_ERROR(ReadExact(payload.data(), payload.size()));
+  }
+  if (header_out != nullptr) *header_out = header;
+  return payload;
+}
+
+StatusOr<Client::Result> Client::Call(const Request& request) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  const uint32_t request_id = next_request_id_++;
+  const std::string frame = EncodeFrame(RequestMsgType(request), 0,
+                                        request_id,
+                                        EncodeRequestPayload(request));
+  PICTDB_RETURN_IF_ERROR(WriteAll(frame));
+
+  FrameHeader header;
+  PICTDB_ASSIGN_OR_RETURN(std::string payload, ReadFrameRaw(&header));
+  if (header.request_id != request_id) {
+    return Status::Internal("response id mismatch (pipelining unsupported)");
+  }
+  PICTDB_ASSIGN_OR_RETURN(Response response,
+                          DecodeResponsePayload(header.type, payload));
+  if (const auto* error = std::get_if<ErrorResponse>(&response.body)) {
+    return error->ToStatus();
+  }
+  Result result;
+  result.response = std::move(response);
+  result.flags = header.flags;
+  result.request_id = header.request_id;
+  return result;
+}
+
+StatusOr<Client::Result> Client::Window(const geom::Rect& window,
+                                        bool contained_only,
+                                        const WireOptions& options) {
+  Request request;
+  request.body = WindowRequest{window, contained_only};
+  request.options = options;
+  return Call(request);
+}
+
+StatusOr<Client::Result> Client::Point(const geom::Point& point,
+                                       const WireOptions& options) {
+  Request request;
+  request.body = PointRequest{point};
+  request.options = options;
+  return Call(request);
+}
+
+StatusOr<Client::Result> Client::Knn(const geom::Point& point, uint32_t k,
+                                     const WireOptions& options) {
+  Request request;
+  request.body = KnnRequest{point, k};
+  request.options = options;
+  return Call(request);
+}
+
+StatusOr<Client::Result> Client::Join(uint32_t overlay,
+                                      const WireOptions& options) {
+  Request request;
+  request.body = JoinRequest{overlay};
+  request.options = options;
+  return Call(request);
+}
+
+StatusOr<Client::Result> Client::Psql(const std::string& text,
+                                      const WireOptions& options) {
+  Request request;
+  request.body = PsqlRequest{text};
+  request.options = options;
+  return Call(request);
+}
+
+Status Client::Ping() {
+  Request request;
+  request.body = PingRequest{};
+  return Call(request).status();
+}
+
+StatusOr<StatsResponse> Client::ServerStats() {
+  Request request;
+  request.body = StatsRequest{};
+  PICTDB_ASSIGN_OR_RETURN(Result result, Call(request));
+  auto* stats = std::get_if<StatsResponse>(&result.response.body);
+  if (stats == nullptr) {
+    return Status::Internal("stats request answered with wrong body");
+  }
+  return std::move(*stats);
+}
+
+Status Client::SetFaults(double transient_read_error_rate,
+                         double read_bit_flip_rate) {
+  Request request;
+  request.body = SetFaultsRequest{transient_read_error_rate,
+                                  read_bit_flip_rate};
+  return Call(request).status();
+}
+
+Status Client::InvalidateCache() {
+  Request request;
+  request.body = InvalidateRequest{};
+  return Call(request).status();
+}
+
+}  // namespace pictdb::net

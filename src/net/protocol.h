@@ -1,0 +1,277 @@
+#ifndef PICTDB_NET_PROTOCOL_H_
+#define PICTDB_NET_PROTOCOL_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status_or.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "service/metrics.h"
+
+namespace pictdb::net {
+
+/// Versioned length-prefixed binary framing. Every message — request or
+/// response, either direction — is one frame:
+///
+///   offset  size  field
+///   0       2     magic 0xDB85 (little-endian)
+///   2       1     protocol version (kProtocolVersion)
+///   3       1     message type (MsgType)
+///   4       4     flags (kFlagCached | kFlagDegraded)
+///   8       4     request id (echoed verbatim in the response)
+///   12      4     payload length in bytes (<= kMaxPayloadBytes)
+///   16      -     payload (type-specific, see protocol.cc codecs)
+///
+/// The fixed header means a reader always knows how many bytes to wait
+/// for; the magic and version are checked before the length is trusted,
+/// and the length bound is checked before any allocation.
+inline constexpr uint16_t kMagic = 0xDB85;
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 16;
+inline constexpr uint32_t kMaxPayloadBytes = 4u << 20;
+
+/// Response was served from the hot-window result cache; the payload is
+/// byte-identical to the originally computed response.
+inline constexpr uint32_t kFlagCached = 1u << 0;
+/// Response carries partial (degraded-mode) results.
+inline constexpr uint32_t kFlagDegraded = 1u << 1;
+
+enum class MsgType : uint8_t {
+  // Requests.
+  kWindow = 1,
+  kPoint = 2,
+  kKnn = 3,
+  kJoin = 4,
+  kPsql = 5,
+  kPing = 6,
+  kStats = 7,
+  kSetFaults = 8,   // admin: arm/clear a server-side fault episode
+  kInvalidate = 9,  // admin: bump the result-cache epoch
+
+  // Responses.
+  kHits = 32,
+  kNeighbors = 33,
+  kJoinResult = 34,
+  kTable = 35,
+  kPong = 36,
+  kStatsResult = 37,
+  kOk = 38,
+  kError = 39,
+};
+
+bool IsKnownMsgType(uint8_t type);
+bool IsRequestType(MsgType type);
+/// The five query kinds (everything admission control and the result
+/// cache apply to; ping/stats/admin bypass both).
+bool IsQueryRequestType(MsgType type);
+
+struct FrameHeader {
+  uint16_t magic = kMagic;
+  uint8_t version = kProtocolVersion;
+  MsgType type = MsgType::kPing;
+  uint32_t flags = 0;
+  uint32_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+/// Header + payload as wire bytes.
+std::string EncodeFrame(MsgType type, uint32_t flags, uint32_t request_id,
+                        std::string_view payload);
+
+/// Decodes and validates the 16 header bytes: magic, version, known
+/// type, and payload length bound. `bytes` must hold at least
+/// kFrameHeaderSize bytes.
+Status DecodeFrameHeader(std::string_view bytes, FrameHeader* out);
+
+// ---------------------------------------------------------------------
+// Requests.
+
+/// Per-query execution controls carried on every query request.
+struct WireOptions {
+  uint64_t timeout_us = 0;   // 0 = no deadline
+  bool degraded_ok = false;  // accept flagged-partial results
+
+  friend bool operator==(const WireOptions&, const WireOptions&) = default;
+};
+
+struct WindowRequest {
+  geom::Rect window;
+  bool contained_only = false;
+};
+
+struct PointRequest {
+  geom::Point point;
+};
+
+struct KnnRequest {
+  geom::Point point;
+  uint32_t k = 1;
+};
+
+/// Juxtaposition of the served tree with a server-hosted overlay tree,
+/// addressed by index (clients cannot ship trees over the wire).
+struct JoinRequest {
+  uint32_t overlay = 0;
+};
+
+struct PsqlRequest {
+  std::string text;
+};
+
+struct PingRequest {};
+struct StatsRequest {};
+
+/// Arm a fault episode on the server's FaultInjectionDiskManager (both
+/// rates zero = clear all faults). Only honored when the server was
+/// started with admin commands enabled.
+struct SetFaultsRequest {
+  double transient_read_error_rate = 0.0;
+  double read_bit_flip_rate = 0.0;
+};
+
+/// Explicit whole-cache invalidation (epoch bump). The hook mutations
+/// will call when writes go online.
+struct InvalidateRequest {};
+
+struct Request {
+  std::variant<WindowRequest, PointRequest, KnnRequest, JoinRequest,
+               PsqlRequest, PingRequest, StatsRequest, SetFaultsRequest,
+               InvalidateRequest>
+      body;
+  WireOptions options;  // meaningful for the five query kinds only
+};
+
+MsgType RequestMsgType(const Request& request);
+
+/// Request payload bytes (no frame header).
+std::string EncodeRequestPayload(const Request& request);
+
+/// Inverse of EncodeRequestPayload; rejects truncated payloads, trailing
+/// bytes, non-finite coordinates, and oversized strings.
+StatusOr<Request> DecodeRequestPayload(MsgType type,
+                                       std::string_view payload);
+
+/// Canonical result-cache key for a query request: the message type byte
+/// plus the payload re-encoded with volatile fields (the timeout)
+/// zeroed, so "same question, different deadline" shares one entry.
+/// Empty string for non-query requests (never cached).
+std::string CacheKey(const Request& request);
+
+// ---------------------------------------------------------------------
+// Responses.
+
+/// Execution accounting echoed on every query response.
+struct WireStats {
+  uint64_t latency_us = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t entries_tested = 0;
+  uint64_t results = 0;
+  uint64_t skipped_subtrees = 0;
+  bool degraded = false;
+
+  friend bool operator==(const WireStats&, const WireStats&) = default;
+};
+
+struct WireRid {
+  uint32_t page_id = 0;
+  uint16_t slot = 0;
+
+  friend bool operator==(const WireRid&, const WireRid&) = default;
+};
+
+struct WireHit {
+  geom::Rect mbr;
+  WireRid rid;
+};
+
+struct WireNeighbor {
+  WireHit hit;
+  double distance = 0.0;
+};
+
+struct HitsResponse {
+  WireStats stats;
+  std::vector<WireHit> hits;
+};
+
+struct NeighborsResponse {
+  WireStats stats;
+  std::vector<WireNeighbor> neighbors;
+};
+
+struct JoinResponse {
+  WireStats stats;
+  uint64_t pairs = 0;
+};
+
+/// PSQL result rows rendered to strings (the "standard terminal" output
+/// stream) plus tuple provenance rids.
+struct TableResponse {
+  WireStats stats;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<WireRid>> row_rids;  // one list per row
+};
+
+struct PongResponse {};
+struct OkResponse {};
+
+struct ErrorResponse {
+  uint32_t code = 0;  // StatusCode numeric value
+  std::string message;
+
+  Status ToStatus() const;
+  static ErrorResponse FromStatus(const Status& status);
+};
+
+/// Server-side counters for the load generator's SLO report: service
+/// metrics (with per-variant latency histograms), result-cache
+/// hit/miss/eviction counters, and the serving tier's own counters.
+struct StatsResponse {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t degraded = 0;
+  std::array<service::HistogramSnapshot, service::kQueryVariants>
+      variant_latency{};
+
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_insertions = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidations = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_entries = 0;
+
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t quota_rejections = 0;
+  uint64_t backpressure_rejections = 0;
+  uint64_t frames_received = 0;
+  uint64_t protocol_errors = 0;
+};
+
+struct Response {
+  std::variant<HitsResponse, NeighborsResponse, JoinResponse, TableResponse,
+               PongResponse, StatsResponse, OkResponse, ErrorResponse>
+      body;
+};
+
+MsgType ResponseMsgType(const Response& response);
+
+/// Response payload bytes (no frame header).
+std::string EncodeResponsePayload(const Response& response);
+
+StatusOr<Response> DecodeResponsePayload(MsgType type,
+                                         std::string_view payload);
+
+}  // namespace pictdb::net
+
+#endif  // PICTDB_NET_PROTOCOL_H_

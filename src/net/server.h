@@ -1,0 +1,199 @@
+#ifndef PICTDB_NET_SERVER_H_
+#define PICTDB_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "net/protocol.h"
+#include "net/result_cache.h"
+#include "net/token_bucket.h"
+#include "service/query_service.h"
+#include "storage/fault_injection.h"
+
+namespace pictdb::net {
+
+struct ServerOptions {
+  /// Unix-domain listener path (empty = no UDS listener). The file is
+  /// unlinked and rebound on Start.
+  std::string unix_path;
+  /// TCP listener: -1 = no TCP, 0 = ephemeral (read back via tcp_port()).
+  int tcp_port = -1;
+  std::string tcp_host = "127.0.0.1";
+
+  /// Concurrent client connections; one past the limit is greeted with a
+  /// ResourceExhausted error frame and closed.
+  size_t max_connections = 64;
+
+  /// Per-connection token-bucket quota (0 = unlimited). Requests beyond
+  /// the bucket get a ResourceExhausted reply and cost nothing.
+  double quota_qps = 0.0;
+  double quota_burst = 16.0;
+
+  /// Per-connection in-flight request bound; combined with the query
+  /// service's bounded admission queue this is the backpressure path —
+  /// both reject with ResourceExhausted (the binary protocol's "429").
+  size_t max_inflight_per_conn = 64;
+
+  /// Hot-window result cache budget in payload bytes (0 = disabled).
+  size_t cache_bytes = 0;
+  size_t cache_shards = 8;
+
+  /// Honor kSetFaults / kInvalidate admin messages (off by default:
+  /// fault injection over the wire is a test/soak facility).
+  bool allow_admin = false;
+};
+
+/// Plain-value image of the serving-tier counters.
+struct ServerStatsSnapshot {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t frames_received = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t quota_rejections = 0;
+  uint64_t backpressure_rejections = 0;
+  uint64_t cache_hits = 0;
+};
+
+/// poll(2)-driven binary-protocol front door over one QueryService.
+///
+/// Threading model: one serving thread owns every socket and all
+/// connection state — accept, frame reassembly, quota/admission checks,
+/// and response writes all happen there, so connection state needs no
+/// locks. Query execution happens on the QueryService's workers via
+/// SubmitWithCallback; completion callbacks only encode the response,
+/// append it to a mutex-guarded outbox, and wake the serving thread
+/// through a self-pipe. The serving thread never blocks on a query and
+/// the workers never touch a socket.
+///
+/// Admission layering (first refusal wins, every refusal is a structured
+/// ResourceExhausted reply):
+///   1. connection limit (at accept)
+///   2. per-connection token-bucket quota
+///   3. per-connection in-flight bound
+///   4. the QueryService's bounded admission queue
+///
+/// Graceful drain (SIGINT/SIGTERM via InstallSignalHandlers, or
+/// RequestDrain): stop accepting and stop reading, let every admitted
+/// query finish through the service, flush all responses, close, and
+/// exit the serving thread. Stats survive for DumpStats.
+class Server {
+ public:
+  /// Everything the server serves. `service` is required and must
+  /// outlive the server; `overlay` (join target, overlay id 0) and
+  /// `fault_disk` (admin fault episodes) are optional.
+  struct Bindings {
+    service::QueryService* service = nullptr;
+    const rtree::RTree* overlay = nullptr;
+    storage::FaultInjectionDiskManager* fault_disk = nullptr;
+  };
+
+  Server(const Bindings& bindings, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the serving thread.
+  Status Start();
+
+  /// Asynchronously begin graceful drain (signal-safe trigger is the
+  /// self-pipe; this method itself is for programmatic use).
+  void RequestDrain();
+
+  /// Wait for the serving thread to exit (after a drain).
+  void Join();
+
+  /// RequestDrain + Join. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Route SIGINT/SIGTERM to this server's drain path. The handler only
+  /// sets a flag and writes the self-pipe (async-signal-safe). Pass
+  /// nullptr to detach before the server dies.
+  static void InstallSignalHandlers(Server* server);
+
+  /// Actual TCP port (after Start with tcp_port=0) or -1.
+  int tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerStatsSnapshot Stats() const;
+  const ResultCache& cache() const { return cache_; }
+  /// The explicit invalidation hook (mutations will call this).
+  void InvalidateCache() { cache_.BumpEpoch(); }
+
+  /// One-stop shutdown report: serving-tier counters, per-variant
+  /// latency summaries, and cache counters, to `out` (the drain path
+  /// prints this to stderr).
+  void DumpStats(std::FILE* out) const;
+
+ private:
+  struct Connection;
+  struct PendingResponse {
+    uint64_t conn_id = 0;
+    std::string frame;        // fully encoded, ready to write
+    bool query_completion = false;  // decrements in-flight accounting
+  };
+
+  void Run();  // serving thread main
+  void AcceptFrom(int listen_fd);
+  void CloseListeners();
+  /// Read + frame-reassemble one connection; false = close it.
+  bool ReadConnection(Connection* conn);
+  bool FlushConnection(Connection* conn);  // false = close it
+  void HandleFrame(Connection* conn, const FrameHeader& header,
+                   std::string_view payload);
+  void HandleQueryRequest(Connection* conn, const FrameHeader& header,
+                          Request request);
+  void ReplyNow(Connection* conn, MsgType type, uint32_t flags,
+                uint32_t request_id, std::string_view payload);
+  void ReplyError(Connection* conn, uint32_t request_id,
+                  const Status& status);
+  StatsResponse BuildStats() const;
+  void ApplyPending() EXCLUDES(mu_);
+  void EnqueueFromWorker(PendingResponse pending) EXCLUDES(mu_);
+  void WakeLoop();
+  void CloseConnection(uint64_t conn_id);
+
+  Bindings bindings_;
+  ServerOptions options_;
+  ResultCache cache_;
+
+  int unix_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  int tcp_port_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  // Owned by the serving thread exclusively after Start().
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  size_t inflight_total_ = 0;
+
+  mutable Mutex mu_;
+  std::deque<PendingResponse> pending_ GUARDED_BY(mu_);
+
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};
+  std::thread serve_thread_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> quota_rejections_{0};
+  std::atomic<uint64_t> backpressure_rejections_{0};
+};
+
+}  // namespace pictdb::net
+
+#endif  // PICTDB_NET_SERVER_H_

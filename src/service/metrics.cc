@@ -1,0 +1,19 @@
+#include "service/metrics.h"
+
+#include <cstdio>
+
+namespace pictdb::service {
+
+std::string HistogramSnapshot::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "p50=%llu p95=%llu p99=%llu max=%llu n=%llu",
+                static_cast<unsigned long long>(ValueAtQuantile(0.50)),
+                static_cast<unsigned long long>(ValueAtQuantile(0.95)),
+                static_cast<unsigned long long>(ValueAtQuantile(0.99)),
+                static_cast<unsigned long long>(max),
+                static_cast<unsigned long long>(count()));
+  return buf;
+}
+
+}  // namespace pictdb::service

@@ -83,12 +83,14 @@ StatusOr<QueryResult> QueryService::Dispatch(
   return result;
 }
 
-StatusOr<std::future<StatusOr<QueryResult>>> QueryService::Submit(
-    Query query, const QueryOptions& options) {
+Status QueryService::SubmitWithCallback(
+    Query query, const QueryOptions& options,
+    std::function<void(StatusOr<QueryResult>)> done) {
   // shared_ptr because std::function requires copyable callables.
-  auto promise = std::make_shared<std::promise<StatusOr<QueryResult>>>();
-  std::future<StatusOr<QueryResult>> future = promise->get_future();
   auto shared_query = std::make_shared<Query>(std::move(query));
+  auto shared_done = std::make_shared<std::function<void(
+      StatusOr<QueryResult>)>>(std::move(done));
+  const size_t variant = shared_query->index();
 
   // The deadline anchors to submission, not execution start, so queue
   // wait eats into the budget (the caller's clock is what matters).
@@ -101,8 +103,8 @@ StatusOr<std::future<StatusOr<QueryResult>>> QueryService::Submit(
   search_options.degraded_ok = options.degraded_ok;
   search_options.quarantine = &quarantine_;
 
-  const Status admitted =
-      pool_.TrySubmit([this, promise, shared_query, search_options] {
+  const Status admitted = pool_.TrySubmit(
+      [this, variant, shared_query, shared_done, search_options] {
         const auto start = std::chrono::steady_clock::now();
         StatusOr<QueryResult> outcome =
             Dispatch(*shared_query, search_options);
@@ -116,21 +118,33 @@ StatusOr<std::future<StatusOr<QueryResult>>> QueryService::Submit(
                       outcome.value().join_pairs;
           }
           metrics_.RecordCompleted(
-              latency_us, outcome.value().stats.nodes_visited, results);
+              variant, latency_us, outcome.value().stats.nodes_visited,
+              results);
           if (outcome.value().degraded) metrics_.RecordDegraded();
         } else {
-          metrics_.RecordFailed(latency_us);
+          metrics_.RecordFailed(variant, latency_us);
           if (outcome.status().IsDeadlineExceeded()) {
             metrics_.RecordDeadlineExceeded();
           }
         }
-        promise->set_value(std::move(outcome));
+        (*shared_done)(std::move(outcome));
       });
   if (!admitted.ok()) {
     metrics_.RecordRejected();
     return admitted;
   }
   metrics_.RecordSubmitted();
+  return Status::OK();
+}
+
+StatusOr<std::future<StatusOr<QueryResult>>> QueryService::Submit(
+    Query query, const QueryOptions& options) {
+  auto promise = std::make_shared<std::promise<StatusOr<QueryResult>>>();
+  std::future<StatusOr<QueryResult>> future = promise->get_future();
+  PICTDB_RETURN_IF_ERROR(SubmitWithCallback(
+      std::move(query), options, [promise](StatusOr<QueryResult> outcome) {
+        promise->set_value(std::move(outcome));
+      }));
   return future;
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <optional>
 #include <string>
@@ -53,6 +54,10 @@ struct PsqlQuery {
 
 using Query =
     std::variant<WindowQuery, PointQuery, KnnQuery, JoinQuery, PsqlQuery>;
+
+// Per-variant metrics (kQueryVariantNames) index by std::variant order.
+static_assert(std::variant_size_v<Query> == kQueryVariants,
+              "kQueryVariantNames must track the Query alternatives");
 
 /// Outcome of one query. Which member is filled depends on the variant:
 /// hits for window/point, neighbors for knn, join_pairs for join, table
@@ -120,6 +125,16 @@ class QueryService {
   /// so time spent queued eats into the budget.
   StatusOr<std::future<StatusOr<QueryResult>>> Submit(
       Query query, const QueryOptions& options = {});
+
+  /// Callback-style submission for event-loop callers (the network
+  /// server): on completion `done` runs on the worker thread that
+  /// executed the query, after metrics are recorded. A non-OK return
+  /// means the query was rejected at admission and `done` will never
+  /// run. `done` must not block for long and must not submit
+  /// synchronously back into the service from inside itself beyond the
+  /// queue bound (it would be rejected, not deadlock).
+  Status SubmitWithCallback(Query query, const QueryOptions& options,
+                            std::function<void(StatusOr<QueryResult>)> done);
 
   /// Convenience: submit and wait. Admission errors are returned
   /// directly.

@@ -137,6 +137,14 @@ Status FileDiskManager::WritePage(PageId id, const char* data) {
   return Status::OK();
 }
 
+Status FileDiskManager::Sync() {
+  MutexLock lock(&mu_);
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed");
+  }
+  return Status::OK();
+}
+
 PageId FileDiskManager::AllocatePage() {
   MutexLock lock(&mu_);
   stats_.allocations.fetch_add(1, std::memory_order_relaxed);

@@ -74,6 +74,12 @@ class DiskManager {
   /// double frees are logged and ignored (never corrupt the free list).
   virtual void DeallocatePage(PageId id) = 0;
 
+  /// Durability barrier: after Sync() returns OK, every completed
+  /// WritePage is visible to other readers of the same backing store
+  /// (e.g. replica processes sharing one page file). No-op for stores
+  /// without writer-side buffering.
+  [[nodiscard]] virtual Status Sync() { return Status::OK(); }
+
   const DiskStats& stats() const { return stats_; }
   DiskStatsSnapshot StatsSnapshot() const { return stats_.Snapshot(); }
   void ResetStats() { stats_.Reset(); }
@@ -133,6 +139,11 @@ class FileDiskManager final : public DiskManager {
   Status WritePage(PageId id, const char* data) override EXCLUDES(mu_);
   PageId AllocatePage() override EXCLUDES(mu_);
   void DeallocatePage(PageId id) override EXCLUDES(mu_);
+  /// Flushes stdio buffers so concurrently opened handles on the same
+  /// path observe every written page. Without this a freshly packed
+  /// tree's tail pages can still sit in this process's FILE buffer
+  /// while a replica reads the (zero-filled) allocation image.
+  Status Sync() override EXCLUDES(mu_);
 
  private:
   FileDiskManager(std::FILE* file, uint32_t page_size, PageId page_count)
@@ -164,6 +175,7 @@ class LatencyDiskManager final : public DiskManager {
   Status WritePage(PageId id, const char* data) override;
   PageId AllocatePage() override;
   void DeallocatePage(PageId id) override;
+  Status Sync() override { return base_->Sync(); }
 
  private:
   DiskManager* base_;

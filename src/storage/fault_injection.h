@@ -59,6 +59,7 @@ class FaultInjectionDiskManager final : public DiskManager {
   Status WritePage(PageId id, const char* data) override;
   PageId AllocatePage() override;
   void DeallocatePage(PageId id) override;
+  Status Sync() override { return base_->Sync(); }
 
   /// Mark `id` permanently unreadable: every ReadPage fails with
   /// DataLoss, modelling a dead sector. Retries cannot absorb it.

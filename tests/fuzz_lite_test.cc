@@ -3,19 +3,29 @@
 // never corrupt state. Seeds are pinned, so failures reproduce.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "geom/wkt.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "pack/pack.h"
 #include "psql/executor.h"
 #include "psql/lexer.h"
 #include "psql/parser.h"
 #include "rel/catalog.h"
 #include "rel/tuple.h"
+#include "rtree/rtree.h"
+#include "service/query_service.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
+#include "workload/generators.h"
 #include "workload/us_catalog.h"
 
 namespace pictdb {
@@ -181,6 +191,170 @@ TEST(FuzzLiteTest, PageTrailerAcceptsAllZeroPages) {
   constexpr uint32_t kPageSize = 512;
   std::vector<char> page(kPageSize, 0);
   EXPECT_TRUE(storage::VerifyPageTrailer(page.data(), kPageSize).ok());
+}
+
+// ---------------------------------------------------------------------
+// Network protocol fuzzing.
+
+std::string RandomBytes(Random* rng, size_t max_len) {
+  const size_t len = rng->Uniform(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->Uniform(256)));
+  }
+  return out;
+}
+
+net::Request RandomValidRequest(Random* rng) {
+  net::Request request;
+  switch (rng->Uniform(5)) {
+    case 0:
+      request.body = net::WindowRequest{
+          geom::Rect(rng->UniformDouble(0, 500), rng->UniformDouble(0, 500),
+                     rng->UniformDouble(500, 1000),
+                     rng->UniformDouble(500, 1000)),
+          rng->Uniform(2) == 1};
+      break;
+    case 1:
+      request.body = net::KnnRequest{
+          geom::Point{rng->UniformDouble(0, 1000),
+                      rng->UniformDouble(0, 1000)},
+          static_cast<uint32_t>(1 + rng->Uniform(8))};
+      break;
+    case 2:
+      request.body = net::PsqlRequest{
+          RandomText(rng, 40, kQueryAlphabet)};
+      break;
+    case 3:
+      request.body = net::PingRequest{};
+      break;
+    default:
+      request.body = net::StatsRequest{};
+      break;
+  }
+  request.options.timeout_us = rng->Uniform(2) ? 1'000'000 : 0;
+  return request;
+}
+
+TEST(FuzzLiteTest, RequestDecoderNeverCrashesOnRandomBytes) {
+  Random rng(41);
+  constexpr uint8_t kRequestTypes[] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (int i = 0; i < 4000; ++i) {
+    const std::string bytes = RandomBytes(&rng, 96);
+    const auto type = static_cast<net::MsgType>(
+        kRequestTypes[rng.Uniform(sizeof(kRequestTypes))]);
+    (void)net::DecodeRequestPayload(type, bytes);  // ok or clean error
+  }
+}
+
+TEST(FuzzLiteTest, ResponseDecoderNeverCrashesOnRandomBytes) {
+  Random rng(42);
+  constexpr uint8_t kResponseTypes[] = {32, 33, 34, 35, 36, 37, 38, 39};
+  for (int i = 0; i < 4000; ++i) {
+    const std::string bytes = RandomBytes(&rng, 128);
+    const auto type = static_cast<net::MsgType>(
+        kResponseTypes[rng.Uniform(sizeof(kResponseTypes))]);
+    (void)net::DecodeResponsePayload(type, bytes);
+  }
+}
+
+/// Seeded frame fuzzer against a LIVE server: random bytes, random-header
+/// frames, bit-flipped valid frames, and truncated frames, interleaved
+/// over reconnecting sockets. The server must reply with a structured
+/// error or close the connection — and afterwards it must still answer a
+/// correct window query. Run under ASan in CI like every other test.
+TEST(FuzzLiteTest, SeededFrameFuzzerNeverCrashesTheServer) {
+  storage::InMemoryDiskManager disk(512);
+  storage::BufferPool pool(&disk, /*capacity=*/64, /*shards=*/2);
+  Random data_rng(77);
+  const auto points =
+      workload::UniformPoints(&data_rng, 500, workload::PaperFrame());
+  std::vector<storage::Rid> rids;
+  rids.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    rids.push_back(storage::Rid{static_cast<storage::PageId>(i), 0});
+  }
+  auto tree_or = rtree::RTree::Create(&pool);
+  ASSERT_TRUE(tree_or.ok());
+  rtree::RTree tree = std::move(tree_or).value();
+  ASSERT_TRUE(
+      pack::PackNearestNeighbor(&tree, pack::MakeLeafEntries(points, rids))
+          .ok());
+  service::QueryService service(&tree, /*executor=*/nullptr);
+
+  net::ServerOptions options;
+  options.unix_path = ::testing::TempDir() + "pictdb_fuzz_" +
+                      std::to_string(getpid()) + ".sock";
+  net::Server::Bindings bindings;
+  bindings.service = &service;
+  net::Server server(bindings, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Random rng(4242);
+  std::optional<net::Client> client;
+  for (int i = 0; i < 400; ++i) {
+    if (!client.has_value()) {
+      auto connected = net::Client::ConnectUnix(options.unix_path);
+      ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+      client.emplace(std::move(connected).value());
+    }
+    std::string bytes;
+    switch (i % 4) {
+      case 0:  // raw garbage
+        bytes = RandomBytes(&rng, 64);
+        break;
+      case 1: {  // well-formed header, random payload
+        const auto type = static_cast<net::MsgType>(1 + rng.Uniform(9));
+        bytes = net::EncodeFrame(type, rng.Uniform(4),
+                                 static_cast<uint32_t>(i),
+                                 RandomBytes(&rng, 48));
+        break;
+      }
+      case 2: {  // valid request frame with 1..4 bit flips
+        const net::Request request = RandomValidRequest(&rng);
+        bytes = net::EncodeFrame(net::RequestMsgType(request), 0,
+                                 static_cast<uint32_t>(i),
+                                 net::EncodeRequestPayload(request));
+        const size_t flips = 1 + rng.Uniform(4);
+        for (size_t f = 0; f < flips; ++f) {
+          const size_t pos = rng.Uniform(bytes.size());
+          bytes[pos] = static_cast<char>(
+              bytes[pos] ^ static_cast<char>(1u << rng.Uniform(8)));
+        }
+        break;
+      }
+      default: {  // truncated valid frame
+        const net::Request request = RandomValidRequest(&rng);
+        const std::string full =
+            net::EncodeFrame(net::RequestMsgType(request), 0,
+                             static_cast<uint32_t>(i),
+                             net::EncodeRequestPayload(request));
+        bytes = full.substr(0, rng.Uniform(full.size()));
+        break;
+      }
+    }
+    if (!client->SendRaw(bytes).ok()) {
+      client.reset();  // server closed the poisoned stream: reconnect
+    }
+  }
+  client.reset();
+
+  // Liveness + correctness after the bombardment.
+  auto fresh = net::Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_TRUE(fresh->Ping().ok());
+  const geom::Rect window(200, 200, 600, 600);
+  size_t expected = 0;
+  for (const geom::Point& p : points) {
+    if (window.Contains(p)) ++expected;
+  }
+  auto result = fresh->Window(window, false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(std::get<net::HitsResponse>(result->response.body).hits.size(),
+            expected);
+  EXPECT_GT(server.Stats().protocol_errors, 0u);
+  server.Stop();
 }
 
 }  // namespace

@@ -1,0 +1,384 @@
+// Wire protocol: primitive codec, request/response round-trips for all
+// five query variants, golden byte vectors (the wire format is a
+// compatibility contract — these bytes must never change within a
+// protocol version), header validation, and malformed-payload rejection.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/wire.h"
+
+namespace pictdb::net {
+namespace {
+
+std::string Hex(std::string_view bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+TEST(WireTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutDouble(-1234.5);
+  w.PutString("hello");
+  const std::string bytes = w.Take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.U8().value(), 0xAB);
+  EXPECT_EQ(r.U16().value(), 0x1234);
+  EXPECT_EQ(r.U32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.Double().value(), -1234.5);
+  EXPECT_EQ(r.String(100).value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(WireTest, PrimitivesAreLittleEndian) {
+  ByteWriter w;
+  w.PutU16(0x1234);
+  w.PutU32(0xA1B2C3D4);
+  EXPECT_EQ(Hex(w.str()), "3412" "d4c3b2a1");
+}
+
+TEST(WireTest, ReaderRejectsTruncation) {
+  ByteReader r("\x01");
+  EXPECT_FALSE(r.U32().ok());
+  ByteReader r2("\x05\x00\x00\x00ab");  // declares 5 bytes, has 2
+  EXPECT_FALSE(r2.String(100).ok());
+  ByteReader r3("\xff\xff\xff\x7f");  // huge declared length
+  EXPECT_FALSE(r3.String(100).ok());
+}
+
+TEST(WireTest, TrailingBytesAreAnError) {
+  ByteReader r("\x01\x02");
+  EXPECT_TRUE(r.U8().ok());
+  EXPECT_FALSE(r.ExpectEnd().ok());
+}
+
+// ---------------------------------------------------------------------
+// Frame header.
+
+TEST(ProtocolTest, FrameHeaderRoundTrip) {
+  const std::string frame =
+      EncodeFrame(MsgType::kWindow, kFlagCached, 42, "abc");
+  ASSERT_EQ(frame.size(), kFrameHeaderSize + 3);
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(frame, &h).ok());
+  EXPECT_EQ(h.magic, kMagic);
+  EXPECT_EQ(h.version, kProtocolVersion);
+  EXPECT_EQ(h.type, MsgType::kWindow);
+  EXPECT_EQ(h.flags, kFlagCached);
+  EXPECT_EQ(h.request_id, 42u);
+  EXPECT_EQ(h.payload_len, 3u);
+}
+
+TEST(ProtocolTest, GoldenFrameHeaderBytes) {
+  // magic 85 db | version 01 | type 06 (ping) | flags 0 | id 7 | len 0.
+  const std::string frame = EncodeFrame(MsgType::kPing, 0, 7, "");
+  EXPECT_EQ(Hex(frame), "85db0106" "00000000" "07000000" "00000000");
+}
+
+TEST(ProtocolTest, HeaderRejectsBadMagicVersionTypeAndSize) {
+  std::string good = EncodeFrame(MsgType::kPing, 0, 0, "");
+  FrameHeader h;
+
+  std::string bad_magic = good;
+  bad_magic[0] = 0x00;
+  EXPECT_FALSE(DecodeFrameHeader(bad_magic, &h).ok());
+
+  std::string bad_version = good;
+  bad_version[2] = 99;
+  EXPECT_FALSE(DecodeFrameHeader(bad_version, &h).ok());
+
+  std::string bad_type = good;
+  bad_type[3] = static_cast<char>(200);
+  EXPECT_FALSE(DecodeFrameHeader(bad_type, &h).ok());
+
+  std::string bad_type2 = good;
+  bad_type2[3] = 0;  // type 0 is reserved / unknown
+  EXPECT_FALSE(DecodeFrameHeader(bad_type2, &h).ok());
+
+  // Oversized declared payload.
+  std::string oversized = good;
+  oversized[12] = static_cast<char>(0xFF);
+  oversized[13] = static_cast<char>(0xFF);
+  oversized[14] = static_cast<char>(0xFF);
+  oversized[15] = static_cast<char>(0x7F);
+  EXPECT_FALSE(DecodeFrameHeader(oversized, &h).ok());
+
+  EXPECT_FALSE(DecodeFrameHeader("short", &h).ok());
+}
+
+// ---------------------------------------------------------------------
+// Request codecs.
+
+TEST(ProtocolTest, WindowRequestRoundTrip) {
+  Request req;
+  req.options = {.timeout_us = 250000, .degraded_ok = true};
+  req.body = WindowRequest{geom::Rect(1.5, -2.5, 10.0, 20.0), true};
+  EXPECT_EQ(RequestMsgType(req), MsgType::kWindow);
+
+  const std::string payload = EncodeRequestPayload(req);
+  auto decoded = DecodeRequestPayload(MsgType::kWindow, payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->options, req.options);
+  const auto& q = std::get<WindowRequest>(decoded->body);
+  EXPECT_EQ(q.window.lo.x, 1.5);
+  EXPECT_EQ(q.window.hi.y, 20.0);
+  EXPECT_TRUE(q.contained_only);
+}
+
+TEST(ProtocolTest, GoldenWindowRequestBytes) {
+  // The golden vector locks the v1 window-request layout:
+  //   timeout_us u64 | degraded u8 | 4 doubles | contained u8.
+  Request req;
+  req.options = {.timeout_us = 1000, .degraded_ok = false};
+  req.body = WindowRequest{geom::Rect(1.0, 2.0, 3.0, 4.0), false};
+  EXPECT_EQ(Hex(EncodeRequestPayload(req)),
+            "e803000000000000"          // timeout 1000
+            "00"                        // degraded_ok
+            "000000000000f03f"          // 1.0
+            "0000000000000040"          // 2.0
+            "0000000000000840"          // 3.0
+            "0000000000001040"          // 4.0
+            "00");                      // contained
+}
+
+TEST(ProtocolTest, PointAndKnnAndJoinAndPsqlRoundTrip) {
+  Request point;
+  point.body = PointRequest{geom::Point{3.25, -7.75}};
+  auto p2 = DecodeRequestPayload(MsgType::kPoint,
+                                 EncodeRequestPayload(point));
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(std::get<PointRequest>(p2->body).point.x, 3.25);
+
+  Request knn;
+  knn.options.timeout_us = 5;
+  knn.body = KnnRequest{geom::Point{0.5, 0.25}, 17};
+  auto k2 = DecodeRequestPayload(MsgType::kKnn, EncodeRequestPayload(knn));
+  ASSERT_TRUE(k2.ok());
+  EXPECT_EQ(std::get<KnnRequest>(k2->body).k, 17u);
+  EXPECT_EQ(k2->options.timeout_us, 5u);
+
+  Request join;
+  join.body = JoinRequest{3};
+  auto j2 = DecodeRequestPayload(MsgType::kJoin,
+                                 EncodeRequestPayload(join));
+  ASSERT_TRUE(j2.ok());
+  EXPECT_EQ(std::get<JoinRequest>(j2->body).overlay, 3u);
+
+  Request psql;
+  psql.body = PsqlRequest{"select city from cities on us-map"};
+  auto q2 = DecodeRequestPayload(MsgType::kPsql,
+                                 EncodeRequestPayload(psql));
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(std::get<PsqlRequest>(q2->body).text,
+            "select city from cities on us-map");
+}
+
+TEST(ProtocolTest, AdminRequestsRoundTrip) {
+  Request faults;
+  faults.body = SetFaultsRequest{0.01, 0.001};
+  auto f2 = DecodeRequestPayload(MsgType::kSetFaults,
+                                 EncodeRequestPayload(faults));
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(std::get<SetFaultsRequest>(f2->body).transient_read_error_rate,
+            0.01);
+
+  for (const MsgType t :
+       {MsgType::kPing, MsgType::kStats, MsgType::kInvalidate}) {
+    auto decoded = DecodeRequestPayload(t, "");
+    EXPECT_TRUE(decoded.ok()) << static_cast<int>(t);
+  }
+}
+
+TEST(ProtocolTest, RequestDecodeRejectsMalformedPayloads) {
+  // Truncated window payload.
+  Request req;
+  req.body = WindowRequest{geom::Rect(0, 0, 1, 1), false};
+  std::string payload = EncodeRequestPayload(req);
+  for (const size_t cut : {size_t{0}, size_t{4}, payload.size() - 1}) {
+    EXPECT_FALSE(
+        DecodeRequestPayload(MsgType::kWindow, payload.substr(0, cut)).ok());
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(DecodeRequestPayload(MsgType::kWindow, payload + "x").ok());
+  // Non-finite coordinates.
+  Request nan_req;
+  nan_req.body = WindowRequest{
+      geom::Rect(std::numeric_limits<double>::quiet_NaN(), 0, 1, 1), false};
+  EXPECT_FALSE(DecodeRequestPayload(MsgType::kWindow,
+                                    EncodeRequestPayload(nan_req))
+                   .ok());
+  // Fault rates out of range.
+  Request faults;
+  faults.body = SetFaultsRequest{1.5, 0.0};
+  EXPECT_FALSE(DecodeRequestPayload(MsgType::kSetFaults,
+                                    EncodeRequestPayload(faults))
+                   .ok());
+  // Ping with a body.
+  EXPECT_FALSE(DecodeRequestPayload(MsgType::kPing, "junk").ok());
+  // Response type fed to the request decoder.
+  EXPECT_FALSE(DecodeRequestPayload(MsgType::kHits, "").ok());
+}
+
+// ---------------------------------------------------------------------
+// Response codecs.
+
+WireStats SampleStats() {
+  WireStats s;
+  s.latency_us = 123;
+  s.nodes_visited = 45;
+  s.entries_tested = 200;
+  s.results = 7;
+  s.skipped_subtrees = 1;
+  s.degraded = true;
+  return s;
+}
+
+TEST(ProtocolTest, HitsResponseRoundTrip) {
+  HitsResponse resp;
+  resp.stats = SampleStats();
+  resp.hits.push_back(WireHit{geom::Rect(1, 2, 3, 4), WireRid{9, 2}});
+  resp.hits.push_back(WireHit{geom::Rect(-1, -2, 0, 0), WireRid{77, 0}});
+  const Response response{resp};
+  EXPECT_EQ(ResponseMsgType(response), MsgType::kHits);
+
+  const std::string payload = EncodeResponsePayload(response);
+  auto decoded = DecodeResponsePayload(MsgType::kHits, payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto& got = std::get<HitsResponse>(decoded->body);
+  EXPECT_EQ(got.stats, resp.stats);
+  ASSERT_EQ(got.hits.size(), 2u);
+  EXPECT_EQ(got.hits[0].rid, (WireRid{9, 2}));
+  EXPECT_EQ(got.hits[1].mbr.lo.x, -1.0);
+}
+
+TEST(ProtocolTest, NeighborsAndJoinResponseRoundTrip) {
+  NeighborsResponse nresp;
+  nresp.stats = SampleStats();
+  nresp.neighbors.push_back(
+      WireNeighbor{WireHit{geom::Rect(5, 5, 6, 6), WireRid{1, 1}}, 2.5});
+  auto n2 = DecodeResponsePayload(
+      MsgType::kNeighbors, EncodeResponsePayload(Response{nresp}));
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(std::get<NeighborsResponse>(n2->body).neighbors[0].distance,
+            2.5);
+
+  JoinResponse jresp;
+  jresp.stats = SampleStats();
+  jresp.pairs = 987654321;
+  auto j2 = DecodeResponsePayload(MsgType::kJoinResult,
+                                  EncodeResponsePayload(Response{jresp}));
+  ASSERT_TRUE(j2.ok());
+  EXPECT_EQ(std::get<JoinResponse>(j2->body).pairs, 987654321u);
+}
+
+TEST(ProtocolTest, TableResponseRoundTrip) {
+  TableResponse resp;
+  resp.stats.results = 2;
+  resp.columns = {"city", "population"};
+  resp.rows = {{"Washington", "638000"}, {"Baltimore", "621000"}};
+  resp.row_rids = {{WireRid{4, 0}}, {WireRid{4, 1}}};
+  auto decoded = DecodeResponsePayload(
+      MsgType::kTable, EncodeResponsePayload(Response{resp}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto& got = std::get<TableResponse>(decoded->body);
+  EXPECT_EQ(got.columns, resp.columns);
+  EXPECT_EQ(got.rows, resp.rows);
+  EXPECT_EQ(got.row_rids[1][0], (WireRid{4, 1}));
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTripAndStatusMapping) {
+  const Status original = Status::ResourceExhausted("quota exceeded");
+  ErrorResponse e = ErrorResponse::FromStatus(original);
+  auto decoded = DecodeResponsePayload(MsgType::kError,
+                                       EncodeResponsePayload(Response{e}));
+  ASSERT_TRUE(decoded.ok());
+  const Status back = std::get<ErrorResponse>(decoded->body).ToStatus();
+  EXPECT_TRUE(back.IsResourceExhausted());
+  EXPECT_EQ(back.message(), "quota exceeded");
+}
+
+TEST(ProtocolTest, StatsResponseRoundTrip) {
+  StatsResponse resp;
+  resp.submitted = 100;
+  resp.completed = 98;
+  resp.cache_hits = 40;
+  resp.protocol_errors = 3;
+  resp.variant_latency[0].counts[10] = 5;
+  resp.variant_latency[0].sum = 999;
+  resp.variant_latency[4].max = 777;
+  auto decoded = DecodeResponsePayload(
+      MsgType::kStatsResult, EncodeResponsePayload(Response{resp}));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const auto& got = std::get<StatsResponse>(decoded->body);
+  EXPECT_EQ(got.submitted, 100u);
+  EXPECT_EQ(got.cache_hits, 40u);
+  EXPECT_EQ(got.variant_latency[0].counts[10], 5u);
+  EXPECT_EQ(got.variant_latency[0].sum, 999u);
+  EXPECT_EQ(got.variant_latency[4].max, 777u);
+}
+
+TEST(ProtocolTest, ResponseDecodeRejectsMalformedPayloads) {
+  HitsResponse resp;
+  resp.hits.push_back(WireHit{geom::Rect(0, 0, 1, 1), WireRid{1, 0}});
+  std::string payload = EncodeResponsePayload(Response{resp});
+  EXPECT_FALSE(
+      DecodeResponsePayload(MsgType::kHits, payload.substr(0, 10)).ok());
+  EXPECT_FALSE(DecodeResponsePayload(MsgType::kHits, payload + "z").ok());
+  // A count that promises more elements than the payload can hold.
+  ByteWriter w;
+  for (int i = 0; i < 41; ++i) w.PutU8(0);  // stats block
+  w.PutU32(1000000);                        // 1M hits in 0 bytes
+  EXPECT_FALSE(DecodeResponsePayload(MsgType::kHits, w.str()).ok());
+}
+
+// ---------------------------------------------------------------------
+// Cache keys.
+
+TEST(ProtocolTest, CacheKeyCanonicalizesTimeout) {
+  Request a, b;
+  a.body = WindowRequest{geom::Rect(0, 0, 10, 10), false};
+  a.options.timeout_us = 1000;
+  b.body = WindowRequest{geom::Rect(0, 0, 10, 10), false};
+  b.options.timeout_us = 999999;  // different deadline, same question
+  EXPECT_EQ(CacheKey(a), CacheKey(b));
+  EXPECT_FALSE(CacheKey(a).empty());
+
+  // Different window => different key.
+  Request c;
+  c.body = WindowRequest{geom::Rect(0, 0, 10, 11), false};
+  EXPECT_NE(CacheKey(a), CacheKey(c));
+
+  // Same window, different kind => different key.
+  Request d;
+  d.body = WindowRequest{geom::Rect(0, 0, 10, 10), true};
+  EXPECT_NE(CacheKey(a), CacheKey(d));
+
+  // degraded_ok is part of the key (conservative).
+  Request e = a;
+  e.options.degraded_ok = true;
+  EXPECT_NE(CacheKey(a), CacheKey(e));
+
+  // Non-query requests are never cached.
+  Request ping;
+  ping.body = PingRequest{};
+  EXPECT_TRUE(CacheKey(ping).empty());
+}
+
+}  // namespace
+}  // namespace pictdb::net

@@ -1,0 +1,522 @@
+// End-to-end tests of the network serving tier: a real poll-loop server
+// over a PACK-built tree, exercised through the blocking client. Covers
+// query round trips on Unix and TCP sockets, the result cache's
+// byte-identical replay, quota / in-flight / connection-limit
+// backpressure, admin fault episodes, cache invalidation, protocol-error
+// handling on a live socket, and the SIGTERM graceful-drain path.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "pack/pack.h"
+#include "rtree/rtree.h"
+#include "service/query_service.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/fault_injection.h"
+#include "workload/generators.h"
+
+namespace pictdb::net {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+constexpr size_t kObjects = 4000;
+
+std::string SockPath(const std::string& name) {
+  return ::testing::TempDir() + "pictdb_" + name + "_" +
+         std::to_string(getpid()) + ".sock";
+}
+
+/// PACK-built tree (behind a fault-injection disk armed with rate 0) and
+/// a small overlay tree, served by a QueryService. Each test constructs
+/// its own Server so it can pick quota/cache/admin options.
+class NetServerTest : public ::testing::Test {
+ protected:
+  NetServerTest()
+      : disk_(512),
+        fault_disk_(&disk_, storage::FaultPlan{}),
+        pool_(&fault_disk_, /*capacity=*/256, /*shards=*/4) {
+    Random rng(101);
+    points_ =
+        workload::UniformPoints(&rng, kObjects, workload::PaperFrame());
+    std::vector<storage::Rid> rids;
+    rids.reserve(points_.size());
+    for (size_t i = 0; i < points_.size(); ++i) {
+      rids.push_back(storage::Rid{static_cast<storage::PageId>(i), 0});
+    }
+    auto tree = rtree::RTree::Create(&pool_);
+    PICTDB_CHECK(tree.ok());
+    tree_ = std::make_unique<rtree::RTree>(std::move(tree).value());
+    PICTDB_CHECK_OK(pack::PackNearestNeighbor(
+        tree_.get(), pack::MakeLeafEntries(points_, rids)));
+
+    // Overlay tree of small regions (not points — a point-point join
+    // would find no intersecting pairs).
+    Random overlay_rng(202);
+    overlay_points_ =
+        workload::UniformPoints(&overlay_rng, 400, workload::PaperFrame());
+    std::vector<Rect> overlay_rects;
+    overlay_rects.reserve(overlay_points_.size());
+    for (const Point& p : overlay_points_) {
+      overlay_rects.push_back(Rect::FromCenterHalfExtent(p.x, 4, p.y, 4));
+    }
+    std::vector<storage::Rid> overlay_rids;
+    overlay_rids.reserve(overlay_rects.size());
+    for (size_t i = 0; i < overlay_rects.size(); ++i) {
+      overlay_rids.push_back(
+          storage::Rid{static_cast<storage::PageId>(i), 1});
+    }
+    auto overlay = rtree::RTree::Create(&pool_);
+    PICTDB_CHECK(overlay.ok());
+    overlay_ = std::make_unique<rtree::RTree>(std::move(overlay).value());
+    PICTDB_CHECK_OK(pack::PackNearestNeighbor(
+        overlay_.get(),
+        pack::MakeLeafEntries(overlay_rects, overlay_rids)));
+
+    service::ServiceOptions service_options;
+    service_options.num_threads = 4;
+    service_options.queue_capacity = 128;
+    service_ = std::make_unique<service::QueryService>(
+        tree_.get(), /*executor=*/nullptr, service_options);
+  }
+
+  Server::Bindings Bindings() {
+    Server::Bindings b;
+    b.service = service_.get();
+    b.overlay = overlay_.get();
+    b.fault_disk = &fault_disk_;
+    return b;
+  }
+
+  size_t BruteForceWindowCount(const Rect& window) const {
+    size_t count = 0;
+    for (const Point& p : points_) {
+      if (window.Contains(p)) ++count;
+    }
+    return count;
+  }
+
+  storage::InMemoryDiskManager disk_;
+  storage::FaultInjectionDiskManager fault_disk_;
+  storage::BufferPool pool_;
+  std::unique_ptr<rtree::RTree> tree_;
+  std::unique_ptr<rtree::RTree> overlay_;
+  std::vector<Point> points_;
+  std::vector<Point> overlay_points_;
+  std::unique_ptr<service::QueryService> service_;
+};
+
+TEST_F(NetServerTest, PingAndQueriesOverUnixSocket) {
+  ServerOptions options;
+  options.unix_path = SockPath("basic");
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client->Ping().ok());
+
+  const Rect window = Rect::FromCenterHalfExtent(500, 80, 500, 80);
+  auto window_result = client->Window(window, /*contained_only=*/false);
+  ASSERT_TRUE(window_result.ok()) << window_result.status().ToString();
+  const auto& hits = std::get<HitsResponse>(window_result->response.body);
+  EXPECT_EQ(hits.hits.size(), BruteForceWindowCount(window));
+  EXPECT_FALSE(window_result->cached());
+  EXPECT_FALSE(window_result->degraded());
+  EXPECT_GT(hits.stats.nodes_visited, 0u);
+
+  // Point containment: an existing point is found, a far-away one is not.
+  auto present = client->Point(points_[7]);
+  ASSERT_TRUE(present.ok());
+  EXPECT_GE(std::get<HitsResponse>(present->response.body).hits.size(), 1u);
+  auto absent = client->Point(Point{-5000.0, -5000.0});
+  ASSERT_TRUE(absent.ok());
+  EXPECT_EQ(std::get<HitsResponse>(absent->response.body).hits.size(), 0u);
+
+  // kNN: k results, sorted by distance.
+  auto knn = client->Knn(Point{400.0, 600.0}, 5);
+  ASSERT_TRUE(knn.ok());
+  const auto& neighbors = std::get<NeighborsResponse>(knn->response.body);
+  ASSERT_EQ(neighbors.neighbors.size(), 5u);
+  for (size_t i = 1; i < neighbors.neighbors.size(); ++i) {
+    EXPECT_LE(neighbors.neighbors[i - 1].distance,
+              neighbors.neighbors[i].distance);
+  }
+
+  // Join against the server-hosted overlay tree.
+  auto join = client->Join(/*overlay=*/0);
+  ASSERT_TRUE(join.ok());
+  EXPECT_GT(std::get<JoinResponse>(join->response.body).pairs, 0u);
+  auto missing_overlay = client->Join(/*overlay=*/3);
+  EXPECT_FALSE(missing_overlay.ok());
+  EXPECT_TRUE(missing_overlay.status().IsNotFound())
+      << missing_overlay.status().ToString();
+
+  // PSQL without an executor surfaces the service's error over the wire.
+  auto psql = client->Psql("select * from cities");
+  EXPECT_FALSE(psql.ok());
+
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_GT(stats.frames_received, 0u);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, TcpLoopbackListenerWorks) {
+  ServerOptions options;
+  options.tcp_port = 0;  // ephemeral
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.tcp_port(), 0);
+
+  auto client = Client::ConnectTcp("127.0.0.1", server.tcp_port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const Rect window = Rect::FromCenterHalfExtent(300, 50, 700, 50);
+  auto result = client->Window(window, false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(std::get<HitsResponse>(result->response.body).hits.size(),
+            BruteForceWindowCount(window));
+  server.Stop();
+}
+
+TEST_F(NetServerTest, RepeatedWindowIsServedFromCacheByteIdentically) {
+  ServerOptions options;
+  options.unix_path = SockPath("cache");
+  options.cache_bytes = 1 << 20;
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  const Rect window = Rect::FromCenterHalfExtent(250, 60, 250, 60);
+
+  auto first = client->Window(window, false);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cached());
+
+  // Different deadline, same canonical question: still a hit.
+  WireOptions wire_options;
+  wire_options.timeout_us = 5'000'000;
+  auto second = client->Window(window, false, wire_options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cached());
+
+  const auto& hits1 = std::get<HitsResponse>(first->response.body);
+  const auto& hits2 = std::get<HitsResponse>(second->response.body);
+  // Byte-identical replay: even the execution stats (latency included)
+  // are the original response's, verbatim.
+  EXPECT_EQ(hits1.stats, hits2.stats);
+  ASSERT_EQ(hits1.hits.size(), hits2.hits.size());
+  for (size_t i = 0; i < hits1.hits.size(); ++i) {
+    EXPECT_EQ(hits1.hits[i].rid, hits2.hits[i].rid);
+  }
+
+  auto stats = client->ServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->cache_hits, 1u);
+  EXPECT_GE(stats->cache_insertions, 1u);
+  EXPECT_EQ(server.Stats().cache_hits, stats->cache_hits);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, AdminInvalidateBumpsEpochAndDropsCachedEntries) {
+  ServerOptions options;
+  options.unix_path = SockPath("invalidate");
+  options.cache_bytes = 1 << 20;
+  options.allow_admin = true;
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  const Rect window = Rect::FromCenterHalfExtent(600, 40, 400, 40);
+  ASSERT_TRUE(client->Window(window, false).ok());
+  auto warm = client->Window(window, false);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cached());
+
+  ASSERT_TRUE(client->InvalidateCache().ok());
+
+  auto after = client->Window(window, false);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cached());  // epoch bump made the entry stale
+  auto stats = client->ServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->cache_invalidations, 1u);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, QuotaRejectsBeyondBurstWithResourceExhausted) {
+  ServerOptions options;
+  options.unix_path = SockPath("quota");
+  options.quota_qps = 0.001;  // effectively no refill within the test
+  options.quota_burst = 3;
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  size_t ok_count = 0, rejected = 0;
+  for (int i = 0; i < 8; ++i) {
+    // Distinct windows so the (disabled anyway) cache cannot interfere.
+    const Rect window = Rect::FromCenterHalfExtent(100 + 10 * i, 5, 100, 5);
+    auto result = client->Window(window, false);
+    if (result.ok()) {
+      ++ok_count;
+    } else {
+      EXPECT_TRUE(result.status().IsResourceExhausted())
+          << result.status().ToString();
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok_count, 3u);
+  EXPECT_EQ(rejected, 5u);
+  EXPECT_EQ(server.Stats().quota_rejections, 5u);
+  // Ping is not a query: it bypasses the quota entirely.
+  EXPECT_TRUE(client->Ping().ok());
+  server.Stop();
+}
+
+TEST_F(NetServerTest, InflightBoundRejectsWithResourceExhausted) {
+  ServerOptions options;
+  options.unix_path = SockPath("inflight");
+  options.max_inflight_per_conn = 0;  // degenerate bound: reject all
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  auto result = client->Window(Rect(0, 0, 10, 10), false);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+  EXPECT_EQ(server.Stats().backpressure_rejections, 1u);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, ConnectionLimitRejectsExtraClients) {
+  ServerOptions options;
+  options.unix_path = SockPath("connlimit");
+  options.max_connections = 1;
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto first = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->Ping().ok());  // fully admitted
+
+  auto second = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(second.ok());  // accept() succeeds, then the server rejects
+  FrameHeader header;
+  auto greeting = second->ReadFrameRaw(&header);
+  if (greeting.ok()) {
+    EXPECT_EQ(header.type, MsgType::kError);
+    auto decoded = DecodeResponsePayload(header.type, *greeting);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(std::get<ErrorResponse>(decoded->body)
+                    .ToStatus()
+                    .IsResourceExhausted());
+  }
+  // Either way the rejected socket is closed and counted.
+  EXPECT_FALSE(second->Ping().ok());
+  EXPECT_EQ(server.Stats().connections_rejected, 1u);
+
+  // The admitted client is unaffected.
+  EXPECT_TRUE(first->Ping().ok());
+  server.Stop();
+}
+
+TEST_F(NetServerTest, AdminFaultEpisodeDegradesThenRecovers) {
+  ServerOptions options;
+  options.unix_path = SockPath("faults");
+  options.allow_admin = true;
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  // Full-frame window: touches every leaf page, far more than the pool
+  // can hold, so disk reads (and injected faults) are guaranteed.
+  const Rect window = workload::PaperFrame();
+  const size_t exact = BruteForceWindowCount(window);
+
+  ASSERT_TRUE(client->SetFaults(/*transient_read_error_rate=*/0.5,
+                                /*read_bit_flip_rate=*/0.0)
+                  .ok());
+  WireOptions degraded_ok;
+  degraded_ok.degraded_ok = true;
+  bool saw_trouble = false;
+  for (int i = 0; i < 20; ++i) {
+    auto result = client->Window(window, false, degraded_ok);
+    if (!result.ok()) {
+      saw_trouble = true;  // fault before degraded mode could engage
+      continue;
+    }
+    const auto& hits = std::get<HitsResponse>(result->response.body);
+    if (result->degraded()) {
+      saw_trouble = true;
+      EXPECT_TRUE(hits.stats.degraded);
+      EXPECT_LE(hits.hits.size(), exact);  // subset, never invention
+    } else {
+      EXPECT_EQ(hits.hits.size(), exact);
+    }
+  }
+  EXPECT_TRUE(saw_trouble);  // 40% read faults cannot pass unnoticed
+
+  // End the episode: back to exact answers.
+  ASSERT_TRUE(client->SetFaults(0.0, 0.0).ok());
+  auto healed = client->Window(window, false);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_FALSE(healed->degraded());
+  EXPECT_EQ(std::get<HitsResponse>(healed->response.body).hits.size(),
+            exact);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, AdminCommandsDisabledByDefault) {
+  ServerOptions options;
+  options.unix_path = SockPath("noadmin");
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  const Status faults = client->SetFaults(0.5, 0.0);
+  EXPECT_FALSE(faults.ok());
+  const Status invalidate = client->InvalidateCache();
+  EXPECT_FALSE(invalidate.ok());
+  server.Stop();
+}
+
+TEST_F(NetServerTest, GarbageBytesGetStructuredErrorThenClose) {
+  ServerOptions options;
+  options.unix_path = SockPath("garbage");
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendRaw("this is definitely not a frame--").ok());
+  FrameHeader header;
+  auto reply = client->ReadFrameRaw(&header);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(header.type, MsgType::kError);
+  // After the structured error the server closes the unsyncable stream.
+  EXPECT_FALSE(client->Ping().ok());
+  EXPECT_GE(server.Stats().protocol_errors, 1u);
+
+  // The server itself is fine: a fresh client works.
+  auto fresh = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->Ping().ok());
+  server.Stop();
+}
+
+TEST_F(NetServerTest, TruncatedFrameThenDisconnectLeavesServerAlive) {
+  ServerOptions options;
+  options.unix_path = SockPath("truncated");
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    auto client = Client::ConnectUnix(options.unix_path);
+    ASSERT_TRUE(client.ok());
+    Request ping;
+    ping.body = PingRequest{};
+    const std::string frame =
+        EncodeFrame(MsgType::kWindow, 0, 9, EncodeRequestPayload(ping));
+    // Ship only half the frame, then vanish mid-message.
+    ASSERT_TRUE(client->SendRaw(
+                          std::string_view(frame).substr(0, frame.size() / 2))
+                    .ok());
+  }  // destructor closes the socket
+
+  auto fresh = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->Ping().ok());
+  server.Stop();
+}
+
+TEST_F(NetServerTest, MalformedPayloadGetsErrorButKeepsConnection) {
+  ServerOptions options;
+  options.unix_path = SockPath("badpayload");
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  // Well-formed frame, garbage payload: the stream stays in sync, so the
+  // server answers with an error and keeps serving this connection.
+  const std::string frame = EncodeFrame(MsgType::kWindow, 0, 11, "junk");
+  ASSERT_TRUE(client->SendRaw(frame).ok());
+  FrameHeader header;
+  auto reply = client->ReadFrameRaw(&header);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(header.type, MsgType::kError);
+  EXPECT_EQ(header.request_id, 11u);
+  EXPECT_TRUE(client->Ping().ok());  // same connection still serves
+  EXPECT_GE(server.Stats().protocol_errors, 1u);
+  server.Stop();
+}
+
+TEST_F(NetServerTest, SigtermTriggersGracefulDrain) {
+  ServerOptions options;
+  options.unix_path = SockPath("sigterm");
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+  Server::InstallSignalHandlers(&server);
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  auto before = client->Window(Rect(0, 0, 100, 100), false);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_EQ(raise(SIGTERM), 0);
+  server.Join();  // the drain path exits the serving thread
+  EXPECT_FALSE(server.running());
+
+  // Served work was answered; new work finds the listener gone.
+  ASSERT_TRUE(client->SetRecvTimeout(std::chrono::milliseconds(500)).ok());
+  EXPECT_FALSE(client->Ping().ok());
+  auto late = Client::ConnectUnix(options.unix_path);
+  EXPECT_FALSE(late.ok());
+
+  // Stats survive the drain for the shutdown report.
+  const ServerStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_GT(stats.frames_received, 0u);
+  Server::InstallSignalHandlers(nullptr);
+}
+
+TEST_F(NetServerTest, ProgrammaticDrainAnswersInflightBeforeExit) {
+  ServerOptions options;
+  options.unix_path = SockPath("drain");
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto result = client->Knn(Point{10.0 * i, 20.0 * i}, 3);
+    ASSERT_TRUE(result.ok());
+  }
+  server.RequestDrain();
+  server.Join();
+  EXPECT_FALSE(server.running());
+  // Drain is idempotent.
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace pictdb::net

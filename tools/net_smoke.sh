@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the network serving tier: pack a 10k-object tree,
+# serve it over a unix socket, soak it with ~10s of mixed traffic
+# (window/point/kNN/join/PSQL) including a mid-run 1% fault-injection
+# episode, verify every answer against the load generator's local
+# oracle, then drain the server with SIGTERM and require a clean exit.
+#
+# Usage: tools/net_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/bench/pictdb_server"
+LOADGEN="$BUILD_DIR/bench/loadgen"
+WORK="$(mktemp -d /tmp/pictdb-net-smoke.XXXXXX)"
+SOCK="$WORK/pictdb.sock"
+SERVER_LOG="$WORK/server.log"
+SERVER_PID=""
+
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+OBJECTS=10000
+OVERLAY=300
+
+"$SERVER" --unix="$SOCK" --objects=$OBJECTS --overlay=$OVERLAY \
+  --cache-bytes=4000000 --allow-admin >"$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 200); do
+  grep -q READY "$SERVER_LOG" 2>/dev/null && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$SERVER_LOG"; exit 1; }
+  sleep 0.1
+done
+grep READY "$SERVER_LOG"
+
+"$LOADGEN" --endpoint="unix:$SOCK" --objects=$OBJECTS --overlay=$OVERLAY \
+  --duration=10 --clients=6 --query-pool=128 --degraded-ok \
+  --fault-start=4 --fault-duration=2 --fault-rate=0.01 \
+  --slo-goodput=0.95
+
+# Graceful drain: SIGTERM must produce exit 0 and a stats dump.
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  echo "server did not drain cleanly" >&2
+  cat "$SERVER_LOG"
+  exit 1
+fi
+grep -q "drained; final stats:" "$SERVER_LOG"
+echo "net smoke OK"
