@@ -8,6 +8,14 @@
 //   stress_harness [seed] [ops]             seeded run (default 1 1000)
 //   stress_harness --service [seed] [ops]   route queries through the pool
 //   stress_harness --faults [seed] [ops]    1% transient faults + bit flips
+//   stress_harness --crash [seed] [ops]     WAL'd writes on a volatile
+//                                           write cache with seeded power
+//                                           losses: every crash recovers
+//                                           and diffs the full state
+//                                           against the oracle (combine
+//                                           with --service to route the
+//                                           mutations through the service
+//                                           write path)
 //   stress_harness --replay file.trace      re-run a saved reproducer
 //   stress_harness --demo-shrink            plant a corruption, show ddmin
 //   stress_harness --lint-env [seed]        short smoke over exactly the
@@ -48,6 +56,19 @@ StressConfig BaseConfig(uint64_t seed, size_t ops) {
   return config;
 }
 
+void EnableCrashes(StressConfig* config) {
+  config->durable = true;
+  config->w_update = 0.05;
+  config->w_crash = 0.02;
+  config->w_checkpoint = 0.01;
+  // Re-PACK and fault episodes are the offline-era ops; a crash trace
+  // spends its budget on logged mutations and recoveries instead.
+  config->w_repack = 0.0;
+  config->w_repack_region = 0.0;
+  config->w_fault_flip = 0.0;
+  config->checkpoint_every = 256;
+}
+
 void EnableFaults(StressConfig* config) {
   config->fault_plan.seed = config->seed * 2 + 1;
   config->fault_plan.transient_read_error_rate = 0.01;
@@ -77,7 +98,8 @@ int RunAndReport(const std::vector<Op>& trace, const StressConfig& config) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool service = false, faults = false, demo = false, lint_env = false;
+  bool service = false, faults = false, crash = false, demo = false,
+       lint_env = false;
   std::string replay_path;
   uint64_t seed = 1;
   size_t ops = 1000;
@@ -89,6 +111,8 @@ int main(int argc, char** argv) {
       service = true;
     } else if (arg == "--faults") {
       faults = true;
+    } else if (arg == "--crash") {
+      crash = true;
     } else if (arg == "--demo-shrink") {
       demo = true;
     } else if (arg == "--lint-env") {
@@ -124,6 +148,7 @@ int main(int argc, char** argv) {
   StressConfig config = BaseConfig(seed, ops);
   config.use_service = service;
   if (faults) EnableFaults(&config);
+  if (crash) EnableCrashes(&config);
 
   if (!replay_path.empty()) {
     std::ifstream in(replay_path);
@@ -157,9 +182,10 @@ int main(int argc, char** argv) {
     trace.push_back(corrupt);
     std::printf("planted corrupt-mbr as final op %zu\n", trace.size() - 1);
   }
-  std::printf("seed=%llu ops=%zu%s%s\n",
+  std::printf("seed=%llu ops=%zu%s%s%s\n",
               static_cast<unsigned long long>(seed), trace.size(),
-              service ? " [service]" : "", faults ? " [faults]" : "");
+              service ? " [service]" : "", faults ? " [faults]" : "",
+              crash ? " [crash]" : "");
   const int rc = RunAndReport(trace, config);
   // The demo is *supposed* to fail and shrink; its exit code is success.
   return demo ? 0 : rc;

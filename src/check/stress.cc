@@ -4,6 +4,7 @@
 #include <cstring>
 #include <iomanip>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "check/invariants.h"
@@ -16,6 +17,8 @@
 #include "service/query_service.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/write_cache.h"
+#include "wal/durable_tree.h"
 #include "workload/generators.h"
 
 namespace pictdb::check {
@@ -31,6 +34,7 @@ std::string StressOutcome::Summary() const {
   os << (failed ? "FAILED" : "ok") << ": " << queries << " queries ("
      << wrong_answers << " wrong, " << degraded_subsets << " degraded), "
      << mutations << " mutations, " << validations << " validations";
+  if (crashes != 0) os << ", " << crashes << " crashes survived";
   if (failed) os << "; op " << failing_op << ": " << message;
   return os.str();
 }
@@ -41,10 +45,11 @@ std::vector<Op> GenerateTrace(const StressConfig& config) {
   Random rng(config.seed);
   const Rect frame =
       config.frame.IsEmpty() ? workload::PaperFrame() : config.frame;
-  const double total = config.w_insert + config.w_delete + config.w_window +
-                       config.w_contained + config.w_point + config.w_knn +
-                       config.w_repack + config.w_repack_region +
-                       config.w_fault_flip;
+  const double total = config.w_insert + config.w_delete + config.w_update +
+                       config.w_window + config.w_contained + config.w_point +
+                       config.w_knn + config.w_repack +
+                       config.w_repack_region + config.w_checkpoint +
+                       config.w_crash + config.w_fault_flip;
   std::vector<Op> trace;
   trace.reserve(config.ops);
   bool faults_armed = false;
@@ -79,6 +84,14 @@ std::vector<Op> GenerateTrace(const StressConfig& config) {
     } else if ((r -= config.w_delete) < 0) {
       op.kind = OpKind::kDelete;
       op.a = static_cast<uint32_t>(rng.Uniform(1u << 30));
+    } else if ((r -= config.w_update) < 0) {
+      op.kind = OpKind::kUpdate;
+      op.a = static_cast<uint32_t>(rng.Uniform(1u << 30));
+      const Point p = draw_point();
+      op.rect = rng.Bernoulli(0.25)
+                    ? Rect::FromCenterHalfExtent(p.x, rng.UniformDouble(0.1, 5),
+                                                 p.y, rng.UniformDouble(0.1, 5))
+                    : Rect::FromPoint(p);
     } else if ((r -= config.w_window) < 0) {
       op.kind = OpKind::kWindow;
       op.rect = draw_window();
@@ -97,6 +110,10 @@ std::vector<Op> GenerateTrace(const StressConfig& config) {
     } else if ((r -= config.w_repack_region) < 0) {
       op.kind = OpKind::kRepackRegion;
       op.rect = draw_window();
+    } else if ((r -= config.w_checkpoint) < 0) {
+      op.kind = OpKind::kCheckpoint;
+    } else if ((r -= config.w_crash) < 0) {
+      op.kind = OpKind::kCrash;
     } else {
       op.kind = faults_armed ? OpKind::kFaultOff : OpKind::kFaultOn;
       faults_armed = !faults_armed;
@@ -131,6 +148,10 @@ std::string TraceToText(const std::vector<Op>& trace) {
       case OpKind::kDelete:
         os << "delete " << op.a;
         break;
+      case OpKind::kUpdate:
+        os << "update " << op.a;
+        AppendRect(os, op.rect);
+        break;
       case OpKind::kWindow:
         os << "window";
         AppendRect(os, op.rect);
@@ -151,6 +172,12 @@ std::string TraceToText(const std::vector<Op>& trace) {
       case OpKind::kRepackRegion:
         os << "repack-region";
         AppendRect(os, op.rect);
+        break;
+      case OpKind::kCheckpoint:
+        os << "checkpoint";
+        break;
+      case OpKind::kCrash:
+        os << "crash";
         break;
       case OpKind::kFaultOn:
         os << "fault-on";
@@ -195,6 +222,9 @@ StatusOr<std::vector<Op>> ParseTrace(std::string_view text) {
     } else if (verb == "delete") {
       op.kind = OpKind::kDelete;
       ok = static_cast<bool>(in >> op.a);
+    } else if (verb == "update") {
+      op.kind = OpKind::kUpdate;
+      ok = static_cast<bool>(in >> op.a) && rect();
     } else if (verb == "window") {
       op.kind = OpKind::kWindow;
       ok = rect();
@@ -212,6 +242,10 @@ StatusOr<std::vector<Op>> ParseTrace(std::string_view text) {
     } else if (verb == "repack-region") {
       op.kind = OpKind::kRepackRegion;
       ok = rect();
+    } else if (verb == "checkpoint") {
+      op.kind = OpKind::kCheckpoint;
+    } else if (verb == "crash") {
+      op.kind = OpKind::kCrash;
     } else if (verb == "fault-on") {
       op.kind = OpKind::kFaultOn;
     } else if (verb == "fault-off") {
@@ -266,25 +300,52 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
       config.frame.IsEmpty() ? workload::PaperFrame() : config.frame;
 
   // Environment: memory disk under a seeded fault injector under a
-  // checksumming pool with fast (no-sleep) retries.
+  // checksumming pool with fast (no-sleep) retries. Durable mode slots a
+  // volatile write cache between the pool and the fault layer — the
+  // "OS page cache" a kCrash op wipes.
   storage::InMemoryDiskManager mem(config.page_size);
   storage::FaultInjectionDiskManager faulty(&mem, config.fault_plan);
   faulty.ClearFaults();  // start every run quiet; kFaultOn re-arms
+  std::optional<storage::WriteCacheDiskManager> wcache;
+  storage::DiskManager* top = &faulty;
+  if (config.durable) {
+    wcache.emplace(&faulty);
+    top = &*wcache;
+  }
   storage::BufferPoolOptions popts;
   popts.max_read_retries = 10;
   popts.max_write_retries = 10;
   popts.retry_backoff_base = std::chrono::microseconds(0);
-  storage::BufferPool pool(&faulty, config.pool_frames, /*shards=*/1, popts);
+  auto pool = std::make_unique<storage::BufferPool>(
+      top, config.pool_frames, /*shards=*/1, popts);
 
   rtree::RTreeOptions topts;
   topts.max_entries = config.tree_max_entries;
-  auto created = rtree::RTree::Create(&pool, topts);
-  if (!created.ok()) {
-    outcome.failed = true;
-    outcome.message = "tree create: " + created.status().ToString();
-    return outcome;
+  wal::DurableOptions dopts;
+  dopts.checkpoint_every = config.checkpoint_every;
+
+  std::optional<rtree::RTree> plain;     // non-durable mode
+  std::unique_ptr<wal::DurableRTree> durable;  // durable mode
+  if (config.durable) {
+    auto created = wal::DurableRTree::Create(pool.get(), topts, dopts);
+    if (!created.ok()) {
+      outcome.failed = true;
+      outcome.message = "durable create: " + created.status().ToString();
+      return outcome;
+    }
+    durable = std::move(created).value();
+  } else {
+    auto created = rtree::RTree::Create(pool.get(), topts);
+    if (!created.ok()) {
+      outcome.failed = true;
+      outcome.message = "tree create: " + created.status().ToString();
+      return outcome;
+    }
+    plain.emplace(std::move(created).value());
   }
-  rtree::RTree tree = std::move(created).value();
+  auto query_tree = [&]() -> const rtree::RTree& {
+    return durable != nullptr ? durable->tree() : *plain;
+  };
 
   // Seed data: PACK-built points, mirrored into the oracle.
   Random init_rng(config.seed ^ 0x5eed5eedULL);
@@ -297,7 +358,9 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
   }
   std::vector<Entry> initial = pack::MakeLeafEntries(points, rids);
   if (!initial.empty()) {
-    const Status packed = pack::PackNearestNeighbor(&tree, initial);
+    const Status packed =
+        durable != nullptr ? durable->BulkLoad(initial)
+                           : pack::PackNearestNeighbor(&*plain, initial);
     if (!packed.ok()) {
       outcome.failed = true;
       outcome.message = "initial pack: " + packed.ToString();
@@ -308,11 +371,14 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
   uint64_t next_rid = config.initial_entries;
 
   std::unique_ptr<service::QueryService> svc;
-  if (config.use_service) {
+  auto make_service = [&] {
     service::ServiceOptions sopts;
     sopts.num_threads = config.service_threads;
-    svc = std::make_unique<service::QueryService>(&tree, nullptr, sopts);
-  }
+    svc = std::make_unique<service::QueryService>(&query_tree(), nullptr,
+                                                  sopts);
+    if (durable != nullptr) svc->BindWriter(durable.get());
+  };
+  if (config.use_service) make_service();
 
   bool faults_armed = false;
 
@@ -329,9 +395,33 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
     // The CRC scan assumes a quiet medium; while transient faults are
     // armed an injected read bit flip would masquerade as real rot.
     vopts.check_checksums = !faults_armed;
-    const ValidationReport report = TreeValidator(vopts).Check(tree);
+    const ValidationReport report = TreeValidator(vopts).Check(query_tree());
     if (!report.ok()) fail(op_index, "validator: " + report.ToString());
     return report.ok();
+  };
+
+  // Mutations route through the service write path when both a writer
+  // and a service exist, else through the durable tree, else directly.
+  auto do_insert = [&](const Rect& rect, const storage::Rid& rid) {
+    if (durable == nullptr) return plain->Insert(rect, rid);
+    if (svc != nullptr) return svc->ExecuteWrite(service::InsertOp{rect, rid});
+    return durable->Insert(rect, rid);
+  };
+  auto do_delete = [&](const Rect& rect, const storage::Rid& rid) {
+    if (durable == nullptr) return plain->Delete(rect, rid);
+    if (svc != nullptr) return svc->ExecuteWrite(service::DeleteOp{rect, rid});
+    return durable->Delete(rect, rid);
+  };
+  auto do_update = [&](const Rect& old_rect, const storage::Rid& old_rid,
+                       const Rect& new_rect, const storage::Rid& new_rid) {
+    if (durable == nullptr) {
+      return plain->Update(old_rect, old_rid, new_rect, new_rid);
+    }
+    if (svc != nullptr) {
+      return svc->ExecuteWrite(
+          service::UpdateOp{old_rect, old_rid, new_rect, new_rid});
+    }
+    return durable->Update(old_rect, old_rid, new_rect, new_rid);
   };
 
   auto classify = [&](size_t op_index, DiffVerdict verdict) {
@@ -364,7 +454,7 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
     switch (op.kind) {
       case OpKind::kInsert: {
         const storage::Rid rid{static_cast<PageId>(next_rid++), 0};
-        const Status st = tree.Insert(op.rect, rid);
+        const Status st = do_insert(op.rect, rid);
         if (!st.ok()) {
           fail(i, "insert: " + st.ToString());
           break;
@@ -376,12 +466,26 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
       case OpKind::kDelete: {
         if (oracle.size() == 0) break;
         const Entry victim = oracle.entries()[op.a % oracle.size()];
-        const Status st = tree.Delete(victim.mbr, victim.AsRid());
+        const Status st = do_delete(victim.mbr, victim.AsRid());
         if (!st.ok()) {
           fail(i, "delete: " + st.ToString());
           break;
         }
         oracle.Delete(victim.mbr, victim.AsRid());
+        ++outcome.mutations;
+        break;
+      }
+      case OpKind::kUpdate: {
+        if (oracle.size() == 0) break;
+        const Entry victim = oracle.entries()[op.a % oracle.size()];
+        const storage::Rid rid = victim.AsRid();
+        const Status st = do_update(victim.mbr, rid, op.rect, rid);
+        if (!st.ok()) {
+          fail(i, "update: " + st.ToString());
+          break;
+        }
+        oracle.Delete(victim.mbr, rid);
+        oracle.Insert(op.rect, rid);
         ++outcome.mutations;
         break;
       }
@@ -401,8 +505,9 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
           degraded = r->degraded;
         } else {
           rtree::SearchStats stats;
-          auto r = contained ? tree.SearchContainedIn(op.rect, &stats, sopts)
-                             : tree.SearchIntersects(op.rect, &stats, sopts);
+          auto r = contained
+                       ? query_tree().SearchContainedIn(op.rect, &stats, sopts)
+                       : query_tree().SearchIntersects(op.rect, &stats, sopts);
           if (!r.ok()) {
             fail(i, "window: " + r.status().ToString());
             break;
@@ -429,7 +534,7 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
           degraded = r->degraded;
         } else {
           rtree::SearchStats stats;
-          auto r = tree.SearchPoint(op.point, &stats, sopts);
+          auto r = query_tree().SearchPoint(op.point, &stats, sopts);
           if (!r.ok()) {
             fail(i, "point: " + r.status().ToString());
             break;
@@ -453,7 +558,8 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
           degraded = r->degraded;
         } else {
           rtree::SearchStats stats;
-          auto r = rtree::SearchNearest(tree, op.point, op.a, &stats, sopts);
+          auto r =
+              rtree::SearchNearest(query_tree(), op.point, op.a, &stats, sopts);
           if (!r.ok()) {
             fail(i, "knn: " + r.status().ToString());
             break;
@@ -466,7 +572,8 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
         break;
       }
       case OpKind::kRepack: {
-        const Status st = pack::Repack(&tree);
+        if (durable != nullptr) break;  // would bypass the log
+        const Status st = pack::Repack(&*plain);
         if (!st.ok()) {
           fail(i, "repack: " + st.ToString());
           break;
@@ -475,12 +582,67 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
         break;
       }
       case OpKind::kRepackRegion: {
-        auto st = pack::RepackRegion(&tree, op.rect);
+        if (durable != nullptr) break;  // would bypass the log
+        auto st = pack::RepackRegion(&*plain, op.rect);
         if (!st.ok()) {
           fail(i, "repack-region: " + st.status().ToString());
           break;
         }
         ++outcome.mutations;
+        break;
+      }
+      case OpKind::kCheckpoint: {
+        if (durable == nullptr) break;
+        const Status st = durable->Checkpoint();
+        if (!st.ok()) fail(i, "checkpoint: " + st.ToString());
+        break;
+      }
+      case OpKind::kCrash: {
+        if (durable == nullptr || !wcache.has_value()) {
+          fail(i, "crash op requires a durable StressConfig");
+          break;
+        }
+        // Simulated power loss: drop the service, the writer, and the
+        // pool without any orderly shutdown (their teardown flushes land
+        // in the volatile cache), wipe everything not fsynced, then
+        // recover from the bytes that survived. Every acked mutation was
+        // WAL-fsynced before its commit returned, so the recovered state
+        // must equal the oracle EXACTLY.
+        const PageId meta = durable->meta_page();
+        const PageId anchor = durable->anchor_page();
+        svc.reset();
+        durable.reset();
+        pool.reset();
+        wcache->DropUnsynced();
+        faulty.ClearFaults();  // recovery itself runs on a quiet medium
+        const bool refault = faults_armed;
+        faults_armed = false;
+        pool = std::make_unique<storage::BufferPool>(
+            top, config.pool_frames, /*shards=*/1, popts);
+        auto reopened =
+            wal::DurableRTree::Open(pool.get(), meta, anchor, dopts);
+        if (!reopened.ok()) {
+          fail(i, "recovery: " + reopened.status().ToString());
+          break;
+        }
+        durable = std::move(reopened).value();
+        if (config.use_service) make_service();
+        ++outcome.crashes;
+        // Differential oracle check over the FULL state: a window that
+        // covers everything, demanded exact (never degraded).
+        const Rect everything(-1e18, -1e18, 1e18, 1e18);
+        auto all = query_tree().SearchIntersects(everything);
+        if (!all.ok()) {
+          fail(i, "post-recovery scan: " + all.status().ToString());
+          break;
+        }
+        classify(i, CompareHits(all.value(), oracle.Intersects(everything),
+                                /*degraded=*/false));
+        if (!outcome.failed) validate(i);
+        if (refault) {
+          faulty.SetPlan(config.fault_plan);
+          faults_armed = true;
+        }
         break;
       }
       case OpKind::kFaultOn:
@@ -495,7 +657,8 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
         validate(i);
         break;
       case OpKind::kCorruptMbr: {
-        const Status st = CorruptInnerMbr(&tree, op.a);
+        if (durable != nullptr) break;  // raw page pokes bypass the log
+        const Status st = CorruptInnerMbr(&*plain, op.a);
         if (!st.ok()) fail(i, "corrupt-mbr: " + st.ToString());
         break;
       }

@@ -20,12 +20,16 @@ namespace pictdb::check {
 enum class OpKind : uint8_t {
   kInsert,        // insert `rect` with the next sequential rid
   kDelete,        // delete the (a mod live-count)-th live entry
+  kUpdate,        // move the (a mod live-count)-th live entry to `rect`
   kWindow,        // SearchIntersects(rect) diffed against the oracle
   kContained,     // SearchContainedIn(rect) diffed against the oracle
   kPoint,         // SearchPoint(point) diffed against the oracle
   kKnn,           // SearchNearest(point, a) diffed against the oracle
-  kRepack,        // full re-PACK of the tree
-  kRepackRegion,  // pack::RepackRegion(rect)
+  kRepack,        // full re-PACK of the tree (skipped in durable mode)
+  kRepackRegion,  // pack::RepackRegion(rect) (skipped in durable mode)
+  kCheckpoint,    // WAL rotation onto a fresh snapshot (durable only)
+  kCrash,         // durable only: kill the writer (power loss), wipe all
+                  // unsynced writes, recover, diff full state vs oracle
   kFaultOn,       // arm the config's FaultPlan on the injected disk
   kFaultOff,      // disarm all injected faults
   kValidate,      // run TreeValidator now (in addition to the cadence)
@@ -51,15 +55,19 @@ struct StressConfig {
   size_t initial_entries = 512;
 
   // Op mix weights (normalized; kCorruptMbr is never generated — it is
-  // appended by tests that want a failing trace).
+  // appended by tests that want a failing trace). The new kinds default
+  // to weight 0 so existing seeds generate byte-identical traces.
   double w_insert = 0.15;
   double w_delete = 0.1;
+  double w_update = 0.0;
   double w_window = 0.2;
   double w_contained = 0.1;
   double w_point = 0.15;
   double w_knn = 0.15;
   double w_repack = 0.01;
   double w_repack_region = 0.04;
+  double w_checkpoint = 0.0;  // meaningful only when `durable`
+  double w_crash = 0.0;       // meaningful only when `durable`
   double w_fault_flip = 0.1;  // alternates kFaultOn / kFaultOff
 
   double min_half_extent = 5.0;
@@ -75,6 +83,18 @@ struct StressConfig {
   /// idle whenever a writer runs, honouring its concurrency contract).
   bool use_service = false;
   size_t service_threads = 4;
+
+  /// Route all mutations through a wal::DurableRTree (WAL append +
+  /// fsync per commit) layered on a volatile write cache, enabling
+  /// kCrash ops: a crash wipes everything not fsynced, reopens, and
+  /// requires the recovered state to equal the oracle exactly — every
+  /// acked mutation must survive. kRepack / kRepackRegion / kCorruptMbr
+  /// are skipped in this mode (they would bypass the log). With
+  /// `use_service` set, mutations go through the service write path
+  /// (ExecuteWrite) and queries take epoch guards.
+  bool durable = false;
+  /// Checkpoint cadence for the durable tree (ops between rotations).
+  size_t checkpoint_every = 4096;
 
   /// TreeValidator cadence: after every `validate_every` ops (0 = only
   /// at the end of the trace; the end-of-trace validation always runs).
@@ -99,6 +119,7 @@ struct [[nodiscard]] StressOutcome {
   uint64_t wrong_answers = 0;
   uint64_t degraded_subsets = 0;
   uint64_t validations = 0;
+  uint64_t crashes = 0;  // simulated power losses survived (durable mode)
 
   std::string Summary() const;
 };

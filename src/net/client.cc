@@ -229,4 +229,23 @@ Status Client::InvalidateCache() {
   return Call(request).status();
 }
 
+Status Client::Insert(const geom::Rect& mbr, const WireRid& rid) {
+  Request request;
+  request.body = InsertRequest{mbr, rid};
+  return Call(request).status();
+}
+
+Status Client::Delete(const geom::Rect& mbr, const WireRid& rid) {
+  Request request;
+  request.body = DeleteRequest{mbr, rid};
+  return Call(request).status();
+}
+
+Status Client::Update(const geom::Rect& old_mbr, const WireRid& old_rid,
+                      const geom::Rect& new_mbr, const WireRid& new_rid) {
+  Request request;
+  request.body = UpdateRequest{old_mbr, old_rid, new_mbr, new_rid};
+  return Call(request).status();
+}
+
 }  // namespace pictdb::net

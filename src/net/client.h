@@ -58,6 +58,14 @@ class Client {
                    double read_bit_flip_rate);
   Status InvalidateCache();
 
+  /// Write conveniences (the server must run with allow_writes). An OK
+  /// return means the mutation is durable on the server (WAL fsynced)
+  /// and visible to subsequent queries.
+  Status Insert(const geom::Rect& mbr, const WireRid& rid);
+  Status Delete(const geom::Rect& mbr, const WireRid& rid);
+  Status Update(const geom::Rect& old_mbr, const WireRid& old_rid,
+                const geom::Rect& new_mbr, const WireRid& new_rid);
+
   /// Cap how long a read may block (0 restores "forever"). Lets callers
   /// detect a dead server instead of hanging.
   Status SetRecvTimeout(std::chrono::milliseconds timeout);

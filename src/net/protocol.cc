@@ -98,6 +98,18 @@ StatusOr<WireStats> ReadStats(ByteReader* r) {
   return s;
 }
 
+void PutWireRid(ByteWriter* w, const WireRid& rid) {
+  w->PutU32(rid.page_id);
+  w->PutU16(rid.slot);
+}
+
+StatusOr<WireRid> ReadWireRid(ByteReader* r) {
+  WireRid rid;
+  PICTDB_ASSIGN_OR_RETURN(rid.page_id, r->U32());
+  PICTDB_ASSIGN_OR_RETURN(rid.slot, r->U16());
+  return rid;
+}
+
 void PutHit(ByteWriter* w, const WireHit& h) {
   PutRect(w, h.mbr);
   w->PutU32(h.rid.page_id);
@@ -150,7 +162,7 @@ StatusOr<service::HistogramSnapshot> ReadHistogram(ByteReader* r) {
 
 bool IsKnownMsgType(uint8_t type) {
   return (type >= static_cast<uint8_t>(MsgType::kWindow) &&
-          type <= static_cast<uint8_t>(MsgType::kInvalidate)) ||
+          type <= static_cast<uint8_t>(MsgType::kUpdate)) ||
          (type >= static_cast<uint8_t>(MsgType::kHits) &&
           type <= static_cast<uint8_t>(MsgType::kError));
 }
@@ -158,7 +170,13 @@ bool IsKnownMsgType(uint8_t type) {
 bool IsRequestType(MsgType type) {
   const uint8_t t = static_cast<uint8_t>(type);
   return t >= static_cast<uint8_t>(MsgType::kWindow) &&
-         t <= static_cast<uint8_t>(MsgType::kInvalidate);
+         t <= static_cast<uint8_t>(MsgType::kUpdate);
+}
+
+bool IsWriteRequestType(MsgType type) {
+  const uint8_t t = static_cast<uint8_t>(type);
+  return t >= static_cast<uint8_t>(MsgType::kInsert) &&
+         t <= static_cast<uint8_t>(MsgType::kUpdate);
 }
 
 bool IsQueryRequestType(MsgType type) {
@@ -222,6 +240,9 @@ MsgType RequestMsgType(const Request& request) {
     MsgType operator()(const InvalidateRequest&) {
       return MsgType::kInvalidate;
     }
+    MsgType operator()(const InsertRequest&) { return MsgType::kInsert; }
+    MsgType operator()(const DeleteRequest&) { return MsgType::kDelete; }
+    MsgType operator()(const UpdateRequest&) { return MsgType::kUpdate; }
   };
   return std::visit(Visitor{}, request.body);
 }
@@ -260,6 +281,20 @@ std::string EncodeRequestPayload(const Request& request) {
       w->PutDouble(q.read_bit_flip_rate);
     }
     void operator()(const InvalidateRequest&) {}
+    void operator()(const InsertRequest& q) {
+      PutRect(w, q.mbr);
+      PutWireRid(w, q.rid);
+    }
+    void operator()(const DeleteRequest& q) {
+      PutRect(w, q.mbr);
+      PutWireRid(w, q.rid);
+    }
+    void operator()(const UpdateRequest& q) {
+      PutRect(w, q.old_mbr);
+      PutWireRid(w, q.old_rid);
+      PutRect(w, q.new_mbr);
+      PutWireRid(w, q.new_rid);
+    }
   };
   std::visit(Visitor{&w, &request.options}, request.body);
   return w.Take();
@@ -338,6 +373,33 @@ StatusOr<Request> DecodeRequestPayload(MsgType type,
     case MsgType::kInvalidate:
       out.body = InvalidateRequest{};
       break;
+    case MsgType::kInsert: {
+      InsertRequest q;
+      PICTDB_ASSIGN_OR_RETURN(q.mbr, ReadRect(&r));
+      PICTDB_RETURN_IF_ERROR(CheckFiniteRect(q.mbr, "insert mbr"));
+      PICTDB_ASSIGN_OR_RETURN(q.rid, ReadWireRid(&r));
+      out.body = q;
+      break;
+    }
+    case MsgType::kDelete: {
+      DeleteRequest q;
+      PICTDB_ASSIGN_OR_RETURN(q.mbr, ReadRect(&r));
+      PICTDB_RETURN_IF_ERROR(CheckFiniteRect(q.mbr, "delete mbr"));
+      PICTDB_ASSIGN_OR_RETURN(q.rid, ReadWireRid(&r));
+      out.body = q;
+      break;
+    }
+    case MsgType::kUpdate: {
+      UpdateRequest q;
+      PICTDB_ASSIGN_OR_RETURN(q.old_mbr, ReadRect(&r));
+      PICTDB_RETURN_IF_ERROR(CheckFiniteRect(q.old_mbr, "update old mbr"));
+      PICTDB_ASSIGN_OR_RETURN(q.old_rid, ReadWireRid(&r));
+      PICTDB_ASSIGN_OR_RETURN(q.new_mbr, ReadRect(&r));
+      PICTDB_RETURN_IF_ERROR(CheckFiniteRect(q.new_mbr, "update new mbr"));
+      PICTDB_ASSIGN_OR_RETURN(q.new_rid, ReadWireRid(&r));
+      out.body = q;
+      break;
+    }
     default:
       return Status::InvalidArgument("not a request message type");
   }

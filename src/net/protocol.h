@@ -52,6 +52,11 @@ enum class MsgType : uint8_t {
   kStats = 7,
   kSetFaults = 8,   // admin: arm/clear a server-side fault episode
   kInvalidate = 9,  // admin: bump the result-cache epoch
+  // Writes (honored only when the server enables them); responses reuse
+  // kOk / kError.
+  kInsert = 10,
+  kDelete = 11,
+  kUpdate = 12,
 
   // Responses.
   kHits = 32,
@@ -134,17 +139,48 @@ struct SetFaultsRequest {
   double read_bit_flip_rate = 0.0;
 };
 
-/// Explicit whole-cache invalidation (epoch bump). The hook mutations
-/// will call when writes go online.
+/// Explicit whole-cache invalidation (epoch bump). Mutations invalidate
+/// automatically through the service commit hook; this remains as the
+/// manual/admin override.
 struct InvalidateRequest {};
+
+struct WireRid {
+  uint32_t page_id = 0;
+  uint16_t slot = 0;
+
+  friend bool operator==(const WireRid&, const WireRid&) = default;
+};
+
+// Write requests. Durable on the server (WAL append + fsync) before the
+// kOk response frame is sent.
+struct InsertRequest {
+  geom::Rect mbr;
+  WireRid rid;
+};
+
+struct DeleteRequest {
+  geom::Rect mbr;
+  WireRid rid;
+};
+
+struct UpdateRequest {
+  geom::Rect old_mbr;
+  WireRid old_rid;
+  geom::Rect new_mbr;
+  WireRid new_rid;
+};
 
 struct Request {
   std::variant<WindowRequest, PointRequest, KnnRequest, JoinRequest,
                PsqlRequest, PingRequest, StatsRequest, SetFaultsRequest,
-               InvalidateRequest>
+               InvalidateRequest, InsertRequest, DeleteRequest,
+               UpdateRequest>
       body;
   WireOptions options;  // meaningful for the five query kinds only
 };
+
+/// The three mutation kinds (write-gated on the server, never cached).
+bool IsWriteRequestType(MsgType type);
 
 MsgType RequestMsgType(const Request& request);
 
@@ -175,13 +211,6 @@ struct WireStats {
   bool degraded = false;
 
   friend bool operator==(const WireStats&, const WireStats&) = default;
-};
-
-struct WireRid {
-  uint32_t page_id = 0;
-  uint16_t slot = 0;
-
-  friend bool operator==(const WireRid&, const WireRid&) = default;
 };
 
 struct WireHit {

@@ -31,13 +31,15 @@ struct ResultCacheStats {
 /// byte-identical response with only the frame header's kFlagCached bit
 /// differing — which is what makes cache correctness cheaply testable.
 ///
-/// Invalidation contract: the cache answers for one immutable tree
-/// epoch. Any mutation of the served tree must call BumpEpoch() (the
-/// explicit invalidation hook; today that is wired to the admin
-/// kInvalidate message and to nothing else, because writes are still
-/// build-time only). Entries from older epochs are treated as misses
-/// and reclaimed lazily. Degraded (partial) responses must never be
-/// inserted — the server only caches complete OK answers.
+/// Invalidation contract: the cache answers for one tree epoch. Any
+/// mutation of the served tree must call BumpEpoch(). With online
+/// writes enabled (ServerOptions::allow_writes) that happens
+/// automatically: the server installs a service commit hook, so every
+/// committed insert/delete/update bumps the epoch after its WAL fsync
+/// and before the write is acked. The admin kInvalidate message remains
+/// as the manual override. Entries from older epochs are treated as
+/// misses and reclaimed lazily. Degraded (partial) responses must never
+/// be inserted — the server only caches complete OK answers.
 ///
 /// Thread-safe: keys hash to one of `shards` independently locked
 /// shards, so worker-thread insertions and the serving thread's lookups

@@ -175,6 +175,11 @@ Status Server::Start() {
   if (options_.unix_path.empty() && options_.tcp_port < 0) {
     return Status::InvalidArgument("no listener configured");
   }
+  if (options_.allow_writes) {
+    // Every committed mutation makes cached query answers stale; the
+    // commit hook runs on the committing worker, after the WAL fsync.
+    bindings_.service->SetCommitHook([this] { InvalidateCache(); });
+  }
 
   int pipe_fds[2];
   if (pipe(pipe_fds) != 0) return Status::IOError("pipe() failed");
@@ -323,6 +328,20 @@ void Server::DumpStats(std::FILE* out) const {
     for (size_t v = 0; v < service::kQueryVariants; ++v) {
       fprintf(out, "latency[%s]: %s\n", service::kQueryVariantNames[v],
               m.variant_latency[v].Summary().c_str());
+    }
+    const service::WriteMetricsSnapshot wm =
+        bindings_.service->write_metrics();
+    if (wm.committed() + wm.failed + wm.not_found > 0) {
+      fprintf(out,
+              "writes: inserts=%llu deletes=%llu updates=%llu failed=%llu "
+              "not_found=%llu\n",
+              static_cast<unsigned long long>(wm.inserts),
+              static_cast<unsigned long long>(wm.deletes),
+              static_cast<unsigned long long>(wm.updates),
+              static_cast<unsigned long long>(wm.failed),
+              static_cast<unsigned long long>(wm.not_found));
+      fprintf(out, "latency[commit]: %s\n",
+              wm.commit_latency.Summary().c_str());
     }
   }
 }
@@ -562,6 +581,71 @@ void Server::HandleQueryRequest(Connection* conn, const FrameHeader& header,
   }
 }
 
+void Server::HandleWriteRequest(Connection* conn, const FrameHeader& header,
+                                const Request& request) {
+  // Writes share the query admission layers: quota, per-connection
+  // in-flight bound, then the service's bounded queue.
+  if (!conn->bucket.TryAcquire(std::chrono::steady_clock::now())) {
+    quota_rejections_.fetch_add(1, std::memory_order_relaxed);
+    ReplyError(conn, header.request_id,
+               Status::ResourceExhausted("per-client quota exceeded"));
+    return;
+  }
+  if (conn->inflight >= options_.max_inflight_per_conn) {
+    backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
+    ReplyError(conn, header.request_id,
+               Status::ResourceExhausted("too many in-flight requests"));
+    return;
+  }
+
+  service::WriteOp op;
+  if (const auto* ins = std::get_if<InsertRequest>(&request.body)) {
+    op = service::InsertOp{ins->mbr,
+                           storage::Rid{ins->rid.page_id, ins->rid.slot}};
+  } else if (const auto* del = std::get_if<DeleteRequest>(&request.body)) {
+    op = service::DeleteOp{del->mbr,
+                           storage::Rid{del->rid.page_id, del->rid.slot}};
+  } else if (const auto* upd = std::get_if<UpdateRequest>(&request.body)) {
+    op = service::UpdateOp{
+        upd->old_mbr, storage::Rid{upd->old_rid.page_id, upd->old_rid.slot},
+        upd->new_mbr, storage::Rid{upd->new_rid.page_id, upd->new_rid.slot}};
+  } else {
+    ReplyError(conn, header.request_id,
+               Status::Internal("non-write request routed as write"));
+    return;
+  }
+
+  ++conn->inflight;
+  ++inflight_total_;
+  const uint64_t conn_id = conn->id;
+  const uint32_t request_id = header.request_id;
+  const Status submit_status = bindings_.service->SubmitWriteWithCallback(
+      std::move(op), [this, conn_id, request_id](Status outcome) {
+        // The kOk frame is only built after ExecuteWrite returned, i.e.
+        // after the WAL append + fsync: an acked write is durable.
+        PendingResponse pending;
+        pending.conn_id = conn_id;
+        pending.query_completion = true;
+        Response response;
+        if (outcome.ok()) {
+          response.body = OkResponse{};
+          pending.frame = EncodeFrame(MsgType::kOk, 0, request_id,
+                                      EncodeResponsePayload(response));
+        } else {
+          response.body = ErrorResponse::FromStatus(outcome);
+          pending.frame = EncodeFrame(MsgType::kError, 0, request_id,
+                                      EncodeResponsePayload(response));
+        }
+        EnqueueFromWorker(std::move(pending));
+      });
+  if (!submit_status.ok()) {
+    --conn->inflight;
+    --inflight_total_;
+    backpressure_rejections_.fetch_add(1, std::memory_order_relaxed);
+    ReplyError(conn, request_id, submit_status);
+  }
+}
+
 void Server::HandleFrame(Connection* conn, const FrameHeader& header,
                          std::string_view payload) {
   if (!IsRequestType(header.type)) {
@@ -629,6 +713,17 @@ void Server::HandleFrame(Connection* conn, const FrameHeader& header,
       response.body = OkResponse{};
       ReplyNow(conn, MsgType::kOk, 0, header.request_id,
                EncodeResponsePayload(response));
+      return;
+    }
+    case MsgType::kInsert:
+    case MsgType::kDelete:
+    case MsgType::kUpdate: {
+      if (!options_.allow_writes) {
+        ReplyError(conn, header.request_id,
+                   Status::NotSupported("writes disabled on this server"));
+        return;
+      }
+      HandleWriteRequest(conn, header, request);
       return;
     }
     default:

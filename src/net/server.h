@@ -49,6 +49,12 @@ struct ServerOptions {
   /// Honor kSetFaults / kInvalidate admin messages (off by default:
   /// fault injection over the wire is a test/soak facility).
   bool allow_admin = false;
+
+  /// Honor kInsert / kDelete / kUpdate write messages (off by default;
+  /// requires a wal::DurableRTree bound to the service via BindWriter).
+  /// Every committed write bumps the result-cache epoch through the
+  /// service commit hook, which Start() installs when this is set.
+  bool allow_writes = false;
 };
 
 /// Plain-value image of the serving-tier counters.
@@ -127,7 +133,8 @@ class Server {
 
   ServerStatsSnapshot Stats() const;
   const ResultCache& cache() const { return cache_; }
-  /// The explicit invalidation hook (mutations will call this).
+  /// Whole-cache invalidation (epoch bump). Committed writes reach this
+  /// through the service commit hook; kInvalidate is the manual override.
   void InvalidateCache() { cache_.BumpEpoch(); }
 
   /// One-stop shutdown report: serving-tier counters, per-variant
@@ -153,6 +160,8 @@ class Server {
                    std::string_view payload);
   void HandleQueryRequest(Connection* conn, const FrameHeader& header,
                           Request request);
+  void HandleWriteRequest(Connection* conn, const FrameHeader& header,
+                          const Request& request);
   void ReplyNow(Connection* conn, MsgType type, uint32_t flags,
                 uint32_t request_id, std::string_view payload);
   void ReplyError(Connection* conn, uint32_t request_id,

@@ -69,6 +69,22 @@ size_t ChooseSubtree(const Node& node, const Rect& mbr) {
   return best;
 }
 
+/// Shared option validation/derivation for Create and CreateAt.
+StatusOr<RTreeOptions> NormalizeOptions(const RTreeOptions& options,
+                                        uint32_t page_size) {
+  RTreeOptions opts = options;
+  const size_t cap = NodePageCapacity(page_size);
+  if (opts.max_entries == 0) opts.max_entries = cap;
+  if (opts.max_entries < 2 || opts.max_entries > cap) {
+    return Status::InvalidArgument("max_entries out of range for page size");
+  }
+  if (opts.min_entries == 0) opts.min_entries = opts.max_entries / 2;
+  if (opts.min_entries < 1 || 2 * opts.min_entries > opts.max_entries) {
+    return Status::InvalidArgument("min_entries must satisfy 1 <= m <= M/2");
+  }
+  return opts;
+}
+
 }  // namespace
 
 size_t RTree::MaxEntries() const {
@@ -81,16 +97,8 @@ size_t RTree::MinEntries() const {
 }
 
 StatusOr<RTree> RTree::Create(BufferPool* pool, const RTreeOptions& options) {
-  RTreeOptions opts = options;
-  const size_t cap = NodePageCapacity(pool->page_size());
-  if (opts.max_entries == 0) opts.max_entries = cap;
-  if (opts.max_entries < 2 || opts.max_entries > cap) {
-    return Status::InvalidArgument("max_entries out of range for page size");
-  }
-  if (opts.min_entries == 0) opts.min_entries = opts.max_entries / 2;
-  if (opts.min_entries < 1 || 2 * opts.min_entries > opts.max_entries) {
-    return Status::InvalidArgument("min_entries must satisfy 1 <= m <= M/2");
-  }
+  PICTDB_ASSIGN_OR_RETURN(const RTreeOptions opts,
+                          NormalizeOptions(options, pool->page_size()));
 
   PICTDB_ASSIGN_OR_RETURN(PageGuard meta, pool->NewPage());
   PICTDB_ASSIGN_OR_RETURN(PageGuard root, pool->NewPage());
@@ -111,6 +119,33 @@ StatusOr<RTree> RTree::Create(BufferPool* pool, const RTreeOptions& options) {
   return RTree(pool, meta.id(), root.id(), 1, 0, opts);
 }
 
+StatusOr<RTree> RTree::CreateAt(BufferPool* pool, PageId meta_page,
+                                const RTreeOptions& options) {
+  PICTDB_ASSIGN_OR_RETURN(const RTreeOptions opts,
+                          NormalizeOptions(options, pool->page_size()));
+
+  // The old meta image may be torn after a crash — fetch for overwrite
+  // so an unreadable page comes back zeroed instead of failing recovery.
+  PICTDB_ASSIGN_OR_RETURN(PageGuard meta,
+                          pool->FetchPageForOverwrite(meta_page));
+  PICTDB_ASSIGN_OR_RETURN(PageGuard root, pool->NewPage());
+  Node empty_root;
+  empty_root.level = 0;
+  WriteNode(empty_root, root.mutable_data(), pool->page_size());
+
+  MetaImage m;
+  m.root = root.id();
+  m.height = 1;
+  m.size = 0;
+  m.max_entries = static_cast<uint16_t>(opts.max_entries);
+  m.min_entries = static_cast<uint16_t>(opts.min_entries);
+  m.split = static_cast<uint8_t>(opts.split);
+  m.forced_reinsert = opts.forced_reinsert ? 1 : 0;
+  WriteMeta(m, meta.mutable_data());
+
+  return RTree(pool, meta_page, root.id(), 1, 0, opts);
+}
+
 StatusOr<RTree> RTree::Open(BufferPool* pool, PageId meta_page) {
   PICTDB_ASSIGN_OR_RETURN(PageGuard meta, pool->FetchPage(meta_page));
   const MetaImage m = ReadMeta(meta.data());
@@ -124,21 +159,38 @@ StatusOr<RTree> RTree::Open(BufferPool* pool, PageId meta_page) {
 
 StatusOr<Node> RTree::LoadNode(PageId id) const {
   PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+  // Copy-then-release under a shared frame latch: readers never hold a
+  // latch across a child fetch, so they cannot deadlock with the
+  // bottom-up writer (which latches one frame at a time, exclusive).
+  if (concurrent_reads_.load(std::memory_order_relaxed)) {
+    ReaderMutexLock latch(pool_->LatchFor(guard));
+    return ReadNode(guard.data(), pool_->page_size());
+  }
   return ReadNode(guard.data(), pool_->page_size());
 }
 
 Status RTree::StoreNode(PageId id, const Node& node) {
   PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+  if (concurrent_reads_.load(std::memory_order_relaxed)) {
+    WriterMutexLock latch(pool_->LatchFor(guard));
+    WriteNode(node, guard.mutable_data(), pool_->page_size());
+    return Status::OK();
+  }
   WriteNode(node, guard.mutable_data(), pool_->page_size());
   return Status::OK();
+}
+
+Status RTree::RetirePage(PageId id) {
+  if (retire_hook_) return retire_hook_(id);
+  return pool_->FreePage(id);
 }
 
 Status RTree::PersistMeta() {
   PICTDB_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
   MetaImage m;
-  m.root = root_;
-  m.height = height_;
-  m.size = size_;
+  m.root = root();
+  m.height = Height();
+  m.size = Size();
   m.max_entries = static_cast<uint16_t>(options_.max_entries);
   m.min_entries = static_cast<uint16_t>(options_.min_entries);
   m.split = static_cast<uint8_t>(options_.split);
@@ -182,7 +234,7 @@ StatusOr<RTree::InsertResult> RTree::InsertRec(PageId node_id,
 
   // Overflow. R*-style forced reinsertion first, if enabled and this is
   // the level's first overflow of the insertion (and not the root).
-  if (options_.forced_reinsert && ctx != nullptr && node_id != root_ &&
+  if (options_.forced_reinsert && ctx != nullptr && node_id != root() &&
       node_level < ctx->reinserted_at_level.size() &&
       !ctx->reinserted_at_level[node_level]) {
     ctx->reinserted_at_level[node_level] = true;
@@ -230,9 +282,9 @@ StatusOr<RTree::InsertResult> RTree::InsertRec(PageId node_id,
 }
 
 Status RTree::InsertAtLevel(const Entry& entry, uint16_t target_level) {
-  PICTDB_CHECK(target_level < height_);
+  PICTDB_CHECK(target_level < Height());
   InsertContext ctx;
-  ctx.reinserted_at_level.assign(height_, false);
+  ctx.reinserted_at_level.assign(Height(), false);
 
   // The initial entry plus any forced-reinsertion evictions. Each pass
   // may grow the tree or queue further evictions (at levels that then
@@ -243,24 +295,24 @@ Status RTree::InsertAtLevel(const Entry& entry, uint16_t target_level) {
     work.pop_back();
     PICTDB_ASSIGN_OR_RETURN(
         const InsertResult result,
-        InsertRec(root_, item, level, static_cast<uint16_t>(height_ - 1),
+        InsertRec(root(), item, level, static_cast<uint16_t>(Height() - 1),
                   &ctx));
     if (result.split) {
       // Grow the tree: new root over the two halves.
       Node new_root;
-      new_root.level = static_cast<uint16_t>(height_);
+      new_root.level = static_cast<uint16_t>(Height());
       Entry left;
       left.mbr = result.mbr;
-      left.payload = Entry::PayloadFromChild(root_);
+      left.payload = Entry::PayloadFromChild(root());
       Entry right;
       right.mbr = result.split_mbr;
       right.payload = Entry::PayloadFromChild(result.split_page);
       new_root.entries = {left, right};
       PICTDB_ASSIGN_OR_RETURN(PageGuard root_page, pool_->NewPage());
       WriteNode(new_root, root_page.mutable_data(), pool_->page_size());
-      root_ = root_page.id();
-      ++height_;
-      ctx.reinserted_at_level.resize(height_, false);
+      // Publish only after the new root's bytes exist.
+      SetRootHeight(root_page.id(), Height() + 1);
+      ctx.reinserted_at_level.resize(Height(), false);
     }
     for (auto& evicted : ctx.pending) {
       work.push_back(std::move(evicted));
@@ -278,7 +330,7 @@ Status RTree::Insert(const Rect& mbr, const Rid& rid) {
   entry.mbr = mbr;
   entry.payload = Entry::PayloadFromRid(rid);
   PICTDB_RETURN_IF_ERROR(InsertAtLevel(entry, 0));
-  ++size_;
+  size_.fetch_add(1);
   return PersistMeta();
 }
 
@@ -322,12 +374,16 @@ StatusOr<RTree::DeleteResult> RTree::DeleteRec(
       for (const Entry& e : child.entries) {
         orphans->emplace_back(child.level, e);
       }
-      PICTDB_RETURN_IF_ERROR(pool_->FreePage(child_id));
       node.entries.erase(node.entries.begin() + i);
     } else {
       node.entries[i].mbr = child_result.mbr;
     }
     PICTDB_RETURN_IF_ERROR(StoreNode(node_id, node));
+    if (child_result.drop_child) {
+      // Unlink first (StoreNode above), then retire: a concurrent reader
+      // that saw the old parent is protected by the epoch gate.
+      PICTDB_RETURN_IF_ERROR(RetirePage(child_id));
+    }
     result.found = true;
     result.drop_child = node.entries.size() < MinEntries();
     result.mbr = node.Mbr();
@@ -340,12 +396,12 @@ Status RTree::Delete(const Rect& mbr, const Rid& rid) {
   std::vector<std::pair<uint16_t, Entry>> orphans;
   PICTDB_ASSIGN_OR_RETURN(
       const DeleteResult result,
-      DeleteRec(root_, static_cast<uint16_t>(height_ - 1), mbr, rid,
+      DeleteRec(root(), static_cast<uint16_t>(Height() - 1), mbr, rid,
                 &orphans));
   if (!result.found) {
     return Status::NotFound("entry not in R-tree");
   }
-  --size_;
+  size_.fetch_sub(1);
 
   // Re-insert orphaned entries at their recorded levels. Later root
   // collapses cannot strand them: orphan levels are below the root level.
@@ -355,14 +411,45 @@ Status RTree::Delete(const Rect& mbr, const Rid& rid) {
 
   // Collapse the root while it is an internal node with a single child.
   for (;;) {
-    PICTDB_ASSIGN_OR_RETURN(const Node root, LoadNode(root_));
-    if (root.is_leaf() || root.entries.size() != 1) break;
-    const PageId only_child = root.entries[0].AsChild();
-    PICTDB_RETURN_IF_ERROR(pool_->FreePage(root_));
-    root_ = only_child;
-    --height_;
+    PICTDB_ASSIGN_OR_RETURN(const Node root_node, LoadNode(root()));
+    if (root_node.is_leaf() || root_node.entries.size() != 1) break;
+    const PageId old_root = root();
+    const PageId only_child = root_node.entries[0].AsChild();
+    // Publish the shrunken shape before retiring the old root.
+    SetRootHeight(only_child, Height() - 1);
+    PICTDB_RETURN_IF_ERROR(RetirePage(old_root));
   }
   return PersistMeta();
+}
+
+Status RTree::Update(const Rect& old_mbr, const Rid& old_rid,
+                     const Rect& new_mbr, const Rid& new_rid) {
+  if (new_mbr.IsEmpty()) {
+    return Status::InvalidArgument("cannot index an empty rectangle");
+  }
+  PICTDB_RETURN_IF_ERROR(Delete(old_mbr, old_rid));
+  const Status inserted = Insert(new_mbr, new_rid);
+  if (!inserted.ok()) {
+    // Best-effort rollback: losing the old entry on a failed insert
+    // would turn one error into silent data loss.
+    const Status restored = Insert(old_mbr, old_rid);
+    if (!restored.ok()) {
+      PICTDB_LOG_WARN() << "Update rollback failed, entry lost: "
+                        << restored.ToString();
+    }
+  }
+  return inserted;
+}
+
+StatusOr<bool> RTree::Contains(const Rect& mbr, const Rid& rid) const {
+  PICTDB_ASSIGN_OR_RETURN(
+      const std::vector<LeafHit> hits,
+      SearchCustom([&mbr](const Rect& r) { return r.Contains(mbr); },
+                   [&mbr](const Rect& r) { return r == mbr; }));
+  for (const LeafHit& hit : hits) {
+    if (hit.rid == rid) return true;
+  }
+  return false;
 }
 
 Status RTree::SearchRec(PageId node_id,
@@ -417,7 +504,7 @@ StatusOr<std::vector<LeafHit>> RTree::SearchCustom(
   // caller did not ask for stats.
   SearchStats local;
   SearchStats* s = stats != nullptr ? stats : &local;
-  PICTDB_RETURN_IF_ERROR(SearchRec(root_, prune, accept, &out, s, options));
+  PICTDB_RETURN_IF_ERROR(SearchRec(root(), prune, accept, &out, s, options));
   return out;
 }
 
@@ -449,7 +536,7 @@ StatusOr<std::vector<LeafHit>> RTree::SearchPoint(
 
 StatusOr<uint64_t> RTree::CountNodes() const {
   uint64_t count = 0;
-  std::vector<PageId> stack = {root_};
+  std::vector<PageId> stack = {root()};
   while (!stack.empty()) {
     const PageId id = stack.back();
     stack.pop_back();
@@ -469,7 +556,7 @@ StatusOr<std::vector<Rect>> RTree::CollectLeafNodeMbrs() const {
 StatusOr<std::vector<Rect>> RTree::CollectNodeMbrsAtLevel(
     uint16_t level) const {
   std::vector<Rect> out;
-  std::vector<PageId> stack = {root_};
+  std::vector<PageId> stack = {root()};
   while (!stack.empty()) {
     const PageId id = stack.back();
     stack.pop_back();
@@ -517,11 +604,15 @@ Status RTree::ValidateRec(PageId node_id, uint16_t expected_level,
 }
 
 Status RTree::Validate() const {
+  // One load so root and height come from the same tree shape.
+  const uint64_t rh = root_height_.load();
+  const PageId root_id = static_cast<PageId>(rh & 0xFFFFFFFFu);
+  const uint32_t height = static_cast<uint32_t>(rh >> 32);
   uint64_t leaf_entries = 0;
   PICTDB_RETURN_IF_ERROR(ValidateRec(
-      root_, static_cast<uint16_t>(height_ - 1), nullptr, &leaf_entries,
+      root_id, static_cast<uint16_t>(height - 1), nullptr, &leaf_entries,
       /*is_root=*/true));
-  if (leaf_entries != size_) {
+  if (leaf_entries != Size()) {
     return Status::Corruption("recorded size does not match leaf entries");
   }
   return Status::OK();
@@ -541,7 +632,7 @@ StatusOr<PageId> RTree::BulkWriteNode(uint16_t level,
 }
 
 Status RTree::Clear() {
-  std::vector<PageId> stack = {root_};
+  std::vector<PageId> stack = {root()};
   while (!stack.empty()) {
     const PageId id = stack.back();
     stack.pop_back();
@@ -555,9 +646,8 @@ Status RTree::Clear() {
   Node empty_root;
   empty_root.level = 0;
   WriteNode(empty_root, root_page.mutable_data(), pool_->page_size());
-  root_ = root_page.id();
-  height_ = 1;
-  size_ = 0;
+  SetRootHeight(root_page.id(), 1);
+  size_.store(0);
   return PersistMeta();
 }
 
@@ -566,16 +656,15 @@ Status RTree::ResetForRebuild() {
   Node empty_root;
   empty_root.level = 0;
   WriteNode(empty_root, root_page.mutable_data(), pool_->page_size());
-  root_ = root_page.id();
-  height_ = 1;
-  size_ = 0;
+  SetRootHeight(root_page.id(), 1);
+  size_.store(0);
   return PersistMeta();
 }
 
 Status RTree::InsertSubtree(PageId subtree_root, const Rect& mbr,
                             uint16_t subtree_level,
                             uint64_t leaf_entry_count) {
-  if (height_ < subtree_level + 2u) {
+  if (Height() < subtree_level + 2u) {
     return Status::InvalidArgument(
         "tree too shallow to host the subtree; insert entries directly");
   }
@@ -584,18 +673,17 @@ Status RTree::InsertSubtree(PageId subtree_root, const Rect& mbr,
   entry.payload = Entry::PayloadFromChild(subtree_root);
   PICTDB_RETURN_IF_ERROR(
       InsertAtLevel(entry, static_cast<uint16_t>(subtree_level + 1)));
-  size_ += leaf_entry_count;
+  size_.fetch_add(leaf_entry_count);
   return PersistMeta();
 }
 
-Status RTree::BulkSetRoot(PageId root, uint32_t height, uint64_t size) {
-  if (size_ == 0 && height_ == 1 && root_ != root) {
+Status RTree::BulkSetRoot(PageId new_root, uint32_t height, uint64_t size) {
+  if (Size() == 0 && Height() == 1 && root() != new_root) {
     // Discard the placeholder root allocated by Create.
-    PICTDB_RETURN_IF_ERROR(pool_->FreePage(root_));
+    PICTDB_RETURN_IF_ERROR(pool_->FreePage(root()));
   }
-  root_ = root;
-  height_ = height;
-  size_ = size;
+  SetRootHeight(new_root, height);
+  size_.store(size);
   return PersistMeta();
 }
 

@@ -113,10 +113,41 @@ class RTree {
   static StatusOr<RTree> Create(storage::BufferPool* pool,
                                 const RTreeOptions& options = {});
 
+  /// Create an empty tree on an ALREADY-ALLOCATED meta page, overwriting
+  /// whatever it held — even if the old image is torn or unreadable. The
+  /// WAL recovery path uses this to rebuild in place so the externally
+  /// remembered meta page id stays valid across a crash.
+  static StatusOr<RTree> CreateAt(storage::BufferPool* pool,
+                                  storage::PageId meta_page,
+                                  const RTreeOptions& options = {});
+
   /// Reattach to an existing tree by its meta page (options are persisted
   /// in the meta page).
   static StatusOr<RTree> Open(storage::BufferPool* pool,
                               storage::PageId meta_page);
+
+  RTree(RTree&& other) noexcept
+      : pool_(other.pool_),
+        meta_page_(other.meta_page_),
+        root_height_(other.root_height_.load()),
+        size_(other.size_.load()),
+        options_(other.options_),
+        concurrent_reads_(other.concurrent_reads_.load()),
+        retire_hook_(std::move(other.retire_hook_)) {}
+  RTree& operator=(RTree&& other) noexcept {
+    if (this != &other) {
+      pool_ = other.pool_;
+      meta_page_ = other.meta_page_;
+      root_height_.store(other.root_height_.load());
+      size_.store(other.size_.load());
+      options_ = other.options_;
+      concurrent_reads_.store(other.concurrent_reads_.load());
+      retire_hook_ = std::move(other.retire_hook_);
+    }
+    return *this;
+  }
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
 
   // --- Dynamic updates (Guttman 1984) -----------------------------------
 
@@ -126,6 +157,18 @@ class RTree {
   /// Remove the entry with exactly this (mbr, rid); NotFound if absent.
   /// Underfull nodes are condensed and their entries re-inserted.
   Status Delete(const geom::Rect& mbr, const storage::Rid& rid);
+
+  /// Move an entry: Delete(old) followed by Insert(new), with a
+  /// best-effort re-insert of the old entry if the insert fails so the
+  /// object is not silently lost. NOT atomic at this layer — the WAL
+  /// layer (wal::DurableRTree) makes it a single logged record.
+  Status Update(const geom::Rect& old_mbr, const storage::Rid& old_rid,
+                const geom::Rect& new_mbr, const storage::Rid& new_rid);
+
+  /// Exact-match membership probe (FindLeaf without the delete): true iff
+  /// some leaf holds exactly (mbr, rid).
+  StatusOr<bool> Contains(const geom::Rect& mbr,
+                          const storage::Rid& rid) const;
 
   // --- Search (§3.1) ------------------------------------------------------
 
@@ -158,11 +201,15 @@ class RTree {
   // --- Introspection ------------------------------------------------------
 
   /// Height of the tree; 1 means the root is a leaf. (The paper's "depth"
-  /// column counts edges: depth = Height() - 1.)
-  uint32_t Height() const { return height_; }
+  /// column counts edges: depth = Height() - 1.) Packed with root() in
+  /// one atomic so a concurrent reader never observes a root page from
+  /// one tree shape with the height of another.
+  uint32_t Height() const {
+    return static_cast<uint32_t>(root_height_.load() >> 32);
+  }
 
   /// Number of leaf entries (spatial objects).
-  uint64_t Size() const { return size_; }
+  uint64_t Size() const { return size_.load(); }
 
   /// Total nodes in the tree (the paper's N column).
   StatusOr<uint64_t> CountNodes() const;
@@ -185,8 +232,29 @@ class RTree {
 
   const RTreeOptions& options() const { return options_; }
   storage::PageId meta_page() const { return meta_page_; }
-  storage::PageId root() const { return root_; }
+  storage::PageId root() const {
+    return static_cast<storage::PageId>(root_height_.load() & 0xFFFFFFFFu);
+  }
   storage::BufferPool* pool() const { return pool_; }
+
+  // --- Online-mutation support (used by wal::DurableRTree) ---------------
+
+  /// Latch node reads/writes on the buffer pool's per-frame latches so
+  /// queries may run concurrently with a (single, externally serialized)
+  /// mutator. Off by default: the flag costs a shared-latch round trip
+  /// per node visit, which offline builds and benches need not pay. Set
+  /// it before concurrent traffic starts.
+  void EnableConcurrentReads(bool on) { concurrent_reads_.store(on); }
+
+  /// Divert page frees from the mutation paths (CondenseTree, root
+  /// collapse) to `hook` instead of pool()->FreePage. The WAL layer uses
+  /// this for epoch-deferred reclamation: a page a concurrent reader may
+  /// still reach must not be reused until every such reader has left.
+  /// Bulk paths (Clear, BulkSetRoot, re-PACK) still free directly — they
+  /// require quiesced readers regardless.
+  void SetPageRetireHook(std::function<Status(storage::PageId)> hook) {
+    retire_hook_ = std::move(hook);
+  }
 
   /// Decode the node stored at `id`. Low-level access for traversals that
   /// live outside the class (spatial join, visualization).
@@ -230,10 +298,19 @@ class RTree {
         const RTreeOptions& options)
       : pool_(pool),
         meta_page_(meta_page),
-        root_(root),
-        height_(height),
+        root_height_(Pack(root, height)),
         size_(size),
         options_(options) {}
+
+  static uint64_t Pack(storage::PageId root, uint32_t height) {
+    return (static_cast<uint64_t>(height) << 32) | root;
+  }
+  /// Publish a new root/height pair. Must happen AFTER the new root's
+  /// bytes are written (the seq_cst store orders them for readers) and
+  /// BEFORE any page unlinked by the same structural change is retired.
+  void SetRootHeight(storage::PageId root, uint32_t height) {
+    root_height_.store(Pack(root, height));
+  }
 
   struct InsertResult {
     geom::Rect mbr;                 // updated MBR of the visited child
@@ -288,12 +365,17 @@ class RTree {
   size_t MaxEntries() const;
   size_t MinEntries() const;
 
+  /// Free `id` through the retire hook when set, else immediately.
+  Status RetirePage(storage::PageId id);
+
   storage::BufferPool* pool_;
   storage::PageId meta_page_;
-  storage::PageId root_;
-  uint32_t height_;
-  uint64_t size_;
+  /// (height << 32) | root, read together by concurrent queries.
+  std::atomic<uint64_t> root_height_;
+  std::atomic<uint64_t> size_;
   RTreeOptions options_;
+  std::atomic<bool> concurrent_reads_{false};
+  std::function<Status(storage::PageId)> retire_hook_;
 };
 
 }  // namespace pictdb::rtree

@@ -245,6 +245,65 @@ class ServiceMetrics {
   std::array<LatencyHistogram, kQueryVariants> variant_latency_{};
 };
 
+/// Plain-value image of the write-path counters. Writes are accounted
+/// separately from queries on purpose: the query-side snapshot (and its
+/// wire encoding in StatsResponse) predates online mutation and stays
+/// byte-compatible.
+struct WriteMetricsSnapshot {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t updates = 0;
+  /// Commit-path errors (log append/sync/apply); NotFound precondition
+  /// misses are counted in `not_found`, not here.
+  uint64_t failed = 0;
+  uint64_t not_found = 0;
+  /// Latency of successful commits (append + fsync + apply), in
+  /// microseconds.
+  HistogramSnapshot commit_latency;
+
+  uint64_t committed() const { return inserts + deletes + updates; }
+};
+
+/// Lock-free write-path accounting, mirror of ServiceMetrics for the
+/// mutation side.
+class WriteMetrics {
+ public:
+  /// `kind` indexes the WriteOp variant order: insert, delete, update.
+  void RecordCommitted(size_t kind, uint64_t latency_us) {
+    switch (kind) {
+      case 0: Add(inserts_); break;
+      case 1: Add(deletes_); break;
+      default: Add(updates_); break;
+    }
+    commit_latency_.Record(latency_us);
+  }
+  void RecordNotFound() { Add(not_found_); }
+  void RecordFailed() { Add(failed_); }
+
+  WriteMetricsSnapshot Snapshot() const {
+    WriteMetricsSnapshot s;
+    s.inserts = inserts_.load(std::memory_order_relaxed);
+    s.deletes = deletes_.load(std::memory_order_relaxed);
+    s.updates = updates_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.not_found = not_found_.load(std::memory_order_relaxed);
+    s.commit_latency = commit_latency_.Snapshot();
+    return s;
+  }
+
+ private:
+  static void Add(std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> deletes_{0};
+  std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> not_found_{0};
+  LatencyHistogram commit_latency_;
+};
+
 }  // namespace pictdb::service
 
 #endif  // PICTDB_SERVICE_METRICS_H_

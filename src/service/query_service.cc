@@ -4,6 +4,9 @@
 #include <memory>
 #include <utility>
 
+#include "storage/epoch.h"
+#include "wal/durable_tree.h"
+
 namespace pictdb::service {
 
 namespace {
@@ -106,8 +109,14 @@ Status QueryService::SubmitWithCallback(
   const Status admitted = pool_.TrySubmit(
       [this, variant, shared_query, shared_done, search_options] {
         const auto start = std::chrono::steady_clock::now();
+        // With a writer bound, pin the reclamation epoch for the whole
+        // traversal: pages a concurrent mutation unlinks stay allocated
+        // until this guard is released.
+        storage::EpochGate::ReadGuard epoch_guard;
+        if (writer_ != nullptr) epoch_guard = writer_->ReaderEpoch();
         StatusOr<QueryResult> outcome =
             Dispatch(*shared_query, search_options);
+        epoch_guard.Release();
         const uint64_t latency_us = ElapsedMicros(start);
         if (outcome.ok()) {
           outcome.value().latency_us = latency_us;
@@ -153,6 +162,52 @@ StatusOr<QueryResult> QueryService::RunSync(Query query,
   PICTDB_ASSIGN_OR_RETURN(std::future<StatusOr<QueryResult>> future,
                           Submit(std::move(query), options));
   return future.get();
+}
+
+Status QueryService::ExecuteWrite(const WriteOp& op) {
+  if (writer_ == nullptr) {
+    return Status::NotSupported(
+        "service has no writer bound (BindWriter a wal::DurableRTree)");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const size_t kind = op.index();
+  struct Visitor {
+    wal::DurableRTree* writer;
+    Status operator()(const InsertOp& w) {
+      return writer->Insert(w.mbr, w.rid);
+    }
+    Status operator()(const DeleteOp& w) {
+      return writer->Delete(w.mbr, w.rid);
+    }
+    Status operator()(const UpdateOp& w) {
+      return writer->Update(w.old_mbr, w.old_rid, w.new_mbr, w.new_rid);
+    }
+  };
+  const Status st = std::visit(Visitor{writer_}, op);
+  const uint64_t latency_us = ElapsedMicros(start);
+  if (st.ok()) {
+    write_metrics_.RecordCommitted(kind, latency_us);
+    if (commit_hook_) commit_hook_();
+  } else if (st.IsNotFound()) {
+    write_metrics_.RecordNotFound();
+  } else {
+    write_metrics_.RecordFailed();
+  }
+  return st;
+}
+
+Status QueryService::SubmitWriteWithCallback(
+    WriteOp op, std::function<void(Status)> done) {
+  if (writer_ == nullptr) {
+    return Status::NotSupported(
+        "service has no writer bound (BindWriter a wal::DurableRTree)");
+  }
+  auto shared_op = std::make_shared<WriteOp>(std::move(op));
+  auto shared_done =
+      std::make_shared<std::function<void(Status)>>(std::move(done));
+  return pool_.TrySubmit([this, shared_op, shared_done] {
+    (*shared_done)(ExecuteWrite(*shared_op));
+  });
 }
 
 }  // namespace pictdb::service

@@ -20,6 +20,10 @@
 #include "service/thread_pool.h"
 #include "storage/quarantine.h"
 
+namespace pictdb::wal {
+class DurableRTree;
+}  // namespace pictdb::wal
+
 namespace pictdb::service {
 
 /// Window search over the shared tree: all leaf entries intersecting
@@ -59,6 +63,29 @@ using Query =
 static_assert(std::variant_size_v<Query> == kQueryVariants,
               "kQueryVariantNames must track the Query alternatives");
 
+// --- Write operations (require a bound wal::DurableRTree) --------------
+
+struct InsertOp {
+  geom::Rect mbr;
+  storage::Rid rid;
+};
+
+struct DeleteOp {
+  geom::Rect mbr;
+  storage::Rid rid;
+};
+
+struct UpdateOp {
+  geom::Rect old_mbr;
+  storage::Rid old_rid;
+  geom::Rect new_mbr;
+  storage::Rid new_rid;
+};
+
+/// Alternative order is the WriteMetrics kind index (insert=0, delete=1,
+/// update=2).
+using WriteOp = std::variant<InsertOp, DeleteOp, UpdateOp>;
+
 /// Outcome of one query. Which member is filled depends on the variant:
 /// hits for window/point, neighbors for knn, join_pairs for join, table
 /// for psql. `stats` and `latency_us` are always populated.
@@ -96,11 +123,17 @@ struct ServiceOptions {
 /// Concurrent query service over one shared packed R-tree (and,
 /// optionally, a PSQL executor over a shared catalog).
 ///
-/// Concurrency model: after PACK the tree is immutable, so N worker
-/// threads traverse it simultaneously through the thread-safe buffer
-/// pool with no tree-level latching at all — the pool's shard mutexes
-/// are the only locks on the read path. The service must not run
-/// concurrently with writers (Insert/Delete/re-PACK); quiesce it first.
+/// Concurrency model: with no writer bound the tree is immutable after
+/// PACK, so N worker threads traverse it simultaneously through the
+/// thread-safe buffer pool with no tree-level latching at all — the
+/// pool's shard mutexes are the only locks on the read path. Binding a
+/// wal::DurableRTree (BindWriter, before traffic starts) turns on the
+/// online-mutation mode: write ops are serialized through the durable
+/// tree's commit lock while queries keep running — each query then
+/// brackets its traversal with an epoch guard (pages unlinked by a
+/// concurrent restructuring are not reused until the reader leaves) and
+/// node reads take the per-frame latches the mutator writes under.
+/// Re-PACK of the served tree still requires quiescing the service.
 ///
 /// Admission control: Submit() never blocks. When the bounded queue is
 /// full the query is rejected immediately with ResourceExhausted so the
@@ -141,6 +174,38 @@ class QueryService {
   StatusOr<QueryResult> RunSync(Query query,
                                 const QueryOptions& options = {});
 
+  // --- Write path ---------------------------------------------------------
+
+  /// Enable logged mutations through `writer`, whose tree() must be the
+  /// same tree this service was constructed over. Call once, before any
+  /// traffic — queries start taking epoch guards from this point on.
+  void BindWriter(wal::DurableRTree* writer) { writer_ = writer; }
+
+  /// Run after every successfully committed write, on the committing
+  /// thread (the network server wires result-cache invalidation here).
+  /// Set before traffic starts, like BindWriter.
+  void SetCommitHook(std::function<void()> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
+  /// Execute one write synchronously on the calling thread (writes are
+  /// serialized by the durable tree's commit lock regardless, so there
+  /// is no parallelism to gain from queueing). NotSupported without a
+  /// bound writer; NotFound when a delete/update precondition misses.
+  Status ExecuteWrite(const WriteOp& op);
+
+  /// Write-path variant of SubmitWithCallback: runs ExecuteWrite on a
+  /// worker so event-loop callers never block on an fsync. Admission
+  /// shares the same bounded queue as queries.
+  Status SubmitWriteWithCallback(WriteOp op,
+                                 std::function<void(Status)> done);
+
+  /// Write-path counters (separate from Metrics(): the query snapshot's
+  /// wire encoding predates writes and stays byte-compatible).
+  WriteMetricsSnapshot write_metrics() const {
+    return write_metrics_.Snapshot();
+  }
+
   /// Cooperatively cancel every in-flight and queued query: each fails
   /// with DeadlineExceeded at its next per-node poll. Queries submitted
   /// afterwards also fail until ClearCancel().
@@ -170,8 +235,13 @@ class QueryService {
 
   const rtree::RTree* tree_;
   const psql::Executor* executor_;
+  /// Non-null once BindWriter ran; enables ExecuteWrite and makes every
+  /// query traversal epoch-guarded.
+  wal::DurableRTree* writer_ = nullptr;
+  std::function<void()> commit_hook_;
   ServiceOptions options_;
   ServiceMetrics metrics_;
+  WriteMetrics write_metrics_;
   std::atomic<bool> cancel_all_{false};
   storage::PageQuarantine quarantine_;
   ThreadPool pool_;  // last member: workers die before the rest

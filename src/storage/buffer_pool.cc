@@ -233,7 +233,8 @@ StatusOr<size_t> BufferPool::ClaimFrameLocked(Shard& shard, PageId id) {
   return idx;
 }
 
-StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
+StatusOr<PageGuard> BufferPool::FetchPageImpl(PageId id,
+                                              bool overwrite_on_error) {
   Shard& shard = ShardForPage(id);
   // Explicit Lock/Unlock (not an RAII guard): the miss path hands the
   // lock back around its disk read, and the analysis checks that every
@@ -271,6 +272,16 @@ StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
   shard.mu.Lock();
   frame.loading = false;
   if (!read.ok()) {
+    if (overwrite_on_error &&
+        (read.IsDataLoss() || read.IsCorruption() || read.IsIOError())) {
+      // Recovery caller will rewrite the whole page; hand out a zeroed
+      // dirty frame instead of surfacing the torn/rotten on-disk image.
+      std::memset(frame.data.get(), 0, disk_->page_size());
+      frame.dirty.store(true, std::memory_order_relaxed);
+      shard.load_cv.NotifyAll();
+      shard.mu.Unlock();
+      return PageGuard(this, id, frame.data.get(), &frame.dirty, idx);
+    }
     shard.page_table.erase(id);
     frame.page_id = kInvalidPageId;
     frame.pin_count.store(0, std::memory_order_relaxed);
@@ -283,6 +294,14 @@ StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
   shard.load_cv.NotifyAll();
   shard.mu.Unlock();
   return PageGuard(this, id, frame.data.get(), &frame.dirty, idx);
+}
+
+StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
+  return FetchPageImpl(id, /*overwrite_on_error=*/false);
+}
+
+StatusOr<PageGuard> BufferPool::FetchPageForOverwrite(PageId id) {
+  return FetchPageImpl(id, /*overwrite_on_error=*/true);
 }
 
 StatusOr<PageGuard> BufferPool::NewPage() {

@@ -130,6 +130,9 @@ class PageGuard {
   /// Unpin early (before destruction).
   void Release();
 
+  /// Index of the pinned frame; key for BufferPool::LatchFor.
+  size_t frame_index() const { return frame_idx_; }
+
   /// Abandon the pin WITHOUT unpinning — the frame stays pinned forever.
   /// Only for tests of the pool's leak detection and for crash paths
   /// that must not touch a possibly-dead pool.
@@ -174,6 +177,13 @@ class BufferPool {
   /// Pin page `id`, reading it from disk on a miss.
   StatusOr<PageGuard> FetchPage(PageId id);
 
+  /// FetchPage variant for recovery paths that are about to rewrite the
+  /// page wholesale: a miss read that fails with a data error (torn
+  /// write, bit rot, transient I/O) yields a zero-filled dirty frame
+  /// instead of failing the fetch. Never use it to *read* a page — the
+  /// zeroed content is only meaningful to a caller that overwrites it.
+  StatusOr<PageGuard> FetchPageForOverwrite(PageId id);
+
   /// Allocate a fresh zeroed page and pin it.
   StatusOr<PageGuard> NewPage();
 
@@ -203,6 +213,17 @@ class BufferPool {
   /// Number of currently pinned frames (for tests / leak detection).
   size_t pinned_frames() const;
 
+  /// Reader/writer latch of the frame pinned by `guard`. Writers that
+  /// mutate page bytes while concurrent readers may be copying them
+  /// (the R-tree's online mutation path) take it exclusive around the
+  /// byte write; readers take it shared around the copy. The latch
+  /// belongs to the frame — hold it only while the pin is alive, and
+  /// never across a fetch of another page (latches are leaf locks in
+  /// the DESIGN.md §10 hierarchy).
+  SharedMutex* LatchFor(const PageGuard& guard) {
+    return &frames_[guard.frame_index()].latch;
+  }
+
  private:
   friend class PageGuard;
 
@@ -222,6 +243,10 @@ class BufferPool {
     // Position in the shard's lru when pin_count == 0.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
+    /// Guards the page *bytes* against concurrent read/write while the
+    /// frame is pinned (see LatchFor). Orthogonal to the shard mutex,
+    /// which guards the mapping, not the content.
+    SharedMutex latch;
   };
 
   struct Shard {
@@ -245,6 +270,8 @@ class BufferPool {
   /// Claim a victim for `id`, pinned and marked loading.
   StatusOr<size_t> ClaimFrameLocked(Shard& shard, PageId id)
       REQUIRES(shard.mu);
+
+  StatusOr<PageGuard> FetchPageImpl(PageId id, bool overwrite_on_error);
 
   /// Miss-path read with checksum verification and bounded
   /// exponential-backoff retry of transient failures.

@@ -1,5 +1,7 @@
 #include "storage/disk_manager.h"
 
+#include <unistd.h>
+
 #include <cstring>
 #include <thread>
 
@@ -141,6 +143,11 @@ Status FileDiskManager::Sync() {
   MutexLock lock(&mu_);
   if (std::fflush(file_) != 0) {
     return Status::IOError("fflush failed");
+  }
+  // fflush only moves bytes into the kernel; a WAL commit barrier needs
+  // them on the medium before the commit is acknowledged.
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::IOError("fsync failed");
   }
   return Status::OK();
 }

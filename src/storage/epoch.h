@@ -1,0 +1,98 @@
+#ifndef PICTDB_STORAGE_EPOCH_H_
+#define PICTDB_STORAGE_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+namespace pictdb::storage {
+
+/// Epoch-based deferred reclamation for pages unlinked from a live tree
+/// while readers may still be traversing toward them.
+///
+/// Readers bracket each traversal with Enter(); the returned guard parks
+/// the epoch observed at entry in a slot. A writer that unlinks a page
+/// calls Advance() and records the returned epoch with the page; the
+/// page may be physically freed once MinActive() exceeds that epoch —
+/// every reader that could still hold a stale reference to it has left.
+///
+/// All operations are seq_cst atomics: the writer's "no active reader"
+/// check and a reader's slot claim must be totally ordered against the
+/// writer's structure update, otherwise a reader could claim its slot
+/// after the check yet still observe the pre-unlink structure.
+class EpochGate {
+ public:
+  static constexpr size_t kSlots = 64;
+
+  class ReadGuard {
+   public:
+    ReadGuard() = default;
+    ReadGuard(EpochGate* gate, size_t slot) : gate_(gate), slot_(slot) {}
+    ~ReadGuard() { Release(); }
+
+    ReadGuard(ReadGuard&& other) noexcept
+        : gate_(other.gate_), slot_(other.slot_) {
+      other.gate_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        gate_ = other.gate_;
+        slot_ = other.slot_;
+        other.gate_ = nullptr;
+      }
+      return *this;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    void Release() {
+      if (gate_ != nullptr) {
+        gate_->slots_[slot_].store(0);
+        gate_ = nullptr;
+      }
+    }
+
+   private:
+    EpochGate* gate_ = nullptr;
+    size_t slot_ = 0;
+  };
+
+  /// Pin the current epoch; blocks reclamation of anything retired at or
+  /// after it until the guard is released. Spins only if every slot is
+  /// taken (more than kSlots simultaneous readers).
+  ReadGuard Enter() {
+    for (;;) {
+      const uint64_t epoch = global_.load();
+      for (size_t i = 0; i < kSlots; ++i) {
+        uint64_t expected = 0;
+        if (slots_[i].compare_exchange_strong(expected, epoch)) {
+          return ReadGuard(this, i);
+        }
+      }
+    }
+  }
+
+  /// Bump the global epoch; returns the new value. A page unlinked just
+  /// before this call is safe to free once MinActive() > returned value.
+  uint64_t Advance() { return global_.fetch_add(1) + 1; }
+
+  /// Smallest epoch pinned by an active reader; max() when idle.
+  uint64_t MinActive() const {
+    uint64_t min = std::numeric_limits<uint64_t>::max();
+    for (size_t i = 0; i < kSlots; ++i) {
+      const uint64_t e = slots_[i].load();
+      if (e != 0 && e < min) min = e;
+    }
+    return min;
+  }
+
+ private:
+  std::atomic<uint64_t> global_{1};
+  std::array<std::atomic<uint64_t>, kSlots> slots_{};
+};
+
+}  // namespace pictdb::storage
+
+#endif  // PICTDB_STORAGE_EPOCH_H_

@@ -1,0 +1,84 @@
+#include "storage/write_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace pictdb::storage {
+
+Status WriteCacheDiskManager::ReadPage(PageId id, char* out) {
+  {
+    MutexLock lock(&mu_);
+    auto it = cache_.find(id);
+    if (it != cache_.end()) {
+      std::memcpy(out, it->second.get(), page_size());
+      stats_.reads.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  return base_->ReadPage(id, out);
+}
+
+Status WriteCacheDiskManager::WritePage(PageId id, const char* data) {
+  MutexLock lock(&mu_);
+  auto it = cache_.find(id);
+  if (it == cache_.end()) {
+    it = cache_.emplace(id, std::make_unique<char[]>(page_size())).first;
+  }
+  std::memcpy(it->second.get(), data, page_size());
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void WriteCacheDiskManager::DeallocatePage(PageId id) {
+  {
+    MutexLock lock(&mu_);
+    cache_.erase(id);
+  }
+  base_->DeallocatePage(id);
+}
+
+Status WriteCacheDiskManager::Sync() {
+  MutexLock lock(&mu_);
+  // Page-id order keeps fault injection below this layer deterministic
+  // for a given seed (unordered_map iteration order is not).
+  std::vector<PageId> ids;
+  ids.reserve(cache_.size());
+  for (const auto& [id, data] : cache_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const PageId id : ids) {
+    const char* data = cache_.find(id)->second.get();
+    Status written = Status::OK();
+    // Bounded retry of transient base errors: callers treat a failed
+    // barrier as a failed commit, so absorbing injector noise here
+    // mirrors the buffer pool's own retry envelope.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      written = base_->WritePage(id, data);
+      if (written.ok() || !written.IsIOError()) break;
+    }
+    if (!written.ok()) return written;
+    cache_.erase(id);
+    ++cache_stats_.flushed_pages;
+  }
+  ++cache_stats_.syncs;
+  return base_->Sync();
+}
+
+void WriteCacheDiskManager::DropUnsynced() {
+  MutexLock lock(&mu_);
+  cache_stats_.dropped_pages += cache_.size();
+  cache_.clear();
+}
+
+size_t WriteCacheDiskManager::unsynced_pages() const {
+  MutexLock lock(&mu_);
+  return cache_.size();
+}
+
+WriteCacheStatsSnapshot WriteCacheDiskManager::cache_stats() const {
+  MutexLock lock(&mu_);
+  return cache_stats_;
+}
+
+}  // namespace pictdb::storage

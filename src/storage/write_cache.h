@@ -1,0 +1,72 @@
+#ifndef PICTDB_STORAGE_WRITE_CACHE_H_
+#define PICTDB_STORAGE_WRITE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+
+namespace pictdb::storage {
+
+/// Counters specific to the write cache (the inherited DiskStats count
+/// the caller-facing operations).
+struct WriteCacheStatsSnapshot {
+  uint64_t flushed_pages = 0;
+  uint64_t dropped_pages = 0;
+  uint64_t syncs = 0;
+};
+
+/// Decorator that models a volatile write-back cache in front of a
+/// durable store — the OS page cache / drive cache that a crash wipes.
+///
+/// WritePage lands in RAM only; Sync() flushes every buffered page to
+/// the base manager (in page-id order, so fault injection below stays
+/// deterministic) and then syncs the base. DropUnsynced() discards all
+/// unflushed writes, simulating power loss at that instant: everything
+/// acknowledged before the last successful Sync() survives, everything
+/// after vanishes. This is what makes a missing Sync() in a commit
+/// protocol *testable* — against a plain InMemoryDiskManager every
+/// write is durable immediately and a forgotten barrier can never
+/// surface.
+///
+/// Page allocation is forwarded straight to the base store so page ids
+/// (tree meta page, WAL anchor) remain stable across a simulated crash.
+class WriteCacheDiskManager final : public DiskManager {
+ public:
+  explicit WriteCacheDiskManager(DiskManager* base) : base_(base) {}
+
+  uint32_t page_size() const override { return base_->page_size(); }
+  PageId page_count() const override { return base_->page_count(); }
+
+  Status ReadPage(PageId id, char* out) override EXCLUDES(mu_);
+  Status WritePage(PageId id, const char* data) override EXCLUDES(mu_);
+  PageId AllocatePage() override { return base_->AllocatePage(); }
+  void DeallocatePage(PageId id) override EXCLUDES(mu_);
+
+  /// Flush buffered pages to the base store and sync it. Transient
+  /// IOErrors from the base (fault injection) are retried a bounded
+  /// number of times per page; a persistent failure keeps the page
+  /// buffered and fails the barrier.
+  Status Sync() override EXCLUDES(mu_);
+
+  /// Simulate power loss: every write since the last successful Sync()
+  /// is gone. Reads then serve the base store's (possibly stale, possibly
+  /// torn) content.
+  void DropUnsynced() EXCLUDES(mu_);
+
+  size_t unsynced_pages() const EXCLUDES(mu_);
+  WriteCacheStatsSnapshot cache_stats() const EXCLUDES(mu_);
+
+ private:
+  DiskManager* base_;
+  mutable Mutex mu_;
+  std::unordered_map<PageId, std::unique_ptr<char[]>> cache_ GUARDED_BY(mu_);
+  WriteCacheStatsSnapshot cache_stats_ GUARDED_BY(mu_);
+};
+
+}  // namespace pictdb::storage
+
+#endif  // PICTDB_STORAGE_WRITE_CACHE_H_

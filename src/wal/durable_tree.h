@@ -1,0 +1,201 @@
+#ifndef PICTDB_WAL_DURABLE_TREE_H_
+#define PICTDB_WAL_DURABLE_TREE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/status_or.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/epoch.h"
+#include "wal/wal.h"
+
+namespace pictdb::wal {
+
+struct DurableOptions {
+  /// Checkpoint (WAL rotation onto a fresh snapshot) after this many
+  /// committed mutations. Bounds both log growth and replay time.
+  uint64_t checkpoint_every = 4096;
+
+  /// Run a full TreeValidator pass over the rebuilt tree at the end of
+  /// recovery; violations fail the open with Corruption.
+  bool validate_after_recovery = true;
+};
+
+/// What Open() did and found. `recovered` false means the clean-shutdown
+/// fast path reattached to the on-disk tree without a rebuild.
+struct RecoveryInfo {
+  bool opened = false;
+  bool clean_shutdown = false;
+  bool recovered = false;  // tree was rebuilt from snapshot + redo
+  bool tail_torn = false;
+  uint64_t snapshot_entries = 0;
+  uint64_t replayed_ops = 0;
+  uint64_t discarded_bytes = 0;
+  std::chrono::microseconds elapsed{0};
+};
+
+/// Plain-value image of the mutation counters.
+struct MutationStatsSnapshot {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t updates = 0;
+  uint64_t checkpoints = 0;
+  uint64_t retired_pages = 0;
+  uint64_t reclaimed_pages = 0;
+};
+
+/// An R-tree whose mutations are durable: every Insert/Delete/Update is
+/// appended to a write-ahead log and synced BEFORE it is applied to the
+/// tree, so a crash at any instant loses at most unacknowledged
+/// operations. Open() replays the log — after an unclean shutdown the
+/// on-disk tree pages are treated as a disposable cache and the tree is
+/// rebuilt (PACK) from the logged snapshot + redo ops.
+///
+/// Concurrency contract: any number of threads may run read-only queries
+/// through tree() concurrently with ONE mutator at a time (the mutex
+/// serializes mutators; readers are latch-coordinated, never blocked for
+/// the duration of a whole operation). Readers must hold an epoch guard
+/// (ReaderEpoch()) across each query so pages unlinked by concurrent
+/// restructuring are not reused under them.
+class DurableRTree {
+ public:
+  /// Create a fresh durable tree on `pool`: allocates the tree, the WAL
+  /// anchor, and writes an initial (empty) snapshot chain.
+  static StatusOr<std::unique_ptr<DurableRTree>> Create(
+      storage::BufferPool* pool, const rtree::RTreeOptions& tree_options = {},
+      const DurableOptions& options = {});
+
+  /// Reattach after a shutdown or crash. Scans the WAL, discards any
+  /// torn tail, and either fast-paths onto the validated on-disk tree
+  /// (clean shutdown) or rebuilds it from snapshot + redo. The outcome
+  /// is reported by recovery_info().
+  static StatusOr<std::unique_ptr<DurableRTree>> Open(
+      storage::BufferPool* pool, storage::PageId meta_page,
+      storage::PageId anchor_page, const DurableOptions& options = {});
+
+  // --- Logged mutations ---------------------------------------------------
+
+  Status Insert(const geom::Rect& mbr, const storage::Rid& rid)
+      EXCLUDES(mu_);
+  /// NotFound (without logging anything) if (mbr, rid) is absent.
+  Status Delete(const geom::Rect& mbr, const storage::Rid& rid)
+      EXCLUDES(mu_);
+  /// Atomically (one logged record) move an entry. NotFound if the old
+  /// entry is absent.
+  Status Update(const geom::Rect& old_mbr, const storage::Rid& old_rid,
+                const geom::Rect& new_mbr, const storage::Rid& new_rid)
+      EXCLUDES(mu_);
+
+  /// Seed an EMPTY durable tree via the PACK bulk loader, then
+  /// checkpoint so the load is durable as a snapshot.
+  Status BulkLoad(std::vector<rtree::Entry> entries) EXCLUDES(mu_);
+
+  /// Rotate the WAL onto a fresh snapshot of the current tree. Failure
+  /// leaves the previous (still valid) chain in place.
+  Status Checkpoint() EXCLUDES(mu_);
+
+  /// Checkpoint, flush the pool, sync, and stamp the clean-shutdown
+  /// marker so the next Open() can skip the rebuild. Further mutations
+  /// are refused.
+  Status Close() EXCLUDES(mu_);
+
+  // --- Read side ----------------------------------------------------------
+
+  /// The underlying tree, for read-only queries. Safe to search from any
+  /// thread while mutations run, PROVIDED the caller holds a ReaderEpoch
+  /// guard for the duration of each query.
+  const rtree::RTree& tree() const { return *tree_; }
+
+  /// Pin the reclamation epoch for one query's lifetime.
+  storage::EpochGate::ReadGuard ReaderEpoch() { return gate_.Enter(); }
+
+  // --- Introspection ------------------------------------------------------
+
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+  MutationStatsSnapshot stats() const EXCLUDES(mu_);
+  WalStats wal_stats() const EXCLUDES(mu_);
+  uint64_t wal_chain_bytes() const EXCLUDES(mu_);
+  storage::PageId meta_page() const { return meta_page_; }
+  storage::PageId anchor_page() const { return anchor_page_; }
+  /// True once a commit-path failure has made the in-memory tree
+  /// untrustworthy; every further mutation is refused (reopen recovers).
+  bool poisoned() const EXCLUDES(mu_);
+
+  DurableRTree(const DurableRTree&) = delete;
+  DurableRTree& operator=(const DurableRTree&) = delete;
+
+ private:
+  /// Passkey: only the static factories can name this, which keeps the
+  /// constructor effectively private while still std::make_unique-able.
+  struct Passkey {
+    explicit Passkey() = default;
+  };
+
+ public:
+  DurableRTree(Passkey, storage::BufferPool* pool,
+               const DurableOptions& options)
+      : pool_(pool), options_(options) {}
+
+ private:
+
+  /// Wire the retire hook + latched reads into tree_ (call after tree_
+  /// is emplaced; the hook captures `this`).
+  void AttachTree();
+
+  Status CheckWritableLocked() REQUIRES(mu_);
+  /// Append + sync + apply one record; any failure poisons the tree
+  /// (the log and the in-memory state may disagree).
+  Status CommitLocked(const Record& record) REQUIRES(mu_);
+  Status CheckpointLocked() REQUIRES(mu_);
+  /// Free retired pages no active reader can still reach.
+  void DrainRetired() EXCLUDES(retired_mu_, mu_);
+
+  /// Replay a committed record stream into a leaf-entry multiset.
+  struct ReplayResult {
+    std::vector<rtree::Entry> entries;
+    bool have_options = false;
+    rtree::RTreeOptions tree_options;
+    uint64_t snapshot_entries = 0;
+    uint64_t replayed_ops = 0;
+    uint64_t max_lsn = 0;
+  };
+  static StatusOr<ReplayResult> Replay(const std::vector<Record>& records);
+
+  storage::BufferPool* pool_;
+  DurableOptions options_;
+  storage::PageId meta_page_ = storage::kInvalidPageId;
+  storage::PageId anchor_page_ = storage::kInvalidPageId;
+  RecoveryInfo recovery_info_;
+
+  /// Serializes mutators and guards the log + commit bookkeeping.
+  /// Lock order (DESIGN.md §10): mu_ -> pool shard mutex -> frame latch;
+  /// retired_mu_ is a leaf taken from the retire hook and DrainRetired.
+  mutable Mutex mu_;
+  std::optional<Wal> wal_ GUARDED_BY(mu_);
+  uint64_t next_lsn_ GUARDED_BY(mu_) = 1;
+  uint64_t ops_since_checkpoint_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
+  bool poisoned_ GUARDED_BY(mu_) = false;
+  MutationStatsSnapshot stats_ GUARDED_BY(mu_);
+
+  /// Internally synchronized (atomics + latches); readers use it without
+  /// mu_. Mutating entry points are called only under mu_.
+  std::optional<rtree::RTree> tree_;
+
+  storage::EpochGate gate_;
+  mutable Mutex retired_mu_;
+  /// (retire epoch, page) pairs awaiting reclamation.
+  std::vector<std::pair<uint64_t, storage::PageId>> retired_
+      GUARDED_BY(retired_mu_);
+};
+
+}  // namespace pictdb::wal
+
+#endif  // PICTDB_WAL_DURABLE_TREE_H_

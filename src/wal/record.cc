@@ -1,0 +1,212 @@
+#include "wal/record.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pictdb::wal {
+namespace {
+
+// Fixed little-endian-layout sizes of each payload kind (see Encode).
+constexpr size_t kRectBytes = 4 * sizeof(double);
+constexpr size_t kHeaderBytes = 1 + sizeof(uint64_t);  // type + lsn
+constexpr size_t kEntryBytes = kRectBytes + sizeof(uint64_t);
+constexpr size_t kInsertDeleteBytes =
+    kHeaderBytes + kRectBytes + sizeof(uint64_t);
+constexpr size_t kUpdateBytes = kHeaderBytes + 2 * (kRectBytes + 8);
+constexpr size_t kSnapshotBeginBytes = kHeaderBytes + 8 + 2 + 2 + 1 + 1;
+
+void AppendRaw(std::string* out, const void* p, size_t n) {
+  out->append(reinterpret_cast<const char*>(p), n);
+}
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  AppendRaw(out, &v, sizeof(T));
+}
+
+void AppendRect(std::string* out, const geom::Rect& r) {
+  AppendPod(out, r.lo.x);
+  AppendPod(out, r.lo.y);
+  AppendPod(out, r.hi.x);
+  AppendPod(out, r.hi.y);
+}
+
+/// Cursor over a payload; Read* return false past the end.
+struct Reader {
+  const char* p;
+  size_t left;
+
+  template <typename T>
+  bool ReadPod(T* v) {
+    if (left < sizeof(T)) return false;
+    std::memcpy(v, p, sizeof(T));
+    p += sizeof(T);
+    left -= sizeof(T);
+    return true;
+  }
+
+  bool ReadRect(geom::Rect* r) {
+    return ReadPod(&r->lo.x) && ReadPod(&r->lo.y) && ReadPod(&r->hi.x) &&
+           ReadPod(&r->hi.y);
+  }
+};
+
+}  // namespace
+
+std::string EncodeRecordPayload(const Record& record) {
+  std::string out;
+  out.push_back(static_cast<char>(record.type));
+  AppendPod(&out, record.lsn);
+  switch (record.type) {
+    case RecordType::kInsert:
+    case RecordType::kDelete:
+      AppendRect(&out, record.a);
+      AppendPod(&out, record.rid_a);
+      break;
+    case RecordType::kUpdate:
+      AppendRect(&out, record.a);
+      AppendPod(&out, record.rid_a);
+      AppendRect(&out, record.b);
+      AppendPod(&out, record.rid_b);
+      break;
+    case RecordType::kSnapshotBegin:
+      AppendPod(&out, record.count);
+      AppendPod(&out, record.tree_max_entries);
+      AppendPod(&out, record.tree_min_entries);
+      AppendPod(&out, record.tree_split);
+      AppendPod(&out, record.tree_forced_reinsert);
+      break;
+    case RecordType::kSnapshotChunk: {
+      AppendPod(&out, static_cast<uint32_t>(record.entries.size()));
+      for (const rtree::Entry& e : record.entries) {
+        AppendRect(&out, e.mbr);
+        AppendPod(&out, e.payload);
+      }
+      break;
+    }
+    case RecordType::kSnapshotEnd:
+    case RecordType::kCleanShutdown:
+      break;
+    case RecordType::kPadding:
+      out.append(record.count, '\0');
+      break;
+  }
+  return out;
+}
+
+StatusOr<Record> DecodeRecordPayload(std::string_view payload) {
+  if (payload.size() < kHeaderBytes) {
+    return Status::Corruption("WAL record payload shorter than header");
+  }
+  Record rec;
+  const uint8_t type_byte = static_cast<uint8_t>(payload[0]);
+  if (type_byte < static_cast<uint8_t>(RecordType::kInsert) ||
+      type_byte > static_cast<uint8_t>(RecordType::kPadding)) {
+    return Status::Corruption("unknown WAL record type " +
+                              std::to_string(type_byte));
+  }
+  rec.type = static_cast<RecordType>(type_byte);
+  Reader r{payload.data() + 1, payload.size() - 1};
+  if (!r.ReadPod(&rec.lsn)) {
+    return Status::Corruption("truncated WAL record lsn");
+  }
+
+  auto expect_exact = [&payload](size_t want) -> Status {
+    if (payload.size() != want) {
+      return Status::Corruption("WAL record length mismatch: got " +
+                                std::to_string(payload.size()) + ", want " +
+                                std::to_string(want));
+    }
+    return Status::OK();
+  };
+
+  switch (rec.type) {
+    case RecordType::kInsert:
+    case RecordType::kDelete: {
+      if (Status st = expect_exact(kInsertDeleteBytes); !st.ok()) return st;
+      r.ReadRect(&rec.a);
+      r.ReadPod(&rec.rid_a);
+      break;
+    }
+    case RecordType::kUpdate: {
+      if (Status st = expect_exact(kUpdateBytes); !st.ok()) return st;
+      r.ReadRect(&rec.a);
+      r.ReadPod(&rec.rid_a);
+      r.ReadRect(&rec.b);
+      r.ReadPod(&rec.rid_b);
+      break;
+    }
+    case RecordType::kSnapshotBegin: {
+      if (Status st = expect_exact(kSnapshotBeginBytes); !st.ok()) return st;
+      r.ReadPod(&rec.count);
+      r.ReadPod(&rec.tree_max_entries);
+      r.ReadPod(&rec.tree_min_entries);
+      r.ReadPod(&rec.tree_split);
+      r.ReadPod(&rec.tree_forced_reinsert);
+      break;
+    }
+    case RecordType::kSnapshotChunk: {
+      uint32_t n = 0;
+      if (!r.ReadPod(&n)) {
+        return Status::Corruption("truncated WAL snapshot chunk count");
+      }
+      if (Status st = expect_exact(kHeaderBytes + 4 + n * kEntryBytes);
+          !st.ok()) {
+        return st;
+      }
+      rec.entries.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        rtree::Entry e;
+        r.ReadRect(&e.mbr);
+        r.ReadPod(&e.payload);
+        rec.entries.push_back(e);
+      }
+      break;
+    }
+    case RecordType::kSnapshotEnd:
+    case RecordType::kCleanShutdown: {
+      if (Status st = expect_exact(kHeaderBytes); !st.ok()) return st;
+      break;
+    }
+    case RecordType::kPadding:
+      rec.count = payload.size() - kHeaderBytes;
+      break;
+  }
+  return rec;
+}
+
+std::vector<Record> BuildSnapshotRecords(
+    const std::vector<rtree::Entry>& entries,
+    const rtree::RTreeOptions& options, uint64_t lsn) {
+  std::vector<Record> records;
+  records.reserve(2 + (entries.size() + kSnapshotChunkEntries - 1) /
+                          kSnapshotChunkEntries);
+
+  Record begin;
+  begin.type = RecordType::kSnapshotBegin;
+  begin.lsn = lsn;
+  begin.count = entries.size();
+  begin.tree_max_entries = static_cast<uint16_t>(options.max_entries);
+  begin.tree_min_entries = static_cast<uint16_t>(options.min_entries);
+  begin.tree_split = static_cast<uint8_t>(options.split);
+  begin.tree_forced_reinsert = options.forced_reinsert ? 1 : 0;
+  records.push_back(std::move(begin));
+
+  for (size_t off = 0; off < entries.size(); off += kSnapshotChunkEntries) {
+    Record chunk;
+    chunk.type = RecordType::kSnapshotChunk;
+    chunk.lsn = lsn;
+    const size_t end = std::min(off + kSnapshotChunkEntries, entries.size());
+    chunk.entries.assign(entries.begin() + static_cast<ptrdiff_t>(off),
+                         entries.begin() + static_cast<ptrdiff_t>(end));
+    records.push_back(std::move(chunk));
+  }
+
+  Record end_rec;
+  end_rec.type = RecordType::kSnapshotEnd;
+  end_rec.lsn = lsn;
+  records.push_back(end_rec);
+  return records;
+}
+
+}  // namespace pictdb::wal

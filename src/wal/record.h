@@ -1,0 +1,92 @@
+#ifndef PICTDB_WAL_RECORD_H_
+#define PICTDB_WAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+#include "geom/rect.h"
+#include "rtree/node.h"
+#include "rtree/rtree.h"
+
+namespace pictdb::wal {
+
+/// Logical record types in the write-ahead log.
+///
+/// The log is a snapshot + redo design: every chain starts with a
+/// complete snapshot group (kSnapshotBegin / kSnapshotChunk* /
+/// kSnapshotEnd) capturing the full leaf-entry multiset at rotation
+/// time, followed by op records in commit order. Recovery never trusts
+/// the on-disk tree pages after an unclean shutdown — it rebuilds from
+/// snapshot + ops, which sidesteps the classic redo-against-torn-base
+/// problem without LSNs on every page.
+enum class RecordType : uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+  kUpdate = 3,
+  kSnapshotBegin = 4,
+  kSnapshotChunk = 5,
+  kSnapshotEnd = 6,
+  /// Appended (after a checkpoint + pool flush + sync) by a clean
+  /// Close(). When it is the last committed record, the on-disk tree
+  /// equals the logged state and open can skip the rebuild.
+  kCleanShutdown = 7,
+  /// Zero-payload filler emitted by rotation to page-align the snapshot
+  /// group. Appends rewrite only the tail page of the chain; keeping the
+  /// snapshot on pages of its own means no later torn append can damage
+  /// it. Skipped during replay.
+  kPadding = 8,
+};
+
+/// One decoded WAL record. Field use by type:
+///  - kInsert/kDelete: `a` + `rid_a`
+///  - kUpdate: old entry in `a`/`rid_a`, new entry in `b`/`rid_b`
+///  - kSnapshotBegin: `count` (total entries in the group) + tree_*
+///    (the RTreeOptions needed to rebuild when the meta page is torn)
+///  - kSnapshotChunk: `entries`
+struct Record {
+  RecordType type = RecordType::kInsert;
+  uint64_t lsn = 0;
+
+  geom::Rect a;
+  geom::Rect b;
+  uint64_t rid_a = 0;  // rtree::Entry payload encoding
+  uint64_t rid_b = 0;
+
+  /// kSnapshotBegin: total entries in the group. kPadding: filler bytes
+  /// after the fixed header.
+  uint64_t count = 0;
+  uint16_t tree_max_entries = 0;
+  uint16_t tree_min_entries = 0;
+  uint8_t tree_split = 0;
+  uint8_t tree_forced_reinsert = 0;
+
+  std::vector<rtree::Entry> entries;
+};
+
+/// Payload byte-size ceiling; anything larger on disk is a torn tail,
+/// not a record.
+inline constexpr uint32_t kMaxRecordPayload = 1u << 20;
+
+/// Entries per kSnapshotChunk record (keeps records well under
+/// kMaxRecordPayload while amortizing framing overhead).
+inline constexpr size_t kSnapshotChunkEntries = 64;
+
+/// Serialize the record payload (type byte onward, no frame).
+std::string EncodeRecordPayload(const Record& record);
+
+/// Parse a payload produced by EncodeRecordPayload. Corruption on any
+/// structural violation (unknown type, length mismatch).
+StatusOr<Record> DecodeRecordPayload(std::string_view payload);
+
+/// Build the snapshot group (begin / chunks / end) for `entries` under
+/// `options`, all stamped with `lsn`.
+std::vector<Record> BuildSnapshotRecords(
+    const std::vector<rtree::Entry>& entries,
+    const rtree::RTreeOptions& options, uint64_t lsn);
+
+}  // namespace pictdb::wal
+
+#endif  // PICTDB_WAL_RECORD_H_

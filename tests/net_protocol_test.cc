@@ -205,6 +205,69 @@ TEST(ProtocolTest, AdminRequestsRoundTrip) {
   }
 }
 
+TEST(ProtocolTest, WriteRequestsRoundTrip) {
+  const WireRid rid{123456, 7};
+  Request insert;
+  insert.body = InsertRequest{geom::Rect(1, 2, 3, 4), rid};
+  EXPECT_EQ(RequestMsgType(insert), MsgType::kInsert);
+  auto i2 =
+      DecodeRequestPayload(MsgType::kInsert, EncodeRequestPayload(insert));
+  ASSERT_TRUE(i2.ok()) << i2.status().ToString();
+  EXPECT_EQ(std::get<InsertRequest>(i2->body).mbr, geom::Rect(1, 2, 3, 4));
+  EXPECT_EQ(std::get<InsertRequest>(i2->body).rid, rid);
+
+  Request del;
+  del.body = DeleteRequest{geom::Rect(1, 2, 3, 4), rid};
+  EXPECT_EQ(RequestMsgType(del), MsgType::kDelete);
+  auto d2 = DecodeRequestPayload(MsgType::kDelete, EncodeRequestPayload(del));
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(std::get<DeleteRequest>(d2->body).rid, rid);
+
+  Request update;
+  update.body = UpdateRequest{geom::Rect(1, 2, 3, 4), rid,
+                              geom::Rect(5, 6, 7, 8), WireRid{9, 1}};
+  EXPECT_EQ(RequestMsgType(update), MsgType::kUpdate);
+  auto u2 =
+      DecodeRequestPayload(MsgType::kUpdate, EncodeRequestPayload(update));
+  ASSERT_TRUE(u2.ok());
+  const auto& up = std::get<UpdateRequest>(u2->body);
+  EXPECT_EQ(up.old_mbr, geom::Rect(1, 2, 3, 4));
+  EXPECT_EQ(up.new_mbr, geom::Rect(5, 6, 7, 8));
+  EXPECT_EQ(up.new_rid, (WireRid{9, 1}));
+}
+
+TEST(ProtocolTest, WriteTypePredicates) {
+  for (const MsgType t :
+       {MsgType::kInsert, MsgType::kDelete, MsgType::kUpdate}) {
+    EXPECT_TRUE(IsKnownMsgType(static_cast<uint8_t>(t))) << static_cast<int>(t);
+    EXPECT_TRUE(IsRequestType(t)) << static_cast<int>(t);
+    EXPECT_TRUE(IsWriteRequestType(t)) << static_cast<int>(t);
+    // Writes are NOT query requests: they bypass cache key derivation.
+    EXPECT_FALSE(IsQueryRequestType(t)) << static_cast<int>(t);
+  }
+  for (const MsgType t : {MsgType::kWindow, MsgType::kPing, MsgType::kStats,
+                          MsgType::kHits, MsgType::kOk}) {
+    EXPECT_FALSE(IsWriteRequestType(t)) << static_cast<int>(t);
+  }
+}
+
+TEST(ProtocolTest, WriteRequestDecodeRejectsMalformedPayloads) {
+  Request insert;
+  insert.body = InsertRequest{geom::Rect(1, 2, 3, 4), WireRid{5, 6}};
+  const std::string payload = EncodeRequestPayload(insert);
+  EXPECT_FALSE(
+      DecodeRequestPayload(MsgType::kInsert, payload.substr(0, 8)).ok());
+  EXPECT_FALSE(DecodeRequestPayload(MsgType::kInsert, payload + "x").ok());
+  // Non-finite MBR coordinates are rejected before they reach the tree.
+  Request nan_insert;
+  nan_insert.body = InsertRequest{
+      geom::Rect(std::numeric_limits<double>::infinity(), 0, 1, 1),
+      WireRid{5, 6}};
+  EXPECT_FALSE(DecodeRequestPayload(MsgType::kInsert,
+                                    EncodeRequestPayload(nan_insert))
+                   .ok());
+}
+
 TEST(ProtocolTest, RequestDecodeRejectsMalformedPayloads) {
   // Truncated window payload.
   Request req;

@@ -24,6 +24,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/fault_injection.h"
+#include "wal/durable_tree.h"
 #include "workload/generators.h"
 
 namespace pictdb::net {
@@ -516,6 +517,114 @@ TEST_F(NetServerTest, ProgrammaticDrainAnswersInflightBeforeExit) {
   EXPECT_FALSE(server.running());
   // Drain is idempotent.
   server.Stop();
+}
+
+TEST_F(NetServerTest, WritesAreDisabledByDefault) {
+  ServerOptions options;
+  options.unix_path = SockPath("nowrites");
+  Server server(Bindings(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  const Status status =
+      client->Insert(Rect(10, 10, 11, 11), WireRid{9999, 0});
+  EXPECT_TRUE(status.IsNotSupported()) << status.ToString();
+  // The connection survives the refusal.
+  EXPECT_TRUE(client->Ping().ok());
+  server.Stop();
+}
+
+TEST_F(NetServerTest, WritesCommitAndInvalidateCachedResults) {
+  // A server over a WAL-backed durable tree: committed writes must both
+  // change query results and (through the commit hook) drop every
+  // cached response — a stale cache replay here would be a wrong
+  // answer, not a performance bug.
+  storage::InMemoryDiskManager disk(512);
+  storage::BufferPool pool(&disk, 1024);
+  auto created = wal::DurableRTree::Create(&pool);
+  ASSERT_TRUE(created.ok());
+  auto durable = std::move(created).value();
+  std::vector<rtree::Entry> seed;
+  for (size_t i = 0; i < 100; ++i) {
+    rtree::Entry e;
+    const double x = 10.0 * static_cast<double>(i);
+    e.mbr = Rect(x, x, x + 1, x + 1);
+    e.payload = rtree::Entry::PayloadFromRid(
+        storage::Rid{static_cast<storage::PageId>(i), 0});
+    seed.push_back(e);
+  }
+  ASSERT_TRUE(durable->BulkLoad(seed).ok());
+
+  service::ServiceOptions service_options;
+  service_options.num_threads = 2;
+  service::QueryService svc(&durable->tree(), nullptr, service_options);
+  svc.BindWriter(durable.get());
+
+  ServerOptions options;
+  options.unix_path = SockPath("writes");
+  options.cache_bytes = 1 << 20;
+  options.allow_writes = true;
+  Server::Bindings bindings;
+  bindings.service = &svc;
+  Server server(bindings, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  const Rect window(0, 0, 55, 55);  // covers seed entries 0..5
+  auto first = client->Window(window, false);
+  ASSERT_TRUE(first.ok());
+  const size_t before =
+      std::get<HitsResponse>(first->response.body).hits.size();
+  EXPECT_EQ(before, 6u);
+  auto warm = client->Window(window, false);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cached());
+
+  // Insert into the window: the ack means the WAL record is fsynced.
+  const WireRid new_rid{5000, 0};
+  ASSERT_TRUE(client->Insert(Rect(20, 30, 21, 31), new_rid).ok());
+
+  auto after = client->Window(window, false);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cached());  // commit hook bumped the epoch
+  EXPECT_EQ(std::get<HitsResponse>(after->response.body).hits.size(),
+            before + 1);
+
+  // Delete it again; a further query drops back to the original count.
+  ASSERT_TRUE(client->Delete(Rect(20, 30, 21, 31), new_rid).ok());
+  auto gone = client->Window(window, false);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_EQ(std::get<HitsResponse>(gone->response.body).hits.size(), before);
+
+  // Update moves seed entry 0 (at [0,0]x[1,1]) out of the window.
+  ASSERT_TRUE(client
+                  ->Update(Rect(0, 0, 1, 1), WireRid{0, 0},
+                           Rect(9000, 9000, 9001, 9001), WireRid{0, 0})
+                  .ok());
+  auto moved = client->Window(window, false);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(std::get<HitsResponse>(moved->response.body).hits.size(),
+            before - 1);
+
+  // Precondition misses surface as NotFound over the wire, and do NOT
+  // invalidate the cache (nothing committed).
+  auto cached_again = client->Window(window, false);
+  ASSERT_TRUE(cached_again.ok());
+  EXPECT_TRUE(cached_again->cached());
+  const Status miss =
+      client->Delete(Rect(1, 2, 3, 4), WireRid{12345, 0});
+  EXPECT_TRUE(miss.IsNotFound()) << miss.ToString();
+  auto still_cached = client->Window(window, false);
+  ASSERT_TRUE(still_cached.ok());
+  EXPECT_TRUE(still_cached->cached());
+
+  server.Stop();
+  svc.Shutdown();
+  // Everything acked above is durable: reopen after a simulated crash
+  // is covered in wal_crash_test; here we just close cleanly.
+  EXPECT_TRUE(durable->Close().ok());
 }
 
 }  // namespace

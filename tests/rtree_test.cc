@@ -360,6 +360,105 @@ TEST(RTreeTest, DeleteEverythingLeavesEmptyValidTree) {
   ExpectValidTree(*tree);
 }
 
+TEST(RTreeTest, DeleteClusterUnderflowsNonLeafLevels) {
+  // Two well-separated clusters in a tall tree (small fanout): wiping
+  // out one whole cluster underflows nodes ABOVE the leaf level, so
+  // CondenseTree must re-insert orphaned subtrees at their original
+  // height, not as leaf entries. The survivors and the invariants tell
+  // us whether it did.
+  Env env(256);
+  RTreeOptions opts;
+  opts.max_entries = 4;
+  opts.min_entries = 2;
+  auto tree = RTree::Create(&env.pool, opts);
+  ASSERT_TRUE(tree.ok());
+  constexpr size_t kPerCluster = 150;
+  Random rng(41);
+  for (size_t i = 0; i < kPerCluster; ++i) {  // cluster A near origin
+    const Point p(rng.UniformDouble(0.0, 100.0), rng.UniformDouble(0.0, 100.0));
+    ASSERT_TRUE(tree->Insert(Rect::FromPoint(p), MakeRid(i)).ok());
+  }
+  std::vector<Point> far;
+  for (size_t i = 0; i < kPerCluster; ++i) {  // cluster B far away
+    const Point p(rng.UniformDouble(5000.0, 5100.0), rng.UniformDouble(5000.0, 5100.0));
+    far.push_back(p);
+    ASSERT_TRUE(
+        tree->Insert(Rect::FromPoint(p), MakeRid(kPerCluster + i)).ok());
+  }
+  const uint32_t tall = tree->Height();
+  ASSERT_GE(tall, 3u) << "workload too small to exercise inner levels";
+
+  // Delete every cluster-B entry; inner nodes over that region drain.
+  for (size_t i = 0; i < kPerCluster; ++i) {
+    ASSERT_TRUE(
+        tree->Delete(Rect::FromPoint(far[i]), MakeRid(kPerCluster + i)).ok())
+        << i;
+    if (i % 16 == 0) {
+      ASSERT_TRUE(tree->Validate().ok());
+    }
+  }
+  EXPECT_EQ(tree->Size(), kPerCluster);
+  EXPECT_LE(tree->Height(), tall);  // root collapses as levels empty
+  ExpectValidTree(*tree);
+  // Cluster A intact, cluster B gone.
+  auto a = tree->SearchIntersects(Rect(0, 0, 100, 100));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size(), kPerCluster);
+  auto b = tree->SearchIntersects(Rect(5000, 5000, 5100, 5100));
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->empty());
+}
+
+TEST(RTreeTest, UpdateMovesEntry) {
+  Env env(256);
+  RTreeOptions opts;
+  opts.max_entries = 4;
+  opts.min_entries = 2;
+  auto tree = RTree::Create(&env.pool, opts);
+  ASSERT_TRUE(tree.ok());
+  Random rng(43);
+  const auto pts = workload::UniformPoints(&rng, 100, workload::PaperFrame());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(Rect::FromPoint(pts[i]), MakeRid(i)).ok());
+  }
+  // Move entry 7 to a spot far outside the frame.
+  const Rect old_mbr = Rect::FromPoint(pts[7]);
+  const Rect new_mbr(9000, 9000, 9001, 9001);
+  ASSERT_TRUE(tree->Update(old_mbr, MakeRid(7), new_mbr, MakeRid(7)).ok());
+  EXPECT_EQ(tree->Size(), pts.size());
+  auto at_old = tree->Contains(old_mbr, MakeRid(7));
+  ASSERT_TRUE(at_old.ok());
+  EXPECT_FALSE(*at_old);
+  auto at_new = tree->Contains(new_mbr, MakeRid(7));
+  ASSERT_TRUE(at_new.ok());
+  EXPECT_TRUE(*at_new);
+  ExpectValidTree(*tree);
+
+  // Updating a non-existent entry is NotFound and changes nothing.
+  EXPECT_TRUE(tree->Update(old_mbr, MakeRid(7), new_mbr, MakeRid(7))
+                  .IsNotFound());
+  EXPECT_EQ(tree->Size(), pts.size());
+  ExpectValidTree(*tree);
+}
+
+TEST(RTreeTest, ContainsIsExactMatch) {
+  Env env;
+  auto tree = RTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(Rect(0, 0, 10, 10), MakeRid(1)).ok());
+  auto hit = tree->Contains(Rect(0, 0, 10, 10), MakeRid(1));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(*hit);
+  // Same rid, different mbr — and a sub-rect that intersects but does
+  // not equal — are both misses: the probe is exact, not spatial.
+  auto wrong_mbr = tree->Contains(Rect(0, 0, 5, 5), MakeRid(1));
+  ASSERT_TRUE(wrong_mbr.ok());
+  EXPECT_FALSE(*wrong_mbr);
+  auto wrong_rid = tree->Contains(Rect(0, 0, 10, 10), MakeRid(2));
+  ASSERT_TRUE(wrong_rid.ok());
+  EXPECT_FALSE(*wrong_rid);
+}
+
 TEST(RTreeTest, SearchStatsCountNodes) {
   Env env(256);
   RTreeOptions opts;

@@ -23,6 +23,7 @@
 #include "service/thread_pool.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "wal/durable_tree.h"
 #include "workload/generators.h"
 #include "workload/us_catalog.h"
 
@@ -332,6 +333,90 @@ TEST(ServiceJoinTest, JoinQueryCountsIntersectingPairs) {
     ASSERT_TRUE(outcome.ok());
     EXPECT_EQ(outcome.value().join_pairs, oracle_pairs);
   }
+}
+
+// --- Write path ---------------------------------------------------------
+
+TEST(ServiceWriteTest, ExecuteWriteRequiresABoundWriter) {
+  storage::InMemoryDiskManager disk(512);
+  storage::BufferPool pool(&disk, 256);
+  auto tree = RTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  QueryService svc(&*tree, /*executor=*/nullptr, {});
+  const Status status = svc.ExecuteWrite(
+      InsertOp{Rect(0, 0, 1, 1), storage::Rid{1, 0}});
+  EXPECT_TRUE(status.IsNotSupported()) << status.ToString();
+  EXPECT_EQ(svc.write_metrics().committed(), 0u);
+}
+
+TEST(ServiceWriteTest, WritesCommitCountAndFireHook) {
+  storage::InMemoryDiskManager disk(512);
+  storage::BufferPool pool(&disk, 1024);
+  auto created = wal::DurableRTree::Create(&pool);
+  ASSERT_TRUE(created.ok());
+  auto durable = std::move(created).value();
+
+  QueryService svc(&durable->tree(), /*executor=*/nullptr, {});
+  svc.BindWriter(durable.get());
+  std::atomic<uint64_t> hook_calls{0};
+  svc.SetCommitHook([&] { hook_calls.fetch_add(1); });
+
+  ASSERT_TRUE(
+      svc.ExecuteWrite(InsertOp{Rect(0, 0, 1, 1), storage::Rid{1, 0}}).ok());
+  ASSERT_TRUE(
+      svc.ExecuteWrite(InsertOp{Rect(5, 5, 6, 6), storage::Rid{2, 0}}).ok());
+  ASSERT_TRUE(svc.ExecuteWrite(UpdateOp{Rect(0, 0, 1, 1), storage::Rid{1, 0},
+                                        Rect(9, 9, 10, 10),
+                                        storage::Rid{1, 0}})
+                  .ok());
+  ASSERT_TRUE(
+      svc.ExecuteWrite(DeleteOp{Rect(5, 5, 6, 6), storage::Rid{2, 0}}).ok());
+  EXPECT_EQ(hook_calls.load(), 4u);
+
+  // A precondition miss commits nothing and must NOT fire the hook
+  // (the server relies on this: no invalidation without a commit).
+  const Status miss =
+      svc.ExecuteWrite(DeleteOp{Rect(5, 5, 6, 6), storage::Rid{2, 0}});
+  EXPECT_TRUE(miss.IsNotFound()) << miss.ToString();
+  EXPECT_EQ(hook_calls.load(), 4u);
+
+  const WriteMetricsSnapshot wm = svc.write_metrics();
+  EXPECT_EQ(wm.inserts, 2u);
+  EXPECT_EQ(wm.updates, 1u);
+  EXPECT_EQ(wm.deletes, 1u);
+  EXPECT_EQ(wm.not_found, 1u);
+  EXPECT_EQ(wm.failed, 0u);
+  EXPECT_EQ(wm.commit_latency.count(), 4u);
+  EXPECT_EQ(durable->tree().Size(), 1u);
+}
+
+TEST(ServiceWriteTest, AsyncWritesCompleteThroughTheWorkerPool) {
+  storage::InMemoryDiskManager disk(512);
+  storage::BufferPool pool(&disk, 1024);
+  auto created = wal::DurableRTree::Create(&pool);
+  ASSERT_TRUE(created.ok());
+  auto durable = std::move(created).value();
+  QueryService svc(&durable->tree(), /*executor=*/nullptr, {});
+  svc.BindWriter(durable.get());
+
+  constexpr size_t kWrites = 64;
+  std::latch done(kWrites);
+  std::atomic<uint64_t> ok_count{0};
+  for (size_t i = 0; i < kWrites; ++i) {
+    const double x = static_cast<double>(i);
+    const Status admitted = svc.SubmitWriteWithCallback(
+        InsertOp{Rect(x, x, x + 1, x + 1),
+                 storage::Rid{static_cast<storage::PageId>(i + 1), 0}},
+        [&](Status status) {
+          if (status.ok()) ok_count.fetch_add(1);
+          done.count_down();
+        });
+    ASSERT_TRUE(admitted.ok()) << admitted.ToString();
+  }
+  done.wait();
+  EXPECT_EQ(ok_count.load(), kWrites);
+  EXPECT_EQ(durable->tree().Size(), kWrites);
+  svc.Shutdown();
 }
 
 }  // namespace
