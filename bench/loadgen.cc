@@ -56,7 +56,8 @@ namespace {
 using namespace pictdb;  // NOLINT(build/namespaces) — bench binary
 using Clock = std::chrono::steady_clock;
 
-constexpr size_t kVariants = service::kQueryVariants;  // window point knn join psql
+constexpr size_t kVariants =
+    service::kQueryVariants;  // window point knn join psql batch
 
 struct Endpoint {
   bool is_unix = true;
@@ -206,7 +207,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
                  "  [--objects=N] [--overlay=N] [--seed=S] [--duration=SEC]\n"
                  "  [--clients=N] [--open-loop --rate=QPS] [--query-pool=N]\n"
                  "  [--knn-k=K] [--timeout-us=N] [--degraded-ok]\n"
-                 "  [--mix=window:40,point:15,knn:20,join:5,psql:20]\n"
+                 "  [--mix=window:40,point:15,knn:20,join:5,psql:20"
+                 ",batch:0]\n"
                  "  [--slo-p50-us=N] [--slo-p95-us=N] [--slo-p99-us=N]\n"
                  "  [--slo-goodput=F] [--no-verify]\n"
                  "  [--fault-start=SEC] [--fault-duration=SEC]"
@@ -224,6 +226,7 @@ struct Prepared {
   std::vector<double> dists;       // knn (ascending)
   uint64_t pairs = 0;              // join
   std::vector<std::vector<std::string>> rows;  // psql (rendered)
+  std::vector<std::vector<net::WireRid>> batch_rids;  // batch (sorted each)
 };
 
 net::WireRid ToWire(const storage::Rid& rid) {
@@ -360,6 +363,30 @@ bool BuildQueryPool(const Flags& flags, QueryPool* out) {
                          "where population > " +
                          std::to_string(50000 + 40000 * i));
   }
+  // Batched windows: kBatchSize windows per request, answered by one
+  // shared descent on the server. Expected answers are per-window.
+  constexpr size_t kBatchSize = 8;
+  for (size_t i = 0; i < flags.query_pool; ++i) {
+    net::BatchWindowRequest req;
+    Prepared p;
+    for (size_t j = 0; j < kBatchSize; ++j) {
+      const double cx = qrng.UniformDouble(frame.lo.x, frame.hi.x);
+      const double cy = qrng.UniformDouble(frame.lo.y, frame.hi.y);
+      const double hx = qrng.UniformDouble(2.0, 25.0);
+      const double hy = qrng.UniformDouble(2.0, 25.0);
+      const geom::Rect window =
+          geom::Rect::FromCenterHalfExtent(cx, hx, cy, hy);
+      req.windows.push_back(window);
+      if (flags.verify) {
+        p.batch_rids.push_back(SortedRids(base.Intersects(window)));
+      }
+    }
+    p.request.body = std::move(req);
+    p.request.options = wire_options;
+    p.variant = 5;
+    out->by_variant[5].push_back(std::move(p));
+  }
+
   for (const std::string& text : psql_texts) {
     Prepared p;
     p.request.body = net::PsqlRequest{text};
@@ -478,6 +505,39 @@ Verdict CheckResponse(const Prepared& prepared, const net::Client::Result& r,
       *why = "psql rows mismatch: got " + std::to_string(table->rows.size()) +
              " rows, want " + std::to_string(prepared.rows.size());
       return Verdict::kWrong;
+    }
+    case 5: {
+      const auto* batch =
+          std::get_if<net::BatchHitsResponse>(&r.response.body);
+      if (batch == nullptr) {
+        *why = "wrong response body for batch";
+        return Verdict::kWrong;
+      }
+      if (batch->per_window.size() != prepared.batch_rids.size()) {
+        *why = "batch window count mismatch";
+        return Verdict::kWrong;
+      }
+      bool any_degraded = false;
+      for (size_t i = 0; i < batch->per_window.size(); ++i) {
+        const auto& bw = batch->per_window[i];
+        std::vector<net::WireRid> got;
+        got.reserve(bw.hits.size());
+        for (const auto& hit : bw.hits) got.push_back(hit.rid);
+        std::sort(got.begin(), got.end(),
+                  [](net::WireRid a, net::WireRid b) {
+                    return a.page_id != b.page_id ? a.page_id < b.page_id
+                                                  : a.slot < b.slot;
+                  });
+        if (got == prepared.batch_rids[i]) continue;
+        if ((degraded || bw.degraded) &&
+            IsSubset(got, prepared.batch_rids[i])) {
+          any_degraded = true;
+          continue;
+        }
+        *why = "batch window " + std::to_string(i) + " hits mismatch";
+        return Verdict::kWrong;
+      }
+      return any_degraded ? Verdict::kDegradedSubset : Verdict::kExact;
     }
     default:
       *why = "unknown variant";

@@ -161,11 +161,14 @@ ValidationReport TreeValidator::Check(const rtree::RTree& tree) const {
         entries_sane = false;
       }
     }
-    if (item.has_parent && !(node.Mbr() == item.parent_mbr)) {
+    // Mbr() recomputes the bound from every entry; hoist the one
+    // computation this node needs instead of paying it per use.
+    const Rect node_mbr = node.Mbr();
+    if (item.has_parent && !(node_mbr == item.parent_mbr)) {
       // Full precision: a single flipped mantissa bit must not print as
       // "X != X".
       const Rect& p = item.parent_mbr;
-      const Rect m = node.Mbr();
+      const Rect& m = node_mbr;
       std::ostringstream os;
       os << std::setprecision(17) << "parent entry [" << p.lo.x << ", "
          << p.lo.y << ", " << p.hi.x << ", " << p.hi.y
@@ -177,7 +180,7 @@ ValidationReport TreeValidator::Check(const rtree::RTree& tree) const {
     if (node.is_leaf()) {
       leaf_entries += node.entries.size();
       if (options_.measure_quality && !node.entries.empty()) {
-        leaf_mbrs.push_back(node.Mbr());
+        leaf_mbrs.push_back(node_mbr);
       }
       continue;
     }

@@ -47,7 +47,7 @@ std::vector<Op> GenerateTrace(const StressConfig& config) {
       config.frame.IsEmpty() ? workload::PaperFrame() : config.frame;
   const double total = config.w_insert + config.w_delete + config.w_update +
                        config.w_window + config.w_contained + config.w_point +
-                       config.w_knn + config.w_repack +
+                       config.w_knn + config.w_search_batch + config.w_repack +
                        config.w_repack_region + config.w_checkpoint +
                        config.w_crash + config.w_fault_flip;
   std::vector<Op> trace;
@@ -105,6 +105,10 @@ std::vector<Op> GenerateTrace(const StressConfig& config) {
       op.kind = OpKind::kKnn;
       op.point = draw_point();
       op.a = static_cast<uint32_t>(1 + rng.Uniform(config.max_k));
+    } else if ((r -= config.w_search_batch) < 0) {
+      op.kind = OpKind::kSearchBatch;
+      op.rect = draw_window();
+      op.a = static_cast<uint32_t>(rng.Uniform(1u << 16));
     } else if ((r -= config.w_repack) < 0) {
       op.kind = OpKind::kRepack;
     } else if ((r -= config.w_repack_region) < 0) {
@@ -165,6 +169,10 @@ std::string TraceToText(const std::vector<Op>& trace) {
         break;
       case OpKind::kKnn:
         os << "knn " << op.point.x << ' ' << op.point.y << ' ' << op.a;
+        break;
+      case OpKind::kSearchBatch:
+        os << "search-batch " << op.a;
+        AppendRect(os, op.rect);
         break;
       case OpKind::kRepack:
         os << "repack";
@@ -237,6 +245,9 @@ StatusOr<std::vector<Op>> ParseTrace(std::string_view text) {
     } else if (verb == "knn") {
       op.kind = OpKind::kKnn;
       ok = static_cast<bool>(in >> op.point.x >> op.point.y >> op.a);
+    } else if (verb == "search-batch") {
+      op.kind = OpKind::kSearchBatch;
+      ok = static_cast<bool>(in >> op.a) && rect();
     } else if (verb == "repack") {
       op.kind = OpKind::kRepack;
     } else if (verb == "repack-region") {
@@ -569,6 +580,69 @@ StressOutcome RunTrace(const std::vector<Op>& trace,
         }
         classify(i, CompareNeighbors(neighbors, oracle, op.point, op.a,
                                      degraded));
+        break;
+      }
+      case OpKind::kSearchBatch: {
+        // Windows derived deterministically from the op fields: op.rect
+        // shifted along its own diagonal, 1 + a%6 of them.
+        const size_t nwin = 1 + op.a % 6;
+        std::vector<Rect> windows;
+        windows.reserve(nwin);
+        const double dx = op.rect.hi.x - op.rect.lo.x;
+        const double dy = op.rect.hi.y - op.rect.lo.y;
+        for (size_t j = 0; j < nwin; ++j) {
+          const double shift =
+              (static_cast<double>(j) - static_cast<double>(nwin) / 2.0) *
+              0.5;
+          windows.push_back(Rect(op.rect.lo.x + shift * dx,
+                                 op.rect.lo.y + shift * dy,
+                                 op.rect.hi.x + shift * dx,
+                                 op.rect.hi.y + shift * dy));
+        }
+        std::vector<rtree::BatchHits> batch;
+        if (svc != nullptr) {
+          auto r = svc->RunSync(service::BatchWindowQuery{windows, false},
+                                qopts);
+          if (!r.ok()) {
+            fail(i, "search-batch: " + r.status().ToString());
+            break;
+          }
+          batch = std::move(r->batch);
+        } else {
+          auto r = query_tree().SearchBatch(windows, false, nullptr, sopts);
+          if (!r.ok()) {
+            fail(i, "search-batch: " + r.status().ToString());
+            break;
+          }
+          batch = std::move(r).value();
+        }
+        if (batch.size() != windows.size()) {
+          fail(i, "search-batch: result count mismatch");
+          break;
+        }
+        for (size_t j = 0; j < windows.size() && !outcome.failed; ++j) {
+          classify(i, CompareHits(batch[j].hits,
+                                  oracle.Intersects(windows[j]),
+                                  batch[j].degraded));
+          if (outcome.failed || faults_armed) continue;
+          // On a quiet medium the batched answer must also match the
+          // single-window path hit for hit, in the same order.
+          auto single = query_tree().SearchIntersects(windows[j]);
+          if (!single.ok()) {
+            fail(i, "search-batch single: " + single.status().ToString());
+            break;
+          }
+          const std::vector<LeafHit>& s = single.value();
+          bool same = s.size() == batch[j].hits.size();
+          for (size_t h = 0; same && h < s.size(); ++h) {
+            same = s[h].mbr == batch[j].hits[h].mbr &&
+                   s[h].rid == batch[j].hits[h].rid;
+          }
+          if (!same) {
+            fail(i, "search-batch window " + std::to_string(j) +
+                        " diverges from single-window search");
+          }
+        }
         break;
       }
       case OpKind::kRepack: {

@@ -25,6 +25,9 @@ enum class OpKind : uint8_t {
   kContained,     // SearchContainedIn(rect) diffed against the oracle
   kPoint,         // SearchPoint(point) diffed against the oracle
   kKnn,           // SearchNearest(point, a) diffed against the oracle
+  kSearchBatch,   // SearchBatch over 1+(a%6) windows derived from
+                  // `rect`, each diffed against the oracle AND against
+                  // the single-window search (bit-identical hit order)
   kRepack,        // full re-PACK of the tree (skipped in durable mode)
   kRepackRegion,  // pack::RepackRegion(rect) (skipped in durable mode)
   kCheckpoint,    // WAL rotation onto a fresh snapshot (durable only)
@@ -64,6 +67,7 @@ struct StressConfig {
   double w_contained = 0.1;
   double w_point = 0.15;
   double w_knn = 0.15;
+  double w_search_batch = 0.0;  // default 0: existing seeds stay stable
   double w_repack = 0.01;
   double w_repack_region = 0.04;
   double w_checkpoint = 0.0;  // meaningful only when `durable`

@@ -198,6 +198,15 @@ StatusOr<Client::Result> Client::Psql(const std::string& text,
   return Call(request);
 }
 
+StatusOr<Client::Result> Client::BatchWindow(
+    const std::vector<geom::Rect>& windows, bool contained_only,
+    const WireOptions& options) {
+  Request request;
+  request.body = BatchWindowRequest{windows, contained_only};
+  request.options = options;
+  return Call(request);
+}
+
 Status Client::Ping() {
   Request request;
   request.body = PingRequest{};

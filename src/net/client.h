@@ -52,6 +52,11 @@ class Client {
   StatusOr<Result> Join(uint32_t overlay, const WireOptions& options = {});
   StatusOr<Result> Psql(const std::string& text,
                         const WireOptions& options = {});
+  /// Many windows answered in one server-side descent; the response is
+  /// a BatchHitsResponse with per_window[i] for windows[i].
+  StatusOr<Result> BatchWindow(const std::vector<geom::Rect>& windows,
+                               bool contained_only,
+                               const WireOptions& options = {});
   Status Ping();
   StatusOr<StatsResponse> ServerStats();
   Status SetFaults(double transient_read_error_rate,

@@ -162,15 +162,15 @@ StatusOr<service::HistogramSnapshot> ReadHistogram(ByteReader* r) {
 
 bool IsKnownMsgType(uint8_t type) {
   return (type >= static_cast<uint8_t>(MsgType::kWindow) &&
-          type <= static_cast<uint8_t>(MsgType::kUpdate)) ||
+          type <= static_cast<uint8_t>(MsgType::kBatchWindow)) ||
          (type >= static_cast<uint8_t>(MsgType::kHits) &&
-          type <= static_cast<uint8_t>(MsgType::kError));
+          type <= static_cast<uint8_t>(MsgType::kBatchHits));
 }
 
 bool IsRequestType(MsgType type) {
   const uint8_t t = static_cast<uint8_t>(type);
   return t >= static_cast<uint8_t>(MsgType::kWindow) &&
-         t <= static_cast<uint8_t>(MsgType::kUpdate);
+         t <= static_cast<uint8_t>(MsgType::kBatchWindow);
 }
 
 bool IsWriteRequestType(MsgType type) {
@@ -181,8 +181,9 @@ bool IsWriteRequestType(MsgType type) {
 
 bool IsQueryRequestType(MsgType type) {
   const uint8_t t = static_cast<uint8_t>(type);
-  return t >= static_cast<uint8_t>(MsgType::kWindow) &&
-         t <= static_cast<uint8_t>(MsgType::kPsql);
+  return (t >= static_cast<uint8_t>(MsgType::kWindow) &&
+          t <= static_cast<uint8_t>(MsgType::kPsql)) ||
+         type == MsgType::kBatchWindow;
 }
 
 std::string EncodeFrame(MsgType type, uint32_t flags, uint32_t request_id,
@@ -243,6 +244,9 @@ MsgType RequestMsgType(const Request& request) {
     MsgType operator()(const InsertRequest&) { return MsgType::kInsert; }
     MsgType operator()(const DeleteRequest&) { return MsgType::kDelete; }
     MsgType operator()(const UpdateRequest&) { return MsgType::kUpdate; }
+    MsgType operator()(const BatchWindowRequest&) {
+      return MsgType::kBatchWindow;
+    }
   };
   return std::visit(Visitor{}, request.body);
 }
@@ -294,6 +298,12 @@ std::string EncodeRequestPayload(const Request& request) {
       PutWireRid(w, q.old_rid);
       PutRect(w, q.new_mbr);
       PutWireRid(w, q.new_rid);
+    }
+    void operator()(const BatchWindowRequest& q) {
+      PutOptions(w, *options);
+      w->PutU8(q.contained_only ? 1 : 0);
+      w->PutU32(static_cast<uint32_t>(q.windows.size()));
+      for (const geom::Rect& win : q.windows) PutRect(w, win);
     }
   };
   std::visit(Visitor{&w, &request.options}, request.body);
@@ -400,6 +410,26 @@ StatusOr<Request> DecodeRequestPayload(MsgType type,
       out.body = q;
       break;
     }
+    case MsgType::kBatchWindow: {
+      PICTDB_ASSIGN_OR_RETURN(out.options, ReadOptions(&r));
+      BatchWindowRequest q;
+      PICTDB_ASSIGN_OR_RETURN(const uint8_t contained, r.U8());
+      if (contained > 1) {
+        return Status::InvalidArgument("contained flag must be 0 or 1");
+      }
+      q.contained_only = contained != 0;
+      PICTDB_ASSIGN_OR_RETURN(const uint32_t n,
+                              ReadCount(&r, kMaxListElements));
+      q.windows.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        geom::Rect win;
+        PICTDB_ASSIGN_OR_RETURN(win, ReadRect(&r));
+        PICTDB_RETURN_IF_ERROR(CheckFiniteRect(win, "batch window"));
+        q.windows.push_back(win);
+      }
+      out.body = std::move(q);
+      break;
+    }
     default:
       return Status::InvalidArgument("not a request message type");
   }
@@ -473,6 +503,9 @@ MsgType ResponseMsgType(const Response& response) {
     }
     MsgType operator()(const OkResponse&) { return MsgType::kOk; }
     MsgType operator()(const ErrorResponse&) { return MsgType::kError; }
+    MsgType operator()(const BatchHitsResponse&) {
+      return MsgType::kBatchHits;
+    }
   };
   return std::visit(Visitor{}, response.body);
 }
@@ -543,6 +576,15 @@ std::string EncodeResponsePayload(const Response& response) {
     void operator()(const ErrorResponse& resp) {
       w->PutU32(resp.code);
       w->PutString(resp.message);
+    }
+    void operator()(const BatchHitsResponse& resp) {
+      PutStats(w, resp.stats);
+      w->PutU32(static_cast<uint32_t>(resp.per_window.size()));
+      for (const BatchWindowHits& bw : resp.per_window) {
+        w->PutU8(bw.degraded ? 1 : 0);
+        w->PutU32(static_cast<uint32_t>(bw.hits.size()));
+        for (const WireHit& h : bw.hits) PutHit(w, h);
+      }
     }
   };
   std::visit(Visitor{&w}, response.body);
@@ -668,6 +710,31 @@ StatusOr<Response> DecodeResponsePayload(MsgType type,
       ErrorResponse resp;
       PICTDB_ASSIGN_OR_RETURN(resp.code, r.U32());
       PICTDB_ASSIGN_OR_RETURN(resp.message, r.String(kMaxStringBytes));
+      out.body = std::move(resp);
+      break;
+    }
+    case MsgType::kBatchHits: {
+      BatchHitsResponse resp;
+      PICTDB_ASSIGN_OR_RETURN(resp.stats, ReadStats(&r));
+      PICTDB_ASSIGN_OR_RETURN(const uint32_t nwin,
+                              ReadCount(&r, kMaxListElements));
+      resp.per_window.reserve(nwin);
+      for (uint32_t i = 0; i < nwin; ++i) {
+        BatchWindowHits bw;
+        PICTDB_ASSIGN_OR_RETURN(const uint8_t degraded, r.U8());
+        if (degraded > 1) {
+          return Status::InvalidArgument("degraded flag must be 0 or 1");
+        }
+        bw.degraded = degraded != 0;
+        PICTDB_ASSIGN_OR_RETURN(const uint32_t nhits,
+                                ReadCount(&r, kMaxListElements));
+        bw.hits.reserve(nhits);
+        for (uint32_t j = 0; j < nhits; ++j) {
+          PICTDB_ASSIGN_OR_RETURN(WireHit h, ReadHit(&r));
+          bw.hits.push_back(h);
+        }
+        resp.per_window.push_back(std::move(bw));
+      }
       out.body = std::move(resp);
       break;
     }

@@ -57,6 +57,9 @@ enum class MsgType : uint8_t {
   kInsert = 10,
   kDelete = 11,
   kUpdate = 12,
+  // Many window queries in one request, answered by one shared tree
+  // descent (RTree::SearchBatch).
+  kBatchWindow = 13,
 
   // Responses.
   kHits = 32,
@@ -67,12 +70,13 @@ enum class MsgType : uint8_t {
   kStatsResult = 37,
   kOk = 38,
   kError = 39,
+  kBatchHits = 40,
 };
 
 bool IsKnownMsgType(uint8_t type);
 bool IsRequestType(MsgType type);
-/// The five query kinds (everything admission control and the result
-/// cache apply to; ping/stats/admin bypass both).
+/// The query kinds (everything admission control and the result cache
+/// apply to; ping/stats/admin bypass both).
 bool IsQueryRequestType(MsgType type);
 
 struct FrameHeader {
@@ -170,13 +174,20 @@ struct UpdateRequest {
   WireRid new_rid;
 };
 
+/// Batched window search: every window answered in one shared descent.
+/// Answered with BatchHitsResponse, per_window[i] for windows[i].
+struct BatchWindowRequest {
+  std::vector<geom::Rect> windows;
+  bool contained_only = false;
+};
+
 struct Request {
   std::variant<WindowRequest, PointRequest, KnnRequest, JoinRequest,
                PsqlRequest, PingRequest, StatsRequest, SetFaultsRequest,
                InvalidateRequest, InsertRequest, DeleteRequest,
-               UpdateRequest>
+               UpdateRequest, BatchWindowRequest>
       body;
-  WireOptions options;  // meaningful for the five query kinds only
+  WireOptions options;  // meaningful for the query kinds only
 };
 
 /// The three mutation kinds (write-gated on the server, never cached).
@@ -247,6 +258,19 @@ struct TableResponse {
   std::vector<std::vector<WireRid>> row_rids;  // one list per row
 };
 
+/// One window's share of a batched query: its hits (bit-identical,
+/// including order, to asking the window alone) and whether unreadable
+/// subtrees were skipped while answering it.
+struct BatchWindowHits {
+  bool degraded = false;
+  std::vector<WireHit> hits;
+};
+
+struct BatchHitsResponse {
+  WireStats stats;  // aggregate over the whole shared descent
+  std::vector<BatchWindowHits> per_window;
+};
+
 struct PongResponse {};
 struct OkResponse {};
 
@@ -289,7 +313,8 @@ struct StatsResponse {
 
 struct Response {
   std::variant<HitsResponse, NeighborsResponse, JoinResponse, TableResponse,
-               PongResponse, StatsResponse, OkResponse, ErrorResponse>
+               PongResponse, StatsResponse, OkResponse, ErrorResponse,
+               BatchHitsResponse>
       body;
 };
 

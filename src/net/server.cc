@@ -124,6 +124,22 @@ Response BuildQueryResponse(MsgType request_type,
       response.body = std::move(body);
       break;
     }
+    case MsgType::kBatchWindow: {
+      BatchHitsResponse body;
+      body.stats = ToWireStats(result);
+      body.per_window.reserve(result.batch.size());
+      for (const rtree::BatchHits& bh : result.batch) {
+        BatchWindowHits bw;
+        bw.degraded = bh.degraded;
+        bw.hits.reserve(bh.hits.size());
+        for (const rtree::LeafHit& hit : bh.hits) {
+          bw.hits.push_back(ToWireHit(hit));
+        }
+        body.per_window.push_back(std::move(bw));
+      }
+      response.body = std::move(body);
+      break;
+    }
     default:
       response.body = ErrorResponse::FromStatus(
           Status::Internal("BuildQueryResponse on non-query type"));
@@ -521,6 +537,9 @@ void Server::HandleQueryRequest(Connection* conn, const FrameHeader& header,
     query = service::JoinQuery{bindings_.overlay};
   } else if (const auto* psql = std::get_if<PsqlRequest>(&request.body)) {
     query = service::PsqlQuery{psql->text};
+  } else if (auto* batch = std::get_if<BatchWindowRequest>(&request.body)) {
+    query = service::BatchWindowQuery{std::move(batch->windows),
+                                      batch->contained_only};
   } else {
     ReplyError(conn, header.request_id,
                Status::Internal("non-query request routed as query"));

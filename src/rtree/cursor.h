@@ -40,12 +40,31 @@ class SearchCursor {
   const SearchStats& stats() const { return stats_; }
 
  private:
+  /// Window cursors built by the Intersects/ContainedIn factories skip
+  /// the per-entry std::function calls and run the simd rect kernels
+  /// over an SoA node image instead; kGeneric keeps the caller-supplied
+  /// predicates. Result streams are identical either way.
+  enum class Mode { kGeneric, kIntersects, kContainedIn };
+
+  SearchCursor(const RTree* tree, Mode mode, const geom::Rect& window,
+               const SearchOptions& options);
+
+  StatusOr<std::optional<LeafHit>> NextGeneric();
+  StatusOr<std::optional<LeafHit>> NextWindow();
+
   const RTree* tree_;
+  Mode mode_ = Mode::kGeneric;
+  geom::Rect window_;  // kIntersects / kContainedIn only
   std::function<bool(const geom::Rect&)> prune_;
   std::function<bool(const geom::Rect&)> accept_;
   SearchOptions options_;
   std::vector<storage::PageId> pending_;  // nodes not yet expanded
   Node current_leaf_;
+  /// Window-mode scratch: one SoA image reused for every decode (safe
+  /// because a leaf is fully drained before the next node is loaded)
+  /// and the accept verdicts for the active leaf.
+  SoaNode soa_node_;
+  std::vector<uint64_t> accept_mask_;
   size_t leaf_pos_ = 0;
   bool leaf_active_ = false;
   SearchStats stats_;

@@ -1,10 +1,40 @@
 #include "rtree/join.h"
 
 #include "common/logging.h"
+#include "simd/dispatch.h"
 
 namespace pictdb::rtree {
 
 namespace {
+
+/// Reusable SoA transpose of one node's entry rects plus a verdict
+/// mask, shared down the recursion (only leaf-level frames use it, and
+/// leaves never recurse, so one instance is safe).
+struct JoinScratch {
+  std::vector<double> xmin;
+  std::vector<double> ymin;
+  std::vector<double> xmax;
+  std::vector<double> ymax;
+  std::vector<uint64_t> mask;
+
+  simd::RectSoa Transpose(const Node& node) {
+    const size_t n = node.entries.size();
+    xmin.resize(n);
+    ymin.resize(n);
+    xmax.resize(n);
+    ymax.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const geom::Rect& r = node.entries[i].mbr;
+      xmin[i] = r.lo.x;
+      ymin[i] = r.lo.y;
+      xmax[i] = r.hi.x;
+      ymax[i] = r.hi.y;
+    }
+    mask.resize(simd::MaskWords(n));
+    return simd::RectSoa{xmin.data(), ymin.data(), xmax.data(),
+                         ymax.data(), n};
+  }
+};
 
 /// Load one side of a join pair; on an unreadable page in degraded mode
 /// the pair is skipped (quarantining the page) instead of failing the
@@ -26,7 +56,8 @@ StatusOr<Node> LoadJoinNode(const RTree& tree, storage::PageId id,
 
 Status JoinRec(const RTree& left, const RTree& right, storage::PageId lid,
                storage::PageId rid, const JoinCallback& callback,
-               JoinStats* stats, const SearchOptions& options) {
+               JoinStats* stats, const SearchOptions& options,
+               JoinScratch* scratch) {
   PICTDB_RETURN_IF_ERROR(options.CheckRunnable());
   bool skip = false;
   PICTDB_ASSIGN_OR_RETURN(const Node lnode,
@@ -37,14 +68,15 @@ Status JoinRec(const RTree& left, const RTree& right, storage::PageId lid,
   if (skip) return Status::OK();
   if (stats != nullptr) stats->nodes_visited += 2;
 
-  // Unequal levels: descend the taller side against the whole other node.
+  // Unequal levels: descend the taller side against the whole other
+  // node (its MBR hoisted — one computation per visit, not per entry).
   if (lnode.level > rnode.level) {
     const geom::Rect rmbr = rnode.Mbr();
     for (const Entry& le : lnode.entries) {
       if (stats != nullptr) ++stats->pairs_tested;
       if (le.mbr.Intersects(rmbr)) {
-        PICTDB_RETURN_IF_ERROR(
-            JoinRec(left, right, le.AsChild(), rid, callback, stats, options));
+        PICTDB_RETURN_IF_ERROR(JoinRec(left, right, le.AsChild(), rid,
+                                       callback, stats, options, scratch));
       }
     }
     return Status::OK();
@@ -54,26 +86,40 @@ Status JoinRec(const RTree& left, const RTree& right, storage::PageId lid,
     for (const Entry& re : rnode.entries) {
       if (stats != nullptr) ++stats->pairs_tested;
       if (re.mbr.Intersects(lmbr)) {
-        PICTDB_RETURN_IF_ERROR(
-            JoinRec(left, right, lid, re.AsChild(), callback, stats, options));
+        PICTDB_RETURN_IF_ERROR(JoinRec(left, right, lid, re.AsChild(),
+                                       callback, stats, options, scratch));
       }
     }
     return Status::OK();
   }
 
-  // Equal levels: pairwise test.
+  // Equal leaf levels: the all-pairs test is the join's hot loop —
+  // transpose the right node once and let the rect kernels test every
+  // right entry against each left entry in one call. Ascending bit
+  // order keeps the (le, re) callback order identical to the scalar
+  // nested loop.
+  if (lnode.is_leaf()) {
+    const simd::RectSoa rsoa = scratch->Transpose(rnode);
+    const simd::RectKernels& kernels = simd::ActiveKernels();
+    for (const Entry& le : lnode.entries) {
+      if (stats != nullptr) stats->pairs_tested += rsoa.count;
+      kernels.intersects(rsoa, le.mbr, scratch->mask.data());
+      simd::ForEachSetBit(scratch->mask.data(), rsoa.count, [&](size_t i) {
+        if (stats != nullptr) ++stats->results;
+        const Entry& re = rnode.entries[i];
+        callback(LeafHit{le.mbr, le.AsRid()}, LeafHit{re.mbr, re.AsRid()});
+      });
+    }
+    return Status::OK();
+  }
+
+  // Equal interior levels: pairwise test, descending on intersection.
   for (const Entry& le : lnode.entries) {
     for (const Entry& re : rnode.entries) {
       if (stats != nullptr) ++stats->pairs_tested;
       if (!le.mbr.Intersects(re.mbr)) continue;
-      if (lnode.is_leaf()) {
-        if (stats != nullptr) ++stats->results;
-        callback(LeafHit{le.mbr, le.AsRid()}, LeafHit{re.mbr, re.AsRid()});
-      } else {
-        PICTDB_RETURN_IF_ERROR(JoinRec(left, right, le.AsChild(),
-                                       re.AsChild(), callback, stats,
-                                       options));
-      }
+      PICTDB_RETURN_IF_ERROR(JoinRec(left, right, le.AsChild(), re.AsChild(),
+                                     callback, stats, options, scratch));
     }
   }
   return Status::OK();
@@ -85,8 +131,9 @@ Status SpatialJoin(const RTree& left, const RTree& right,
                    const JoinCallback& callback, JoinStats* stats,
                    const SearchOptions& options) {
   if (left.Size() == 0 || right.Size() == 0) return Status::OK();
+  JoinScratch scratch;
   return JoinRec(left, right, left.root(), right.root(), callback, stats,
-                 options);
+                 options, &scratch);
 }
 
 Status NestedLoopJoin(const RTree& left, const RTree& right,

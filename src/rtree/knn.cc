@@ -50,6 +50,9 @@ StatusOr<std::vector<Neighbor>> SearchNearest(const RTree& tree,
       frontier;
   frontier.push(QueueItem{0.0, QueueItem::Kind::kNode, tree.root(), {}});
 
+  // Best-first expansion never holds two nodes at once, so one SoA
+  // image is reused for every decode (no per-node allocation).
+  SoaNode node;
   while (!frontier.empty()) {
     PICTDB_RETURN_IF_ERROR(options.CheckRunnable());
     const QueueItem item = frontier.top();
@@ -63,24 +66,24 @@ StatusOr<std::vector<Neighbor>> SearchNearest(const RTree& tree,
       continue;
     }
 
-    auto loaded = tree.ReadNodePage(item.node);
+    const Status loaded = tree.ReadNodePageSoa(item.node, &node);
     if (!loaded.ok()) {
-      PICTDB_RETURN_IF_ERROR(HandleNodeReadFailure(loaded.status(),
-                                                   item.node, stats,
-                                                   options));
+      PICTDB_RETURN_IF_ERROR(
+          HandleNodeReadFailure(loaded, item.node, stats, options));
       continue;
     }
-    const Node node = std::move(loaded).value();
     if (stats != nullptr) ++stats->nodes_visited;
-    for (const Entry& e : node.entries) {
+    for (size_t i = 0; i < node.count(); ++i) {
       if (stats != nullptr) ++stats->entries_tested;
-      const double d = geom::MinDistance(e.mbr, query);
+      const geom::Rect mbr = node.RectAt(i);
+      const double d = geom::MinDistance(mbr, query);
       if (node.is_leaf()) {
         frontier.push(QueueItem{d, QueueItem::Kind::kEntry,
                                 storage::kInvalidPageId,
-                                LeafHit{e.mbr, e.AsRid()}});
+                                LeafHit{mbr, node.RidAt(i)}});
       } else {
-        frontier.push(QueueItem{d, QueueItem::Kind::kNode, e.AsChild(), {}});
+        frontier.push(
+            QueueItem{d, QueueItem::Kind::kNode, node.ChildAt(i), {}});
       }
     }
   }
@@ -100,6 +103,7 @@ StatusOr<std::vector<Neighbor>> SearchNearestExact(
       frontier;
   frontier.push(QueueItem{0.0, QueueItem::Kind::kNode, tree.root(), {}});
 
+  SoaNode node;
   while (!frontier.empty()) {
     PICTDB_RETURN_IF_ERROR(options.CheckRunnable());
     const QueueItem item = frontier.top();
@@ -122,23 +126,23 @@ StatusOr<std::vector<Neighbor>> SearchNearestExact(
         break;
       }
       case QueueItem::Kind::kNode: {
-        auto loaded = tree.ReadNodePage(item.node);
+        const Status loaded = tree.ReadNodePageSoa(item.node, &node);
         if (!loaded.ok()) {
-          PICTDB_RETURN_IF_ERROR(HandleNodeReadFailure(
-              loaded.status(), item.node, stats, options));
+          PICTDB_RETURN_IF_ERROR(
+              HandleNodeReadFailure(loaded, item.node, stats, options));
           break;
         }
-        const Node node = std::move(loaded).value();
         if (stats != nullptr) ++stats->nodes_visited;
-        for (const Entry& e : node.entries) {
+        for (size_t i = 0; i < node.count(); ++i) {
           if (stats != nullptr) ++stats->entries_tested;
-          const double d = geom::MinDistance(e.mbr, query);
+          const geom::Rect mbr = node.RectAt(i);
+          const double d = geom::MinDistance(mbr, query);
           frontier.push(QueueItem{
               d,
               node.is_leaf() ? QueueItem::Kind::kEntry
                              : QueueItem::Kind::kNode,
-              node.is_leaf() ? storage::kInvalidPageId : e.AsChild(),
-              node.is_leaf() ? LeafHit{e.mbr, e.AsRid()} : LeafHit{}});
+              node.is_leaf() ? storage::kInvalidPageId : node.ChildAt(i),
+              node.is_leaf() ? LeafHit{mbr, node.RidAt(i)} : LeafHit{}});
         }
         break;
       }

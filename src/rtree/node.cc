@@ -1,8 +1,10 @@
 #include "rtree/node.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/logging.h"
+#include "simd/dispatch.h"
 
 namespace pictdb::rtree {
 
@@ -13,7 +15,27 @@ namespace {
 constexpr size_t kNodeHeaderSize = 8;
 constexpr size_t kEntrySize = 4 * sizeof(double) + sizeof(uint64_t);
 
+std::atomic<uint64_t> g_mbr_computes{0};
+
 }  // namespace
+
+geom::Rect Node::Mbr() const {
+  g_mbr_computes.fetch_add(1, std::memory_order_relaxed);
+  geom::Rect r;
+  for (const Entry& e : entries) r.ExpandToInclude(e.mbr);
+  return r;
+}
+
+geom::Rect SoaNode::Mbr() const {
+  g_mbr_computes.fetch_add(1, std::memory_order_relaxed);
+  geom::Rect r;
+  for (size_t i = 0; i < count(); ++i) r.ExpandToInclude(RectAt(i));
+  return r;
+}
+
+uint64_t MbrComputeCountForTesting() {
+  return g_mbr_computes.load(std::memory_order_relaxed);
+}
 
 size_t NodePageCapacity(uint32_t page_size) {
   return (page_size - kNodeHeaderSize) / kEntrySize;
@@ -37,6 +59,26 @@ Node ReadNode(const char* page, uint32_t page_size) {
     std::memcpy(&e.payload, p + 32, 8);
   }
   return node;
+}
+
+void ReadNodeSoa(const char* page, uint32_t page_size, SoaNode* out) {
+  uint16_t count;
+  std::memcpy(&out->level, page, 2);
+  std::memcpy(&count, page + 2, 2);
+  PICTDB_CHECK(count <= NodePageCapacity(page_size))
+      << "corrupt R-tree node: count " << count;
+  out->xmin.resize(count);
+  out->ymin.resize(count);
+  out->xmax.resize(count);
+  out->ymax.resize(count);
+  out->payloads.resize(count);
+  // The AoS->SoA shuffle is the dominant per-node decode cost, so it is
+  // dispatched with the rect kernels (pure data movement — every family
+  // is bit-preserving, see simd/rect_kernels.h).
+  simd::ActiveKernels().transpose(page + kNodeHeaderSize, count,
+                                  out->xmin.data(), out->ymin.data(),
+                                  out->xmax.data(), out->ymax.data(),
+                                  out->payloads.data());
 }
 
 void WriteNode(const Node& node, char* page, uint32_t page_size) {

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "geom/rect.h"
+#include "simd/rect_kernels.h"
 #include "storage/heap_file.h"
 #include "storage/page.h"
 
@@ -47,12 +48,58 @@ struct Node {
 
   bool is_leaf() const { return level == 0; }
 
-  /// Minimal rectangle bounding all entries.
-  geom::Rect Mbr() const {
-    geom::Rect r;
-    for (const Entry& e : entries) r.ExpandToInclude(e.mbr);
-    return r;
+  /// Minimal rectangle bounding all entries. Recomputed on every call
+  /// (entries are public and freely mutated by the update algorithms,
+  /// so the node cannot memoize safely) — callers in loops must hoist
+  /// the result instead of re-calling; MbrComputeCountForTesting() lets
+  /// tests pin that down.
+  geom::Rect Mbr() const;
+};
+
+/// Total Node::Mbr() invocations in this process. The regression test
+/// for the "Mbr recomputed in hot loops" fix diffs this around
+/// traversals to prove each node's bound is computed at most once.
+uint64_t MbrComputeCountForTesting();
+
+/// Struct-of-arrays image of one node: the same entries as `Node`, but
+/// with each coordinate in its own contiguous lane so the simd rect
+/// kernels can test a whole node per call. Decoded from the identical
+/// on-disk page layout (the disk format is entry-major and unchanged —
+/// the transpose happens at decode, once per node visit).
+///
+/// Reuse one instance across decodes: ReadNodeSoa only resize()s the
+/// lane vectors, so after the first full-capacity node no traversal
+/// allocates.
+struct SoaNode {
+  uint16_t level = 0;
+  std::vector<double> xmin;
+  std::vector<double> ymin;
+  std::vector<double> xmax;
+  std::vector<double> ymax;
+  std::vector<uint64_t> payloads;
+
+  size_t count() const { return payloads.size(); }
+  bool is_leaf() const { return level == 0; }
+
+  simd::RectSoa rects() const {
+    return simd::RectSoa{xmin.data(), ymin.data(), xmax.data(), ymax.data(),
+                         payloads.size()};
   }
+
+  geom::Rect RectAt(size_t i) const {
+    return simd::LaneRect(rects(), i);
+  }
+  storage::Rid RidAt(size_t i) const {
+    return storage::Rid{static_cast<storage::PageId>(payloads[i] >> 16),
+                        static_cast<uint16_t>(payloads[i] & 0xFFFF)};
+  }
+  storage::PageId ChildAt(size_t i) const {
+    return static_cast<storage::PageId>(payloads[i]);
+  }
+
+  /// Minimal rectangle bounding all (non-empty) entries — same result
+  /// as Node::Mbr(). Hoist in loops, as with Node::Mbr().
+  geom::Rect Mbr() const;
 };
 
 /// Maximum entries that fit in a page of the given size.
@@ -60,6 +107,10 @@ size_t NodePageCapacity(uint32_t page_size);
 
 /// Decode a node from its page image.
 Node ReadNode(const char* page, uint32_t page_size);
+
+/// Decode a node from its page image into SoA lanes, reusing `out`'s
+/// storage. CHECKs on a corrupt count like ReadNode.
+void ReadNodeSoa(const char* page, uint32_t page_size, SoaNode* out);
 
 /// Encode a node onto a page image. CHECKs that it fits.
 void WriteNode(const Node& node, char* page, uint32_t page_size);

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
+#include <utility>
 
 #include "common/logging.h"
+#include "simd/dispatch.h"
 
 namespace pictdb::rtree {
 
@@ -167,6 +170,18 @@ StatusOr<Node> RTree::LoadNode(PageId id) const {
     return ReadNode(guard.data(), pool_->page_size());
   }
   return ReadNode(guard.data(), pool_->page_size());
+}
+
+Status RTree::LoadNodeSoa(PageId id, SoaNode* out) const {
+  PICTDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+  // Same copy-then-release latch discipline as LoadNode.
+  if (concurrent_reads_.load(std::memory_order_relaxed)) {
+    ReaderMutexLock latch(pool_->LatchFor(guard));
+    ReadNodeSoa(guard.data(), pool_->page_size(), out);
+    return Status::OK();
+  }
+  ReadNodeSoa(guard.data(), pool_->page_size(), out);
+  return Status::OK();
 }
 
 Status RTree::StoreNode(PageId id, const Node& node) {
@@ -508,30 +523,210 @@ StatusOr<std::vector<LeafHit>> RTree::SearchCustom(
   return out;
 }
 
+namespace {
+
+using simd::ForEachSetBit;
+
+/// Shared degraded-mode bookkeeping for a failed node load during the
+/// kernel-driven traversals (mirrors the inline block in SearchRec).
+bool DegradeOrFail(const Status& st, PageId id, SearchStats* stats,
+                   const SearchOptions& options) {
+  if (!options.ShouldDegrade(st)) return false;
+  if (options.quarantine != nullptr) options.quarantine->Add(id);
+  if (stats != nullptr) {
+    ++stats->skipped_subtrees;
+    stats->degraded = true;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status RTree::SearchWindowFast(const Rect& window, WindowMode mode,
+                               std::vector<LeafHit>* out, SearchStats* stats,
+                               const SearchOptions& options) const {
+  const simd::RectKernels& kernels = simd::ActiveKernels();
+  SoaNode node;  // reused across every node visit
+  std::vector<uint64_t> mask;
+  std::vector<PageId> stack = {root()};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    PICTDB_RETURN_IF_ERROR(options.CheckRunnable());
+    const Status loaded = LoadNodeSoa(id, &node);
+    if (!loaded.ok()) {
+      if (DegradeOrFail(loaded, id, stats, options)) continue;
+      return loaded;
+    }
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      stats->entries_tested += node.count();
+    }
+    mask.resize(simd::MaskWords(node.count()));
+    if (node.is_leaf()) {
+      if (mode == WindowMode::kContainedIn) {
+        kernels.contained_in(node.rects(), window, mask.data());
+      } else {
+        kernels.intersects(node.rects(), window, mask.data());
+      }
+      ForEachSetBit(mask.data(), node.count(), [&](size_t i) {
+        out->push_back(LeafHit{node.RectAt(i), node.RidAt(i)});
+        if (stats != nullptr) ++stats->results;
+      });
+      continue;
+    }
+    // Both modes prune interior entries by intersection. Children are
+    // pushed in REVERSE entry order so the pop order — and therefore
+    // the hit order — matches SearchRec's entry-order recursion.
+    kernels.intersects(node.rects(), window, mask.data());
+    const size_t first_child = stack.size();
+    ForEachSetBit(mask.data(), node.count(),
+                  [&](size_t i) { stack.push_back(node.ChildAt(i)); });
+    std::reverse(stack.begin() + static_cast<ptrdiff_t>(first_child),
+                 stack.end());
+  }
+  return Status::OK();
+}
+
+Status RTree::SearchPointFast(const geom::Point& p, std::vector<LeafHit>* out,
+                              SearchStats* stats,
+                              const SearchOptions& options) const {
+  const simd::RectKernels& kernels = simd::ActiveKernels();
+  SoaNode node;
+  std::vector<uint64_t> mask;
+  std::vector<PageId> stack = {root()};
+  while (!stack.empty()) {
+    const PageId id = stack.back();
+    stack.pop_back();
+    PICTDB_RETURN_IF_ERROR(options.CheckRunnable());
+    const Status loaded = LoadNodeSoa(id, &node);
+    if (!loaded.ok()) {
+      if (DegradeOrFail(loaded, id, stats, options)) continue;
+      return loaded;
+    }
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      stats->entries_tested += node.count();
+    }
+    mask.resize(simd::MaskWords(node.count()));
+    kernels.contains_point(node.rects(), p, mask.data());
+    if (node.is_leaf()) {
+      ForEachSetBit(mask.data(), node.count(), [&](size_t i) {
+        out->push_back(LeafHit{node.RectAt(i), node.RidAt(i)});
+        if (stats != nullptr) ++stats->results;
+      });
+      continue;
+    }
+    const size_t first_child = stack.size();
+    ForEachSetBit(mask.data(), node.count(),
+                  [&](size_t i) { stack.push_back(node.ChildAt(i)); });
+    std::reverse(stack.begin() + static_cast<ptrdiff_t>(first_child),
+                 stack.end());
+  }
+  return Status::OK();
+}
+
 StatusOr<std::vector<LeafHit>> RTree::SearchIntersects(
     const Rect& window, SearchStats* stats,
     const SearchOptions& options) const {
-  return SearchCustom(
-      [&window](const Rect& r) { return r.Intersects(window); },
-      [&window](const Rect& r) { return r.Intersects(window); }, stats,
-      options);
+  std::vector<LeafHit> out;
+  PICTDB_RETURN_IF_ERROR(SearchWindowFast(window, WindowMode::kIntersects,
+                                          &out, stats, options));
+  return out;
 }
 
 StatusOr<std::vector<LeafHit>> RTree::SearchContainedIn(
     const Rect& window, SearchStats* stats,
     const SearchOptions& options) const {
-  return SearchCustom(
-      [&window](const Rect& r) { return r.Intersects(window); },
-      [&window](const Rect& r) { return window.Contains(r); }, stats,
-      options);
+  std::vector<LeafHit> out;
+  PICTDB_RETURN_IF_ERROR(SearchWindowFast(window, WindowMode::kContainedIn,
+                                          &out, stats, options));
+  return out;
 }
 
 StatusOr<std::vector<LeafHit>> RTree::SearchPoint(
     const geom::Point& p, SearchStats* stats,
     const SearchOptions& options) const {
-  return SearchCustom([&p](const Rect& r) { return r.Contains(p); },
-                      [&p](const Rect& r) { return r.Contains(p); }, stats,
-                      options);
+  std::vector<LeafHit> out;
+  PICTDB_RETURN_IF_ERROR(SearchPointFast(p, &out, stats, options));
+  return out;
+}
+
+StatusOr<std::vector<BatchHits>> RTree::SearchBatch(
+    std::span<const geom::Rect> windows, bool contained_only,
+    SearchStats* stats, const SearchOptions& options) const {
+  std::vector<BatchHits> results(windows.size());
+  if (windows.empty()) return results;
+
+  const simd::RectKernels& kernels = simd::ActiveKernels();
+  // One DFS frame per node the batch still has to visit, with the
+  // subset of windows that reached it. Active lists stay sorted
+  // ascending by construction (built by in-order scans), so per-window
+  // work happens in a deterministic order.
+  struct Frame {
+    PageId id;
+    std::vector<uint32_t> active;
+  };
+  std::vector<Frame> stack;
+  Frame root_frame;
+  root_frame.id = root();
+  root_frame.active.resize(windows.size());
+  std::iota(root_frame.active.begin(), root_frame.active.end(), 0u);
+  stack.push_back(std::move(root_frame));
+
+  SoaNode node;
+  std::vector<uint64_t> mask;
+  while (!stack.empty()) {
+    const Frame frame = std::move(stack.back());
+    stack.pop_back();
+    PICTDB_RETURN_IF_ERROR(options.CheckRunnable());
+    const Status loaded = LoadNodeSoa(frame.id, &node);
+    if (!loaded.ok()) {
+      if (DegradeOrFail(loaded, frame.id, stats, options)) {
+        // Only the windows that were still active on this subtree are
+        // missing answers.
+        for (const uint32_t q : frame.active) results[q].degraded = true;
+        continue;
+      }
+      return loaded;
+    }
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      stats->entries_tested += node.count() * frame.active.size();
+    }
+    mask.resize(simd::MaskWords(node.count()));
+    if (node.is_leaf()) {
+      for (const uint32_t q : frame.active) {
+        if (contained_only) {
+          kernels.contained_in(node.rects(), windows[q], mask.data());
+        } else {
+          kernels.intersects(node.rects(), windows[q], mask.data());
+        }
+        ForEachSetBit(mask.data(), node.count(), [&](size_t i) {
+          results[q].hits.push_back(LeafHit{node.RectAt(i), node.RidAt(i)});
+          if (stats != nullptr) ++stats->results;
+        });
+      }
+      continue;
+    }
+    // Interior node: each window prunes by intersection exactly as its
+    // single-window search would, so the subsequence of nodes where a
+    // window stays active is precisely that window's own DFS.
+    std::vector<std::vector<uint32_t>> child_active(node.count());
+    for (const uint32_t q : frame.active) {
+      kernels.intersects(node.rects(), windows[q], mask.data());
+      ForEachSetBit(mask.data(), node.count(),
+                    [&](size_t i) { child_active[i].push_back(q); });
+    }
+    // Reverse entry order on the stack = entry-order traversal.
+    for (size_t e = node.count(); e-- > 0;) {
+      if (!child_active[e].empty()) {
+        stack.push_back(
+            Frame{node.ChildAt(e), std::move(child_active[e])});
+      }
+    }
+  }
+  return results;
 }
 
 StatusOr<uint64_t> RTree::CountNodes() const {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -103,6 +104,15 @@ struct LeafHit {
   storage::Rid rid;
 };
 
+/// Per-window outcome of a batched search. `hits` is in exactly the
+/// order the equivalent single-window search would produce; `degraded`
+/// is per-window (a skipped subtree degrades only the windows that
+/// were still active on that subtree's edge).
+struct BatchHits {
+  std::vector<LeafHit> hits;
+  bool degraded = false;
+};
+
 /// Disk-resident R-tree over a buffer pool: Guttman's dynamic structure
 /// (INSERT / DELETE / SEARCH) plus a bulk interface used by the PACK
 /// loaders in src/pack/. Leaf entries carry Rids into a heap file (the
@@ -191,6 +201,22 @@ class RTree {
       const geom::Point& p, SearchStats* stats = nullptr,
       const SearchOptions& options = {}) const;
 
+  /// Batched window search: every window is answered in ONE descent,
+  /// amortizing pin/unpin and node decode across the batch. A node is
+  /// visited once if ANY window reaches it; at each visited node the
+  /// simd kernels test all entries against each still-active window
+  /// and only windows that intersect an entry descend into its child.
+  /// Result `out[i]` is bit-identical (hits and order) to
+  /// SearchIntersects(windows[i]) — or SearchContainedIn when
+  /// `contained_only` — run back to back on a quiesced tree.
+  ///
+  /// `stats` aggregates over the whole batch: nodes_visited counts
+  /// distinct node visits (the amortization being bought),
+  /// entries_tested and results sum over windows.
+  StatusOr<std::vector<BatchHits>> SearchBatch(
+      std::span<const geom::Rect> windows, bool contained_only = false,
+      SearchStats* stats = nullptr, const SearchOptions& options = {}) const;
+
   /// General traversal: `prune(node_mbr)` decides whether to descend;
   /// `accept(leaf_mbr)` decides whether a leaf entry qualifies.
   StatusOr<std::vector<LeafHit>> SearchCustom(
@@ -262,6 +288,13 @@ class RTree {
     return LoadNode(id);
   }
 
+  /// SoA variant of ReadNodePage for kernel-driven external traversals
+  /// (spatial join, kNN, cursors): decodes into caller-owned scratch so
+  /// a traversal that reuses one SoaNode never allocates per node.
+  Status ReadNodePageSoa(storage::PageId id, SoaNode* out) const {
+    return LoadNodeSoa(id, out);
+  }
+
   // --- Bulk-load interface (used by src/pack/) ---------------------------
 
   /// Write a fully-formed node; returns its page id. Entries must not
@@ -328,6 +361,9 @@ class RTree {
   };
 
   StatusOr<Node> LoadNode(storage::PageId id) const;
+  /// SoA decode into caller-owned scratch (no per-node allocation after
+  /// warm-up); same frame-latch discipline as LoadNode.
+  Status LoadNodeSoa(storage::PageId id, SoaNode* out) const;
   Status StoreNode(storage::PageId id, const Node& node);
   Status PersistMeta();
 
@@ -357,6 +393,18 @@ class RTree {
                    const std::function<bool(const geom::Rect&)>& accept,
                    std::vector<LeafHit>* out, SearchStats* stats,
                    const SearchOptions& options) const;
+
+  /// Kernel-driven traversal behind SearchIntersects / SearchContainedIn
+  /// / SearchPoint: iterative DFS in entry order (preorder identical to
+  /// SearchRec), SoA decode once per node, one kernel call per node
+  /// instead of one predicate call per entry.
+  enum class WindowMode { kIntersects, kContainedIn };
+  Status SearchWindowFast(const geom::Rect& window, WindowMode mode,
+                          std::vector<LeafHit>* out, SearchStats* stats,
+                          const SearchOptions& options) const;
+  Status SearchPointFast(const geom::Point& p, std::vector<LeafHit>* out,
+                         SearchStats* stats,
+                         const SearchOptions& options) const;
 
   Status ValidateRec(storage::PageId node_id, uint16_t expected_level,
                      const geom::Rect* parent_mbr, uint64_t* leaf_entries,

@@ -13,9 +13,9 @@ namespace pictdb::service {
 /// Query variants the service distinguishes for per-variant accounting.
 /// Order matches the std::variant alternatives of service::Query
 /// (query_service.h static_asserts the correspondence).
-inline constexpr size_t kQueryVariants = 5;
+inline constexpr size_t kQueryVariants = 6;
 inline constexpr const char* kQueryVariantNames[kQueryVariants] = {
-    "window", "point", "knn", "join", "psql"};
+    "window", "point", "knn", "join", "psql", "batch"};
 
 /// Plain-value image of a LatencyHistogram: copyable, mergeable,
 /// serializable. Buckets are log-linear (HdrHistogram-style): values

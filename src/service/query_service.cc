@@ -68,6 +68,11 @@ StatusOr<QueryResult> QueryService::Dispatch(
     result.stats.results = join_stats.results;
     result.stats.skipped_subtrees = join_stats.skipped_subtrees;
     result.stats.degraded = join_stats.degraded;
+  } else if (const auto* b = std::get_if<BatchWindowQuery>(&query)) {
+    PICTDB_ASSIGN_OR_RETURN(
+        result.batch,
+        tree_->SearchBatch(b->windows, b->contained_only, &result.stats,
+                           search_options));
   } else if (const auto* q = std::get_if<PsqlQuery>(&query)) {
     if (executor_ == nullptr) {
       return Status::InvalidArgument(

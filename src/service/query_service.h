@@ -56,8 +56,18 @@ struct PsqlQuery {
   std::string text;
 };
 
-using Query =
-    std::variant<WindowQuery, PointQuery, KnnQuery, JoinQuery, PsqlQuery>;
+/// Many window searches pushed through one shared tree descent
+/// (RTree::SearchBatch): a node read near the root is paid once for
+/// every window that reaches it instead of once per window. Each
+/// window's hits are bit-identical (including order) to submitting it
+/// as a WindowQuery.
+struct BatchWindowQuery {
+  std::vector<geom::Rect> windows;
+  bool contained_only = false;
+};
+
+using Query = std::variant<WindowQuery, PointQuery, KnnQuery, JoinQuery,
+                           PsqlQuery, BatchWindowQuery>;
 
 // Per-variant metrics (kQueryVariantNames) index by std::variant order.
 static_assert(std::variant_size_v<Query> == kQueryVariants,
@@ -88,12 +98,15 @@ using WriteOp = std::variant<InsertOp, DeleteOp, UpdateOp>;
 
 /// Outcome of one query. Which member is filled depends on the variant:
 /// hits for window/point, neighbors for knn, join_pairs for join, table
-/// for psql. `stats` and `latency_us` are always populated.
+/// for psql, batch for batch-window. `stats` and `latency_us` are
+/// always populated.
 struct QueryResult {
   std::vector<rtree::LeafHit> hits;
   std::vector<rtree::Neighbor> neighbors;
   uint64_t join_pairs = 0;
   std::optional<psql::ResultSet> table;
+  /// Per-window results, batch[i] for windows[i] (batch queries only).
+  std::vector<rtree::BatchHits> batch;
   rtree::SearchStats stats;
   uint64_t latency_us = 0;
   /// True when unreadable subtrees were skipped: the result is partial.

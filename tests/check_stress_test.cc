@@ -110,6 +110,45 @@ TEST(StressRunTest, ServiceModeIsDeterministicToo) {
   EXPECT_EQ(first.Summary(), second.Summary());
 }
 
+// The search-batch op diffs SearchBatch against the oracle AND the
+// single-window path (bit-identical hit order when no faults are
+// armed). Weight defaults to 0 so existing seed traces stay stable;
+// turn it up here — fault-free so the strict equivalence arm runs,
+// then under faults for the degraded bookkeeping, in both the plain
+// and service harnesses.
+TEST(StressRunTest, SearchBatchOpMatchesOracleAndSinglePath) {
+  StressConfig config = SmallConfig();
+  config.fault_plan = {};
+  config.ops = 600;
+  config.w_search_batch = 25.0;
+  const std::vector<Op> trace = GenerateTrace(config);
+  // The weight actually produced batch ops (not a vacuous run).
+  size_t batch_ops = 0;
+  for (const Op& op : trace) {
+    if (op.kind == OpKind::kSearchBatch) ++batch_ops;
+  }
+  ASSERT_GT(batch_ops, 10u);
+
+  const StressOutcome plain = RunTrace(trace, config);
+  EXPECT_FALSE(plain.failed) << plain.Summary();
+  EXPECT_EQ(plain.wrong_answers, 0u);
+
+  config.use_service = true;
+  const StressOutcome service = RunTrace(trace, config);
+  EXPECT_FALSE(service.failed) << service.Summary();
+  EXPECT_EQ(service.wrong_answers, 0u);
+}
+
+TEST(StressRunTest, SearchBatchOpStaysHonestUnderFaults) {
+  StressConfig config = SmallConfig();
+  config.ops = 800;
+  config.w_search_batch = 25.0;
+  config.pool_frames = 64;  // small pool: reads really hit the flaky disk
+  const StressOutcome outcome = RunTrace(GenerateTrace(config), config);
+  EXPECT_FALSE(outcome.failed) << outcome.Summary();
+  EXPECT_EQ(outcome.wrong_answers, 0u);
+}
+
 TEST(StressShrinkTest, CorruptionIsCaughtAndMinimized) {
   StressConfig config = SmallConfig();
   config.fault_plan = {};

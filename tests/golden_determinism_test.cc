@@ -7,7 +7,9 @@
 #include "pack/pack.h"
 #include "pack/repack.h"
 #include "pack/str.h"
+#include "rtree/node.h"
 #include "rtree/rtree.h"
+#include "simd/dispatch.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "workload/generators.h"
@@ -100,6 +102,140 @@ TEST(GoldenDeterminismTest, InsertThenRepackIsByteIdentical) {
     PICTDB_CHECK_OK(Repack(tree));
   };
   EXPECT_TRUE(BuildImage(74, 500, build) == BuildImage(74, 500, build));
+}
+
+// --- Query-path determinism across kernel families -------------------------
+//
+// The SoA decode and SIMD kernels must not change a single answer:
+// every query below is replayed through the scalar reference and the
+// runtime-selected vector family and compared hit for hit, in order.
+// The disk image is also rebuilt to prove the SoA refactor left the
+// on-disk layout untouched.
+
+std::vector<geom::Rect> SeededWindows(uint64_t seed, size_t n) {
+  Random rng(seed);
+  const geom::Rect frame = workload::PaperFrame();
+  std::vector<geom::Rect> windows;
+  for (size_t i = 0; i < n; ++i) {
+    const double cx = rng.UniformDouble(frame.lo.x, frame.hi.x);
+    const double cy = rng.UniformDouble(frame.lo.y, frame.hi.y);
+    windows.push_back(geom::Rect::FromCenterHalfExtent(
+        cx, rng.UniformDouble(1.0, 60.0), cy,
+        rng.UniformDouble(1.0, 60.0)));
+  }
+  return windows;
+}
+
+bool SameHits(const std::vector<rtree::LeafHit>& a,
+              const std::vector<rtree::LeafHit>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].mbr == b[i].mbr) || !(a[i].rid == b[i].rid)) return false;
+  }
+  return true;
+}
+
+TEST(GoldenDeterminismTest, SimdAndScalarSearchesAreIdentical) {
+  storage::InMemoryDiskManager disk(512);
+  storage::BufferPool pool(&disk, 8192);
+  auto created = RTree::Create(&pool);
+  PICTDB_CHECK(created.ok());
+  RTree tree = std::move(created).value();
+  PICTDB_CHECK_OK(PackNearestNeighbor(&tree, SeededEntries(81, 2000)));
+
+  const std::vector<geom::Rect> windows = SeededWindows(82, 64);
+  for (const geom::Rect& window : windows) {
+    std::vector<rtree::LeafHit> scalar_hits, simd_hits;
+    {
+      simd::ScopedKernelOverride force(&simd::ScalarKernels());
+      auto r = tree.SearchIntersects(window);
+      PICTDB_CHECK(r.ok());
+      scalar_hits = std::move(r).value();
+    }
+    auto r = tree.SearchIntersects(window);
+    PICTDB_CHECK(r.ok());
+    simd_hits = std::move(r).value();
+    EXPECT_TRUE(SameHits(scalar_hits, simd_hits))
+        << "scalar and runtime kernels disagree";
+
+    {
+      simd::ScopedKernelOverride force(&simd::ScalarKernels());
+      auto c = tree.SearchContainedIn(window);
+      PICTDB_CHECK(c.ok());
+      scalar_hits = std::move(c).value();
+    }
+    auto c = tree.SearchContainedIn(window);
+    PICTDB_CHECK(c.ok());
+    EXPECT_TRUE(SameHits(scalar_hits, c.value()))
+        << "contained-in diverges between kernel families";
+  }
+}
+
+TEST(GoldenDeterminismTest, BatchSearchMatchesSingleWindowSearches) {
+  storage::InMemoryDiskManager disk(512);
+  storage::BufferPool pool(&disk, 8192);
+  auto created = RTree::Create(&pool);
+  PICTDB_CHECK(created.ok());
+  RTree tree = std::move(created).value();
+  PICTDB_CHECK_OK(PackNearestNeighbor(&tree, SeededEntries(83, 2000)));
+
+  const std::vector<geom::Rect> windows = SeededWindows(84, 48);
+  for (const bool contained : {false, true}) {
+    auto batch = tree.SearchBatch(windows, contained);
+    PICTDB_CHECK(batch.ok());
+    ASSERT_EQ(batch->size(), windows.size());
+    size_t nonempty = 0;
+    for (size_t i = 0; i < windows.size(); ++i) {
+      auto single = contained ? tree.SearchContainedIn(windows[i])
+                              : tree.SearchIntersects(windows[i]);
+      PICTDB_CHECK(single.ok());
+      EXPECT_TRUE(SameHits((*batch)[i].hits, single.value()))
+          << "batch window " << i << " (contained=" << contained
+          << ") diverges from the single-window search";
+      EXPECT_FALSE((*batch)[i].degraded);
+      if (!single.value().empty()) ++nonempty;
+    }
+    EXPECT_GT(nonempty, 0u) << "vacuous batch comparison";
+  }
+}
+
+TEST(GoldenDeterminismTest, SoaDecodeLeavesDiskImageUnchanged) {
+  // Build + query, then rebuild without querying: reads must never
+  // write. Also the stronger cross-property: the image equals the one
+  // BuildImage produces for the identical build sequence.
+  auto build = [](RTree* tree, const std::vector<Entry>& entries) {
+    PICTDB_CHECK_OK(PackNearestNeighbor(tree, entries));
+  };
+  auto build_and_query = [](RTree* tree, const std::vector<Entry>& entries) {
+    PICTDB_CHECK_OK(PackNearestNeighbor(tree, entries));
+    for (const geom::Rect& window : SeededWindows(86, 32)) {
+      PICTDB_CHECK(tree->SearchIntersects(window).ok());
+      PICTDB_CHECK(tree->SearchBatch({&window, 1}, false).ok());
+    }
+  };
+  EXPECT_TRUE(BuildImage(85, 1200, build) ==
+              BuildImage(85, 1200, build_and_query));
+}
+
+// Node::Mbr() is documented as recompute-per-call; traversal hot paths
+// must hoist it. The counter catches a regression that reintroduces a
+// per-entry or per-use recomputation (see join.cc, invariants.cc).
+TEST(GoldenDeterminismTest, SearchPathsDoNotRecomputeNodeMbrs) {
+  storage::InMemoryDiskManager disk(512);
+  storage::BufferPool pool(&disk, 8192);
+  auto created = RTree::Create(&pool);
+  PICTDB_CHECK(created.ok());
+  RTree tree = std::move(created).value();
+  PICTDB_CHECK_OK(PackNearestNeighbor(&tree, SeededEntries(87, 2000)));
+
+  const uint64_t before = rtree::MbrComputeCountForTesting();
+  for (const geom::Rect& window : SeededWindows(88, 32)) {
+    PICTDB_CHECK(tree.SearchIntersects(window).ok());
+    PICTDB_CHECK(tree.SearchBatch({&window, 1}, false).ok());
+  }
+  // The kernel-driven window searches never need a node-level MBR at
+  // all: the per-entry lanes carry everything.
+  EXPECT_EQ(rtree::MbrComputeCountForTesting(), before);
 }
 
 }  // namespace

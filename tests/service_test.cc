@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -67,6 +68,11 @@ class ServiceStressTest : public ::testing::Test {
     const size_t n = kDistinct;
     queries_.reserve(n);
     expected_.reserve(n);
+    // GCC 12 falsely flags the Query variant's inactive-alternative
+    // bytes as "maybe uninitialized" when a temporary is moved into the
+    // vector (same known false positive as net/protocol.cc).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
     for (size_t i = 0; i < n; ++i) {
       if (i % 2 == 0) {
         const double cx = qrng.UniformDouble(0, 1000);
@@ -85,6 +91,7 @@ class ServiceStressTest : public ::testing::Test {
         expected_.push_back(5);
       }
     }
+#pragma GCC diagnostic pop
   }
 
   /// Teardown: the shared tree must survive the concurrent battering
@@ -417,6 +424,110 @@ TEST(ServiceWriteTest, AsyncWritesCompleteThroughTheWorkerPool) {
   EXPECT_EQ(ok_count.load(), kWrites);
   EXPECT_EQ(durable->tree().Size(), kWrites);
   svc.Shutdown();
+}
+
+// Batched traversals share one DFS across all windows of a request;
+// this must stay safe (and TSan-clean) while a writer commits latched
+// mutations underneath. Each in-flight batch sees some epoch-consistent
+// tree, so every hit must intersect its window and carry a rid the
+// writer actually inserted; once the writer quiesces, the batch answer
+// must equal the single-window answers exactly.
+TEST(ServiceWriteTest, BatchedQueriesStayConsistentUnderConcurrentWriter) {
+  storage::InMemoryDiskManager disk(512);
+  storage::BufferPool pool(&disk, 1024);
+  auto created = wal::DurableRTree::Create(&pool);
+  ASSERT_TRUE(created.ok());
+  auto durable = std::move(created).value();
+
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 4096;
+  QueryService svc(&durable->tree(), /*executor=*/nullptr, options);
+  svc.BindWriter(durable.get());
+
+  constexpr size_t kSeedInserts = 256;
+  constexpr size_t kRacingInserts = 512;
+  constexpr size_t kBatches = 200;
+
+  auto rect_for = [](size_t i) {
+    const double x = static_cast<double>(i % 100) * 10.0;
+    const double y = static_cast<double>(i / 100) * 10.0;
+    return Rect(x, y, x + 4, y + 4);
+  };
+  for (size_t i = 0; i < kSeedInserts; ++i) {
+    ASSERT_TRUE(
+        svc.ExecuteWrite(
+               InsertOp{rect_for(i),
+                        storage::Rid{static_cast<storage::PageId>(i + 1), 0}})
+            .ok());
+  }
+
+  // Fixed window set reused by every batch; generous extents so most
+  // windows are nonempty from the seed inserts alone.
+  Random qrng(29);
+  std::vector<Rect> windows;
+  for (size_t i = 0; i < 6; ++i) {
+    windows.push_back(Rect::FromCenterHalfExtent(
+        qrng.UniformDouble(0, 1000), qrng.UniformDouble(20, 120),
+        qrng.UniformDouble(0, 100), qrng.UniformDouble(20, 120)));
+  }
+
+  std::vector<std::future<StatusOr<QueryResult>>> futures;
+  futures.reserve(kBatches);
+  for (size_t b = 0; b < kBatches; ++b) {
+    auto submitted =
+        svc.Submit(BatchWindowQuery{windows, /*contained_only=*/false});
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(submitted).value());
+    // Interleave commits with admissions so traversals race mutations.
+    if (b < kRacingInserts) {
+      const size_t i = kSeedInserts + b;
+      ASSERT_TRUE(svc.ExecuteWrite(
+                         InsertOp{rect_for(i),
+                                  storage::Rid{
+                                      static_cast<storage::PageId>(i + 1), 0}})
+                      .ok());
+    }
+  }
+  const size_t total_inserts = kSeedInserts + std::min(kBatches, kRacingInserts);
+
+  for (auto& f : futures) {
+    StatusOr<QueryResult> outcome = f.get();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    const QueryResult& r = outcome.value();
+    ASSERT_EQ(r.batch.size(), windows.size());
+    for (size_t w = 0; w < windows.size(); ++w) {
+      EXPECT_FALSE(r.batch[w].degraded);
+      for (const rtree::LeafHit& hit : r.batch[w].hits) {
+        EXPECT_TRUE(hit.mbr.Intersects(windows[w]));
+        const size_t id = hit.rid.page_id;
+        ASSERT_GE(id, 1u);
+        ASSERT_LE(id, total_inserts);
+        EXPECT_TRUE(hit.mbr == rect_for(id - 1));
+      }
+    }
+  }
+
+  // Quiesced: the batch answer must now be exactly the single-window
+  // answers, hit for hit.
+  auto settled = svc.Submit(BatchWindowQuery{windows, false});
+  ASSERT_TRUE(settled.ok());
+  StatusOr<QueryResult> outcome = std::move(settled).value().get();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_EQ(outcome->batch.size(), windows.size());
+  for (size_t w = 0; w < windows.size(); ++w) {
+    auto single = durable->tree().SearchIntersects(windows[w]);
+    ASSERT_TRUE(single.ok());
+    const auto& hits = outcome->batch[w].hits;
+    ASSERT_EQ(hits.size(), single->size()) << "window " << w;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_TRUE(hits[i].mbr == (*single)[i].mbr);
+      EXPECT_TRUE(hits[i].rid == (*single)[i].rid);
+    }
+    EXPECT_GT(hits.size(), 0u) << "vacuous window " << w;
+  }
+  svc.Shutdown();
+  EXPECT_EQ(pool.pinned_frames(), 0u);
 }
 
 }  // namespace

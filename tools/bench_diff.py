@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare two `search_micro --json` dumps.
+
+Usage:
+    ./build/bench/search_micro --json > before.json   # e.g. on the base rev
+    ./build/bench/search_micro --json > after.json
+    python3 tools/bench_diff.py before.json after.json [--min-speedup 1.5]
+
+Prints a per-metric table (before, after, ratio) and exits nonzero when
+--min-speedup is given and after's active-kernel window throughput does
+not beat before's scalar throughput by at least that factor — the
+acceptance gate recorded in EXPERIMENTS.md.
+"""
+
+import argparse
+import json
+import sys
+
+# Throughput metrics: higher is better. Costs: lower is better.
+HIGHER_IS_BETTER = [
+    "scalar_window_qps",
+    "active_window_qps",
+    "batch_window_qps",
+]
+LOWER_IS_BETTER = [
+    "decode_ns_per_node",
+]
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless after.active_window_qps >= "
+        "min_speedup * before.scalar_window_qps",
+    )
+    args = parser.parse_args()
+
+    before = load(args.before)
+    after = load(args.after)
+
+    for key in ("objects", "windows", "batch_size"):
+        if before.get(key) != after.get(key):
+            print(
+                f"warning: {key} differs ({before.get(key)} vs "
+                f"{after.get(key)}); ratios are not apples to apples",
+                file=sys.stderr,
+            )
+
+    print(f"kernel: {before.get('kernel')} -> {after.get('kernel')}")
+    print(f"{'metric':<28} {'before':>14} {'after':>14} {'ratio':>8}")
+    for key in HIGHER_IS_BETTER + LOWER_IS_BETTER:
+        b, a = before.get(key), after.get(key)
+        if b is None or a is None:
+            continue
+        ratio = a / b if b else float("inf")
+        arrow = ""
+        if key in LOWER_IS_BETTER:
+            arrow = " (lower is better)"
+        print(f"{key:<28} {b:>14.1f} {a:>14.1f} {ratio:>7.2f}x{arrow}")
+
+    if args.min_speedup is not None:
+        base = before.get("scalar_window_qps")
+        new = after.get("active_window_qps")
+        if not base or not new:
+            print("missing throughput fields for the gate", file=sys.stderr)
+            return 2
+        speedup = new / base
+        verdict = "PASS" if speedup >= args.min_speedup else "FAIL"
+        print(
+            f"gate: active({new:.1f}) / scalar-before({base:.1f}) = "
+            f"{speedup:.2f}x vs required {args.min_speedup:.2f}x -> {verdict}"
+        )
+        return 0 if speedup >= args.min_speedup else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
