@@ -1,11 +1,21 @@
 #include "pack/hilbert.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
 #include "pack/pack.h"
 
 namespace pictdb::pack {
+namespace {
+
+std::atomic<uint64_t> hilbert_value_computes{0};
+
+}  // namespace
+
+uint64_t HilbertValueComputeCountForTesting() {
+  return hilbert_value_computes.load(std::memory_order_relaxed);
+}
 
 uint64_t HilbertXyToD(uint32_t order, uint32_t x, uint32_t y) {
   PICTDB_DCHECK(order <= 31);
@@ -48,6 +58,7 @@ void HilbertDToXy(uint32_t order, uint64_t d, uint32_t* x, uint32_t* y) {
 }
 
 uint64_t HilbertValue(const geom::Point& p, const geom::Rect& frame) {
+  hilbert_value_computes.fetch_add(1, std::memory_order_relaxed);
   constexpr uint32_t kOrder = 16;
   constexpr uint32_t kMax = (1u << kOrder) - 1;
   const double w = std::max(frame.Width(), 1e-12);
@@ -61,26 +72,11 @@ uint64_t HilbertValue(const geom::Point& p, const geom::Rect& frame) {
   return HilbertXyToD(kOrder, gx, gy);
 }
 
-Status PackHilbert(rtree::RTree* tree, std::vector<rtree::Entry> leaf_items) {
-  // Sort once at the leaf level by Hilbert value of the MBR center, then
-  // chunk each level in the resulting order.
-  geom::Rect frame;
-  for (const rtree::Entry& e : leaf_items) frame.ExpandToInclude(e.mbr);
-  std::stable_sort(leaf_items.begin(), leaf_items.end(),
-                   [&frame](const rtree::Entry& a, const rtree::Entry& b) {
-                     return HilbertValue(a.mbr.Center(), frame) <
-                            HilbertValue(b.mbr.Center(), frame);
-                   });
-  return BulkLoad(tree, std::move(leaf_items),
-                  [](const std::vector<rtree::Entry>& items, size_t max) {
-                    std::vector<std::vector<rtree::Entry>> groups;
-                    for (size_t i = 0; i < items.size(); i += max) {
-                      const size_t end = std::min(items.size(), i + max);
-                      groups.emplace_back(items.begin() + i,
-                                          items.begin() + end);
-                    }
-                    return groups;
-                  });
+Status PackHilbert(rtree::RTree* tree, std::vector<rtree::Entry> leaf_items,
+                   const PackOptions& options) {
+  PackOptions opts = options;
+  opts.criterion = SortCriterion::kHilbert;
+  return PackSortChunk(tree, std::move(leaf_items), opts);
 }
 
 }  // namespace pictdb::pack

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "geom/point.h"
 #include "geom/rect.h"
+#include "pack/pack.h"
 #include "rtree/rtree.h"
 
 namespace pictdb::pack {
@@ -21,11 +22,20 @@ void HilbertDToXy(uint32_t order, uint64_t d, uint32_t* x, uint32_t* y);
 /// Hilbert value of a point within `frame`, discretized to a 2^16 grid.
 uint64_t HilbertValue(const geom::Point& p, const geom::Rect& frame);
 
+/// Process-wide count of HilbertValue invocations. Regression hook for
+/// the packers: keys must be materialized once per entry, never
+/// recomputed inside a sort comparator (which costs O(n log n)
+/// curve walks).
+uint64_t HilbertValueComputeCountForTesting();
+
 /// Hilbert-packed R-tree (Kamel & Faloutsos' descendant of this paper's
 /// PACK): sort leaf items by the Hilbert value of their MBR center, chunk
 /// into full nodes, recurse. Often the best space-filling-curve packer;
-/// included as the extension baseline.
-Status PackHilbert(rtree::RTree* tree, std::vector<rtree::Entry> leaf_items);
+/// included as the extension baseline. A thin wrapper over
+/// PackSortChunk with the Hilbert criterion forced; `options.criterion`
+/// is ignored.
+Status PackHilbert(rtree::RTree* tree, std::vector<rtree::Entry> leaf_items,
+                   const PackOptions& options = {});
 
 }  // namespace pictdb::pack
 

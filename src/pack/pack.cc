@@ -1,53 +1,95 @@
 #include "pack/pack.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "common/logging.h"
+#include "pack/external.h"
 #include "pack/hilbert.h"
 #include "pack/nn_grid.h"
+#include "pack/str.h"
 
 namespace pictdb::pack {
 
 using rtree::Entry;
 using rtree::RTree;
 
+Status ValidatePackEntry(const Entry& entry) {
+  const geom::Rect& r = entry.mbr;
+  if (!std::isfinite(r.lo.x) || !std::isfinite(r.lo.y) ||
+      !std::isfinite(r.hi.x) || !std::isfinite(r.hi.y)) {
+    return Status::InvalidArgument("pack entry MBR has non-finite coordinate");
+  }
+  if (r.IsEmpty()) {
+    return Status::InvalidArgument("pack entry MBR is empty (lo > hi)");
+  }
+  return Status::OK();
+}
+
+Status ValidatePackEntries(const std::vector<Entry>& entries) {
+  for (size_t i = 0; i < entries.size(); ++i) {
+    Status s = ValidatePackEntry(entries[i]);
+    if (!s.ok()) {
+      return Status::InvalidArgument(s.message() + " (entry " +
+                                     std::to_string(i) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t MonotoneBits(double value) {
+  const uint64_t bits = std::bit_cast<uint64_t>(value);
+  // Positive doubles already sort by their bit pattern; flipping the sign
+  // bit lifts them above every negative, and complementing negatives
+  // reverses their (descending-magnitude) bit order.
+  return (bits & (uint64_t{1} << 63)) != 0 ? ~bits
+                                           : bits | (uint64_t{1} << 63);
+}
+
+uint64_t SortKey(const Entry& entry, SortCriterion criterion,
+                 const geom::Rect& hilbert_frame) {
+  const geom::Point c = entry.mbr.Center();
+  switch (criterion) {
+    case SortCriterion::kAscendingX:
+      return MonotoneBits(c.x);
+    case SortCriterion::kAscendingY:
+      return MonotoneBits(c.y);
+    case SortCriterion::kHilbert:
+      return HilbertValue(c, hilbert_frame);
+  }
+  PICTDB_CHECK(false) << "unknown SortCriterion";
+  return 0;
+}
+
+geom::Rect HilbertFrameOf(const std::vector<Entry>& entries) {
+  geom::Rect frame;
+  for (const Entry& e : entries) frame.ExpandToInclude(e.mbr);
+  return frame;
+}
+
 namespace {
 
 /// Indices of `items` ordered by the chosen spatial criterion applied to
-/// the MBR centers.
+/// the MBR centers. Keys are materialized once per entry — the sort
+/// itself only compares uint64s (the old comparators recomputed
+/// HilbertValue O(n log n) times), and ties keep input order, so the
+/// result is exactly "stable sort by key". This is the ordering contract
+/// the external loader's run-merge reproduces.
 std::vector<size_t> OrderBy(const std::vector<Entry>& items,
                             SortCriterion criterion) {
+  const geom::Rect frame = criterion == SortCriterion::kHilbert
+                               ? HilbertFrameOf(items)
+                               : geom::Rect{};
+  std::vector<uint64_t> keys;
+  keys.reserve(items.size());
+  for (const Entry& e : items) keys.push_back(SortKey(e, criterion, frame));
   std::vector<size_t> order(items.size());
   std::iota(order.begin(), order.end(), size_t{0});
-  switch (criterion) {
-    case SortCriterion::kAscendingX:
-      std::stable_sort(order.begin(), order.end(),
-                       [&items](size_t a, size_t b) {
-                         const auto ca = items[a].mbr.Center();
-                         const auto cb = items[b].mbr.Center();
-                         return ca.x < cb.x || (ca.x == cb.x && ca.y < cb.y);
-                       });
-      break;
-    case SortCriterion::kAscendingY:
-      std::stable_sort(order.begin(), order.end(),
-                       [&items](size_t a, size_t b) {
-                         const auto ca = items[a].mbr.Center();
-                         const auto cb = items[b].mbr.Center();
-                         return ca.y < cb.y || (ca.y == cb.y && ca.x < cb.x);
-                       });
-      break;
-    case SortCriterion::kHilbert: {
-      geom::Rect frame;
-      for (const Entry& e : items) frame.ExpandToInclude(e.mbr);
-      std::stable_sort(order.begin(), order.end(),
-                       [&items, &frame](size_t a, size_t b) {
-                         return HilbertValue(items[a].mbr.Center(), frame) <
-                                HilbertValue(items[b].mbr.Center(), frame);
-                       });
-      break;
-    }
-  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&keys](size_t a, size_t b) { return keys[a] < keys[b]; });
   return order;
 }
 
@@ -103,17 +145,9 @@ std::vector<std::vector<Entry>> GroupSortChunk(
   return groups;
 }
 
-Status BulkLoad(RTree* tree, std::vector<Entry> leaf_items,
-                const GroupingFn& grouping) {
-  if (tree->Size() != 0) {
-    return Status::InvalidArgument("bulk load target tree is not empty");
-  }
-  if (leaf_items.empty()) return Status::OK();
-
+Status BulkLoadFromLevel(RTree* tree, std::vector<Entry> items, uint16_t level,
+                         uint64_t leaf_count, const GroupingFn& grouping) {
   const size_t max = tree->options().max_entries;
-  const uint64_t size = leaf_items.size();
-  std::vector<Entry> items = std::move(leaf_items);
-  uint16_t level = 0;
 
   while (items.size() > max) {
     const std::vector<std::vector<Entry>> groups = grouping(items, max);
@@ -135,7 +169,47 @@ Status BulkLoad(RTree* tree, std::vector<Entry> leaf_items,
 
   PICTDB_ASSIGN_OR_RETURN(const storage::PageId root,
                           tree->BulkWriteNode(level, items));
-  return tree->BulkSetRoot(root, level + 1u, size);
+  return tree->BulkSetRoot(root, level + 1u, leaf_count);
+}
+
+Status BulkLoad(RTree* tree, std::vector<Entry> leaf_items,
+                const GroupingFn& grouping) {
+  if (tree->Size() != 0) {
+    return Status::InvalidArgument("bulk load target tree is not empty");
+  }
+  PICTDB_RETURN_IF_ERROR(ValidatePackEntries(leaf_items));
+  if (leaf_items.empty()) return Status::OK();
+  const uint64_t size = leaf_items.size();
+  const size_t max = tree->options().max_entries;
+  if (leaf_items.size() <= max) {
+    // Everything fits in the root leaf. Still order it through the
+    // grouping so a one-node tree reflects the packer's criterion —
+    // and so the external loader's merged (sorted) stream produces the
+    // identical page.
+    std::vector<std::vector<Entry>> groups = grouping(leaf_items, max);
+    PICTDB_CHECK(groups.size() == 1);
+    leaf_items = std::move(groups[0]);
+  }
+  return BulkLoadFromLevel(tree, std::move(leaf_items), 0, size, grouping);
+}
+
+Status Pack(RTree* tree, std::vector<Entry> leaf_items,
+            const PackOptions& options) {
+  if (options.memory_budget_bytes > 0) {
+    VectorEntrySource source(&leaf_items);
+    return PackExternal(tree, &source, options);
+  }
+  switch (options.strategy) {
+    case PackStrategy::kNearestNeighbor:
+      return PackNearestNeighbor(tree, std::move(leaf_items), options);
+    case PackStrategy::kSortChunk:
+      return PackSortChunk(tree, std::move(leaf_items), options);
+    case PackStrategy::kStr:
+      return PackStr(tree, std::move(leaf_items), options);
+    case PackStrategy::kHilbert:
+      return PackHilbert(tree, std::move(leaf_items), options);
+  }
+  return Status::InvalidArgument("unknown PackStrategy");
 }
 
 Status PackNearestNeighbor(RTree* tree, std::vector<Entry> leaf_items,

@@ -1,10 +1,13 @@
 #ifndef PICTDB_PACK_PACK_H_
 #define PICTDB_PACK_PACK_H_
 
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "geom/rect.h"
 #include "rtree/rtree.h"
 #include "storage/heap_file.h"
 
@@ -19,8 +22,25 @@ enum class SortCriterion {
   kHilbert,
 };
 
+/// Which packing algorithm arranges the ordered entries into nodes.
+enum class PackStrategy {
+  kNearestNeighbor,  // the paper's PACK (§3.3): seed + B-1 nearest
+  kSortChunk,        // sort by criterion, cut runs of B ("lowx")
+  kStr,              // Sort-Tile-Recursive (x-slabs, y-sorted tiles)
+  kHilbert,          // kSortChunk with the Hilbert criterion forced
+};
+
 struct PackOptions {
   SortCriterion criterion = SortCriterion::kAscendingX;
+  PackStrategy strategy = PackStrategy::kNearestNeighbor;
+  /// When non-zero, Pack() routes sort-chunk strategies through the
+  /// external-sort loader (src/pack/external.h): the entry list is
+  /// key-sorted in buffers of at most this many bytes, spilled as
+  /// CRC-framed runs, and merged straight into packed leaves. Zero
+  /// means sort fully in memory.
+  uint64_t memory_budget_bytes = 0;
+  /// Directory for spill files when the external path runs.
+  std::string spill_dir = ".";
 };
 
 /// Groups one level's entries into nodes of at most `max_per_node`.
@@ -29,11 +49,53 @@ struct PackOptions {
 using GroupingFn = std::function<std::vector<std::vector<rtree::Entry>>(
     const std::vector<rtree::Entry>&, size_t max_per_node)>;
 
+/// Rejects entries no packer can order: every MBR coordinate must be
+/// finite and the rect non-empty (lo <= hi). NaN coordinates violate
+/// strict weak ordering inside std::stable_sort (UB), and an all-empty
+/// input leaves the Hilbert frame inverted (inf - inf = NaN feeding an
+/// undefined NaN→uint32 cast) — so every Pack* entry point calls this
+/// before touching the tree and surfaces InvalidArgument instead.
+[[nodiscard]] Status ValidatePackEntry(const rtree::Entry& entry);
+[[nodiscard]] Status ValidatePackEntries(
+    const std::vector<rtree::Entry>& entries);
+
+/// Order-preserving bijection from double to uint64: a < b (as doubles,
+/// no NaNs) iff MonotoneBits(a) < MonotoneBits(b). -0.0 maps below +0.0.
+uint64_t MonotoneBits(double value);
+
+/// The 64-bit sort key all packers order by: MonotoneBits of the MBR
+/// center's leading coordinate for the ascending criteria, the Hilbert
+/// value of the center within `hilbert_frame` for kHilbert. Materalized
+/// once per entry (never recomputed inside a comparator) and identical
+/// to the key the external loader writes into spill records — the
+/// in-memory sort is the golden reference for the external path.
+uint64_t SortKey(const rtree::Entry& entry, SortCriterion criterion,
+                 const geom::Rect& hilbert_frame);
+
+/// The frame the Hilbert criterion quantizes against: the union of all
+/// entry MBRs.
+geom::Rect HilbertFrameOf(const std::vector<rtree::Entry>& entries);
+
 /// Shared bottom-up construction: applies `grouping` per level until the
 /// remaining entries fit into a single root node. The target tree must be
-/// freshly created (empty).
+/// freshly created (empty). Validates entries (see ValidatePackEntries).
 Status BulkLoad(rtree::RTree* tree, std::vector<rtree::Entry> leaf_items,
                 const GroupingFn& grouping);
+
+/// BulkLoad's upper half, exposed for loaders that write leaves
+/// themselves (the external-sort path): `items` are the entries of
+/// level `level` (already written when level > 0), `leaf_count` is the
+/// tree's final Size(). Performs no input validation.
+Status BulkLoadFromLevel(rtree::RTree* tree, std::vector<rtree::Entry> items,
+                         uint16_t level, uint64_t leaf_count,
+                         const GroupingFn& grouping);
+
+/// Single entry point dispatching on options.strategy (and, when
+/// options.memory_budget_bytes > 0 and the strategy is a sort-chunk
+/// family, through the external-sort loader). The named Pack* functions
+/// below remain as thin wrappers.
+Status Pack(rtree::RTree* tree, std::vector<rtree::Entry> leaf_items,
+            const PackOptions& options);
 
 /// Algorithm PACK from §3.3 of the paper: order the items by the spatial
 /// criterion, then repeatedly take the first remaining item and its B-1

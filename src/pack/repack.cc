@@ -20,7 +20,7 @@ Status Repack(RTree* tree, const PackOptions& options) {
     items.push_back(e);
   }
   PICTDB_RETURN_IF_ERROR(tree->Clear());
-  return PackNearestNeighbor(tree, std::move(items), options);
+  return Pack(tree, std::move(items), options);
 }
 
 StatusOr<ScrubReport> ScrubAndRepack(RTree* tree,
@@ -77,8 +77,7 @@ StatusOr<ScrubReport> ScrubAndRepack(RTree* tree,
   } else {
     items = std::move(salvaged);
   }
-  PICTDB_RETURN_IF_ERROR(
-      PackNearestNeighbor(tree, std::move(items), options));
+  PICTDB_RETURN_IF_ERROR(Pack(tree, std::move(items), options));
   return report;
 }
 

@@ -12,8 +12,9 @@
 namespace pictdb::pack {
 
 /// Full reorganization: collect every leaf entry, free all nodes, and
-/// bulk-load the same entries with PACK. Restores the freshly-packed
-/// quality after heavy churn (§3.4 / §4 of the paper).
+/// bulk-load the same entries with the packer selected by
+/// `options.strategy` (default: the paper's PACK). Restores the
+/// freshly-packed quality after heavy churn (§3.4 / §4 of the paper).
 Status Repack(rtree::RTree* tree, const PackOptions& options = {});
 
 /// The paper's §4 future-work item made concrete: "dynamic invocation of
@@ -42,7 +43,8 @@ struct ScrubReport {
 /// Recovery path for a tree with unreadable (corrupt / permanently
 /// failing) pages: scrub the tree in degraded mode — salvaging every
 /// leaf entry reachable through readable pages and quarantining the
-/// rest — then rebuild from scratch with PACK. When `base_entries` is
+/// rest — then rebuild from scratch with the packer selected by
+/// `options.strategy`. When `base_entries` is
 /// non-null it is treated as the authoritative record of the indexed
 /// objects (e.g. re-derived from the heap file) and the rebuild uses it
 /// instead of the salvaged set, restoring the full pre-corruption

@@ -41,7 +41,8 @@ std::vector<std::vector<Entry>> GroupStr(const std::vector<Entry>& items,
   return groups;
 }
 
-Status PackStr(rtree::RTree* tree, std::vector<Entry> leaf_items) {
+Status PackStr(rtree::RTree* tree, std::vector<Entry> leaf_items,
+               const PackOptions& /*options*/) {
   return BulkLoad(tree, std::move(leaf_items),
                   [](const std::vector<Entry>& items, size_t max) {
                     return GroupStr(items, max);

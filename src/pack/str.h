@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "pack/pack.h"
 #include "rtree/rtree.h"
 
 namespace pictdb::pack {
@@ -11,8 +12,11 @@ namespace pictdb::pack {
 /// Sort-Tile-Recursive packing (Leutenegger et al., the best-known
 /// descendant of this paper's PACK): sort by x-center, cut into ~sqrt(P)
 /// vertical slabs, sort each slab by y-center, chunk into full nodes.
-/// Applied level by level.
-Status PackStr(rtree::RTree* tree, std::vector<rtree::Entry> leaf_items);
+/// Applied level by level. `options` is accepted for uniformity with the
+/// other packers; STR's slab construction fixes its own ordering, so
+/// only validation behavior is shared.
+Status PackStr(rtree::RTree* tree, std::vector<rtree::Entry> leaf_items,
+               const PackOptions& options = {});
 
 /// The per-level STR grouping, exposed for tests.
 std::vector<std::vector<rtree::Entry>> GroupStr(

@@ -1,0 +1,170 @@
+#include "storage/spill_file.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pictdb::storage {
+namespace {
+
+// Bounded retry for spill I/O, mirroring the buffer pool's policy:
+// transient IOErrors (fault-injected or real) are retried with
+// exponential backoff; CRC failures are retried too, since a bit flip
+// on the wire can be transient while the medium still holds good bytes.
+constexpr int kSpillIoAttempts = 6;
+constexpr auto kSpillBackoffBase = std::chrono::microseconds(50);
+
+void BackoffSleep(int attempt) {
+  std::this_thread::sleep_for(kSpillBackoffBase * (1 << attempt));
+}
+
+constexpr uint32_t kSpillPageHeaderSize = 8;  // u32 record count + u32 pad
+
+}  // namespace
+
+uint32_t SpillRecordsPerPage(uint32_t page_size, uint32_t record_size) {
+  PICTDB_CHECK(record_size > 0);
+  PICTDB_CHECK(page_size > kSpillPageHeaderSize + kPageTrailerSize);
+  return (page_size - kSpillPageHeaderSize - kPageTrailerSize) / record_size;
+}
+
+std::atomic<uint64_t> SpillFileManager::counter_{0};
+
+SpillFile::~SpillFile() {
+  // Drop the stdio handle before unlinking so the bytes are not pinned
+  // by an open FILE on platforms where that matters.
+  wrapper_.reset();
+  base_.reset();
+  std::remove(path_.c_str());
+}
+
+StatusOr<std::unique_ptr<SpillFile>> SpillFileManager::Create() {
+  const uint64_t seq = counter_.fetch_add(1, std::memory_order_relaxed);
+  std::string path = dir_ + "/pictdb-spill-" +
+                     std::to_string(static_cast<long>(::getpid())) + "-" +
+                     std::to_string(seq) + ".tmp";
+  PICTDB_ASSIGN_OR_RETURN(auto base,
+                          FileDiskManager::Open(path, page_size_,
+                                                /*truncate=*/true));
+  std::unique_ptr<DiskManager> wrapper;
+  if (wrap_) wrapper = wrap_(base.get());
+  return std::unique_ptr<SpillFile>(
+      new SpillFile(std::move(path), std::move(base), std::move(wrapper)));
+}
+
+SpillRunWriter::SpillRunWriter(SpillFile* file, uint32_t record_size)
+    : file_(file),
+      record_size_(record_size),
+      per_page_(SpillRecordsPerPage(file->page_size(), record_size)),
+      page_(file->page_size(), 0) {
+  PICTDB_CHECK(per_page_ > 0);
+}
+
+Status SpillRunWriter::FlushPage() {
+  PICTDB_CHECK(in_page_ > 0);
+  std::memcpy(page_.data(), &in_page_, sizeof(in_page_));
+  StampPageTrailer(page_.data(), file_->page_size());
+  const PageId id = file_->disk()->AllocatePage();
+  if (run_.first_page == kInvalidPageId) {
+    run_.first_page = id;
+  } else {
+    // Runs rely on contiguity: exactly one writer appends at a time, so
+    // freshly allocated pages extend the current run.
+    PICTDB_CHECK(id == run_.first_page + run_.page_count);
+  }
+  Status status;
+  for (int attempt = 0; attempt < kSpillIoAttempts; ++attempt) {
+    status = file_->disk()->WritePage(id, page_.data());
+    if (status.ok()) break;
+    if (attempt + 1 < kSpillIoAttempts) BackoffSleep(attempt);
+  }
+  PICTDB_RETURN_IF_ERROR(status);
+  ++run_.page_count;
+  ++pages_written_;
+  std::memset(page_.data(), 0, page_.size());
+  in_page_ = 0;
+  return Status::OK();
+}
+
+Status SpillRunWriter::Append(const char* record) {
+  PICTDB_CHECK(!finished_);
+  std::memcpy(page_.data() + kSpillPageHeaderSize +
+                  static_cast<size_t>(in_page_) * record_size_,
+              record, record_size_);
+  ++in_page_;
+  ++run_.records;
+  if (in_page_ == per_page_) return FlushPage();
+  return Status::OK();
+}
+
+StatusOr<SpillRunHandle> SpillRunWriter::Finish() {
+  PICTDB_CHECK(!finished_);
+  finished_ = true;
+  if (in_page_ > 0) PICTDB_RETURN_IF_ERROR(FlushPage());
+  // Run boundary = durability barrier: merge readers must never observe
+  // a run whose tail still sits in a write buffer.
+  PICTDB_RETURN_IF_ERROR(file_->disk()->Sync());
+  return run_;
+}
+
+SpillRunReader::SpillRunReader(SpillFile* file, const SpillRunHandle& run,
+                               uint32_t record_size)
+    : file_(file),
+      run_(run),
+      record_size_(record_size),
+      per_page_(SpillRecordsPerPage(file->page_size(), record_size)),
+      page_(file->page_size(), 0) {}
+
+Status SpillRunReader::LoadPage(PageId id) {
+  Status status;
+  for (int attempt = 0; attempt < kSpillIoAttempts; ++attempt) {
+    status = file_->disk()->ReadPage(id, page_.data());
+    if (status.ok()) {
+      status = VerifyPageTrailer(page_.data(), file_->page_size(), id);
+    }
+    if (status.ok()) break;
+    if (attempt + 1 < kSpillIoAttempts) BackoffSleep(attempt);
+  }
+  PICTDB_RETURN_IF_ERROR(status);
+  std::memcpy(&page_records_, page_.data(), sizeof(page_records_));
+  // VerifyPageTrailer accepts all-zero pages (never-flushed allocations);
+  // inside a finished run that means the write was torn away entirely.
+  // A count beyond capacity can only be header corruption that the CRC
+  // happened to cover (e.g. a stale page image) — reject both.
+  if (page_records_ == 0 || page_records_ > per_page_) {
+    return Status::DataLoss("spill page " + std::to_string(id) +
+                            " lost or corrupt (record count " +
+                            std::to_string(page_records_) + ")");
+  }
+  in_page_ = 0;
+  ++pages_read_;
+  return Status::OK();
+}
+
+StatusOr<bool> SpillRunReader::Next(char* out) {
+  if (consumed_ == run_.records) return false;
+  if (page_index_ == 0 || in_page_ == page_records_) {
+    if (page_index_ == run_.page_count) {
+      return Status::DataLoss("spill run at page " +
+                              std::to_string(run_.first_page) +
+                              " ended short of its record count");
+    }
+    PICTDB_RETURN_IF_ERROR(LoadPage(run_.first_page + page_index_));
+    ++page_index_;
+  }
+  std::memcpy(out,
+              page_.data() + kSpillPageHeaderSize +
+                  static_cast<size_t>(in_page_) * record_size_,
+              record_size_);
+  ++in_page_;
+  ++consumed_;
+  return true;
+}
+
+}  // namespace pictdb::storage

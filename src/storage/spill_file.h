@@ -1,0 +1,160 @@
+#ifndef PICTDB_STORAGE_SPILL_FILE_H_
+#define PICTDB_STORAGE_SPILL_FILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace pictdb::storage {
+
+/// One run of fixed-size records inside a spill file: `page_count`
+/// consecutive pages starting at `first_page`, holding `records`
+/// records in sorted order. Runs are append-only and never reclaimed —
+/// spill files are ephemeral (deleted when the SpillFile is destroyed).
+struct SpillRunHandle {
+  PageId first_page = kInvalidPageId;
+  uint32_t page_count = 0;
+  uint64_t records = 0;
+};
+
+/// An ephemeral on-disk scratch file for external sorting, owned by its
+/// SpillFileManager handle: the backing file is created on demand and
+/// unlinked when this object is destroyed. All I/O goes through the
+/// DiskManager abstraction so the fault-injection decorator and page
+/// CRC framing compose exactly as they do for database pages.
+class SpillFile {
+ public:
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// The manager spill I/O goes through (the test wrapper when one is
+  /// installed, else the backing file manager).
+  DiskManager* disk() const { return active_; }
+  const std::string& path() const { return path_; }
+  uint32_t page_size() const { return active_->page_size(); }
+
+ private:
+  friend class SpillFileManager;
+  SpillFile(std::string path, std::unique_ptr<DiskManager> base,
+            std::unique_ptr<DiskManager> wrapper)
+      : path_(std::move(path)),
+        base_(std::move(base)),
+        wrapper_(std::move(wrapper)),
+        active_(wrapper_ != nullptr ? wrapper_.get() : base_.get()) {}
+
+  std::string path_;
+  std::unique_ptr<DiskManager> base_;
+  std::unique_ptr<DiskManager> wrapper_;  // optional decorator over base_
+  DiskManager* active_;
+};
+
+/// Factory for spill files. ALL temp-file creation in the library goes
+/// through this class (tools/pictdb_lint.py's SPILL-TEMP rule enforces
+/// it): paths are generated from pid + a process-wide counter inside
+/// `dir`, files are unlinked on SpillFile destruction, and a test hook
+/// can wrap every created DiskManager (e.g. in a
+/// FaultInjectionDiskManager) to exercise torn spill writes.
+class SpillFileManager {
+ public:
+  explicit SpillFileManager(std::string dir = ".",
+                            uint32_t page_size = kDefaultPageSize)
+      : dir_(std::move(dir)), page_size_(page_size) {}
+
+  /// Create a fresh spill file at a unique path under dir().
+  StatusOr<std::unique_ptr<SpillFile>> Create();
+
+  /// Wrap the DiskManager of every subsequently created spill file.
+  /// `wrap` receives the (owned-by-SpillFile) base manager and returns
+  /// a decorator that the SpillFile will also own and route I/O through.
+  void SetDiskWrapperForTesting(
+      std::function<std::unique_ptr<DiskManager>(DiskManager*)> wrap) {
+    wrap_ = std::move(wrap);
+  }
+
+  const std::string& dir() const { return dir_; }
+  uint32_t page_size() const { return page_size_; }
+
+ private:
+  std::string dir_;
+  uint32_t page_size_;
+  std::function<std::unique_ptr<DiskManager>(DiskManager*)> wrap_;
+  static std::atomic<uint64_t> counter_;
+};
+
+/// Appends fixed-size records to a spill file as one run. Pages are
+/// framed like database pages — a small header (record count) plus a
+/// CRC32 trailer — so torn writes and bit rot surface as DataLoss on
+/// read instead of silently corrupting the sort. Writes retry transient
+/// IOErrors with bounded exponential backoff (same policy as the buffer
+/// pool). Finish() flushes the tail page and issues a Sync durability
+/// barrier so a completed run is fully on the medium before its pages
+/// are read back during the merge.
+class SpillRunWriter {
+ public:
+  SpillRunWriter(SpillFile* file, uint32_t record_size);
+
+  Status Append(const char* record);
+  StatusOr<SpillRunHandle> Finish();
+
+  uint64_t pages_written() const { return pages_written_; }
+
+ private:
+  Status FlushPage();
+
+  SpillFile* file_;
+  uint32_t record_size_;
+  uint32_t per_page_;
+  std::vector<char> page_;
+  uint32_t in_page_ = 0;
+  bool finished_ = false;
+  uint64_t pages_written_ = 0;
+  SpillRunHandle run_;
+};
+
+/// Streams a run's records back in order, verifying each page's CRC
+/// trailer (retrying transient read errors) before trusting any byte of
+/// it. An all-zero page inside a run means the medium never saw the
+/// write (a fully torn page) and is reported as DataLoss.
+class SpillRunReader {
+ public:
+  SpillRunReader(SpillFile* file, const SpillRunHandle& run,
+                 uint32_t record_size);
+
+  /// Copy the next record into `out` (record_size bytes); false at the
+  /// end of the run.
+  StatusOr<bool> Next(char* out);
+
+  uint64_t pages_read() const { return pages_read_; }
+
+ private:
+  Status LoadPage(PageId id);
+
+  SpillFile* file_;
+  SpillRunHandle run_;
+  uint32_t record_size_;
+  uint32_t per_page_;
+  std::vector<char> page_;
+  uint32_t page_index_ = 0;     // next page of the run to load
+  uint32_t in_page_ = 0;        // records consumed from the loaded page
+  uint32_t page_records_ = 0;   // records held by the loaded page
+  uint64_t consumed_ = 0;
+  uint64_t pages_read_ = 0;
+};
+
+/// Records per spill page for the given page and record sizes (pages
+/// carry an 8-byte header and the CRC trailer).
+uint32_t SpillRecordsPerPage(uint32_t page_size, uint32_t record_size);
+
+}  // namespace pictdb::storage
+
+#endif  // PICTDB_STORAGE_SPILL_FILE_H_

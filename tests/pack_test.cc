@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
+#include <limits>
 #include <set>
 
 #include "check/invariants.h"
@@ -407,6 +409,183 @@ TEST(HilbertTest, ConsecutiveValuesAreAdjacentCells) {
         (x1 > x2 ? x1 - x2 : x2 - x1) + (y1 > y2 ? y1 - y2 : y2 - y1);
     EXPECT_EQ(manhattan, 1u) << "d=" << d;
   }
+}
+
+// --- adversarial inputs (mirrors the SIMD kernel suite) -----------------------
+
+using BuilderFn = Status (*)(RTree*, std::vector<Entry>);
+
+const BuilderFn kAllBuilders[] = {
+    [](RTree* t, std::vector<Entry> items) {
+      return PackNearestNeighbor(t, std::move(items));
+    },
+    [](RTree* t, std::vector<Entry> items) {
+      return PackSortChunk(t, std::move(items));
+    },
+    [](RTree* t, std::vector<Entry> items) {
+      return PackStr(t, std::move(items));
+    },
+    [](RTree* t, std::vector<Entry> items) {
+      return PackHilbert(t, std::move(items));
+    },
+};
+
+std::vector<Entry> ValidItems(size_t n) {
+  Random rng(99);
+  return PointItems(workload::UniformPoints(&rng, n, workload::PaperFrame()));
+}
+
+TEST(PackValidationTest, EveryBuilderRejectsNonFiniteAndEmptyMbrs) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Built by direct field assignment: the Rect(x1,y1,x2,y2) constructor
+  // min/max-normalizes its arguments, which silently swallows NaNs and
+  // un-inverts corners — exactly the raw states that arrive from a
+  // corrupted heap scan or a buggy caller.
+  const auto raw = [](double lox, double loy, double hix, double hiy) {
+    Rect r;
+    r.lo.x = lox;
+    r.lo.y = loy;
+    r.hi.x = hix;
+    r.hi.y = hiy;
+    return r;
+  };
+  const struct {
+    const char* name;
+    Rect mbr;
+  } kBad[] = {
+      {"nan_lo_x", raw(kNaN, 0, 1, 1)},
+      {"nan_hi_y", raw(0, 0, 1, kNaN)},
+      {"inf_hi_x", raw(0, 0, kInf, 1)},
+      {"neg_inf_lo_y", raw(0, -kInf, 1, 1)},
+      {"inverted", raw(5, 5, 1, 1)},
+      {"default_empty", Rect()},
+  };
+  for (size_t b = 0; b < std::size(kAllBuilders); ++b) {
+    for (const auto& bad : kBad) {
+      Env env;
+      auto tree = RTree::Create(&env.pool);
+      ASSERT_TRUE(tree.ok());
+      std::vector<Entry> items = ValidItems(20);
+      items[7].mbr = bad.mbr;
+      const Status status = kAllBuilders[b](&*tree, std::move(items));
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+          << "builder " << b << " input " << bad.name << ": "
+          << status.ToString();
+      // Rejected before any mutation: the tree is still empty and packs
+      // cleanly afterwards.
+      EXPECT_EQ(tree->Size(), 0u);
+      ASSERT_TRUE(kAllBuilders[b](&*tree, ValidItems(20)).ok());
+      ExpectValidTree(*tree);
+    }
+  }
+}
+
+TEST(PackValidationTest, AllEmptyRectsRejectedNotUndefined) {
+  // Before validation existed, an all-empty input left the Hilbert frame
+  // inverted: HilbertValue computed inf - inf = NaN and fed an undefined
+  // NaN→uint32 cast inside std::clamp.
+  for (size_t b = 0; b < std::size(kAllBuilders); ++b) {
+    Env env;
+    auto tree = RTree::Create(&env.pool);
+    ASSERT_TRUE(tree.ok());
+    std::vector<Entry> items(10);  // default Entry: empty (inverted) Rect
+    const Status status = kAllBuilders[b](&*tree, std::move(items));
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << "builder " << b;
+  }
+}
+
+TEST(PackValidationTest, DenormalCoordinatesPackFine) {
+  constexpr double kDenorm = std::numeric_limits<double>::denorm_min();
+  for (size_t b = 0; b < std::size(kAllBuilders); ++b) {
+    Env env;
+    auto tree = RTree::Create(&env.pool);
+    ASSERT_TRUE(tree.ok());
+    std::vector<Entry> items = ValidItems(30);
+    items[3].mbr = Rect(-kDenorm, -kDenorm, kDenorm, kDenorm);
+    items[4].mbr = Rect(kDenorm, kDenorm, 2 * kDenorm, 2 * kDenorm);
+    ASSERT_TRUE(kAllBuilders[b](&*tree, std::move(items)).ok())
+        << "builder " << b;
+    EXPECT_EQ(tree->Size(), 30u);
+    ExpectValidTree(*tree);
+  }
+}
+
+TEST(PackValidationTest, MonotoneBitsIsOrderPreserving) {
+  const double values[] = {-std::numeric_limits<double>::infinity(),
+                           -1e308,
+                           -1.0,
+                           -std::numeric_limits<double>::denorm_min(),
+                           -0.0,
+                           0.0,
+                           std::numeric_limits<double>::denorm_min(),
+                           1.0,
+                           1e308,
+                           std::numeric_limits<double>::infinity()};
+  for (size_t i = 0; i + 1 < std::size(values); ++i) {
+    if (values[i] < values[i + 1]) {
+      EXPECT_LT(MonotoneBits(values[i]), MonotoneBits(values[i + 1]))
+          << values[i] << " vs " << values[i + 1];
+    } else {
+      // -0.0 / +0.0: equal as doubles, bit transform keeps -0 below +0.
+      EXPECT_LE(MonotoneBits(values[i]), MonotoneBits(values[i + 1]));
+    }
+  }
+}
+
+// Keys must be materialized once per entry, not recomputed inside the
+// sort comparator (the old PackHilbert paid O(n log n) curve walks).
+TEST(PackKeyMaterializationTest, HilbertValueComputedAtMostTwicePerEntry) {
+  Env env;
+  auto tree = RTree::Create(&env.pool);
+  ASSERT_TRUE(tree.ok());
+  const size_t n = 2000;
+  std::vector<Entry> items = ValidItems(n);
+  const uint64_t before = HilbertValueComputeCountForTesting();
+  ASSERT_TRUE(PackHilbert(&*tree, std::move(items)).ok());
+  const uint64_t computes = HilbertValueComputeCountForTesting() - before;
+  // One key per leaf entry plus one per upper-level entry (a geometric
+  // tail of n/B); 2n is a generous ceiling, n log n is far above it.
+  EXPECT_LE(computes, 2 * n) << "keys recomputed during the sort";
+  EXPECT_GE(computes, n);
+}
+
+// --- the Pack() dispatcher ----------------------------------------------------
+
+TEST(PackDispatcherTest, StrategySelectsPacker) {
+  const auto strategies = {
+      PackStrategy::kNearestNeighbor,
+      PackStrategy::kSortChunk,
+      PackStrategy::kStr,
+      PackStrategy::kHilbert,
+  };
+  for (const PackStrategy s : strategies) {
+    Env env;
+    auto tree = RTree::Create(&env.pool);
+    ASSERT_TRUE(tree.ok());
+    PackOptions options;
+    options.strategy = s;
+    ASSERT_TRUE(Pack(&*tree, ValidItems(150), options).ok());
+    EXPECT_EQ(tree->Size(), 150u);
+    ExpectValidTree(*tree);
+  }
+}
+
+TEST(PackDispatcherTest, HilbertStrategyMatchesPackHilbert) {
+  Env a_env, b_env;
+  auto a = RTree::Create(&a_env.pool);
+  auto b = RTree::Create(&b_env.pool);
+  ASSERT_TRUE(a.ok() && b.ok());
+  PackOptions options;
+  options.strategy = PackStrategy::kHilbert;
+  ASSERT_TRUE(Pack(&*a, ValidItems(300), options).ok());
+  ASSERT_TRUE(PackHilbert(&*b, ValidItems(300)).ok());
+  EXPECT_EQ(a->Size(), b->Size());
+  EXPECT_EQ(a->Height(), b->Height());
+  auto na = a->CountNodes();
+  auto nb = b->CountNodes();
+  ASSERT_TRUE(na.ok() && nb.ok());
+  EXPECT_EQ(*na, *nb);
 }
 
 TEST(HilbertTest, ValueMapsFrameCorners) {

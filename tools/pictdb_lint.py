@@ -31,6 +31,12 @@ SEEDED-RANDOM   src/check/ may only use the project's seeded PRNG:
 NO-SUPPRESS     src/check/ must not carry lint/analysis suppression
                 comments (NOLINT, NO_THREAD_SAFETY_ANALYSIS): the
                 verification subsystem is held to the strictest bar.
+SPILL-TEMP      No ad-hoc temp-file APIs (tmpfile, tmpnam, tempnam,
+                mkstemp, mkdtemp, std::filesystem::temp_directory_path)
+                in src/ outside src/storage/spill_file.{h,cc}. Scratch
+                files go through SpillFileManager so they are CRC-framed,
+                fault-injectable, and unlinked with their handle —
+                a stray temp file survives a crash and leaks disk.
 """
 
 from __future__ import annotations
@@ -223,6 +229,26 @@ def check_no_suppress(path: Path, raw_text: str, findings: list):
                  "subsystem must pass the analyses unassisted"))
 
 
+SPILL_TEMP_FORBIDDEN = re.compile(
+    r"\b(tmpfile|tmpnam|tempnam|mkstemp|mkdtemp)\s*\(|"
+    r"std::filesystem::temp_directory_path")
+
+
+def check_spill_temp(path: Path, clean: str, findings: list):
+    rel = relpath(path)
+    if rel in ("src/storage/spill_file.h", "src/storage/spill_file.cc"):
+        return  # the sanctioned owner of scratch-file lifecycle
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        m = SPILL_TEMP_FORBIDDEN.search(line)
+        if m:
+            findings.append(
+                (rel, lineno, "SPILL-TEMP",
+                 f"{m.group(0).rstrip('(').strip()} outside "
+                 "storage/spill_file — scratch files must go through "
+                 "SpillFileManager (CRC-framed, fault-injectable, "
+                 "unlinked with the handle)"))
+
+
 def run_lint() -> list:
     findings = []
     for path in iter_source_files(SRC):
@@ -233,6 +259,7 @@ def run_lint() -> list:
         check_mutex_wrapper(path, clean, findings)
         check_seeded_random(path, clean, findings)
         check_no_suppress(path, raw, findings)
+        check_spill_temp(path, clean, findings)
     check_crc_verify(findings)
     return findings
 
