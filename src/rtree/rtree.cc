@@ -542,6 +542,19 @@ bool DegradeOrFail(const Status& st, PageId id, SearchStats* stats,
 
 }  // namespace
 
+void RTree::PrefetchUpcoming(const std::vector<PageId>& stack) const {
+#ifdef PICTDB_PREFETCH
+  // The next few pops are the stack tail; deeper entries will be
+  // re-hinted when their turn approaches.
+  constexpr size_t kPrefetchDepth = 4;
+  const size_t n = std::min(stack.size(), kPrefetchDepth);
+  pool_->PrefetchResident(
+      std::span<const PageId>(stack.data() + (stack.size() - n), n));
+#else
+  (void)stack;
+#endif
+}
+
 Status RTree::SearchWindowFast(const Rect& window, WindowMode mode,
                                std::vector<LeafHit>* out, SearchStats* stats,
                                const SearchOptions& options) const {
@@ -584,6 +597,7 @@ Status RTree::SearchWindowFast(const Rect& window, WindowMode mode,
                   [&](size_t i) { stack.push_back(node.ChildAt(i)); });
     std::reverse(stack.begin() + static_cast<ptrdiff_t>(first_child),
                  stack.end());
+    PrefetchUpcoming(stack);
   }
   return Status::OK();
 }
@@ -622,6 +636,7 @@ Status RTree::SearchPointFast(const geom::Point& p, std::vector<LeafHit>* out,
                   [&](size_t i) { stack.push_back(node.ChildAt(i)); });
     std::reverse(stack.begin() + static_cast<ptrdiff_t>(first_child),
                  stack.end());
+    PrefetchUpcoming(stack);
   }
   return Status::OK();
 }
@@ -725,6 +740,16 @@ StatusOr<std::vector<BatchHits>> RTree::SearchBatch(
             Frame{node.ChildAt(e), std::move(child_active[e])});
       }
     }
+#ifdef PICTDB_PREFETCH
+    {
+      PageId next[4];
+      size_t n = 0;
+      for (size_t f = stack.size(); f-- > 0 && n < 4;) {
+        next[n++] = stack[f].id;
+      }
+      pool_->PrefetchResident(std::span<const PageId>(next, n));
+    }
+#endif
   }
   return results;
 }

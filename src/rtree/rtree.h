@@ -406,6 +406,12 @@ class RTree {
                          SearchStats* stats,
                          const SearchOptions& options) const;
 
+  /// Hint the buffer pool about the nodes the DFS will pop next (the
+  /// tail of `stack`), so a resident child's bytes are warming in
+  /// cache while the current node is scanned. No-op unless built with
+  /// PICTDB_PREFETCH.
+  void PrefetchUpcoming(const std::vector<storage::PageId>& stack) const;
+
   Status ValidateRec(storage::PageId node_id, uint16_t expected_level,
                      const geom::Rect* parent_mbr, uint64_t* leaf_entries,
                      bool is_root) const;

@@ -40,28 +40,56 @@ void WriteCacheDiskManager::DeallocatePage(PageId id) {
 }
 
 Status WriteCacheDiskManager::Sync() {
-  MutexLock lock(&mu_);
+  // Snapshot the dirty page ids under mu_, then flush without holding
+  // it across base I/O: the sibling decorators (fault injection,
+  // latency) drop their latch before delegating, and holding mu_ for
+  // the whole barrier would both stall concurrent readers/writers and
+  // nest this latch under the base manager's. The barrier covers every
+  // write completed before Sync() was entered; writes that race with
+  // the flush stay cached for the next barrier (erase-if-unchanged
+  // below). A page deallocated mid-flight may get its stale bytes
+  // written to the freed base slot — benign, since freed pages keep
+  // their storage and allocation never trusts old content.
+  const uint32_t ps = page_size();
+  std::vector<PageId> ids;
+  {
+    MutexLock lock(&mu_);
+    ids.reserve(cache_.size());
+    for (const auto& [id, data] : cache_) ids.push_back(id);
+  }
   // Page-id order keeps fault injection below this layer deterministic
   // for a given seed (unordered_map iteration order is not).
-  std::vector<PageId> ids;
-  ids.reserve(cache_.size());
-  for (const auto& [id, data] : cache_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
+  std::vector<char> shadow(ps);
   for (const PageId id : ids) {
-    const char* data = cache_.find(id)->second.get();
+    {
+      MutexLock lock(&mu_);
+      auto it = cache_.find(id);
+      if (it == cache_.end()) continue;  // deallocated since the snapshot
+      std::memcpy(shadow.data(), it->second.get(), ps);
+    }
+    if (flush_hook_) flush_hook_(id);
     Status written = Status::OK();
     // Bounded retry of transient base errors: callers treat a failed
     // barrier as a failed commit, so absorbing injector noise here
     // mirrors the buffer pool's own retry envelope.
     for (int attempt = 0; attempt < 8; ++attempt) {
-      written = base_->WritePage(id, data);
+      written = base_->WritePage(id, shadow.data());
       if (written.ok() || !written.IsIOError()) break;
     }
     if (!written.ok()) return written;
-    cache_.erase(id);
+    MutexLock lock(&mu_);
+    auto it = cache_.find(id);
+    if (it != cache_.end() &&
+        std::memcmp(it->second.get(), shadow.data(), ps) == 0) {
+      cache_.erase(it);
+    }
     ++cache_stats_.flushed_pages;
   }
-  ++cache_stats_.syncs;
+  {
+    MutexLock lock(&mu_);
+    ++cache_stats_.syncs;
+  }
   return base_->Sync();
 }
 

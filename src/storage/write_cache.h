@@ -2,8 +2,10 @@
 #define PICTDB_STORAGE_WRITE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "common/mutex.h"
 #include "common/status.h"
@@ -49,8 +51,17 @@ class WriteCacheDiskManager final : public DiskManager {
   /// Flush buffered pages to the base store and sync it. Transient
   /// IOErrors from the base (fault injection) are retried a bounded
   /// number of times per page; a persistent failure keeps the page
-  /// buffered and fails the barrier.
+  /// buffered and fails the barrier. mu_ is not held across base I/O,
+  /// so reads and writes keep flowing during the barrier; a write that
+  /// races with the flush is simply carried to the next barrier.
   Status Sync() override EXCLUDES(mu_);
+
+  /// Test-only: invoked (unlocked) with each page id just before it is
+  /// written to the base store, so tests can deterministically race a
+  /// WritePage/DeallocatePage against an in-progress flush.
+  void SetFlushHookForTest(std::function<void(PageId)> hook) {
+    flush_hook_ = std::move(hook);
+  }
 
   /// Simulate power loss: every write since the last successful Sync()
   /// is gone. Reads then serve the base store's (possibly stale, possibly
@@ -65,6 +76,7 @@ class WriteCacheDiskManager final : public DiskManager {
   mutable Mutex mu_;
   std::unordered_map<PageId, std::unique_ptr<char[]>> cache_ GUARDED_BY(mu_);
   WriteCacheStatsSnapshot cache_stats_ GUARDED_BY(mu_);
+  std::function<void(PageId)> flush_hook_;  // set before use, test-only
 };
 
 }  // namespace pictdb::storage

@@ -1,0 +1,38 @@
+// Seeded bug: the inversion only exists across a call boundary — the
+// caller holds Engine::mu_ (level 20) while the callee takes
+// WriteService::mu_ (level 10). Neither function is wrong in
+// isolation; the acquire summary of Drain() exposes the back-edge.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+class WriteService {
+ public:
+  void Drain();
+
+ private:
+  void FlushOne();
+  common::Mutex mu_;
+};
+
+void WriteService::FlushOne() {}
+
+void WriteService::Drain() {
+  common::MutexLock lock(&mu_);
+  FlushOne();
+}
+
+class Engine {
+ public:
+  void Apply(WriteService* svc);
+
+ private:
+  common::Mutex mu_;
+};
+
+void Engine::Apply(WriteService* svc) {
+  common::MutexLock lock(&mu_);
+  svc->Drain();  // BUG: LOCK-ORDER
+}
+
+}  // namespace pictdb

@@ -1,0 +1,41 @@
+// Seeded bugs: direct lock-order inversions. Engine::mu_ sits at level
+// 20 and WriteService::mu_ at level 10, so service-then-engine is the
+// only legal nesting; equal-level leaves must never nest at all.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+class WriteService {
+ public:
+  common::Mutex mu_;
+};
+
+class Engine {
+ public:
+  void Apply(WriteService* svc);
+
+ private:
+  common::Mutex mu_;
+};
+
+void Engine::Apply(WriteService* svc) {
+  common::MutexLock outer(&mu_);
+  common::MutexLock inner(&svc->mu_);  // BUG: LOCK-ORDER
+}
+
+class Cache {
+ public:
+  common::Mutex stats_mu_;
+};
+
+class Journal {
+ public:
+  common::Mutex mu_;
+};
+
+void TouchBoth(Cache* cache, Journal* journal) {
+  common::MutexLock stats(&cache->stats_mu_);
+  common::MutexLock log(&journal->mu_);  // BUG: LOCK-ORDER
+}
+
+}  // namespace pictdb

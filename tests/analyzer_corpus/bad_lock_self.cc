@@ -1,0 +1,32 @@
+// Seeded bug: a public entry point re-enters another method of the
+// same class that takes the same (non-recursive) mutex — a guaranteed
+// self-deadlock, visible only interprocedurally.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+class Registry {
+ public:
+  int Count();
+  void Add(int v);
+
+ private:
+  common::Mutex mu_;
+  int n_ = 0;
+};
+
+int Registry::Count() {
+  mu_.Lock();
+  const int n = n_;
+  mu_.Unlock();
+  return n;
+}
+
+void Registry::Add(int v) {
+  mu_.Lock();
+  n_ += v;
+  Count();  // BUG: LOCK-ORDER
+  mu_.Unlock();
+}
+
+}  // namespace pictdb

@@ -1,0 +1,26 @@
+// Seeded bug: a mutex that nests under another lock but was never
+// registered in the hierarchy file. The DAG check cannot rank it, so
+// the analyzer demands it be added (or the nesting removed).
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+class Engine {
+ public:
+  common::Mutex mu_;
+};
+
+class Sampler {
+ public:
+  void Observe(Engine* engine);
+
+ private:
+  common::Mutex histogram_mu_;
+};
+
+void Sampler::Observe(Engine* engine) {
+  common::MutexLock lock(&engine->mu_);
+  common::MutexLock sample(&histogram_mu_);  // BUG: LOCK-ORDER
+}
+
+}  // namespace pictdb

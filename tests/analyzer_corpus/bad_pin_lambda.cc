@@ -1,0 +1,27 @@
+// Seeded bugs: pinned-page pointers smuggled out through a member
+// container and through a lambda handed to the thread pool — both
+// outlive the guard that pins the page.
+#include "corpus_stubs.h"
+
+#include <vector>
+
+namespace pictdb {
+
+void Consume(const char* bytes);
+
+class Indexer {
+ public:
+  void Enqueue(storage::BufferPool* pool, ThreadPool* tasks);
+
+ private:
+  std::vector<const char*> hot_;
+};
+
+void Indexer::Enqueue(storage::BufferPool* pool, ThreadPool* tasks) {
+  storage::PageGuard guard = pool->FetchPage(3).value();
+  const char* bytes = guard.data();
+  hot_.push_back(bytes);  // BUG: PIN-ESCAPE
+  tasks->Submit([bytes] { Consume(bytes); });  // BUG: PIN-ESCAPE
+}
+
+}  // namespace pictdb

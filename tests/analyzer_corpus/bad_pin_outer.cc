@@ -1,0 +1,30 @@
+// Seeded bug: a pointer derived from a pinned page is parked in a
+// variable that outlives the guard's scope, then dereferenced after
+// the unpin.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+int FirstByteAfterUnpin(storage::BufferPool* pool) {
+  const char* first = nullptr;
+  {
+    storage::PageGuard guard = pool->FetchPage(0).value();
+    first = guard.data();  // BUG: PIN-ESCAPE
+  }
+  return first == nullptr ? 0 : first[0];
+}
+
+class RecordCursor {
+ public:
+  void Position(storage::BufferPool* pool, storage::PageId id);
+
+ private:
+  const char* current_ = nullptr;
+};
+
+void RecordCursor::Position(storage::BufferPool* pool, storage::PageId id) {
+  storage::PageGuard guard = pool->FetchPage(id).value();
+  current_ = guard.mutable_data();  // BUG: PIN-ESCAPE
+}
+
+}  // namespace pictdb

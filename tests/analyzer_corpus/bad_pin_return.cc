@@ -1,0 +1,23 @@
+// Seeded bug: a pointer into a pinned page is returned to the caller.
+// The guard unpins at end of scope, so the pointer dangles the moment
+// the buffer pool recycles the frame.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+const char* PeekRecord(storage::BufferPool* pool, storage::PageId id) {
+  storage::PageGuard guard = pool->FetchPage(id).value();
+  const char* bytes = guard.data();
+  return bytes;  // BUG: PIN-ESCAPE
+}
+
+rtree::SoaNode DecodeNode(const char* bytes);
+
+const float* FirstRectColumn(storage::BufferPool* pool) {
+  storage::PageGuard guard = pool->FetchPage(0).value();
+  rtree::SoaNode node = DecodeNode(guard.data());
+  rtree::RectSoa view = node.rects();
+  return view.xmin;  // BUG: PIN-ESCAPE
+}
+
+}  // namespace pictdb

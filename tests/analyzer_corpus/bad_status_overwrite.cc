@@ -1,0 +1,21 @@
+// Seeded bug: the prepare status is clobbered by the commit status
+// before anyone looked at it — a failed prepare would be committed
+// anyway.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+class Committer {
+ public:
+  Status Prepare();
+  Status Commit();
+  Status Run();
+};
+
+Status Committer::Run() {
+  Status st = Prepare();
+  st = Commit();  // BUG: STATUS-DROP
+  return st;
+}
+
+}  // namespace pictdb

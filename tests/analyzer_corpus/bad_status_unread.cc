@@ -1,0 +1,29 @@
+// Seeded bugs: a status parked in a local that falls off the end of
+// the function unexamined, and an immediately-invoked lambda whose
+// Status return value evaporates.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+class Archiver {
+ public:
+  Status CopyOut();
+  void BestEffort();
+  void RunBatch();
+
+ private:
+  int attempts_ = 0;
+};
+
+void Archiver::BestEffort() {
+  Status st = CopyOut();  // BUG: STATUS-DROP
+  ++attempts_;
+}
+
+void Archiver::RunBatch() {
+  // BUG: STATUS-DROP
+  [&]() -> Status { return CopyOut(); }();
+  ++attempts_;
+}
+
+}  // namespace pictdb

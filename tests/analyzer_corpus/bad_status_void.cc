@@ -1,0 +1,20 @@
+// Seeded bugs: error statuses thrown away. A (void) cast is only
+// acceptable with a trailing justification comment; a bare call
+// statement silently drops the result either way.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+class Flusher {
+ public:
+  Status FlushOne();
+  void FlushAll();
+};
+
+void Flusher::FlushAll() {
+  // BUG: STATUS-DROP
+  (void)FlushOne();
+  FlushOne();  // BUG: STATUS-DROP
+}
+
+}  // namespace pictdb

@@ -1,0 +1,25 @@
+// Seeded bug: the WAL append happens on only one branch, but the
+// mutation runs on every path — the non-durable branch mutates the
+// tree with no log record.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+class DurableEngine {
+ public:
+  Status Apply(int rec, bool durable);
+
+ private:
+  rtree::RTree tree_;
+  wal::Wal log_;
+};
+
+Status DurableEngine::Apply(int rec, bool durable) {
+  if (durable) {
+    Status st = log_.Append(rec);
+    if (!st.ok()) return st;
+  }
+  return tree_.Update(rec);  // BUG: WAL-ORDER
+}
+
+}  // namespace pictdb

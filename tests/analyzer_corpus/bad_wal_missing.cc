@@ -1,0 +1,36 @@
+// Seeded bugs: tree mutations on the write path that are not dominated
+// by a WAL append — a crash between the mutation and any later logging
+// loses the operation (or replays it against the wrong state).
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+#define PICTDB_RETURN_IF_ERROR(expr) \
+  do {                               \
+    Status _st = (expr);             \
+    if (!_st.ok()) return _st;       \
+  } while (0)
+
+class DurableEngine {
+ public:
+  Status Apply(int rec);
+  Status Backwards(int rec);
+
+ private:
+  rtree::RTree tree_;
+  wal::Wal log_;
+};
+
+Status DurableEngine::Apply(int rec) {
+  return tree_.Insert(rec);  // BUG: WAL-ORDER
+}
+
+// Log-after-apply is as wrong as not logging: the mutation precedes
+// its own durability record.
+Status DurableEngine::Backwards(int rec) {
+  Status applied = tree_.Delete(rec);  // BUG: WAL-ORDER
+  PICTDB_RETURN_IF_ERROR(log_.Append(rec));
+  return applied;
+}
+
+}  // namespace pictdb

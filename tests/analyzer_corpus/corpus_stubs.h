@@ -1,0 +1,117 @@
+// Minimal stand-ins for the pictdb types the semantic analyzer reasons
+// about (DESIGN.md §15). The corpus units are parsed with this header as
+// --context only: it supplies type information, but findings are never
+// reported against it. Kept self-contained so the corpus exercises the
+// analyzer, not the real headers.
+#ifndef PICTDB_TESTS_ANALYZER_CORPUS_STUBS_H_
+#define PICTDB_TESTS_ANALYZER_CORPUS_STUBS_H_
+
+namespace pictdb {
+
+class Status {
+ public:
+  static Status OK();
+  bool ok() const;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  bool ok() const;
+  T& value();
+};
+
+namespace common {
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+  bool TryLock();
+};
+
+class SharedMutex {
+ public:
+  void Lock();
+  void Unlock();
+  void LockShared();
+  void UnlockShared();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu);
+};
+
+class ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu);
+};
+
+}  // namespace common
+
+namespace storage {
+
+using PageId = unsigned long long;
+
+class PageGuard {
+ public:
+  PageId id() const;
+  const char* data() const;
+  char* mutable_data();
+  void Release();
+};
+
+class BufferPool {
+ public:
+  StatusOr<PageGuard> FetchPage(PageId id);
+  StatusOr<PageGuard> NewPage();
+};
+
+}  // namespace storage
+
+namespace rtree {
+
+struct RectSoa {
+  const float* xmin;
+  const float* ymin;
+};
+
+class SoaNode {
+ public:
+  RectSoa rects() const;
+  const char* data() const;
+};
+
+class RTree {
+ public:
+  Status Insert(int record);
+  Status Delete(int record);
+  Status Update(int record);
+};
+
+}  // namespace rtree
+
+namespace wal {
+
+class Wal {
+ public:
+  Status Append(int record);
+  Status Sync();
+};
+
+}  // namespace wal
+
+class ThreadPool {
+ public:
+  void Submit(void (*fn)());
+};
+
+}  // namespace pictdb
+
+#endif  // PICTDB_TESTS_ANALYZER_CORPUS_STUBS_H_

@@ -1,0 +1,58 @@
+// Clean unit: every nesting descends the hierarchy — Engine::mu_
+// (level 20) over Cache::Shard::mu (level 40), including across the
+// call boundary. LOCK-ORDER must stay silent.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+class Cache {
+ public:
+  void Touch(int i);
+
+  struct Shard {
+    common::Mutex mu;
+    int hits = 0;
+  };
+
+ private:
+  Shard shards_[4];
+};
+
+void Cache::Touch(int i) {
+  Shard& shard = shards_[i];
+  common::MutexLock lock(&shard.mu);
+  shard.hits = shard.hits + 1;
+}
+
+class Engine {
+ public:
+  void Tick(Cache* cache);
+  int DrainCount();
+
+ private:
+  common::Mutex mu_;
+  int ticks_ = 0;
+};
+
+void Engine::Tick(Cache* cache) {
+  common::MutexLock lock(&mu_);
+  ticks_ = ticks_ + 1;
+  cache->Touch(0);
+}
+
+// Sequential (non-nested) use of the same lock is not an acquisition
+// edge: the first guard is released before the second is taken.
+int Engine::DrainCount() {
+  int n = 0;
+  {
+    common::MutexLock lock(&mu_);
+    n = ticks_;
+  }
+  {
+    common::MutexLock lock(&mu_);
+    ticks_ = 0;
+  }
+  return n;
+}
+
+}  // namespace pictdb

@@ -1,0 +1,34 @@
+// Clean unit: pointers into pinned pages are used strictly within the
+// guard's scope; only VALUES computed from the page bytes escape.
+// PIN-ESCAPE must stay silent on all of it.
+#include "corpus_stubs.h"
+
+#include <string>
+
+namespace pictdb {
+
+storage::PageId DecodeChild(const char* bytes);
+
+storage::PageId NextChild(storage::BufferPool* pool, storage::PageId id) {
+  storage::PageGuard guard = pool->FetchPage(id).value();
+  const char* bytes = guard.data();
+  storage::PageId child = DecodeChild(bytes);
+  return child;
+}
+
+std::string CopyRecord(storage::BufferPool* pool, storage::PageId id) {
+  storage::PageGuard guard = pool->FetchPage(id).value();
+  return std::string(guard.data(), 16);
+}
+
+int SumWithinScope(storage::BufferPool* pool) {
+  int sum = 0;
+  {
+    storage::PageGuard guard = pool->FetchPage(0).value();
+    const char* bytes = guard.data();
+    for (int i = 0; i < 16; ++i) sum += bytes[i];
+  }
+  return sum;
+}
+
+}  // namespace pictdb

@@ -1,0 +1,39 @@
+// Clean unit: every Status is examined, consumed by a macro, or
+// discarded with an explicit justification. STATUS-DROP must stay
+// silent.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+#define PICTDB_RETURN_IF_ERROR(expr) \
+  do {                               \
+    Status _st = (expr);             \
+    if (!_st.ok()) return _st;       \
+  } while (0)
+
+class Flusher {
+ public:
+  Status FlushOne();
+  void Shutdown();
+  Status Careful();
+  Status Macroed();
+};
+
+void Flusher::Shutdown() {
+  (void)FlushOne();  // best-effort: the store is read-only after this
+}
+
+Status Flusher::Careful() {
+  Status st = FlushOne();
+  if (!st.ok()) return st;
+  st = FlushOne();
+  return st;
+}
+
+Status Flusher::Macroed() {
+  PICTDB_RETURN_IF_ERROR(FlushOne());
+  if (Status st = FlushOne(); !st.ok()) return st;
+  return Status::OK();
+}
+
+}  // namespace pictdb

@@ -1,0 +1,41 @@
+// Clean unit: every mutation is dominated by a WAL append — directly,
+// through the C++17 if-init idiom, or via a helper that appends — and
+// replay is exempt by construction. WAL-ORDER must stay silent.
+#include "corpus_stubs.h"
+
+namespace pictdb {
+
+#define PICTDB_RETURN_IF_ERROR(expr) \
+  do {                               \
+    Status _st = (expr);             \
+    if (!_st.ok()) return _st;       \
+  } while (0)
+
+class DurableEngine {
+ public:
+  Status Apply(int rec);
+  Status ApplyViaHelper(int rec);
+  Status Replay(int rec);
+
+ private:
+  Status LogRecord(int rec);
+  rtree::RTree tree_;
+  wal::Wal log_;
+};
+
+Status DurableEngine::Apply(int rec) {
+  if (Status st = log_.Append(rec); !st.ok()) return st;
+  return tree_.Insert(rec);
+}
+
+Status DurableEngine::LogRecord(int rec) { return log_.Append(rec); }
+
+Status DurableEngine::ApplyViaHelper(int rec) {
+  PICTDB_RETURN_IF_ERROR(LogRecord(rec));
+  return tree_.Update(rec);
+}
+
+// Recovery applies records that are already in the log.
+Status DurableEngine::Replay(int rec) { return tree_.Insert(rec); }
+
+}  // namespace pictdb

@@ -1,0 +1,11 @@
+// CRC-VERIFY must fire: the trailer helper exists, but FetchPage's
+// miss path bypasses it and reads the raw disk manager.
+Status BufferPool::ReadPageWithRetry(PageId id, char* out) {
+  PICTDB_RETURN_IF_ERROR(disk_->ReadPage(id, out));
+  return VerifyPageTrailer(out, disk_->page_size());
+}
+
+StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
+  PICTDB_RETURN_IF_ERROR(disk_->ReadPage(id, frame.data.get()));
+  return PinFrame(shard, idx);
+}

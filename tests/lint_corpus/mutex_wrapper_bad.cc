@@ -1,0 +1,11 @@
+// MUTEX-WRAPPER must fire: std lock types outside common/mutex.h.
+#include <mutex>
+class Counter {
+  std::mutex mu_;
+  int n_ = 0;
+ public:
+  void Add() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++n_;
+  }
+};

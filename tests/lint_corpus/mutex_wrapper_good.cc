@@ -1,0 +1,11 @@
+// MUTEX-WRAPPER must stay silent: the annotated wrappers are used.
+#include "common/mutex.h"
+class Counter {
+  pictdb::Mutex mu_;
+  int n_ = 0;
+ public:
+  void Add() {
+    pictdb::MutexLock lock(&mu_);
+    ++n_;
+  }
+};

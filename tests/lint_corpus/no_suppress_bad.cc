@@ -1,0 +1,5 @@
+// NO-SUPPRESS must fire (when placed under src/check/).
+void Hack() {
+  int unused = 0;  // NOLINT(clang-diagnostic-unused-variable)
+}
+void Sneaky() NO_THREAD_SAFETY_ANALYSIS {}

@@ -1,0 +1,5 @@
+// NO-SUPPRESS must stay silent: no suppression markers anywhere.
+void Honest() {
+  int used = 0;
+  ++used;
+}

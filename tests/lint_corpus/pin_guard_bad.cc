@@ -1,0 +1,5 @@
+// PIN-GUARD must fire: naked pins with no guard bound.
+void Touch(pictdb::storage::BufferPool* pool) {
+  pool->FetchPage(7);
+  pool->NewPage();
+}

@@ -1,0 +1,8 @@
+// PIN-GUARD must stay silent: every pin is bound or returned.
+pictdb::Status Use(pictdb::storage::BufferPool* pool) {
+  PICTDB_ASSIGN_OR_RETURN(pictdb::storage::PageGuard guard,
+                          pool->FetchPage(7));
+  auto fresh = pool->NewPage();
+  if (!fresh.ok()) return fresh.status();
+  return pool->FetchPage(8).status();
+}

@@ -1,0 +1,7 @@
+// RAW-NEW must fire: raw new and delete outside src/storage/.
+void Leaky() {
+  int* scratch = new int[16];
+  delete[] scratch;
+  auto* node = new Node();
+  delete node;
+}

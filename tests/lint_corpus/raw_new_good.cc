@@ -1,0 +1,11 @@
+// RAW-NEW must stay silent: smart pointers, deleted members, and the
+// leaky-singleton idiom are all allowed.
+class Table {
+ public:
+  Table(const Table&) = delete;
+  static Table& Instance() {
+    static Table& t = *new Table{};
+    return t;
+  }
+};
+void Fine() { auto node = std::make_unique<Node>(); }

@@ -1,0 +1,9 @@
+// SEEDED-RANDOM must fire (when placed under src/check/): unseeded or
+// wall-clock entropy breaks byte-identical trace replay.
+#include <random>
+void Roll() {
+  std::mt19937 gen(std::random_device{}());
+  srand(42);
+  int r = rand();
+  (void)r;
+}

@@ -1,0 +1,7 @@
+// SEEDED-RANDOM must stay silent: the project PRNG with an explicit
+// seed is the sanctioned randomness source.
+#include "common/random.h"
+void Roll(uint64_t seed) {
+  pictdb::Random rng(seed);
+  (void)rng.Uniform(6);
+}

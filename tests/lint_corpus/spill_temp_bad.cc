@@ -1,0 +1,9 @@
+// SPILL-TEMP must fire: ad-hoc temp files outside spill_file.{h,cc}.
+#include <cstdio>
+void Scratch() {
+  std::FILE* f = tmpfile();
+  char tmpl[] = "/tmp/pictdb_XXXXXX";
+  int fd = mkstemp(tmpl);
+  (void)f;
+  (void)fd;
+}

@@ -1,0 +1,6 @@
+// SPILL-TEMP must stay silent: scratch files go through the manager.
+#include "storage/spill_file.h"
+pictdb::Status Scratch(pictdb::storage::SpillFileManager* spill) {
+  PICTDB_ASSIGN_OR_RETURN(auto handle, spill->Create("sort-run"));
+  return handle->Append("bytes", 5);
+}

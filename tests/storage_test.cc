@@ -1,14 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/random.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/heap_file.h"
+#include "storage/write_cache.h"
 
 namespace pictdb::storage {
 namespace {
@@ -294,6 +298,96 @@ TEST(DiskManagerTest, FreedPageCanBeFreedAgainAfterReuse) {
   EXPECT_EQ(disk.AllocatePage(), a);  // recycled
   disk.DeallocatePage(a);             // legitimate second free
   EXPECT_EQ(disk.AllocatePage(), a);  // recycled again
+}
+
+// --- WriteCacheDiskManager flush/race behavior -------------------------------
+// Regression tests for Sync() releasing mu_ across base I/O: a write or
+// dealloc that lands mid-flush must neither be lost nor corrupt the base.
+
+TEST(WriteCacheTest, RewriteDuringFlushStaysBufferedForNextBarrier) {
+  InMemoryDiskManager base(128);
+  WriteCacheDiskManager wcache(&base);
+  const PageId a = wcache.AllocatePage();
+  char v1[128], v2[128];
+  std::memset(v1, 'x', sizeof v1);
+  std::memset(v2, 'y', sizeof v2);
+  ASSERT_TRUE(wcache.WritePage(a, v1).ok());
+  // Re-write the page after its old bytes were copied out for the base
+  // write but before that write lands.
+  wcache.SetFlushHookForTest([&](PageId id) {
+    if (id == a) {
+      ASSERT_TRUE(wcache.WritePage(a, v2).ok());
+    }
+  });
+  ASSERT_TRUE(wcache.Sync().ok());
+  wcache.SetFlushHookForTest(nullptr);
+  // The barrier flushed the pre-barrier bytes; the racing write is
+  // still buffered (not silently dropped by the post-write erase).
+  char out[128];
+  ASSERT_TRUE(base.ReadPage(a, out).ok());
+  EXPECT_EQ(out[0], 'x');
+  EXPECT_EQ(wcache.unsynced_pages(), 1u);
+  ASSERT_TRUE(wcache.Sync().ok());
+  ASSERT_TRUE(base.ReadPage(a, out).ok());
+  EXPECT_EQ(out[0], 'y');
+  EXPECT_EQ(wcache.unsynced_pages(), 0u);
+}
+
+TEST(WriteCacheTest, DeallocateDuringFlushDoesNotCorruptFreeList) {
+  InMemoryDiskManager base(128);
+  WriteCacheDiskManager wcache(&base);
+  const PageId a = wcache.AllocatePage();
+  const PageId b = wcache.AllocatePage();
+  char buf[128];
+  std::memset(buf, 'z', sizeof buf);
+  ASSERT_TRUE(wcache.WritePage(a, buf).ok());
+  ASSERT_TRUE(wcache.WritePage(b, buf).ok());
+  // Free page `a` while the flush is between copying its bytes and
+  // writing them to the base: the stale write may land on the freed
+  // slot, but the free list must stay intact and reallocation must
+  // hand the page back zeroed.
+  wcache.SetFlushHookForTest([&](PageId id) {
+    if (id == a) wcache.DeallocatePage(a);
+  });
+  ASSERT_TRUE(wcache.Sync().ok());
+  wcache.SetFlushHookForTest(nullptr);
+  EXPECT_EQ(wcache.unsynced_pages(), 0u);
+  EXPECT_EQ(wcache.AllocatePage(), a);  // recycled, not lost
+  char out[128];
+  ASSERT_TRUE(base.ReadPage(a, out).ok());
+  EXPECT_EQ(out[0], '\0');  // re-zeroed on reuse, stale bytes invisible
+  ASSERT_TRUE(base.ReadPage(b, out).ok());
+  EXPECT_EQ(out[0], 'z');
+}
+
+TEST(WriteCacheTest, ConcurrentWritersDuringSyncConverge) {
+  InMemoryDiskManager base(128);
+  WriteCacheDiskManager wcache(&base);
+  constexpr int kPages = 16;
+  std::vector<PageId> ids(kPages);
+  for (int i = 0; i < kPages; ++i) ids[i] = wcache.AllocatePage();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    char buf[128];
+    Random rng(7);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const PageId id = ids[rng.Uniform(kPages)];
+      std::memset(buf, static_cast<char>('a' + rng.Uniform(26)), sizeof buf);
+      ASSERT_TRUE(wcache.WritePage(id, buf).ok());
+    }
+  });
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(wcache.Sync().ok());
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  // Quiesced: one final barrier drains everything and base == cache view.
+  ASSERT_TRUE(wcache.Sync().ok());
+  EXPECT_EQ(wcache.unsynced_pages(), 0u);
+  for (int i = 0; i < kPages; ++i) {
+    char via_cache[128], via_base[128];
+    ASSERT_TRUE(wcache.ReadPage(ids[i], via_cache).ok());
+    ASSERT_TRUE(base.ReadPage(ids[i], via_base).ok());
+    EXPECT_EQ(std::memcmp(via_cache, via_base, sizeof via_cache), 0);
+  }
 }
 
 TEST(BufferPoolTest, PinLeakIsDetectedAtDestruction) {

@@ -1,0 +1,466 @@
+"""clang -ast-dump=json bridge (DESIGN.md §15).
+
+Lowers clang's JSON AST into the same ir.Model the native frontend
+produces, so the checkers run unchanged. This frontend is *advisory*:
+it requires a clang driver on PATH (or $PICTDB_CLANG), is exercised by
+the continue-on-error leg of the static-analysis CI job, and is never
+what ctest gates on — the hermetic native frontend is.
+
+AST dumps are cached under --cache-dir keyed by the SHA-256 of the
+file's bytes plus the exact clang argument vector, so unchanged files
+cost nothing on re-analysis (the CI job persists this directory).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+
+from ir import (Call, ClassInfo, Function, Lambda, Model, Stmt, Token,
+                TranslationUnit, VarInfo)
+from parse import Parser  # scope factory reuse
+
+
+class FrontendError(RuntimeError):
+    pass
+
+
+def clang_binary() -> str:
+    return os.environ.get("PICTDB_CLANG") or shutil.which("clang") or ""
+
+
+def clang_available() -> bool:
+    return bool(clang_binary())
+
+
+def compdb_args(compdb_path: str, src: str):
+    """Extra compiler args for `src` from compile_commands.json."""
+    if not compdb_path or not os.path.isfile(compdb_path):
+        return []
+    try:
+        with open(compdb_path, "r", encoding="utf-8") as f:
+            db = json.load(f)
+    except (OSError, ValueError):
+        return []
+    want = os.path.abspath(src)
+    for entry in db:
+        path = os.path.join(entry.get("directory", ""),
+                            entry.get("file", ""))
+        if os.path.abspath(path) == want:
+            args = entry.get("arguments")
+            if not args:
+                args = entry.get("command", "").split()
+            # keep -I/-D/-std/-isystem; drop compiler, -o, -c, the file
+            keep = []
+            skip_next = False
+            for a in args[1:]:
+                if skip_next:
+                    skip_next = False
+                    continue
+                if a in ("-o", "-c"):
+                    skip_next = a == "-o"
+                    continue
+                if a.startswith(("-I", "-D", "-std", "-isystem", "-f")):
+                    keep.append(a)
+            return keep
+    return []
+
+
+def ast_dump(src: str, compdb: str, cache_dir: str, verbose=False) -> dict:
+    clang = clang_binary()
+    if not clang:
+        raise FrontendError("no clang driver found")
+    args = [clang, "-x", "c++", "-fsyntax-only",
+            "-Xclang", "-ast-dump=json", "-Xclang",
+            "-ast-dump-filter-implicit"]
+    extra = compdb_args(compdb, src)
+    if not any(a.startswith("-std") for a in extra):
+        extra.append("-std=c++20")
+    args += extra + [src]
+
+    key = hashlib.sha256()
+    with open(src, "rb") as f:
+        key.update(f.read())
+    key.update("\0".join(args).encode())
+    digest = key.hexdigest()
+    cache_path = ""
+    if cache_dir:
+        os.makedirs(cache_dir, exist_ok=True)
+        cache_path = os.path.join(cache_dir, digest + ".json")
+        if os.path.isfile(cache_path):
+            with open(cache_path, "r", encoding="utf-8") as f:
+                return json.load(f)
+    try:
+        out = subprocess.run(args, capture_output=True, text=True,
+                             timeout=300)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        raise FrontendError(f"clang failed on {src}: {e}")
+    if not out.stdout.strip():
+        raise FrontendError(
+            f"clang produced no AST for {src}: {out.stderr[:500]}")
+    try:
+        tree = json.loads(out.stdout)
+    except ValueError as e:
+        raise FrontendError(f"bad AST json for {src}: {e}")
+    if cache_path:
+        with open(cache_path, "w", encoding="utf-8") as f:
+            json.dump(tree, f)
+    if verbose:
+        print(f"clang_frontend: dumped {src} "
+              f"({len(out.stdout)} bytes)")
+    return tree
+
+
+class Lowerer:
+    """One TU's JSON AST -> ir.TranslationUnit."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.unit = TranslationUnit(file=path)
+        self.cur_line = 1
+        self._scope_factory = Parser(path, "")
+
+    # clang omits unchanged line numbers; track statefully.
+    def line_of(self, node) -> int:
+        for key in ("loc", "range"):
+            loc = node.get(key)
+            if not isinstance(loc, dict):
+                continue
+            if key == "range":
+                loc = loc.get("begin", {})
+            for sub in (loc, loc.get("spellingLoc", {}),
+                        loc.get("expansionLoc", {})):
+                if isinstance(sub, dict) and "line" in sub:
+                    self.cur_line = sub["line"]
+                    return self.cur_line
+        return self.cur_line
+
+    def in_main_file(self, node) -> bool:
+        loc = node.get("loc", {})
+        f = loc.get("file") or loc.get("spellingLoc", {}).get("file")
+        if f is None:
+            return True  # same file as previous node
+        return os.path.abspath(f) == os.path.abspath(self.path)
+
+    def new_scope(self, parent, kind="block"):
+        return self._scope_factory.new_scope(parent, kind)
+
+    # -- declarations --------------------------------------------------
+
+    def lower(self, root) -> TranslationUnit:
+        self.walk_decls(root.get("inner", []), ns="", cls="")
+        return self.unit
+
+    def walk_decls(self, nodes, ns: str, cls: str):
+        for node in nodes:
+            kind = node.get("kind", "")
+            self.line_of(node)
+            if kind == "NamespaceDecl":
+                name = node.get("name", "")
+                sub = ns + ("::" + name if ns and name else name)
+                self.walk_decls(node.get("inner", []), sub, cls)
+            elif kind in ("CXXRecordDecl", "ClassTemplateDecl"):
+                if kind == "ClassTemplateDecl":
+                    inner = [n for n in node.get("inner", [])
+                             if n.get("kind") == "CXXRecordDecl"]
+                    for n in inner:
+                        self.walk_decls([n], ns, cls)
+                    continue
+                name = node.get("name", "")
+                if not name or not node.get("completeDefinition"):
+                    continue
+                qual = f"{cls}::{name}" if cls else name
+                info = self.unit.classes.setdefault(
+                    qual, ClassInfo(qual, ns, file=self.path,
+                                    line=self.line_of(node)))
+                for sub in node.get("inner", []):
+                    skind = sub.get("kind", "")
+                    if skind == "FieldDecl" and sub.get("name"):
+                        info.members[sub["name"]] = \
+                            sub.get("type", {}).get("qualType", "")
+                    elif skind in ("CXXMethodDecl", "CXXConstructorDecl",
+                                   "CXXDestructorDecl"):
+                        mname = sub.get("name", "")
+                        qt = sub.get("type", {}).get("qualType", "")
+                        if mname and "(" in qt:
+                            info.method_ret[mname] = qt.split("(", 1)[0]
+                        self.maybe_function(sub, ns, qual)
+                    elif skind == "CXXRecordDecl":
+                        self.walk_decls([sub], ns, qual)
+            elif kind in ("FunctionDecl", "CXXMethodDecl",
+                          "CXXConstructorDecl", "CXXDestructorDecl"):
+                self.maybe_function(node, ns, cls)
+            elif kind in ("LinkageSpecDecl", "ExportDecl"):
+                self.walk_decls(node.get("inner", []), ns, cls)
+
+    def maybe_function(self, node, ns: str, cls: str):
+        body_node = None
+        for sub in node.get("inner", []):
+            if sub.get("kind") == "CompoundStmt":
+                body_node = sub
+        if body_node is None:
+            return
+        if not self.in_main_file(node):
+            return
+        name = node.get("name", "")
+        qt = node.get("type", {}).get("qualType", "")
+        ret = qt.split("(", 1)[0].strip() if "(" in qt else ""
+        fn_cls = cls.split("::")[-1] if cls else ""
+        # out-of-line methods: clang reports the semantic parent
+        parent = node.get("parentDeclContextId")
+        _ = parent
+        line = self.line_of(node)
+        scope = self.new_scope(None, "function")
+        params = []
+        for sub in node.get("inner", []):
+            if sub.get("kind") == "ParmVarDecl" and sub.get("name"):
+                v = VarInfo(sub["name"],
+                            sub.get("type", {}).get("qualType", ""),
+                            self.line_of(sub), scope, len(scope.vars))
+                scope.vars[v.name] = v
+                params.append(v)
+        body = self.lower_block(body_node, scope)
+        self.unit.functions.append(Function(
+            name=name, cls=fn_cls, namespace=ns, ret_type=ret,
+            params=params, body=body, line=line, file=self.path))
+
+    # -- statements ----------------------------------------------------
+
+    def lower_block(self, node, scope) -> Stmt:
+        block = Stmt("block", self.line_of(node), scope=scope)
+        for sub in node.get("inner", []):
+            s = self.lower_stmt(sub, scope)
+            if s is not None:
+                block.children.append(s)
+        return block
+
+    def lower_stmt(self, node, scope):
+        kind = node.get("kind", "")
+        line = self.line_of(node)
+        if kind == "CompoundStmt":
+            return self.lower_block(node, self.new_scope(scope))
+        if kind == "DeclStmt":
+            decls = [n for n in node.get("inner", [])
+                     if n.get("kind") == "VarDecl"]
+            if not decls:
+                return None
+            first = None
+            for d in decls:
+                s = self.lower_vardecl(d, scope)
+                first = first or s
+            return first
+        if kind == "ReturnStmt":
+            stmt = Stmt("return", line, scope=scope)
+            for sub in node.get("inner", []):
+                self.lower_expr(sub, stmt, scope)
+            return stmt
+        if kind == "IfStmt":
+            stmt = Stmt("if", line, scope=self.new_scope(scope))
+            inner = node.get("inner", [])
+            arms = []
+            # layout: [init?, condVar?, cond, then, else?]
+            exprs, stmts = [], []
+            for sub in inner:
+                k = sub.get("kind", "")
+                if k in ("CompoundStmt",) or k.endswith("Stmt"):
+                    stmts.append(sub)
+                else:
+                    exprs.append(sub)
+            for e in exprs:
+                self.lower_expr(e, stmt, stmt.scope)
+            arms.append(None)
+            if stmts and stmts[0].get("kind") == "DeclStmt":
+                arms[0] = self.lower_stmt(stmts.pop(0), stmt.scope)
+            for s in stmts[:2]:
+                low = self.lower_stmt(s, stmt.scope)
+                if low is not None and low.kind != "block":
+                    wrap = Stmt("block", low.line,
+                                scope=self.new_scope(stmt.scope))
+                    wrap.children.append(low)
+                    low = wrap
+                arms.append(low)
+            stmt.arms = arms
+            return stmt
+        if kind in ("ForStmt", "WhileStmt", "DoStmt", "CXXForRangeStmt"):
+            loop_scope = self.new_scope(scope, "loop")
+            stmt = Stmt("loop", line, scope=loop_scope)
+            inner = node.get("inner", [])
+            body = None
+            for sub in inner:
+                k = sub.get("kind", "")
+                if k == "CompoundStmt":
+                    body = self.lower_block(sub, loop_scope)
+                elif k == "DeclStmt":
+                    s = self.lower_stmt(sub, loop_scope)
+                    if s is not None:
+                        stmt.arms.append(s)
+                elif k.endswith("Expr") or k.endswith("Operator") or \
+                        k == "ImplicitCastExpr":
+                    self.lower_expr(sub, stmt, loop_scope)
+            if body is None:
+                body = Stmt("block", line, scope=loop_scope)
+            stmt.arms.append(body)
+            return stmt
+        if kind == "SwitchStmt":
+            stmt = Stmt("switch", line, scope=scope)
+            for sub in node.get("inner", []):
+                if sub.get("kind") == "CompoundStmt":
+                    branch = self.lower_block(sub, self.new_scope(scope))
+                    stmt.arms.append(branch)
+                else:
+                    self.lower_expr(sub, stmt, scope)
+            return stmt
+        if kind in ("CaseStmt", "DefaultStmt"):
+            wrap = Stmt("block", line, scope=self.new_scope(scope))
+            for sub in node.get("inner", []):
+                s = self.lower_stmt(sub, wrap.scope)
+                if s is not None:
+                    wrap.children.append(s)
+            return wrap
+        if kind in ("CXXTryStmt",):
+            stmt = Stmt("try", line, scope=scope)
+            for sub in node.get("inner", []):
+                s = self.lower_stmt(sub, scope)
+                if s is not None:
+                    stmt.arms.append(s)
+            return stmt
+        if kind in ("BreakStmt", "ContinueStmt", "NullStmt", "GotoStmt",
+                    "LabelStmt", "DeclRefExpr"):
+            return Stmt("expr", line, scope=scope)
+        # expression statement (incl. (void) casts, assignments, calls)
+        stmt = Stmt("expr", line, scope=scope)
+        self.lower_expr(node, stmt, scope)
+        return stmt
+
+    def lower_vardecl(self, node, scope):
+        name = node.get("name", "")
+        vtype = node.get("type", {}).get("qualType", "")
+        line = self.line_of(node)
+        stmt = Stmt("decl", line, name=name, vtype=vtype, scope=scope)
+        if name:
+            scope.vars[name] = VarInfo(name, vtype, line, scope,
+                                       len(scope.vars))
+        for sub in node.get("inner", []):
+            self.lower_expr(sub, stmt, scope)
+        return stmt
+
+    # -- expressions: emit pseudo-tokens + Call/Lambda records ---------
+
+    def lower_expr(self, node, stmt, scope):
+        kind = node.get("kind", "")
+        line = self.line_of(node)
+
+        def tok(text, tkind="punct"):
+            stmt.tokens.append(Token(tkind, text, line))
+
+        if kind in ("ImplicitCastExpr", "ExprWithCleanups",
+                    "MaterializeTemporaryExpr", "ConstantExpr",
+                    "ParenExpr", "CXXBindTemporaryExpr",
+                    "CXXFunctionalCastExpr", "CXXConstructExpr",
+                    "InitListExpr", "CXXDefaultArgExpr", "UnaryOperator",
+                    "ArraySubscriptExpr", "ConditionalOperator",
+                    "CXXThisExpr", "PackExpansionExpr"):
+            if kind == "CXXThisExpr":
+                tok("this", "id")
+            for sub in node.get("inner", []):
+                self.lower_expr(sub, stmt, scope)
+            return
+        if kind == "CStyleCastExpr":
+            if node.get("type", {}).get("qualType", "") == "void":
+                tok("(")
+                stmt.tokens.append(Token("id", "void", line))
+                tok(")")
+            for sub in node.get("inner", []):
+                self.lower_expr(sub, stmt, scope)
+            return
+        if kind == "DeclRefExpr":
+            ref = node.get("referencedDecl", {})
+            tok(ref.get("name", node.get("name", "")), "id")
+            return
+        if kind == "MemberExpr":
+            for sub in node.get("inner", []):
+                self.lower_expr(sub, stmt, scope)
+            tok("->" if node.get("isArrow") else ".")
+            member = node.get("name", "")
+            tok(member, "id")
+            return
+        if kind in ("BinaryOperator", "CompoundAssignOperator"):
+            inner = node.get("inner", [])
+            op = node.get("opcode", "")
+            if inner:
+                self.lower_expr(inner[0], stmt, scope)
+            tok(op or "?")
+            for sub in inner[1:]:
+                self.lower_expr(sub, stmt, scope)
+            return
+        if kind in ("CallExpr", "CXXMemberCallExpr",
+                    "CXXOperatorCallExpr"):
+            inner = node.get("inner", [])
+            if not inner:
+                return
+            mark = len(stmt.tokens)
+            self.lower_expr(inner[0], stmt, scope)  # callee
+            # derive name + receiver chain from the emitted tokens
+            emitted = stmt.tokens[mark:]
+            name = ""
+            recv_parts = []
+            ids = [(i, t) for i, t in enumerate(emitted) if t.kind == "id"]
+            if ids:
+                name = ids[-1][1].text
+                j = len(emitted) - 1
+                while j >= 1:
+                    if emitted[j].kind == "id" and \
+                            emitted[j - 1].text in (".", "->") and \
+                            emitted[j].text != name:
+                        recv_parts.append(emitted[j].text)
+                        j -= 2
+                    elif emitted[j].text in (".", "->"):
+                        j -= 1
+                    elif emitted[j].kind == "id" and emitted[j].text == name:
+                        j -= 1
+                    else:
+                        break
+            recv = ".".join(reversed(recv_parts))
+            tok("(")
+            args = []
+            for sub in inner[1:]:
+                amark = len(stmt.tokens)
+                self.lower_expr(sub, stmt, scope)
+                args.append(stmt.tokens[amark:])
+                tok(",")
+            if stmt.tokens and stmt.tokens[-1].text == ",":
+                stmt.tokens.pop()
+            tok(")")
+            if name:
+                stmt.calls.append(Call(name, recv, args, line))
+            return
+        if kind == "LambdaExpr":
+            body_node = None
+            for sub in node.get("inner", []):
+                if sub.get("kind") == "CompoundStmt":
+                    body_node = sub
+            lam_scope = self.new_scope(scope, "lambda")
+            body = self.lower_block(body_node, lam_scope) if body_node \
+                else Stmt("block", line, scope=lam_scope)
+            usage = "stored" if stmt.kind in ("decl", "return") else "arg"
+            stmt.lambdas.append(Lambda([], body, line, usage))
+            return
+        if kind in ("IntegerLiteral", "FloatingLiteral", "StringLiteral",
+                    "CXXBoolLiteralExpr", "CharacterLiteral",
+                    "CXXNullPtrLiteralExpr"):
+            stmt.tokens.append(Token("num", node.get("value", "0"), line))
+            return
+        # anything else: recurse, keep what we understand
+        for sub in node.get("inner", []):
+            self.lower_expr(sub, stmt, scope)
+
+
+def build_model(files, compdb="", cache_dir="", verbose=False) -> Model:
+    model = Model()
+    for path in files:
+        tree = ast_dump(path, compdb, cache_dir, verbose=verbose)
+        model.add_unit(Lowerer(path).lower(tree))
+    return model

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Extract the machine-readable lock hierarchy from DESIGN.md §10.
+
+DESIGN.md owns the hierarchy (humans read it there); the LOCK-ORDER
+checker consumes the extracted `tools/analyzer/lock_hierarchy.txt`.
+This script keeps the two in sync:
+
+    gen_lock_hierarchy.py            # regenerate lock_hierarchy.txt
+    gen_lock_hierarchy.py --check    # exit 1 if the file has drifted
+
+The fenced block in DESIGN.md is tagged ```lock-hierarchy.
+"""
+
+import argparse
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+DESIGN = os.path.join(REPO, "DESIGN.md")
+OUT = os.path.join(REPO, "tools", "analyzer", "lock_hierarchy.txt")
+
+HEADER = ("# GENERATED from the ```lock-hierarchy block in DESIGN.md §10\n"
+          "# by tools/analyzer/gen_lock_hierarchy.py — edit DESIGN.md, "
+          "then regenerate.\n")
+
+
+def extract(design_path: str) -> str:
+    with open(design_path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    block = []
+    in_block = False
+    found = False
+    for line in lines:
+        if line.strip() == "```lock-hierarchy":
+            in_block = True
+            found = True
+            continue
+        if in_block and line.strip() == "```":
+            break
+        if in_block:
+            block.append(line)
+    if not found:
+        sys.exit("gen_lock_hierarchy.py: no ```lock-hierarchy block "
+                 f"in {design_path}")
+    return HEADER + "\n".join(block) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--design", default=DESIGN)
+    ap.add_argument("--out", default=OUT)
+    ap.add_argument("--check", action="store_true",
+                    help="verify the output file matches DESIGN.md")
+    args = ap.parse_args()
+
+    want = extract(args.design)
+    if args.check:
+        try:
+            with open(args.out, "r", encoding="utf-8") as f:
+                have = f.read()
+        except OSError:
+            have = ""
+        if have != want:
+            print(f"{args.out} is out of date with DESIGN.md §10 — run "
+                  "tools/analyzer/gen_lock_hierarchy.py", file=sys.stderr)
+            return 1
+        print("lock_hierarchy.txt is in sync with DESIGN.md")
+        return 0
+    with open(args.out, "w", encoding="utf-8") as f:
+        f.write(want)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

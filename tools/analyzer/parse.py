@@ -1,0 +1,1018 @@
+"""Native C++ frontend: source text -> ir.Model.
+
+A purpose-built parser for the subset of C++ this repository uses
+(see DESIGN.md §15). It tokenizes, matches brackets, walks namespace /
+class / function structure, and lowers function bodies into the ir.Stmt
+tree. It is NOT a general C++ parser: it leans on the project style
+(clang-format layout, no macros that open scopes, no K&R surprises) and
+on the checkers needing only declarations, calls, returns, captures and
+scope nesting. Anything it cannot classify degrades to an opaque 'expr'
+statement — unknown code can cause missed findings, never crashes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ir import (Call, ClassInfo, Function, Lambda, Model, Scope, Stmt, Token,
+                TranslationUnit, VarInfo)
+
+KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default",
+    "return", "break", "continue", "goto", "new", "delete", "sizeof",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    "void", "int", "bool", "char", "float", "double", "long", "short",
+    "unsigned", "signed", "true", "false", "nullptr", "this", "throw",
+    "try", "catch", "using", "typedef", "template", "typename", "class",
+    "struct", "union", "enum", "namespace", "public", "private",
+    "protected", "operator", "const", "constexpr", "static", "mutable",
+    "inline", "virtual", "override", "final", "noexcept", "explicit",
+    "friend", "auto", "decltype", "co_await", "co_return", "alignas",
+}
+
+TYPE_INTRO = {
+    "const", "constexpr", "static", "mutable", "auto", "unsigned",
+    "signed", "volatile", "typename", "thread_local", "inline",
+}
+
+BUILTIN_TYPES = {
+    "void", "int", "bool", "char", "float", "double", "long", "short",
+    "unsigned", "signed", "auto", "size_t", "ssize_t", "ptrdiff_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t",
+    "int32_t", "int64_t", "uintptr_t", "wchar_t",
+}
+
+_TOKEN_RE = re.compile(
+    r"[A-Za-z_][A-Za-z0-9_]*"
+    r"|0[xX][0-9a-fA-F']+|[0-9][0-9a-fA-F'.eEpPxXuUlLfF]*"
+    r"|::|->\*?|\+\+|--|<<=|>>=|<=>|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-="
+    r"|\*=|/=|%=|&=|\|=|\^=|\.\.\.|\.|[-+*/%&|^!~<>=?:;,(){}\[\]#\\]")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank comments and string/char literals, preserving newlines so
+    token line numbers match the source."""
+    out = []
+    i, n = 0, len(text)
+    mode = None
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode, i = "//", i + 2
+                out.append("  ")
+                continue
+            if c == "/" and nxt == "*":
+                mode, i = "/*", i + 2
+                out.append("  ")
+                continue
+            if c in "\"'":
+                mode = c
+                out.append(" ")  # drop quotes entirely: strings are opaque
+                i += 1
+                continue
+            out.append(c)
+        else:
+            if c == "\n":
+                if mode == "//":
+                    mode = None
+                out.append("\n")
+            elif mode == "/*" and c == "*" and nxt == "/":
+                mode, i = None, i + 2
+                out.append("  ")
+                continue
+            elif mode in "\"'" and c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            elif mode in "\"'" and c == mode:
+                mode = None
+                out.append(" ")
+            else:
+                out.append(" " if c != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+def tokenize(clean: str) -> list:
+    toks = []
+    continued = False  # inside a backslash-continued preprocessor line
+    for lineno, line in enumerate(clean.splitlines(), 1):
+        if continued:
+            continued = line.rstrip().endswith("\\")
+            continue
+        for m in _TOKEN_RE.finditer(line):
+            t = m.group(0)
+            if t == "#":  # preprocessor line: skip the rest
+                continued = line.rstrip().endswith("\\")
+                break
+            kind = ("id" if t[0].isalpha() or t[0] == "_"
+                    else "num" if t[0].isdigit() else "punct")
+            toks.append(Token(kind, t, lineno))
+    return toks
+
+
+def match_brackets(toks: list) -> dict:
+    """index of every ( { [ -> index of its matching closer."""
+    pairs = {}
+    stack = []
+    opener = {"(": ")", "{": "}", "[": "]"}
+    for i, t in enumerate(toks):
+        if t.text in opener:
+            stack.append((i, opener[t.text]))
+        elif t.text in (")", "}", "]"):
+            while stack:
+                j, want = stack.pop()
+                if t.text == want:
+                    pairs[j] = i
+                    break
+    return pairs
+
+
+class Parser:
+    def __init__(self, path: str, text: str):
+        self.file = path
+        self.toks = tokenize(strip_comments_and_strings(text))
+        self.pairs = match_brackets(self.toks)
+        self.unit = TranslationUnit(file=path)
+        self.scope_seq = 0
+
+    # ---- helpers -----------------------------------------------------
+
+    def new_scope(self, parent, kind="block") -> Scope:
+        self.scope_seq += 1
+        depth = 0 if parent is None else parent.depth + 1
+        return Scope(self.scope_seq, parent, depth, kind)
+
+    def type_spelling(self, toks) -> str:
+        s = " ".join(t.text for t in toks)
+        s = s.replace(" :: ", "::").replace("< ", "<").replace(" >", ">")
+        s = s.replace(" , ", ",").replace(" *", " *").replace(" &", " &")
+        return s.strip()
+
+    # ---- top level ---------------------------------------------------
+
+    def parse(self) -> TranslationUnit:
+        self.parse_region(0, len(self.toks), ns="", cls="")
+        return self.unit
+
+    def parse_region(self, start: int, end: int, ns: str, cls: str):
+        """Namespace body, class body, or the TU itself."""
+        i = start
+        seg = i
+        while i < end:
+            t = self.toks[i]
+            if t.text in ("(", "["):
+                i = self.pairs.get(i, i) + 1
+                continue
+            if t.text == ";":
+                self.handle_decl_segment(seg, i, ns, cls)
+                i += 1
+                seg = i
+                continue
+            if t.text == "{":
+                close = self.pairs.get(i, end - 1)
+                self.handle_braced_segment(seg, i, close, ns, cls)
+                i = close + 1
+                # `struct X { ... } instance;` / trailing `;`
+                if i < end and self.toks[i].text == ";":
+                    i += 1
+                seg = i
+                continue
+            if t.text == "}":
+                return
+            i += 1
+
+    def segment_tokens(self, a: int, b: int) -> list:
+        return self.toks[a:b]
+
+    def handle_braced_segment(self, seg: int, brace: int, close: int,
+                              ns: str, cls: str):
+        head = self.segment_tokens(seg, brace)
+        words = [t.text for t in head]
+        if not words:
+            return
+        if words[0] == "namespace":
+            name = "".join(w for w in words[1:] if w not in ("inline",))
+            sub = ns + ("::" + name if name and ns else name)
+            self.parse_region(brace + 1, close, sub, cls)
+            return
+        if words[0] == "extern":
+            self.parse_region(brace + 1, close, ns, cls)
+            return
+        if words[0] == "enum":
+            return
+        # template intro: drop it and re-classify.
+        if words[0] == "template":
+            k = 1
+            if k < len(head) and head[k].text == "<":
+                depth = 0
+                while k < len(head):
+                    if head[k].text == "<":
+                        depth += 1
+                    elif head[k].text == ">":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    k += 1
+                head = head[k + 1:]
+                words = [t.text for t in head]
+                if not words:
+                    return
+        if "class" in words or "struct" in words or "union" in words:
+            kw = next(i for i, w in enumerate(words)
+                      if w in ("class", "struct", "union"))
+            # Exclude 'return struct-ish' false matches: keyword first-ish.
+            if kw <= 2:
+                name = self.class_name(head[kw + 1:])
+                if name:
+                    qual = f"{cls}::{name}" if cls else name
+                    info = self.unit.classes.setdefault(
+                        qual, ClassInfo(qual, ns, file=self.file,
+                                        line=head[0].line))
+                    info.file = info.file or self.file
+                    self.parse_region(brace + 1, close, ns, qual)
+                    return
+        # else: function definition (or an initializer brace we can skip)
+        self.maybe_function(head, brace, close, ns, cls)
+
+    def class_name(self, toks) -> str:
+        """Class-head name: last identifier before ':' (base clause) or
+        end, skipping attribute macros like CAPABILITY("x") and 'final'."""
+        name = ""
+        i = 0
+        while i < len(toks):
+            t = toks[i]
+            if t.text == ":":
+                break
+            if t.kind == "id" and t.text not in ("final", "alignas"):
+                nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+                if nxt == "(":  # attribute macro with args
+                    depth = 0
+                    while i < len(toks):
+                        if toks[i].text == "(":
+                            depth += 1
+                        elif toks[i].text == ")":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        i += 1
+                else:
+                    name = t.text
+            i += 1
+        return name
+
+    def handle_decl_segment(self, a: int, b: int, ns: str, cls: str):
+        """Segment ending in ';' — member/variable/method declaration."""
+        toks = self.segment_tokens(a, b)
+        if not toks:
+            return
+        words = [t.text for t in toks]
+        # access specifier prefixes inside a class: 'public : Type x_;'
+        while len(words) > 1 and words[0] in ("public", "private",
+                                              "protected") and words[1] == ":":
+            toks, words = toks[2:], words[2:]
+        if not words or words[0] in ("using", "typedef", "friend", "template",
+                                     "public", "private", "protected",
+                                     "static_assert", "extern", "namespace",
+                                     "enum", "goto"):
+            return
+        if not cls:
+            return
+        info = self.unit.classes.get(cls)
+        if info is None:
+            return
+        # Method declaration: Name(params) qualifiers;
+        sig = self.find_param_group(toks)
+        if sig is not None:
+            name_i, open_i, close_i = sig
+            ret = self.type_spelling(toks[:name_i])
+            name = toks[name_i].text
+            if ret:
+                info.method_ret[name] = ret
+            return
+        # Data member: truncate at top-level '=', brace-init, or an
+        # annotation macro (GUARDED_BY etc.); name = last identifier.
+        sub = []
+        depth = 0
+        for t in toks:
+            if t.text in ("(", "[", "<"):
+                depth += 1
+            elif t.text in (")", "]", ">"):
+                depth -= 1
+            if depth == 0 and t.text in ("=", "{"):
+                break
+            if depth == 0 and t.kind == "id" and len(t.text) > 1 \
+                    and t.text.isupper() and t.text not in BUILTIN_TYPES:
+                break
+            sub.append(t)
+        if len(sub) >= 2 and sub[-1].kind == "id" \
+                and sub[-1].text not in KEYWORDS:
+            name = sub[-1].text
+            vtype = self.type_spelling(sub[:-1])
+            if vtype and not vtype.endswith("::"):
+                info.members[name] = vtype
+
+    def find_param_group(self, toks):
+        """Locate a function signature 'name ( params )' in `toks`.
+        Returns (name_index, open_paren_index, close_paren_index) or
+        None. Skips parens whose preceding token is not a plausible
+        function name (keywords, '<', etc.)."""
+        depth_angle = 0
+        i = 0
+        while i < len(toks):
+            t = toks[i]
+            if t.text == "<":
+                depth_angle += 1
+            elif t.text == ">":
+                depth_angle = max(0, depth_angle - 1)
+            elif t.text == "(" and depth_angle == 0 and i > 0:
+                prev = toks[i - 1]
+                # All-caps identifiers are annotation macros (GUARDED_BY,
+                # ACQUIRE, PICTDB_CHECK...), never function names here.
+                is_macro = (prev.kind == "id" and len(prev.text) > 1
+                            and prev.text.isupper())
+                if not is_macro and (prev.text == "operator" or (
+                        prev.kind == "id" and prev.text not in KEYWORDS)):
+                    # find matching ')'
+                    depth = 0
+                    j = i
+                    while j < len(toks):
+                        if toks[j].text == "(":
+                            depth += 1
+                        elif toks[j].text == ")":
+                            depth -= 1
+                            if depth == 0:
+                                return (i - 1, i, j)
+                        j += 1
+                    return None
+                if prev.text in (")",):  # operator()(…)
+                    k = i - 1
+                    # walk back over 'operator ( )'
+                    if k >= 2 and toks[k - 1].text == "(" \
+                            and toks[k - 2].text == "operator":
+                        depth = 0
+                        j = i
+                        while j < len(toks):
+                            if toks[j].text == "(":
+                                depth += 1
+                            elif toks[j].text == ")":
+                                depth -= 1
+                                if depth == 0:
+                                    return (i - 2, i, j)
+                            j += 1
+                # skip this group
+                i = self._skip_group(toks, i)
+                continue
+            i += 1
+        return None
+
+    def _skip_group(self, toks, i):
+        depth = 0
+        while i < len(toks):
+            if toks[i].text == "(":
+                depth += 1
+            elif toks[i].text == ")":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            i += 1
+        return i
+
+    def maybe_function(self, head, brace: int, close: int, ns: str,
+                       cls: str):
+        sig = self.find_param_group(head)
+        if sig is None:
+            return
+        name_i, open_i, close_i = sig
+        name_tok = head[name_i]
+        name = name_tok.text
+        if name == "operator":
+            # operator()(params): sig returned index of 'operator'
+            name = "operator()"
+        # Qualification: Class::Name
+        fn_cls = cls
+        qual_end = name_i
+        if name_i >= 2 and head[name_i - 1].text == "::" \
+                and head[name_i - 2].kind == "id":
+            fn_cls = head[name_i - 2].text
+            qual_end = name_i - 2
+            # Ns::Class::Name — keep just the class component.
+        ret = self.type_spelling(head[:qual_end])
+        if ret.endswith("::"):
+            ret = ret[:-2]
+        params_toks = head[open_i + 1:close_i] if close_i < len(head) else \
+            head[open_i + 1:]
+        fn_scope = self.new_scope(None, "function")
+        params = self.parse_params(params_toks, fn_scope)
+        body = self.parse_block(brace + 1, close, fn_scope)
+        fn = Function(name=name, cls=fn_cls, namespace=ns, ret_type=ret,
+                      params=params, body=body, line=name_tok.line,
+                      file=self.file)
+        self.unit.functions.append(fn)
+        # Ctor-init-list calls are uninteresting; body covers the rest.
+
+    def parse_params(self, toks, scope: Scope) -> list:
+        params = []
+        for group in self.split_commas(toks):
+            if not group:
+                continue
+            # strip default argument
+            for k, t in enumerate(group):
+                if t.text == "=":
+                    group = group[:k]
+                    break
+            if len(group) >= 2 and group[-1].kind == "id" \
+                    and group[-1].text not in KEYWORDS:
+                name = group[-1].text
+                vtype = self.type_spelling(group[:-1])
+                v = VarInfo(name, vtype, group[-1].line, scope,
+                            len(scope.vars))
+                scope.vars[name] = v
+                params.append(v)
+        return params
+
+    def split_commas(self, toks):
+        groups, cur, depth = [], [], 0
+        for t in toks:
+            if t.text in ("(", "[", "{", "<"):
+                depth += 1
+            elif t.text in (")", "]", "}", ">"):
+                depth -= 1
+            if t.text == "," and depth <= 0:
+                groups.append(cur)
+                cur = []
+            else:
+                cur.append(t)
+        if cur:
+            groups.append(cur)
+        return groups
+
+    # ---- statements --------------------------------------------------
+
+    def parse_block(self, start: int, end: int, scope: Scope) -> Stmt:
+        block = Stmt("block",
+                     self.toks[start].line if start < end else 0,
+                     scope=scope)
+        i = start
+        while i < end:
+            stmt, i = self.parse_stmt(i, end, scope)
+            if stmt is not None:
+                block.children.append(stmt)
+        return block
+
+    def parse_stmt(self, i: int, end: int, scope: Scope):
+        t = self.toks[i]
+        if t.text == ";":
+            return None, i + 1
+        if t.text == "{":
+            close = self.pairs.get(i, end)
+            sub = self.new_scope(scope)
+            return self.parse_block(i + 1, close, sub), close + 1
+        if t.text == "}":
+            return None, i + 1
+        if t.text in ("case", "default"):
+            # handled by parse_switch; skip to ':'
+            while i < end and self.toks[i].text != ":":
+                i += 1
+            return None, i + 1
+        if t.kind == "id":
+            if t.text == "if":
+                return self.parse_if(i, end, scope)
+            if t.text in ("for", "while"):
+                return self.parse_loop(i, end, scope)
+            if t.text == "do":
+                return self.parse_do(i, end, scope)
+            if t.text == "switch":
+                return self.parse_switch(i, end, scope)
+            if t.text == "try":
+                return self.parse_try(i, end, scope)
+            if t.text == "return":
+                j = self.stmt_end(i, end)
+                stmt = Stmt("return", t.line, tokens=self.toks[i + 1:j],
+                            scope=scope)
+                self.analyze_expr(stmt, scope)
+                return stmt, j + 1
+            if t.text == "else":
+                # dangling else (shouldn't happen; defensive)
+                return None, i + 1
+        # plain declaration or expression
+        j = self.stmt_end(i, end)
+        stmt = self.classify_simple(self.toks[i:j], t.line, scope)
+        return stmt, j + 1
+
+    def stmt_end(self, i: int, end: int) -> int:
+        """Index of the ';' terminating the statement starting at i,
+        skipping over every bracket group (lambda bodies included)."""
+        while i < end:
+            t = self.toks[i]
+            if t.text in ("(", "[", "{"):
+                i = self.pairs.get(i, end) + 1
+                continue
+            if t.text == ";":
+                return i
+            i += 1
+        return end
+
+    def cond_group(self, i: int, end: int):
+        """For `kw (...)` at i: returns (inner_start, inner_end, after)."""
+        j = i + 1
+        while j < end and self.toks[j].text != "(":
+            j += 1
+        close = self.pairs.get(j, end)
+        return j + 1, close, close + 1
+
+    def parse_body_or_stmt(self, i: int, end: int, scope: Scope,
+                           kind="block"):
+        if i < end and self.toks[i].text == "{":
+            close = self.pairs.get(i, end)
+            sub = self.new_scope(scope, kind)
+            return self.parse_block(i + 1, close, sub), close + 1
+        stmt, nxt = self.parse_stmt(i, end, scope)
+        wrap = Stmt("block", self.toks[i].line if i < end else 0,
+                    scope=self.new_scope(scope, kind))
+        if stmt is not None:
+            wrap.children.append(stmt)
+        return wrap, nxt
+
+    def parse_if(self, i: int, end: int, scope: Scope):
+        a, b, after = self.cond_group(i, end)
+        cond_scope = self.new_scope(scope)
+        stmt = Stmt("if", self.toks[i].line, scope=cond_scope)
+        cond = self.toks[a:b]
+        # C++17 init-statement:  if (Status st = X(); !st.ok())
+        semi = next((k for k, tk in enumerate(cond) if tk.text == ";"), None)
+        if semi is not None:
+            init = self.classify_simple(cond[:semi],
+                                        cond[0].line if cond else 0,
+                                        cond_scope)
+            if init is not None:
+                stmt.arms.append(None)  # placeholder replaced below
+                stmt.tokens = cond[semi + 1:]
+                stmt.arms[0] = init
+            cond_rest = cond[semi + 1:]
+        else:
+            stmt.tokens = cond
+            stmt.arms.append(None)
+            cond_rest = cond
+        self.analyze_expr(stmt, cond_scope)
+        then, nxt = self.parse_body_or_stmt(after, end, cond_scope)
+        stmt.arms.append(then)
+        if nxt < end and self.toks[nxt].text == "else":
+            els, nxt = self.parse_body_or_stmt(nxt + 1, end, cond_scope)
+            stmt.arms.append(els)
+        _ = cond_rest
+        return stmt, nxt
+
+    def parse_loop(self, i: int, end: int, scope: Scope):
+        a, b, after = self.cond_group(i, end)
+        loop_scope = self.new_scope(scope, "loop")
+        stmt = Stmt("loop", self.toks[i].line, scope=loop_scope)
+        header = self.toks[a:b]
+        # register range-for / init declarations into the loop scope
+        colon = next((k for k, tk in enumerate(header)
+                      if tk.text == ":" and (k == 0 or
+                                             header[k - 1].text != ":")), None)
+        if self.toks[i].text == "for":
+            if colon is not None and ";" not in [tk.text for tk in header]:
+                decl = header[:colon]
+                self.register_decl_tokens(decl, loop_scope)
+                stmt.tokens = header[colon + 1:]
+            else:
+                parts, cur, depth = [], [], 0
+                for tk in header:
+                    if tk.text in ("(", "[", "{"):
+                        depth += 1
+                    elif tk.text in (")", "]", "}"):
+                        depth -= 1
+                    if tk.text == ";" and depth == 0:
+                        parts.append(cur)
+                        cur = []
+                    else:
+                        cur.append(tk)
+                parts.append(cur)
+                if parts and parts[0]:
+                    init = self.classify_simple(parts[0], parts[0][0].line,
+                                                loop_scope)
+                    if init is not None:
+                        stmt.arms.append(init)
+                stmt.tokens = [tk for p in parts[1:] for tk in p]
+        else:
+            stmt.tokens = header
+        self.analyze_expr(stmt, loop_scope)
+        body, nxt = self.parse_body_or_stmt(after, end, loop_scope, "loop")
+        stmt.arms.append(body)
+        return stmt, nxt
+
+    def parse_do(self, i: int, end: int, scope: Scope):
+        loop_scope = self.new_scope(scope, "loop")
+        stmt = Stmt("loop", self.toks[i].line, scope=loop_scope)
+        body, nxt = self.parse_body_or_stmt(i + 1, end, loop_scope, "loop")
+        stmt.arms.append(body)
+        # while (...) ;
+        if nxt < end and self.toks[nxt].text == "while":
+            a, b, after = self.cond_group(nxt, end)
+            stmt.tokens = self.toks[a:b]
+            self.analyze_expr(stmt, loop_scope)
+            nxt = after
+            if nxt < end and self.toks[nxt].text == ";":
+                nxt += 1
+        return stmt, nxt
+
+    def parse_switch(self, i: int, end: int, scope: Scope):
+        a, b, after = self.cond_group(i, end)
+        stmt = Stmt("switch", self.toks[i].line, tokens=self.toks[a:b],
+                    scope=scope)
+        self.analyze_expr(stmt, scope)
+        if after < end and self.toks[after].text == "{":
+            close = self.pairs.get(after, end)
+            # split body at top-level 'case X:' / 'default:'
+            j = after + 1
+            branch_start = None
+            branches = []
+            while j < close:
+                t = self.toks[j]
+                if t.text in ("(", "[", "{"):
+                    j = self.pairs.get(j, close) + 1
+                    continue
+                if t.text in ("case", "default"):
+                    if branch_start is not None:
+                        branches.append((branch_start, j))
+                    while j < close and self.toks[j].text != ":":
+                        j += 1
+                    branch_start = j + 1
+                j += 1
+            if branch_start is not None:
+                branches.append((branch_start, close))
+            for (s, e) in branches:
+                sub = self.new_scope(scope)
+                stmt.arms.append(self.parse_block(s, e, sub))
+            return stmt, close + 1
+        return stmt, after
+
+    def parse_try(self, i: int, end: int, scope: Scope):
+        stmt = Stmt("try", self.toks[i].line, scope=scope)
+        body, nxt = self.parse_body_or_stmt(i + 1, end, scope)
+        stmt.arms.append(body)
+        while nxt < end and self.toks[nxt].text == "catch":
+            a, b, after = self.cond_group(nxt, end)
+            handler, nxt = self.parse_body_or_stmt(after, end, scope)
+            stmt.arms.append(handler)
+        return stmt, nxt
+
+    # ---- simple statements -------------------------------------------
+
+    def register_decl_tokens(self, toks, scope: Scope):
+        """Register `Type name` (range-for / structured binding) decls."""
+        if not toks:
+            return None
+        if toks[-1].text == "]":
+            # structured binding: auto& [a, b] — register each name
+            k = len(toks) - 1
+            while k >= 0 and toks[k].text != "[":
+                k -= 1
+            for tk in toks[k + 1:-1]:
+                if tk.kind == "id":
+                    scope.vars[tk.text] = VarInfo(
+                        tk.text, "auto", tk.line, scope, len(scope.vars))
+            return None
+        if len(toks) >= 2 and toks[-1].kind == "id" \
+                and toks[-1].text not in KEYWORDS:
+            name = toks[-1].text
+            vtype = self.type_spelling(toks[:-1])
+            v = VarInfo(name, vtype, toks[-1].line, scope, len(scope.vars))
+            scope.vars[name] = v
+            return v
+        return None
+
+    def classify_simple(self, toks, line: int, scope: Scope):
+        """Decl or expr statement from its tokens (no trailing ';')."""
+        if not toks:
+            return None
+        words = [t.text for t in toks]
+        if words[0] in ("break", "continue", "goto", "throw", "using",
+                        "typedef", "static_assert"):
+            stmt = Stmt("expr", line, tokens=toks, scope=scope)
+            return stmt
+        # PICTDB_ASSIGN_OR_RETURN(lhs, expr)
+        if words[0] == "PICTDB_ASSIGN_OR_RETURN" and len(toks) > 2 \
+                and toks[1].text == "(":
+            inner = toks[2:-1] if toks[-1].text == ")" else toks[2:]
+            groups = self.split_commas(inner)
+            if len(groups) >= 2:
+                lhs = groups[0]
+                init = [tk for g in groups[1:] for tk in g]
+                name = lhs[-1].text if lhs and lhs[-1].kind == "id" else ""
+                vtype = self.type_spelling(lhs[:-1]) if len(lhs) > 1 else \
+                    "auto"
+                stmt = Stmt("decl", line, tokens=init, name=name,
+                            vtype=vtype, scope=scope,
+                            from_assign_macro=True)
+                if name:
+                    scope.vars[name] = VarInfo(name, vtype, line, scope,
+                                               len(scope.vars))
+                self.analyze_expr(stmt, scope)
+                return stmt
+        decl = self.try_decl(toks, line, scope)
+        if decl is not None:
+            return decl
+        stmt = Stmt("expr", line, tokens=toks, scope=scope)
+        self.analyze_expr(stmt, scope)
+        return stmt
+
+    def try_decl(self, toks, line: int, scope: Scope):
+        """Heuristic declaration matcher: [qualifiers] Type name
+        ( '=' init | '(' args ')' | '{' init '}' | nothing )."""
+        i = 0
+        n = len(toks)
+        saw_type = False
+        saw_auto = False
+        while i < n:
+            t = toks[i]
+            if t.kind == "id" and t.text in TYPE_INTRO:
+                i += 1
+                saw_auto = saw_auto or t.text == "auto"
+                continue
+            break
+        if saw_auto:
+            # `auto [const auto&] name = init` / structured bindings.
+            while i < n and toks[i].text in ("*", "&", "&&"):
+                i += 1
+            if i < n and toks[i].text == "[":
+                for tk in toks[i + 1:]:
+                    if tk.text == "]":
+                        break
+                    if tk.kind == "id":
+                        scope.vars[tk.text] = VarInfo(
+                            tk.text, "auto", tk.line, scope,
+                            len(scope.vars))
+                return Stmt("decl", line, tokens=toks, scope=scope)
+            if i < n and toks[i].kind == "id" \
+                    and toks[i].text not in KEYWORDS:
+                name = toks[i].text
+                vtype = self.type_spelling(toks[:i])
+                init = toks[i + 2:] if i + 1 < n and \
+                    toks[i + 1].text == "=" else toks[i + 1:]
+                stmt = Stmt("decl", line, tokens=init, name=name,
+                            vtype=vtype, scope=scope)
+                scope.vars[name] = VarInfo(name, vtype, line, scope,
+                                           len(scope.vars))
+                self.analyze_expr(stmt, scope)
+                return stmt
+            return None
+        type_start = i
+        # consume one qualified-id with optional template args + * & refs
+        while i < n:
+            t = toks[i]
+            if t.kind == "id" and t.text not in KEYWORDS or \
+                    t.text in BUILTIN_TYPES:
+                i += 1
+                saw_type = True
+                if i < n and toks[i].text == "<":
+                    depth = 0
+                    while i < n:
+                        if toks[i].text == "<":
+                            depth += 1
+                        elif toks[i].text in (">", ">>"):
+                            depth -= 2 if toks[i].text == ">>" else 1
+                            if depth <= 0:
+                                i += 1
+                                break
+                        i += 1
+                if i < n and toks[i].text == "::":
+                    i += 1
+                    continue
+                break
+            elif t.text == "::":
+                i += 1
+            else:
+                break
+        while i < n and toks[i].text in ("*", "&", "&&", "const"):
+            i += 1
+        if not saw_type or i >= n or i == type_start:
+            return None
+        name_tok = toks[i]
+        if name_tok.kind != "id" or name_tok.text in KEYWORDS:
+            return None
+        after = toks[i + 1].text if i + 1 < n else ";"
+        if after not in ("=", "{", "(", ";") and i + 1 < n:
+            return None
+        name = name_tok.text
+        vtype = self.type_spelling(toks[:i])
+        init = []
+        if after == "=":
+            init = toks[i + 2:]
+        elif after in ("{", "("):
+            closer = "}" if after == "{" else ")"
+            if toks[-1].text == closer:
+                init = toks[i + 2:-1]
+            else:
+                init = toks[i + 2:]
+        stmt = Stmt("decl", line, tokens=init, name=name, vtype=vtype,
+                    scope=scope)
+        scope.vars[name] = VarInfo(name, vtype, line, scope,
+                                   len(scope.vars))
+        self.analyze_expr(stmt, scope)
+        return stmt
+
+    # ---- expression analysis: calls + lambdas ------------------------
+
+    def analyze_expr(self, stmt: Stmt, scope: Scope):
+        toks = stmt.tokens
+        if not toks:
+            return
+        # 1. lambdas: find them, parse bodies, mask their tokens out.
+        masked = list(toks)
+        k = 0
+        while k < len(masked):
+            t = masked[k]
+            if t is not None and t.text == "[" and self.looks_like_lambda(
+                    masked, k):
+                lam, consumed = self.extract_lambda(masked, k, stmt, scope)
+                if lam is not None:
+                    stmt.lambdas.append(lam)
+                    for m in range(k, min(consumed, len(masked))):
+                        masked[m] = None
+                    k = consumed
+                    continue
+            k += 1
+        # 2. calls on the remaining tokens.
+        flat = [t for t in masked if t is not None]
+        i = 0
+        while i < len(flat) - 1:
+            t, nxt = flat[i], flat[i + 1]
+            if t.kind == "id" and nxt.text == "(" and t.text not in (
+                    KEYWORDS - {"operator"}):
+                recv, qual = self.receiver(flat, i)
+                args, after = self.call_args(flat, i + 1)
+                stmt.calls.append(Call(t.text, recv, args, t.line,
+                                       qualifier=qual))
+                i += 2
+                continue
+            i += 1
+
+    def looks_like_lambda(self, toks, k: int) -> bool:
+        prev = None
+        for p in range(k - 1, -1, -1):
+            if toks[p] is not None:
+                prev = toks[p]
+                break
+        if prev is not None and (prev.kind in ("id", "num") or
+                                 prev.text in (")", "]")):
+            return False  # subscript
+        # capture list must look like captures; body '{' or params '('
+        depth = 0
+        j = k
+        while j < len(toks):
+            t = toks[j]
+            if t is None:
+                return False
+            if t.text == "[":
+                depth += 1
+            elif t.text == "]":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif t.text not in (",", "&", "=", "*") and t.kind == "punct":
+                return False
+            j += 1
+        nxt = toks[j + 1] if j + 1 < len(toks) else None
+        return nxt is not None and nxt.text in ("(", "{") or \
+            (nxt is not None and nxt.text == "mutable")
+
+    def extract_lambda(self, toks, k: int, stmt: Stmt, scope: Scope):
+        # capture list
+        j = k + 1
+        captures = []
+        while j < len(toks) and toks[j].text != "]":
+            captures.append(toks[j].text)
+            j += 1
+        j += 1  # past ']'
+        ret_hint = ""
+        # optional params
+        if j < len(toks) and toks[j].text == "(":
+            depth = 0
+            while j < len(toks):
+                if toks[j].text == "(":
+                    depth += 1
+                elif toks[j].text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        j += 1
+                        break
+                j += 1
+        while j < len(toks) and toks[j].text in ("mutable", "noexcept",
+                                                 "->", "constexpr") or \
+                (j < len(toks) and toks[j].kind == "id" and
+                 toks[j].text not in KEYWORDS and j + 1 < len(toks) and
+                 toks[j + 1].text in ("{",)):
+            if toks[j].text == "->":
+                j += 1
+                ret_toks = []
+                while j < len(toks) and toks[j].text != "{":
+                    ret_toks.append(toks[j])
+                    j += 1
+                ret_hint = self.type_spelling(ret_toks)
+                break
+            if toks[j].text in ("mutable", "noexcept", "constexpr"):
+                j += 1
+            else:
+                break
+        if j >= len(toks) or toks[j].text != "{":
+            return None, k + 1
+        # body: need absolute indices — find this brace in self.toks
+        body_open = None
+        for idx in range(len(self.toks)):
+            if self.toks[idx] is toks[j]:
+                body_open = idx
+                break
+        if body_open is None:
+            return None, k + 1
+        body_close = self.pairs.get(body_open)
+        if body_close is None:
+            return None, k + 1
+        lam_scope = self.new_scope(scope, "lambda")
+        body = self.parse_block(body_open + 1, body_close, lam_scope)
+        # usage: what follows the body's '}' in `toks`?
+        after_i = j
+        depth = 0
+        while after_i < len(toks):
+            if toks[after_i].text == "{":
+                depth += 1
+            elif toks[after_i].text == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            after_i += 1
+        nxt = toks[after_i + 1] if after_i + 1 < len(toks) else None
+        if nxt is not None and nxt.text == "(":
+            usage = "invoked"
+        elif stmt.kind == "return":
+            usage = "stored"
+        else:
+            # '=' before '[' at top level => stored
+            eq = any(t is not None and t.text == "=" for t in toks[:k])
+            usage = "stored" if eq or stmt.kind == "decl" else "arg"
+        lam = Lambda(captures, body, toks[k].line, usage, ret_hint)
+        return lam, after_i + 1
+
+    def receiver(self, flat, i: int):
+        """Receiver chain and qualifier for the call at flat[i]."""
+        recv_parts = []
+        qual = ""
+        j = i - 1
+        # qualified call:  ns :: fn (
+        if j >= 0 and flat[j].text == "::":
+            parts = []
+            while j >= 1 and flat[j].text == "::" and flat[j - 1].kind == "id":
+                parts.append(flat[j - 1].text)
+                j -= 2
+            qual = "::".join(reversed(parts))
+            return "", qual
+        while j >= 1 and flat[j].text in (".", "->"):
+            prev = flat[j - 1]
+            if prev.kind == "id":
+                recv_parts.append(prev.text)
+                j -= 2
+            elif prev.text == ")":
+                # chained call result:  Fn(...)->Method()
+                recv_parts.append("()")
+                break
+            elif prev.text == "]":
+                recv_parts.append("[]")
+                break
+            else:
+                break
+        return ".".join(reversed(recv_parts)), qual
+
+    def call_args(self, flat, open_i: int):
+        depth = 0
+        j = open_i
+        inner = []
+        while j < len(flat):
+            if flat[j].text == "(":
+                depth += 1
+                if depth == 1:
+                    j += 1
+                    continue
+            elif flat[j].text == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            if depth >= 1:
+                inner.append(flat[j])
+            j += 1
+        return self.split_commas(inner), j
+
+
+def parse_file(path: str, text: str) -> TranslationUnit:
+    return Parser(path, text).parse()
+
+
+def build_model(files) -> Model:
+    """files: iterable of (path, text)."""
+    model = Model()
+    for path, text in files:
+        model.add_unit(parse_file(path, text))
+    return model

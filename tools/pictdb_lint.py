@@ -180,9 +180,12 @@ def check_mutex_wrapper(path: Path, clean: str, findings: list):
                  "safety analysis sees the lock"))
 
 
-def check_crc_verify(findings: list):
+def check_crc_verify(findings: list, text: str | None = None):
+    """Structural check on buffer_pool.cc. `text` is injectable so the
+    lint self-test can exercise the rule on synthetic sources."""
     path = SRC / "storage" / "buffer_pool.cc"
-    text = path.read_text(encoding="utf-8")
+    if text is None:
+        text = path.read_text(encoding="utf-8")
     if "VerifyPageTrailer" not in text:
         findings.append(
             (relpath(path), 1, "CRC-VERIFY",

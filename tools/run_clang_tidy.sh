@@ -38,6 +38,32 @@ fi
 mapfile -t files < <(cd "${repo_root}" \
   && find src bench examples -name '*.cc' -o -name '*.cpp' | sort)
 
+# A stale database silently lints against old flags or skips new TUs —
+# fail loudly instead. Stale means: any CMakeLists.txt is newer than
+# the database (flags/targets may have changed), or a first-party TU
+# on disk has no entry in it (added after the last configure).
+stale=""
+while IFS= read -r -d '' cml; do
+  if [[ "${cml}" -nt "${db}" ]]; then
+    stale="${cml#"${repo_root}/"} is newer than the compile database"
+    break
+  fi
+done < <(find "${repo_root}" -name CMakeLists.txt \
+           -not -path "${repo_root}/build*" -print0)
+if [[ -z "${stale}" ]]; then
+  for f in "${files[@]}"; do
+    if ! grep -qF "${f}" "${db}"; then
+      stale="${f} has no entry in the compile database"
+      break
+    fi
+  done
+fi
+if [[ -n "${stale}" ]]; then
+  echo "run_clang_tidy: compile database is stale: ${stale}" >&2
+  echo "  re-configure: cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 2
+fi
+
 echo "run_clang_tidy: ${tidy} over ${#files[@]} files (db: ${db})"
 status=0
 printf '%s\n' "${files[@]}" | xargs -P "$(nproc)" -n 8 \

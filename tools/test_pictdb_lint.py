@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Self-test for tools/pictdb_lint.py.
+
+Feeds each of the seven rules a bad and a good snippet from
+tests/lint_corpus/ and asserts the rule fires on the bad one and stays
+silent on the good one, plus the path-scope exemptions (storage may use
+raw new, spill_file.cc may call mkstemp, and so on). The check
+functions only use a file's *path* for scoping, so the synthetic paths
+below never have to exist on disk.
+
+Run directly (python3 tools/test_pictdb_lint.py) or via ctest as
+pictdb_lint_selftest.
+"""
+
+from __future__ import annotations
+
+import sys
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import pictdb_lint as lint
+
+CORPUS = lint.REPO_ROOT / "tests" / "lint_corpus"
+
+
+def run_check(check, fake_path: Path, snippet_name: str, *, raw=False):
+    """Run one path-based check over a corpus snippet, return findings."""
+    text = (CORPUS / snippet_name).read_text(encoding="utf-8")
+    if not raw:
+        text = lint.strip_comments_and_strings(text)
+    findings = []
+    check(fake_path, text, findings)
+    return findings
+
+
+def rules(findings):
+    return {rule for _, _, rule, _ in findings}
+
+
+class PinGuardTest(unittest.TestCase):
+    PATH = lint.SRC / "rtree" / "synthetic.cc"
+
+    def test_fires_on_naked_pins(self):
+        findings = run_check(lint.check_pin_guard, self.PATH,
+                             "pin_guard_bad.cc")
+        self.assertEqual(rules(findings), {"PIN-GUARD"})
+        self.assertEqual(len(findings), 2)  # FetchPage and NewPage
+
+    def test_silent_on_bound_pins(self):
+        self.assertEqual(
+            run_check(lint.check_pin_guard, self.PATH, "pin_guard_good.cc"),
+            [])
+
+    def test_declaration_header_exempt(self):
+        header = lint.SRC / "storage" / "buffer_pool.h"
+        self.assertEqual(
+            run_check(lint.check_pin_guard, header, "pin_guard_bad.cc"), [])
+
+
+class RawNewTest(unittest.TestCase):
+    PATH = lint.SRC / "rtree" / "synthetic.cc"
+
+    def test_fires_on_new_and_delete(self):
+        findings = run_check(lint.check_raw_new, self.PATH, "raw_new_bad.cc")
+        self.assertEqual(rules(findings), {"RAW-NEW"})
+        self.assertEqual(len(findings), 4)  # 2 news + 2 deletes
+
+    def test_silent_on_smart_pointers_and_idioms(self):
+        self.assertEqual(
+            run_check(lint.check_raw_new, self.PATH, "raw_new_good.cc"), [])
+
+    def test_storage_internals_exempt(self):
+        storage = lint.SRC / "storage" / "synthetic.cc"
+        self.assertEqual(
+            run_check(lint.check_raw_new, storage, "raw_new_bad.cc"), [])
+
+
+class MutexWrapperTest(unittest.TestCase):
+    PATH = lint.SRC / "service" / "synthetic.cc"
+
+    def test_fires_on_std_lock_types(self):
+        findings = run_check(lint.check_mutex_wrapper, self.PATH,
+                             "mutex_wrapper_bad.cc")
+        self.assertEqual(rules(findings), {"MUTEX-WRAPPER"})
+        # std::mutex member + std::lock_guard<std::mutex> line.
+        self.assertGreaterEqual(len(findings), 2)
+
+    def test_silent_on_wrappers(self):
+        self.assertEqual(
+            run_check(lint.check_mutex_wrapper, self.PATH,
+                      "mutex_wrapper_good.cc"), [])
+
+    def test_wrapper_header_exempt(self):
+        wrapper = lint.SRC / "common" / "mutex.h"
+        self.assertEqual(
+            run_check(lint.check_mutex_wrapper, wrapper,
+                      "mutex_wrapper_bad.cc"), [])
+
+
+class CrcVerifyTest(unittest.TestCase):
+    def test_fires_when_trailer_helper_removed(self):
+        findings = []
+        lint.check_crc_verify(findings, text="Status Other() { return x; }")
+        self.assertEqual(rules(findings), {"CRC-VERIFY"})
+        self.assertIn("no longer verifies", findings[0][3])
+
+    def test_fires_when_miss_path_bypasses_helper(self):
+        text = (CORPUS / "crc_verify_bad.cc").read_text(encoding="utf-8")
+        findings = []
+        lint.check_crc_verify(findings, text=text)
+        self.assertEqual(rules(findings), {"CRC-VERIFY"})
+        self.assertIn("miss path", findings[0][3])
+
+    def test_silent_on_verified_miss_path(self):
+        text = (CORPUS / "crc_verify_good.cc").read_text(encoding="utf-8")
+        findings = []
+        lint.check_crc_verify(findings, text=text)
+        self.assertEqual(findings, [])
+
+    def test_silent_on_real_buffer_pool(self):
+        findings = []
+        lint.check_crc_verify(findings)
+        self.assertEqual(findings, [])
+
+
+class SeededRandomTest(unittest.TestCase):
+    PATH = lint.SRC / "check" / "synthetic.cc"
+
+    def test_fires_on_unseeded_entropy(self):
+        findings = run_check(lint.check_seeded_random, self.PATH,
+                             "seeded_random_bad.cc")
+        self.assertEqual(rules(findings), {"SEEDED-RANDOM"})
+        # random_device, mt19937, srand, rand — at least one each.
+        hit = " ".join(msg for _, _, _, msg in findings)
+        for what in ("std::random_device", "std::mt19937", "srand()",
+                     "rand()"):
+            self.assertIn(what, hit)
+
+    def test_silent_on_project_prng(self):
+        self.assertEqual(
+            run_check(lint.check_seeded_random, self.PATH,
+                      "seeded_random_good.cc"), [])
+
+    def test_scoped_to_check_subtree(self):
+        elsewhere = lint.SRC / "rtree" / "synthetic.cc"
+        self.assertEqual(
+            run_check(lint.check_seeded_random, elsewhere,
+                      "seeded_random_bad.cc"), [])
+
+
+class NoSuppressTest(unittest.TestCase):
+    PATH = lint.SRC / "check" / "synthetic.cc"
+
+    def test_fires_on_suppression_comments(self):
+        findings = run_check(lint.check_no_suppress, self.PATH,
+                             "no_suppress_bad.cc", raw=True)
+        self.assertEqual(rules(findings), {"NO-SUPPRESS"})
+        self.assertEqual(len(findings), 2)  # NOLINT + NO_THREAD_SAFETY
+
+    def test_silent_on_clean_file(self):
+        self.assertEqual(
+            run_check(lint.check_no_suppress, self.PATH,
+                      "no_suppress_good.cc", raw=True), [])
+
+    def test_scoped_to_check_subtree(self):
+        elsewhere = lint.SRC / "service" / "synthetic.cc"
+        self.assertEqual(
+            run_check(lint.check_no_suppress, elsewhere,
+                      "no_suppress_bad.cc", raw=True), [])
+
+
+class SpillTempTest(unittest.TestCase):
+    PATH = lint.SRC / "rtree" / "synthetic.cc"
+
+    def test_fires_on_adhoc_temp_apis(self):
+        findings = run_check(lint.check_spill_temp, self.PATH,
+                             "spill_temp_bad.cc")
+        self.assertEqual(rules(findings), {"SPILL-TEMP"})
+        self.assertEqual(len(findings), 2)  # tmpfile + mkstemp
+
+    def test_silent_on_spill_manager(self):
+        self.assertEqual(
+            run_check(lint.check_spill_temp, self.PATH,
+                      "spill_temp_good.cc"), [])
+
+    def test_spill_file_owner_exempt(self):
+        owner = lint.SRC / "storage" / "spill_file.cc"
+        self.assertEqual(
+            run_check(lint.check_spill_temp, owner, "spill_temp_bad.cc"), [])
+
+
+class EndToEndTest(unittest.TestCase):
+    def test_src_tree_is_clean(self):
+        self.assertEqual(lint.run_lint(), [])
+
+
+if __name__ == "__main__":
+    unittest.main()
